@@ -1,0 +1,122 @@
+// Ablation: replication vs erasure coding for checkpoint availability —
+// the design choice of paper §IV.A, measured instead of asserted.
+//
+// For a checkpoint image we compare, per redundancy scheme:
+//   * storage overhead (x raw data),
+//   * node failures tolerated,
+//   * real encode CPU throughput (GF(256) Reed-Solomon on this machine),
+//   * write-path OAB when the encoding runs inline (pessimistic
+//     durability), via the DES,
+//   * network bytes leaving the client.
+#include <chrono>
+
+#include "bench_util.h"
+#include "erasure/reed_solomon.h"
+#include "common/rng.h"
+#include "perf/experiments.h"
+
+using namespace stdchk;
+using namespace stdchk::perf;
+
+namespace {
+
+double MeasureEncodeMBps(int k, int m, std::size_t block) {
+  auto rs = ReedSolomon::Create(k, m).value();
+  Rng rng(77);
+  Bytes data = rng.RandomBytes(block);
+  auto start = std::chrono::steady_clock::now();
+  int reps = 0;
+  double elapsed = 0;
+  volatile std::uint8_t sink = 0;
+  do {
+    auto shards = rs.EncodeBlock(data);
+    sink = sink ^ shards.back()[0];  // keep the encode alive
+    ++reps;
+    elapsed = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            start)
+                  .count();
+  } while (elapsed < 0.2);
+  return static_cast<double>(block) * reps / 1048576.0 / elapsed;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Ablation",
+                     "Replication vs erasure coding (paper §IV.A)");
+
+  PlatformModel platform = PaperLanTestbed();
+  const std::uint64_t file = 1_GiB;
+
+  auto run = [&](int replicas, double inline_mbps, double overhead_factor) {
+    PipelineConfig config;
+    config.protocol = ProtocolModel::kSW;
+    config.file_bytes = file;
+    config.chunk_size = 1_MiB;
+    config.buffer_bytes = 64_MiB;
+    config.replicas = replicas;
+    config.pessimistic = true;  // durability before close() for both schemes
+    config.hash_mbps = inline_mbps;  // inline encode cost (0 = none)
+    for (int s = 0; s < 8; ++s) config.stripe.push_back(s);
+    WriteResult r = RunSingleWrite(platform, 8, config);
+    // Erasure ships data + parity rather than whole replicas; scale the
+    // modeled replica traffic down to the parity overhead.
+    r.bytes_transferred = static_cast<std::uint64_t>(
+        static_cast<double>(file) * overhead_factor);
+    return r;
+  };
+
+  bench::PrintRow("%-22s %10s %10s %12s %12s %12s", "scheme", "overhead",
+                  "tolerates", "encode MB/s", "OAB MB/s", "net GB");
+
+  // Replication r = 2, 3: no compute, whole-copy overhead.
+  for (int r = 2; r <= 3; ++r) {
+    WriteResult res = run(r, 0.0, static_cast<double>(r));
+    bench::PrintRow("%-22s %9.2fx %10d %12s %12.1f %12.1f",
+                    ("replication r=" + std::to_string(r)).c_str(),
+                    static_cast<double>(r), r - 1, "-", res.oab_mbps,
+                    static_cast<double>(res.bytes_transferred) / (1 << 30));
+  }
+
+  // Reed-Solomon (k, m): parity overhead (k+m)/k, tolerates m losses,
+  // inline encode at the measured GF(256) rate.
+  struct Geometry {
+    int k, m;
+  };
+  for (Geometry g : {Geometry{8, 1}, Geometry{8, 2}, Geometry{8, 3},
+                     Geometry{4, 2}}) {
+    double encode = MeasureEncodeMBps(g.k, g.m, 8_MiB);
+    double overhead = static_cast<double>(g.k + g.m) / g.k;
+    // The stripe carries each encoded shard once: traffic = overhead x.
+    // The client writes one "replica" whose production is paced by the
+    // inline encoder.
+    PipelineConfig config;
+    config.protocol = ProtocolModel::kSW;
+    config.file_bytes = static_cast<std::uint64_t>(
+        static_cast<double>(file) * overhead);
+    config.chunk_size = 1_MiB;
+    config.buffer_bytes = 64_MiB;
+    config.replicas = 1;
+    config.pessimistic = true;
+    config.hash_mbps = encode;
+    for (int s = 0; s < 8; ++s) config.stripe.push_back(s);
+    WriteResult r = RunSingleWrite(platform, 8, config);
+    double oab = static_cast<double>(file) / 1048576.0 / r.close_seconds;
+    bench::PrintRow("%-22s %9.2fx %10d %12.0f %12.1f %12.1f",
+                    ("RS(k=" + std::to_string(g.k) + ",m=" +
+                     std::to_string(g.m) + ")")
+                        .c_str(),
+                    overhead, g.m, encode, oab,
+                    static_cast<double>(config.file_bytes) / (1 << 30));
+  }
+
+  bench::PrintRow("");
+  bench::PrintNote(
+      "the paper's argument, quantified: replication costs space (2-3x) "
+      "but zero compute and trivially parallel repair; erasure coding "
+      "cuts the space/traffic overhead to 1.1-1.5x for equal or better "
+      "loss tolerance, but the inline GF(256) encode paces the write path "
+      "and repair must gather k shards. For transient checkpoint data the "
+      "space overhead is transient too, so stdchk picks replication.");
+  return 0;
+}

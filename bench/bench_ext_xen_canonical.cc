@@ -1,0 +1,82 @@
+// Extension experiment: Xen checkpoint canonicalization — the solution the
+// paper leaves as an open problem ("We are currently exploring solutions
+// to create Xen checkpoint images that preserve the similarity between
+// incremental checkpoint images", §V.E).
+//
+// Re-running the Table 3 Xen column on canonicalized images (pfn-sorted,
+// volatile headers stripped) recovers the similarity that raw Xen dumps
+// destroy, at a modest canonicalization cost measured here for real.
+#include <chrono>
+
+#include "bench_util.h"
+#include "chkpt/similarity.h"
+#include "workload/trace_generators.h"
+#include "workload/xen_canonicalize.h"
+
+using namespace stdchk;
+
+int main() {
+  bench::PrintHeader("Extension",
+                     "Xen checkpoint canonicalization (paper §V.E open problem)");
+
+  XenTraceOptions options;
+  options.pages = 2048;  // ~8.4 MB images
+  options.dirty_fraction = 0.10;
+  options.seed = 91;
+
+  XenImageLayout layout;
+  layout.page_bytes = options.page_bytes;
+  layout.header_bytes = options.header_bytes;
+
+  struct Tech {
+    const char* name;
+    std::unique_ptr<Chunker> chunker;
+  };
+  std::vector<Tech> techs;
+  techs.push_back({"FsCH 256KB", std::make_unique<FixedSizeChunker>(256_KiB)});
+  techs.push_back({"FsCH 4KB", std::make_unique<FixedSizeChunker>(4_KiB)});
+  CbchParams cbch{32, 10, 32, 16u << 20, false};
+  techs.push_back({"CbCH no-overlap", std::make_unique<ContentBasedChunker>(cbch)});
+
+  const int kImages = 5;
+  bench::PrintRow("%-18s %16s %18s", "technique", "raw Xen sim", "canonical sim");
+  double canon_seconds = 0;
+  std::uint64_t canon_bytes = 0;
+  for (const Tech& tech : techs) {
+    auto raw_trace = MakeXenLikeTrace(options);
+    SimilarityTracker raw(tech.chunker.get());
+    auto canon_trace = MakeXenLikeTrace(options);
+    SimilarityTracker canon(tech.chunker.get());
+    for (int i = 0; i < kImages; ++i) {
+      raw.AddImage(raw_trace->Next());
+      Bytes image = canon_trace->Next();
+      auto start = std::chrono::steady_clock::now();
+      auto canonical = CanonicalizeXenImage(image, layout);
+      canon_seconds +=
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+      canon_bytes += image.size();
+      if (!canonical.ok()) {
+        bench::PrintRow("canonicalization failed: %s",
+                        canonical.status().ToString().c_str());
+        return 1;
+      }
+      canon.AddImage(canonical.value().pages);
+    }
+    bench::PrintRow("%-18s %15.1f%% %17.1f%%", tech.name,
+                    raw.AverageSimilarity() * 100.0,
+                    canon.AverageSimilarity() * 100.0);
+  }
+
+  bench::PrintRow("");
+  bench::PrintRow("canonicalization throughput: %.0f MB/s (sort by pfn + strip "
+                  "volatile headers)",
+                  static_cast<double>(canon_bytes) / 1048576.0 / canon_seconds);
+  bench::PrintNote(
+      "shape to check: raw Xen images defeat every heuristic (the paper's "
+      "near-zero column); pfn-sorted, header-stripped images recover "
+      "BLCR-level similarity, making VM checkpoints incremental-friendly. "
+      "The transform is byte-exactly invertible via a <1% sidecar.");
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Regenerates Figure 5: sliding-window ASB for different stripe widths and
+// write-buffer sizes.
+#include "bench_util.h"
+#include "perf/experiments.h"
+
+using namespace stdchk;
+using namespace stdchk::perf;
+
+int main() {
+  bench::PrintHeader("Figure 5",
+                     "Sliding-window ASB vs stripe width and buffer size");
+
+  PlatformModel platform = PaperLanTestbed();
+  const std::uint64_t buffers[] = {32_MiB, 64_MiB, 128_MiB, 256_MiB, 512_MiB};
+
+  bench::PrintRow("%-8s %10s %10s %10s %10s %10s", "stripe", "32MB", "64MB",
+                  "128MB", "256MB", "512MB");
+  for (int width : {1, 2, 4, 8}) {
+    double values[5];
+    int i = 0;
+    for (std::uint64_t buffer : buffers) {
+      PipelineConfig config;
+      config.protocol = ProtocolModel::kSW;
+      config.file_bytes = 1_GiB;
+      config.chunk_size = 1_MiB;
+      config.buffer_bytes = buffer;
+      for (int s = 0; s < width; ++s) config.stripe.push_back(s);
+      values[i++] = RunSingleWrite(platform, width, config).asb_mbps;
+    }
+    bench::PrintRow("%-8d %10.1f %10.1f %10.1f %10.1f %10.1f", width,
+                    values[0], values[1], values[2], values[3], values[4]);
+  }
+
+  bench::PrintRow("");
+  bench::PrintNote(
+      "paper shape: ASB is set by the transfer pipeline, not the buffer — "
+      "near-flat across buffer sizes, benefactor-disk-bound at stripe 1, "
+      "NIC-bound from stripe 2 on.");
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Regenerates Figure 6: sliding-window OAB and ASB on the 10 Gbps testbed
+// (one 10 GbE client, four 1 GbE benefactors with SATA disks), 512 MB
+// buffer, stripe width 1-4.
+#include "bench_util.h"
+#include "perf/experiments.h"
+
+using namespace stdchk;
+using namespace stdchk::perf;
+
+int main() {
+  bench::PrintHeader("Figure 6",
+                     "Sliding-window OAB/ASB on the 10 Gbps testbed");
+
+  PlatformModel platform = Paper10GTestbed();
+
+  bench::PrintRow("%-8s %12s %12s", "stripe", "OAB (MB/s)", "ASB (MB/s)");
+  double last_oab = 0, last_asb = 0;
+  for (int width : {1, 2, 3, 4}) {
+    PipelineConfig config;
+    config.protocol = ProtocolModel::kSW;
+    config.file_bytes = 2_GiB;
+    config.chunk_size = 1_MiB;
+    config.buffer_bytes = 512_MiB;
+    for (int s = 0; s < width; ++s) config.stripe.push_back(s);
+    WriteResult r = RunSingleWrite(platform, width, config);
+    bench::PrintRow("%-8d %12.1f %12.1f", width, r.oab_mbps, r.asb_mbps);
+    last_oab = r.oab_mbps;
+    last_asb = r.asb_mbps;
+  }
+
+  bench::PrintRow("");
+  bench::PrintRow("at stripe 4: OAB %.0f (paper: ~325), ASB %.0f (paper: ~225)",
+                  last_oab, last_asb);
+  bench::PrintNote(
+      "paper shape: the 10 GbE client is never the bottleneck, so both "
+      "curves keep climbing with every added benefactor — stdchk aggregates "
+      "the donors' I/O bandwidth.");
+  return 0;
+}

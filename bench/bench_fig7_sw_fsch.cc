@@ -1,0 +1,87 @@
+// Regenerates Figure 7: sliding-window write of a stream of BLCR-like
+// checkpoint images with and without FsCH incremental checkpointing, for
+// several write-buffer sizes; reports average OAB and ASB plus the
+// storage/network savings.
+//
+// Scaling: the paper wrote 75 images of ~280 MB against buffers of
+// 64-256 MB; we write 20 images of ~32 MB against buffers scaled by the
+// same image:buffer ratio (8/16/32 MB), so the buffer-vs-image-size
+// crossover that drives the paper's 256 MB observation is preserved.
+#include "bench_util.h"
+#include "chkpt/similarity.h"
+#include "perf/experiments.h"
+#include "workload/trace_generators.h"
+
+using namespace stdchk;
+using namespace stdchk::perf;
+
+int main() {
+  bench::PrintHeader(
+      "Figure 7",
+      "Sliding-window write with/without FsCH incremental checkpointing");
+
+  const int kImages = 20;
+  const std::size_t kChunk = 1_MiB;
+  const int kStripe = 4;
+
+  // 1. Real FsCH pass over the trace: dedup ratio per image + hash rate.
+  BlcrTraceOptions trace_options = BlcrOptionsForInterval(5, 8192, 31);
+  auto trace = MakeBlcrLikeTrace(trace_options);
+  FixedSizeChunker chunker(kChunk);
+  SimilarityTracker tracker(&chunker);
+  std::vector<double> dedup;
+  std::vector<std::uint64_t> sizes;
+  for (int i = 0; i < kImages; ++i) {
+    Bytes image = trace->Next();
+    ImageSimilarity sim = tracker.AddImage(image);
+    dedup.push_back(i == 0 ? 0.0 : sim.ratio());
+    sizes.push_back(image.size());
+  }
+  double hash_mbps = tracker.ThroughputMBps();
+  double reduction = static_cast<double>(tracker.duplicate_bytes()) /
+                     static_cast<double>(tracker.total_bytes());
+
+  PlatformModel platform = PaperLanTestbed();
+  auto run_stream = [&](std::uint64_t buffer, bool fsch) {
+    double oab_sum = 0, asb_sum = 0;
+    for (int i = 0; i < kImages; ++i) {
+      PipelineConfig config;
+      config.protocol = ProtocolModel::kSW;
+      config.file_bytes = sizes[static_cast<std::size_t>(i)];
+      config.chunk_size = kChunk;
+      config.buffer_bytes = buffer;
+      for (int s = 0; s < kStripe; ++s) config.stripe.push_back(s);
+      if (fsch) {
+        config.dedup_ratio = dedup[static_cast<std::size_t>(i)];
+        config.hash_mbps = hash_mbps;
+      }
+      WriteResult r = RunSingleWrite(platform, kStripe, config);
+      oab_sum += r.oab_mbps;
+      asb_sum += r.asb_mbps;
+    }
+    return std::make_pair(oab_sum / kImages, asb_sum / kImages);
+  };
+
+  bench::PrintRow("%-14s %14s %14s %14s %14s", "buffer", "OAB no-FsCH",
+                  "OAB FsCH", "ASB no-FsCH", "ASB FsCH");
+  const std::uint64_t buffers[] = {8_MiB, 16_MiB, 32_MiB};
+  const char* labels[] = {"8MB (~64MB)", "16MB (~128MB)", "32MB (~256MB)"};
+  for (int b = 0; b < 3; ++b) {
+    auto [oab_plain, asb_plain] = run_stream(buffers[b], false);
+    auto [oab_fsch, asb_fsch] = run_stream(buffers[b], true);
+    bench::PrintRow("%-14s %14.1f %14.1f %14.1f %14.1f", labels[b], oab_plain,
+                    oab_fsch, asb_plain, asb_fsch);
+  }
+
+  bench::PrintRow("");
+  bench::PrintRow("FsCH storage/network reduction: %.0f%% (paper: 24%%)",
+                  reduction * 100.0);
+  bench::PrintRow("FsCH hashing throughput (real, this machine): %.0f MB/s",
+                  hash_mbps);
+  bench::PrintNote(
+      "paper shape: FsCH slightly lowers OAB when the buffer swallows the "
+      "whole image (throughput becomes hash/memcopy-bound) but repays with "
+      "the data reduction; ASB improves with FsCH because less data "
+      "crosses the network.");
+  return 0;
+}

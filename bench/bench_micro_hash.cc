@@ -1,0 +1,109 @@
+// Micro-benchmarks (google-benchmark) for the hashing primitives that set
+// the similarity heuristics' throughput ceilings: SHA-1 (chunk naming),
+// FNV-1a (window hashing), the rolling hash, and the full chunkers.
+#include <benchmark/benchmark.h>
+
+#include "chkpt/chunker.h"
+#include "common/hash.h"
+#include "common/rng.h"
+#include "common/rolling_hash.h"
+
+namespace stdchk {
+namespace {
+
+Bytes MakeInput(std::size_t n) {
+  Rng rng(1234);
+  return rng.RandomBytes(n);
+}
+
+void BM_Sha1(benchmark::State& state) {
+  Bytes data = MakeInput(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha1(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha1)->Arg(4096)->Arg(1 << 20);
+
+void BM_Fnv1a(benchmark::State& state) {
+  Bytes data = MakeInput(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Fnv1a64(ByteSpan(data)));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Fnv1a)->Arg(20)->Arg(4096)->Arg(1 << 20);
+
+void BM_RollingHashScan(benchmark::State& state) {
+  Bytes data = MakeInput(1 << 20);
+  const std::size_t m = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    RollingHash hash(m);
+    for (std::size_t i = 0; i < m; ++i) hash.Push(data[i]);
+    std::uint64_t acc = 0;
+    for (std::size_t pos = 0; pos + m < data.size(); ++pos) {
+      hash.Roll(data[pos], data[pos + m]);
+      acc ^= hash.value();
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(data.size()));
+}
+BENCHMARK(BM_RollingHashScan)->Arg(20)->Arg(64);
+
+void BM_FsChChunker(benchmark::State& state) {
+  Bytes data = MakeInput(8 << 20);
+  FixedSizeChunker chunker(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto spans = chunker.Split(data);
+    auto ids = HashChunks(data, spans);
+    benchmark::DoNotOptimize(ids);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(data.size()));
+}
+BENCHMARK(BM_FsChChunker)->Arg(256 << 10)->Arg(1 << 20);
+
+void BM_CbchNoOverlap(benchmark::State& state) {
+  Bytes data = MakeInput(8 << 20);
+  CbchParams params;
+  params.window_m = static_cast<std::size_t>(state.range(0));
+  params.boundary_bits_k = 10;
+  params.advance_p = params.window_m;
+  ContentBasedChunker chunker(params);
+  for (auto _ : state) {
+    auto spans = chunker.Split(data);
+    auto ids = HashChunks(data, spans);
+    benchmark::DoNotOptimize(ids);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(data.size()));
+}
+BENCHMARK(BM_CbchNoOverlap)->Arg(20)->Arg(32)->Arg(256);
+
+void BM_CbchOverlap(benchmark::State& state) {
+  Bytes data = MakeInput(1 << 20);  // smaller: the paper-style scan is slow
+  CbchParams params;
+  params.window_m = 20;
+  params.boundary_bits_k = 14;
+  params.advance_p = 1;
+  params.recompute_per_window = state.range(0) != 0;
+  ContentBasedChunker chunker(params);
+  for (auto _ : state) {
+    auto spans = chunker.Split(data);
+    benchmark::DoNotOptimize(spans);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(data.size()));
+}
+BENCHMARK(BM_CbchOverlap)
+    ->Arg(0)   // rolling-hash scan
+    ->Arg(1);  // paper-style per-window recompute
+
+}  // namespace
+}  // namespace stdchk
+
+BENCHMARK_MAIN();

@@ -1,0 +1,33 @@
+// Regenerates Table 1: time to write a 1 GB file via local I/O, via FUSE
+// redirected to local I/O, and via /stdchk/null (the write-discarding FUSE
+// file system that isolates the user-kernel context-switch cost).
+#include "bench_util.h"
+#include "common/bytes.h"
+#include "perf/experiments.h"
+
+using namespace stdchk;
+using namespace stdchk::perf;
+
+int main() {
+  bench::PrintHeader("Table 1", "Time to write a 1 GB file");
+
+  PlatformModel platform = PaperLanTestbed();
+  const std::uint64_t file = 1_GiB;
+
+  double local = LocalIoSeconds(platform, file);
+  double fuse = FuseToLocalSeconds(platform, file);
+  double null = FuseNullSeconds(platform, file);
+
+  bench::PrintRow("%-22s %14s %14s", "", "paper (s)", "measured (s)");
+  bench::PrintRow("%-22s %14.2f %14.2f", "Local I/O", 11.80, local);
+  bench::PrintRow("%-22s %14.2f %14.2f", "FUSE to local I/O", 12.00, fuse);
+  bench::PrintRow("%-22s %14.2f %14.2f", "/stdchk/null", 1.04, null);
+
+  double overhead = (fuse - local) / local * 100.0;
+  bench::PrintRow("");
+  bench::PrintRow("FUSE overhead on top of local I/O: %.1f%% (paper: ~2%%)",
+                  overhead);
+  bench::PrintRow("modeled FUSE context switch: %.0f us/call (paper: ~32 us)",
+                  ToSeconds(platform.fuse_per_call) * 1e6);
+  return 0;
+}

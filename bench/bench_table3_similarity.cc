@@ -1,0 +1,155 @@
+// Regenerates Table 3: average similarity between successive checkpoint
+// images and heuristic throughput, per similarity-detection technique and
+// per checkpointing style.
+//
+// Traces are the synthetic generators of src/workload (DESIGN.md §2),
+// scaled down ~10x in image size; similarity ratios are size-invariant.
+// The paper-style CbCH rows recompute a SHA-1 window hash at every scan
+// position — the cost structure behind the paper's 1.1 MB/s (overlap) and
+// 26 MB/s (no-overlap) measurements — and therefore run on further-reduced
+// traces to keep this bench quick. The "(rolling)"/"(fnv)" rows are our
+// optimized variants of the same heuristics.
+#include <functional>
+#include <memory>
+
+#include "bench_util.h"
+#include "chkpt/similarity.h"
+#include "workload/trace_generators.h"
+
+using namespace stdchk;
+
+namespace {
+
+struct TraceCase {
+  const char* name;
+  // `pages` scales the image; `images` the trace length.
+  std::function<std::unique_ptr<CheckpointTrace>(std::size_t)> make;
+  std::size_t pages_full, pages_small;
+  int images_full, images_small;
+};
+
+struct TechResult {
+  double similarity_pct;
+  double throughput_mbps;
+};
+
+TechResult RunTechnique(const TraceCase& tc, const Chunker& chunker,
+                        bool small) {
+  auto trace = tc.make(small ? tc.pages_small : tc.pages_full);
+  SimilarityTracker tracker(&chunker);
+  int images = small ? tc.images_small : tc.images_full;
+  for (int i = 0; i < images; ++i) {
+    Bytes image = trace->Next();
+    tracker.AddImage(image);
+  }
+  return TechResult{tracker.AverageSimilarity() * 100.0,
+                    tracker.ThroughputMBps()};
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Table 3",
+      "Similarity detection heuristics: similarity %% [throughput MB/s]");
+
+  std::vector<TraceCase> traces;
+  traces.push_back(TraceCase{
+      "BMS-app(1min)",
+      [](std::size_t pages) {
+        AppLevelTraceOptions options;
+        options.image_bytes = pages * 4096;
+        return MakeAppLevelTrace(options);
+      },
+      /*pages_full=*/691, /*pages_small=*/256, 10, 4});
+  traces.push_back(TraceCase{
+      "BLCR(5min)",
+      [](std::size_t pages) {
+        return MakeBlcrLikeTrace(BlcrOptionsForInterval(5, pages, 11));
+      },
+      2048, 256, 6, 4});
+  traces.push_back(TraceCase{
+      "BLCR(15min)",
+      [](std::size_t pages) {
+        return MakeBlcrLikeTrace(BlcrOptionsForInterval(15, pages, 12));
+      },
+      2048, 256, 6, 4});
+  traces.push_back(TraceCase{
+      "Xen(5/15min)",
+      [](std::size_t pages) {
+        XenTraceOptions options;
+        options.pages = pages;
+        options.seed = 13;
+        return MakeXenLikeTrace(options);
+      },
+      2048, 256, 5, 3});
+
+  struct Technique {
+    std::string label;
+    std::unique_ptr<Chunker> chunker;
+    bool slow;  // paper-style SHA-1-per-window scans run on small traces
+  };
+  std::vector<Technique> techniques;
+  techniques.push_back(
+      {"FsCH 1KB", std::make_unique<FixedSizeChunker>(1_KiB), false});
+  techniques.push_back(
+      {"FsCH 256KB", std::make_unique<FixedSizeChunker>(256_KiB), false});
+  techniques.push_back(
+      {"FsCH 1MB", std::make_unique<FixedSizeChunker>(1_MiB), false});
+  CbchParams overlap_paper{20, 14, 1, 16u << 20, /*recompute=*/true};
+  techniques.push_back({"CbCH overlap (paper-style)",
+                        std::make_unique<ContentBasedChunker>(overlap_paper),
+                        true});
+  CbchParams overlap_rolling{20, 14, 1, 16u << 20, /*recompute=*/false};
+  techniques.push_back({"CbCH overlap (rolling)",
+                        std::make_unique<ContentBasedChunker>(overlap_rolling),
+                        false});
+  CbchParams no_overlap_paper{20, 10, 20, 16u << 20, /*recompute=*/true};
+  techniques.push_back(
+      {"CbCH no-overlap (paper-style)",
+       std::make_unique<ContentBasedChunker>(no_overlap_paper), true});
+  CbchParams no_overlap{32, 10, 32, 16u << 20, /*recompute=*/false};
+  techniques.push_back({"CbCH no-overlap (fnv)",
+                        std::make_unique<ContentBasedChunker>(no_overlap),
+                        false});
+
+  bench::PrintRow("%-30s %-22s %-22s %-22s %-22s", "technique",
+                  "BMS-app(1min)", "BLCR(5min)", "BLCR(15min)", "Xen");
+  for (const Technique& tech : techniques) {
+    char cells[4][64];
+    for (std::size_t t = 0; t < traces.size(); ++t) {
+      TechResult r = RunTechnique(traces[t], *tech.chunker, tech.slow);
+      std::snprintf(cells[t], sizeof(cells[t]), "%5.1f%% [%7.1f]",
+                    r.similarity_pct, r.throughput_mbps);
+    }
+    bench::PrintRow("%-30s %-22s %-22s %-22s %-22s", tech.label.c_str(),
+                    cells[0], cells[1], cells[2], cells[3]);
+  }
+
+  bench::PrintSection("paper values (similarity % [MB/s])");
+  bench::PrintRow("%-30s %-22s %-22s %-22s %-22s", "technique", "BMS-app",
+                  "BLCR(5min)", "BLCR(15min)", "Xen");
+  bench::PrintRow("%-30s %-22s %-22s %-22s %-22s", "FsCH 1KB", "0.0 [96]",
+                  "25 [99]", "9 [100]", "~0");
+  bench::PrintRow("%-30s %-22s %-22s %-22s %-22s", "FsCH 256KB", "0.0 [102]",
+                  "24.3 [110]", "7.1 [112]", "~0");
+  bench::PrintRow("%-30s %-22s %-22s %-22s %-22s", "FsCH 1MB", "0.0 [108]",
+                  "23.4 [109]", "6.3 [113]", "~0");
+  bench::PrintRow("%-30s %-22s %-22s %-22s %-22s", "CbCH overlap",
+                  "0.0 [1.5]", "84 [1.1]", "70.9 [1.1]", "~0");
+  bench::PrintRow("%-30s %-22s %-22s %-22s %-22s", "CbCH no-overlap",
+                  "0.0 [28.4]", "82 [26.6]", "70 [26.4]", "~0");
+
+  bench::PrintRow("");
+  bench::PrintNote(
+      "shape to check: app-level ~0 everywhere; overlap CbCH >> FsCH on "
+      "BLCR; 15-min interval below 5-min; Xen near zero; the paper-style "
+      "SHA-1-per-window scans are 1-2 orders of magnitude slower than FsCH "
+      "(overlap slowest), while the rolling/fnv variants close most of the "
+      "gap. Known deviation: our no-overlap rows detect less similarity "
+      "than the paper's 82% because the synthetic trace's odd-sized "
+      "insertions desynchronize any hop-by-m window grid (the same "
+      "alignment fragility visible in the paper's own Table 4, where m=20 "
+      "detects 30% at k=8 vs 62.8% for m=32); overlap scanning is immune.");
+  return 0;
+}

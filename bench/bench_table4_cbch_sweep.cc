@@ -1,0 +1,77 @@
+// Regenerates Table 4: the effect of m (window size) and k (boundary bits)
+// on CbCH no-overlap performance: similarity %, throughput, and the
+// average / average-min / average-max chunk sizes per image.
+//
+// Trace: BLCR-like, 5-minute interval (scaled-down images; see DESIGN.md).
+#include "bench_util.h"
+#include "chkpt/similarity.h"
+#include "workload/trace_generators.h"
+
+using namespace stdchk;
+
+int main() {
+  bench::PrintHeader("Table 4",
+                     "CbCH no-overlap sweep over window size m and mask k");
+
+  const std::size_t kWindows[] = {20, 32, 64, 128, 256};
+  const int kBits[] = {8, 10, 12, 14};
+  const int kImages = 5;
+
+  bench::PrintRow("%-4s %-18s %9s %9s %9s %9s %9s", "k", "metric", "m=20",
+                  "m=32", "m=64", "m=128", "m=256");
+
+  for (int k : kBits) {
+    double sim[5], thr[5], avg[5], mn[5], mx[5];
+    for (int mi = 0; mi < 5; ++mi) {
+      CbchParams params;
+      params.window_m = kWindows[mi];
+      params.boundary_bits_k = k;
+      params.advance_p = kWindows[mi];  // no-overlap
+      ContentBasedChunker chunker(params);
+
+      // Page-granular mutation regime (dirty pages + page-sized heap
+      // growth, no odd-sized segment shifts): this isolates the window-
+      // grid alignment effect the sweep is about — a hop-by-m scan stays
+      // aligned across 4 KB insertions only when m divides the page size.
+      BlcrTraceOptions trace_options;
+      trace_options.initial_pages = 2048;
+      trace_options.dirty_fraction = 0.08;
+      trace_options.mean_insertions = 2.0;
+      trace_options.mean_odd_insertions = 0.0;
+      trace_options.deletion_prob = 0.1;
+      trace_options.seed = 21;
+      auto trace = MakeBlcrLikeTrace(trace_options);
+      SimilarityTracker tracker(&chunker);
+      for (int i = 0; i < kImages; ++i) {
+        Bytes image = trace->Next();
+        tracker.AddImage(image);
+      }
+      sim[mi] = tracker.AverageSimilarity() * 100.0;
+      thr[mi] = tracker.ThroughputMBps();
+      avg[mi] = tracker.AvgChunkKB();
+      mn[mi] = tracker.AvgMinChunkKB();
+      mx[mi] = tracker.AvgMaxChunkKB();
+    }
+    bench::PrintRow("%-4d %-18s %9.1f %9.1f %9.1f %9.1f %9.1f", k,
+                    "similarity (%)", sim[0], sim[1], sim[2], sim[3], sim[4]);
+    bench::PrintRow("%-4s %-18s %9.1f %9.1f %9.1f %9.1f %9.1f", "",
+                    "throughput (MB/s)", thr[0], thr[1], thr[2], thr[3],
+                    thr[4]);
+    bench::PrintRow("%-4s %-18s %9.1f %9.1f %9.1f %9.1f %9.1f", "",
+                    "avg size (KB)", avg[0], avg[1], avg[2], avg[3], avg[4]);
+    bench::PrintRow("%-4s %-18s %9.1f %9.1f %9.1f %9.1f %9.1f", "",
+                    "avg min (KB)", mn[0], mn[1], mn[2], mn[3], mn[4]);
+    bench::PrintRow("%-4s %-18s %9.1f %9.1f %9.1f %9.1f %9.1f", "",
+                    "avg max (KB)", mx[0], mx[1], mx[2], mx[3], mx[4]);
+    bench::PrintRow("");
+  }
+
+  bench::PrintNote(
+      "paper shape to check: chunk sizes grow with both m and k (avg size "
+      "~ m * 2^k); larger chunks -> fewer boundary-detection opportunities "
+      "-> less similarity detected; max/min spread widens with k. Note the "
+      "paper's own m=20 anomaly (30% at k=8 vs 62.8% for m=32): window "
+      "grids that do not divide the page size lose alignment across "
+      "page-granular insertions, which this sweep reproduces strongly.");
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Shared formatting/config helpers for the paper-reproduction benches.
+//
+// Every bench prints (a) the paper's reported numbers for the experiment it
+// regenerates and (b) the numbers measured from this implementation, in the
+// same row/column structure, so shape comparisons are immediate.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace stdchk::bench {
+
+inline void PrintHeader(const std::string& id, const std::string& title) {
+  std::printf("==================================================================\n");
+  std::printf("%s — %s\n", id.c_str(), title.c_str());
+  std::printf("==================================================================\n");
+}
+
+inline void PrintSection(const std::string& name) {
+  std::printf("\n--- %s ---\n", name.c_str());
+}
+
+inline void PrintRow(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stdout, fmt, args);
+  va_end(args);
+  std::printf("\n");
+}
+
+inline void PrintNote(const std::string& note) {
+  std::printf("note: %s\n", note.c_str());
+}
+
+}  // namespace stdchk::bench

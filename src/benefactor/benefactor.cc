@@ -1,0 +1,104 @@
+#include "benefactor/benefactor.h"
+
+#include "chunk/chunk_store.h"
+
+namespace stdchk {
+
+Benefactor::Benefactor(std::string host, std::unique_ptr<ChunkStore> store,
+                       std::uint64_t capacity_bytes)
+    : host_(std::move(host)),
+      store_(std::move(store)),
+      capacity_bytes_(capacity_bytes) {}
+
+Status Benefactor::JoinPool(MetadataManager& manager) {
+  BenefactorInfo info;
+  info.host = host_;
+  info.total_bytes = capacity_bytes_;
+  info.free_bytes = FreeBytes();
+  STDCHK_ASSIGN_OR_RETURN(id_, manager.RegisterBenefactor(info));
+  return OkStatus();
+}
+
+void Benefactor::Wipe() {
+  online_ = false;
+  for (const ChunkId& id : store_->List()) {
+    (void)store_->Delete(id);
+  }
+  stashed_.clear();
+}
+
+std::uint64_t Benefactor::FreeBytes() const {
+  std::uint64_t used = store_->BytesUsed();
+  return used >= capacity_bytes_ ? 0 : capacity_bytes_ - used;
+}
+
+Status Benefactor::PutChunk(const ChunkId& id, ByteSpan data) {
+  STDCHK_RETURN_IF_ERROR(CheckOnline());
+  if (ChunkId::For(data) != id) {
+    return DataLossError("chunk content does not match its address " +
+                         id.ToHex());
+  }
+  if (!store_->Contains(id) && store_->BytesUsed() + data.size() > capacity_bytes_) {
+    return ResourceExhaustedError("benefactor " + host_ + " is full");
+  }
+  return store_->Put(id, data);
+}
+
+Result<Bytes> Benefactor::GetChunk(const ChunkId& id) const {
+  STDCHK_RETURN_IF_ERROR(CheckOnline());
+  STDCHK_ASSIGN_OR_RETURN(Bytes data, store_->Get(id));
+  if (ChunkId::For(data) != id) {
+    return DataLossError("stored chunk " + id.ToHex() +
+                         " failed integrity verification");
+  }
+  return data;
+}
+
+bool Benefactor::HasChunk(const ChunkId& id) const {
+  return online_ && store_->Contains(id);
+}
+
+Status Benefactor::StashChunkMap(const VersionRecord& record,
+                                 int stripe_width) {
+  STDCHK_RETURN_IF_ERROR(CheckOnline());
+  stashed_[record.name.ToString()] = Stashed{record, stripe_width};
+  return OkStatus();
+}
+
+Status Benefactor::SendHeartbeat(MetadataManager& manager) {
+  STDCHK_RETURN_IF_ERROR(CheckOnline());
+  if (id_ == kInvalidNode) {
+    return FailedPreconditionError("benefactor has not joined a pool");
+  }
+  return manager.Heartbeat(id_, FreeBytes());
+}
+
+Result<std::size_t> Benefactor::RunGc(MetadataManager& manager) {
+  STDCHK_RETURN_IF_ERROR(CheckOnline());
+  STDCHK_ASSIGN_OR_RETURN(std::vector<ChunkId> doomed,
+                          manager.GcExchange(id_, store_->List()));
+  std::size_t reclaimed = 0;
+  for (const ChunkId& id : doomed) {
+    if (store_->Delete(id).ok()) ++reclaimed;
+  }
+  return reclaimed;
+}
+
+Status Benefactor::OfferStashedVersions(MetadataManager& manager) {
+  STDCHK_RETURN_IF_ERROR(CheckOnline());
+  for (auto it = stashed_.begin(); it != stashed_.end();) {
+    Status status = manager.OfferRecoveredVersion(id_, it->second.record,
+                                                  it->second.stripe_width);
+    // Drop the stash only once the version is actually committed (our offer
+    // may be just one of the required two-thirds endorsements, and the
+    // manager could crash again before quorum).
+    if (status.ok() && manager.GetVersion(it->second.record.name).ok()) {
+      it = stashed_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return OkStatus();
+}
+
+}  // namespace stdchk

@@ -1,0 +1,101 @@
+// A benefactor (storage donor) node — paper §IV.A.
+//
+// Deliberately minimal, as the paper prescribes: benefactors (1) publish
+// status/free space to the manager via soft-state registration, (2) serve
+// put/get chunk requests, and (3) run garbage collection against the
+// manager's live set. They additionally stash uncommitted chunk maps to
+// support the manager-recovery protocol.
+//
+// Threading: the data path (PutChunk/GetChunk/HasChunk) is safe for
+// concurrent use — the chunk store locks internally and the online flag is
+// atomic. Control operations (JoinPool, GC exchange, stash management) are
+// driven from a single background pump (core/StdchkCluster::Tick or
+// core/BackgroundDriver).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "chunk/chunk_store.h"
+#include "common/status.h"
+#include "manager/metadata_manager.h"
+#include "manager/types.h"
+
+namespace stdchk {
+
+class Benefactor {
+ public:
+  // `capacity_bytes` is the donated space ceiling this desktop contributes.
+  Benefactor(std::string host, std::unique_ptr<ChunkStore> store,
+             std::uint64_t capacity_bytes);
+
+  // Registers with the manager and obtains a node id.
+  Status JoinPool(MetadataManager& manager);
+
+  NodeId id() const { return id_; }
+  const std::string& host() const { return host_; }
+  bool online() const { return online_; }
+
+  // Owner reclaimed the machine / process died: the node stops serving but
+  // its disk contents survive a Restart().
+  void Crash() { online_ = false; }
+  void Restart() { online_ = true; }
+  // Disk scavenged space was wiped (or the disk failed): contents are gone.
+  void Wipe();
+
+  // ---- Data path (invoked by clients / replication) -----------------------
+  // Verifies that `data` hashes to `id` before storing — content
+  // addressability doubles as an integrity check (§IV.C).
+  Status PutChunk(const ChunkId& id, ByteSpan data);
+
+  // Verifies stored bytes against the content address before returning, so
+  // a tampering or bit-flipping donor is detected (§IV.C).
+  Result<Bytes> GetChunk(const ChunkId& id) const;
+
+  bool HasChunk(const ChunkId& id) const;
+  std::uint64_t BytesUsed() const { return store_->BytesUsed(); }
+  std::uint64_t capacity() const { return capacity_bytes_; }
+  std::uint64_t FreeBytes() const;
+  std::size_t ChunkCount() const { return store_->ChunkCount(); }
+
+  // ---- Manager-recovery support -------------------------------------------
+  // A client that could not commit (manager down) stashes the final chunk
+  // map here; OfferStashedVersions() pushes it once the manager returns.
+  Status StashChunkMap(const VersionRecord& record, int stripe_width);
+  std::size_t stashed_count() const { return stashed_.size(); }
+
+  // ---- Background pumps ------------------------------------------------------
+  Status SendHeartbeat(MetadataManager& manager);
+
+  // One GC exchange: report held chunks, delete what the manager returns.
+  // Returns the number of chunks reclaimed.
+  Result<std::size_t> RunGc(MetadataManager& manager);
+
+  // Pushes stashed chunk maps to a recovered manager; drops entries the
+  // manager accepted or that have since been committed.
+  Status OfferStashedVersions(MetadataManager& manager);
+
+ private:
+  Status CheckOnline() const {
+    return online_ ? OkStatus()
+                   : UnavailableError("benefactor " + host_ + " is offline");
+  }
+
+  std::string host_;
+  std::unique_ptr<ChunkStore> store_;
+  std::uint64_t capacity_bytes_;
+  NodeId id_ = kInvalidNode;
+  std::atomic<bool> online_{true};
+
+  struct Stashed {
+    VersionRecord record;
+    int stripe_width = 0;
+  };
+  std::map<std::string, Stashed> stashed_;  // keyed by version name
+};
+
+}  // namespace stdchk

@@ -1,0 +1,179 @@
+#include "chkpt/chunker.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/hash.h"
+#include "common/rolling_hash.h"
+
+namespace stdchk {
+
+FixedSizeChunker::FixedSizeChunker(std::size_t chunk_size)
+    : chunk_size_(chunk_size) {
+  assert(chunk_size_ > 0);
+}
+
+std::vector<ChunkSpan> FixedSizeChunker::Split(ByteSpan data) const {
+  std::vector<ChunkSpan> out;
+  out.reserve(data.size() / chunk_size_ + 1);
+  std::uint64_t offset = 0;
+  while (offset < data.size()) {
+    std::uint32_t size = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(chunk_size_, data.size() - offset));
+    out.push_back(ChunkSpan{offset, size});
+    offset += size;
+  }
+  return out;
+}
+
+std::string FixedSizeChunker::name() const {
+  return "FsCH(" + std::to_string(chunk_size_) + ")";
+}
+
+ContentBasedChunker::ContentBasedChunker(CbchParams params)
+    : params_(params) {
+  assert(params_.window_m > 0);
+  assert(params_.advance_p > 0);
+  assert(params_.boundary_bits_k > 0 && params_.boundary_bits_k < 64);
+}
+
+std::vector<ChunkSpan> ContentBasedChunker::Split(ByteSpan data) const {
+  if (data.empty()) return {};
+  if (data.size() <= params_.window_m) {
+    return {ChunkSpan{0, static_cast<std::uint32_t>(data.size())}};
+  }
+  return params_.overlap() ? SplitOverlap(data) : SplitNoOverlap(data);
+}
+
+// p == 1: the window slides one byte at a time; the rolling hash updates in
+// O(1) per position. Every offset is inspected, so boundary placement is
+// maximally content-sensitive — and the whole file is effectively hashed
+// once per byte of window, which is why the paper measures ~1 MB/s here.
+std::vector<ChunkSpan> ContentBasedChunker::SplitOverlap(ByteSpan data) const {
+  if (params_.recompute_per_window) return SplitOverlapRecompute(data);
+  std::vector<ChunkSpan> out;
+  const std::size_t m = params_.window_m;
+  RollingHash hash(m);
+  for (std::size_t i = 0; i < m; ++i) hash.Push(data[i]);
+
+  std::uint64_t chunk_start = 0;
+  // The window currently covers [pos, pos+m) with pos = 0.
+  for (std::size_t pos = 0;;) {
+    std::uint64_t window_end = pos + m;
+    bool boundary = hash.IsBoundary(params_.boundary_bits_k);
+    bool forced = params_.max_chunk != 0 &&
+                  window_end - chunk_start >= params_.max_chunk;
+    if (boundary || forced) {
+      out.push_back(ChunkSpan{
+          chunk_start, static_cast<std::uint32_t>(window_end - chunk_start)});
+      chunk_start = window_end;
+    }
+    if (pos + m >= data.size()) break;
+    hash.Roll(data[pos], data[pos + m]);
+    ++pos;
+  }
+  if (chunk_start < data.size()) {
+    out.push_back(ChunkSpan{
+        chunk_start, static_cast<std::uint32_t>(data.size() - chunk_start)});
+  }
+  return out;
+}
+
+// Paper-faithful overlap scan: every position hashes its whole window from
+// scratch, costing ~m hash-bytes per input byte. This is what limits the
+// paper's overlap CbCH to ~1 MB/s.
+std::vector<ChunkSpan> ContentBasedChunker::SplitOverlapRecompute(
+    ByteSpan data) const {
+  std::vector<ChunkSpan> out;
+  const std::size_t m = params_.window_m;
+  const std::uint64_t mask = (1ull << params_.boundary_bits_k) - 1;
+
+  std::uint64_t chunk_start = 0;
+  for (std::size_t pos = 0; pos + m <= data.size(); ++pos) {
+    std::uint64_t h = Sha1(data.subspan(pos, m)).Prefix64();
+    std::uint64_t window_end = pos + m;
+    bool boundary = (Mix64(h) & mask) == 0;
+    bool forced = params_.max_chunk != 0 &&
+                  window_end - chunk_start >= params_.max_chunk;
+    if ((boundary || forced) && window_end > chunk_start) {
+      out.push_back(ChunkSpan{
+          chunk_start, static_cast<std::uint32_t>(window_end - chunk_start)});
+      chunk_start = window_end;
+    }
+  }
+  if (chunk_start < data.size()) {
+    out.push_back(ChunkSpan{
+        chunk_start, static_cast<std::uint32_t>(data.size() - chunk_start)});
+  }
+  return out;
+}
+
+// p == m (or any p > 1): the window hops, hashing each position from
+// scratch. Cheaper by ~p but boundaries land only on p-aligned offsets
+// relative to the scan start, costing some similarity.
+std::vector<ChunkSpan> ContentBasedChunker::SplitNoOverlap(
+    ByteSpan data) const {
+  std::vector<ChunkSpan> out;
+  const std::size_t m = params_.window_m;
+  const std::size_t p = params_.advance_p;
+
+  std::uint64_t chunk_start = 0;
+  std::size_t pos = 0;
+  while (pos + m <= data.size()) {
+    std::uint64_t h = params_.recompute_per_window
+                          ? Sha1(data.subspan(pos, m)).Prefix64()
+                          : Fnv1a64(data.subspan(pos, m));
+    std::uint64_t window_end = pos + m;
+    const std::uint64_t mask = (1ull << params_.boundary_bits_k) - 1;
+    bool boundary = (Mix64(h) & mask) == 0;
+    bool forced = params_.max_chunk != 0 &&
+                  window_end - chunk_start >= params_.max_chunk;
+    if (boundary || forced) {
+      out.push_back(ChunkSpan{
+          chunk_start, static_cast<std::uint32_t>(window_end - chunk_start)});
+      chunk_start = window_end;
+      pos = window_end;
+    } else {
+      pos += p;
+    }
+  }
+  if (chunk_start < data.size()) {
+    out.push_back(ChunkSpan{
+        chunk_start, static_cast<std::uint32_t>(data.size() - chunk_start)});
+  }
+  return out;
+}
+
+std::string ContentBasedChunker::name() const {
+  return "CbCH(m=" + std::to_string(params_.window_m) +
+         ",k=" + std::to_string(params_.boundary_bits_k) +
+         ",p=" + std::to_string(params_.advance_p) + ")";
+}
+
+ChunkSizeStats ComputeChunkSizeStats(const std::vector<ChunkSpan>& spans) {
+  ChunkSizeStats stats;
+  if (spans.empty()) return stats;
+  stats.count = spans.size();
+  stats.min_bytes = spans[0].size;
+  stats.max_bytes = spans[0].size;
+  double total = 0;
+  for (const ChunkSpan& span : spans) {
+    total += span.size;
+    stats.min_bytes = std::min(stats.min_bytes, span.size);
+    stats.max_bytes = std::max(stats.max_bytes, span.size);
+  }
+  stats.avg_bytes = total / static_cast<double>(spans.size());
+  return stats;
+}
+
+std::vector<ChunkId> HashChunks(ByteSpan data,
+                                const std::vector<ChunkSpan>& spans) {
+  std::vector<ChunkId> out;
+  out.reserve(spans.size());
+  for (const ChunkSpan& span : spans) {
+    out.push_back(ChunkId::For(data.subspan(span.offset, span.size)));
+  }
+  return out;
+}
+
+}  // namespace stdchk

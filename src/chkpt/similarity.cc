@@ -1,0 +1,57 @@
+#include "chkpt/similarity.h"
+
+#include <chrono>
+
+#include "common/hash.h"
+
+namespace stdchk {
+
+ImageSimilarity SimilarityTracker::AddImage(ByteSpan image) {
+  auto start = std::chrono::steady_clock::now();
+
+  std::vector<ChunkSpan> spans = chunker_->Split(image);
+  std::vector<ChunkId> hashes = HashChunks(image, spans);
+
+  ImageSimilarity result;
+  result.total_bytes = image.size();
+  result.chunk_count = spans.size();
+
+  std::unordered_set<std::uint64_t> current;
+  current.reserve(hashes.size() * 2);
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    std::uint64_t key = hashes[i].digest.Prefix64();
+    if (images_ > 0 && prev_hashes_.contains(key)) {
+      result.duplicate_bytes += spans[i].size;
+    }
+    current.insert(key);
+  }
+
+  auto end = std::chrono::steady_clock::now();
+  result.seconds_spent =
+      std::chrono::duration<double>(end - start).count();
+
+  if (images_ > 0) {
+    similarity_.Add(result.ratio());
+    duplicate_bytes_ += result.duplicate_bytes;
+  }
+  ChunkSizeStats css = ComputeChunkSizeStats(spans);
+  if (css.count > 0) {
+    avg_chunk_.Add(css.avg_bytes);
+    min_chunk_.Add(css.min_bytes);
+    max_chunk_.Add(css.max_bytes);
+  }
+
+  prev_hashes_ = std::move(current);
+  ++images_;
+  total_bytes_ += image.size();
+  seconds_ += result.seconds_spent;
+  return result;
+}
+
+double SimilarityTracker::ThroughputMBps() const {
+  return seconds_ > 0
+             ? static_cast<double>(total_bytes_) / 1048576.0 / seconds_
+             : 0.0;
+}
+
+}  // namespace stdchk

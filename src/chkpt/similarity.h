@@ -1,0 +1,73 @@
+// Similarity detection between successive checkpoint images (paper §V.E).
+//
+// For a chunking heuristic H, the similarity of image V_t to its
+// predecessor V_{t-1} is the fraction of V_t's bytes that land in chunks
+// whose content hash already appeared in V_{t-1}. This is exactly the
+// storage/network saving: those chunks need not be transferred or stored
+// again. SimilarityTracker streams a whole trace and reports averages plus
+// the heuristic's wall-clock throughput (Table 3 / Table 4 metrics).
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "chkpt/chunker.h"
+#include "common/stats.h"
+
+namespace stdchk {
+
+// Result of analyzing one image against its predecessor.
+struct ImageSimilarity {
+  std::uint64_t total_bytes = 0;
+  std::uint64_t duplicate_bytes = 0;  // bytes in chunks seen in predecessor
+  std::size_t chunk_count = 0;
+  double seconds_spent = 0;  // wall-clock chunk+hash time
+
+  double ratio() const {
+    return total_bytes ? static_cast<double>(duplicate_bytes) /
+                             static_cast<double>(total_bytes)
+                       : 0.0;
+  }
+};
+
+class SimilarityTracker {
+ public:
+  explicit SimilarityTracker(const Chunker* chunker) : chunker_(chunker) {}
+
+  // Processes the next image in the trace; returns its similarity to the
+  // immediately preceding image (zero for the first image, which is also
+  // excluded from the averages).
+  ImageSimilarity AddImage(ByteSpan image);
+
+  // Average similarity ratio across images 2..N (the paper's "average rate
+  // of detected similarity between successive images").
+  double AverageSimilarity() const { return similarity_.mean(); }
+
+  // Heuristic throughput: bytes processed / time spent chunking+hashing.
+  double ThroughputMBps() const;
+
+  // Chunk-size statistics across all processed images (Table 4 columns:
+  // averages of per-image avg/min/max chunk sizes).
+  double AvgChunkKB() const { return avg_chunk_.mean() / 1024.0; }
+  double AvgMinChunkKB() const { return min_chunk_.mean() / 1024.0; }
+  double AvgMaxChunkKB() const { return max_chunk_.mean() / 1024.0; }
+
+  std::size_t images_processed() const { return images_; }
+  std::uint64_t total_bytes() const { return total_bytes_; }
+  std::uint64_t duplicate_bytes() const { return duplicate_bytes_; }
+
+ private:
+  const Chunker* chunker_;
+  std::unordered_set<std::uint64_t> prev_hashes_;  // 64-bit digest prefixes
+  std::size_t images_ = 0;
+  std::uint64_t total_bytes_ = 0;
+  std::uint64_t duplicate_bytes_ = 0;
+  double seconds_ = 0;
+  RunningStats similarity_;
+  RunningStats avg_chunk_;
+  RunningStats min_chunk_;
+  RunningStats max_chunk_;
+};
+
+}  // namespace stdchk

@@ -1,0 +1,32 @@
+#include "chkpt/upload_plan.h"
+
+namespace stdchk {
+
+Result<UploadPlan> PlanUpload(ByteSpan image, const Chunker& chunker,
+                              const KnownChunksFn& known) {
+  std::vector<ChunkSpan> spans = chunker.Split(image);
+  std::vector<ChunkId> ids = HashChunks(image, spans);
+
+  std::vector<bool> have(ids.size(), false);
+  if (known) {
+    STDCHK_ASSIGN_OR_RETURN(have, known(ids));
+    if (have.size() != ids.size()) {
+      return InternalError("known-chunks oracle returned wrong cardinality");
+    }
+  }
+
+  UploadPlan plan;
+  plan.chunks.reserve(spans.size());
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    PlannedChunk pc;
+    pc.span = spans[i];
+    pc.id = ids[i];
+    pc.novel = !have[i];
+    plan.total_bytes += spans[i].size;
+    if (pc.novel) plan.novel_bytes += spans[i].size;
+    plan.chunks.push_back(pc);
+  }
+  return plan;
+}
+
+}  // namespace stdchk

@@ -1,0 +1,61 @@
+// Chunk vocabulary: stdchk fragments every dataset into fixed-size chunks
+// that are striped across benefactor nodes (paper §IV.A). Chunks are named
+// by the SHA-1 of their content ("content based addressability", §IV.C),
+// which both enables incremental-checkpoint dedup and lets any reader verify
+// integrity against tampering by faulty benefactors.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/hash.h"
+
+namespace stdchk {
+
+// The default chunk size used throughout the paper's evaluation.
+inline constexpr std::size_t kDefaultChunkSize = 1_MiB;
+
+// Content address of a chunk.
+struct ChunkId {
+  Sha1Digest digest;
+
+  auto operator<=>(const ChunkId&) const = default;
+  std::string ToHex() const { return digest.ToHex(); }
+
+  static ChunkId For(ByteSpan data) { return ChunkId{Sha1(data)}; }
+};
+
+struct ChunkIdHash {
+  std::size_t operator()(const ChunkId& id) const {
+    return static_cast<std::size_t>(id.digest.Prefix64());
+  }
+};
+
+// One entry of a file's chunk map: which chunk, where it sits in the file,
+// and which benefactors hold replicas.
+using NodeId = std::uint32_t;
+inline constexpr NodeId kInvalidNode = 0xFFFFFFFFu;
+
+struct ChunkLocation {
+  ChunkId id;
+  std::uint64_t file_offset = 0;
+  std::uint32_t size = 0;
+  std::vector<NodeId> replicas;  // benefactor nodes holding this chunk
+};
+
+// The chunk map of one file version: ordered chunk locations covering
+// [0, file_size). Committed atomically to the manager at close() — this
+// atomic commit is what provides session semantics (§IV.A).
+struct ChunkMap {
+  std::vector<ChunkLocation> chunks;
+
+  std::uint64_t FileSize() const {
+    return chunks.empty()
+               ? 0
+               : chunks.back().file_offset + chunks.back().size;
+  }
+};
+
+}  // namespace stdchk

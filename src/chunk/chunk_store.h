@@ -1,0 +1,43 @@
+// Storage backends a benefactor uses to hold donated-space chunks.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "chunk/chunk.h"
+#include "common/status.h"
+
+namespace stdchk {
+
+// Abstract chunk store. Implementations must be safe for concurrent use.
+class ChunkStore {
+ public:
+  virtual ~ChunkStore() = default;
+
+  // Stores `data` under `id`. Idempotent: re-putting an existing chunk is OK
+  // (content addressing guarantees the bytes are identical).
+  virtual Status Put(const ChunkId& id, ByteSpan data) = 0;
+
+  virtual Result<Bytes> Get(const ChunkId& id) const = 0;
+
+  virtual bool Contains(const ChunkId& id) const = 0;
+
+  virtual Status Delete(const ChunkId& id) = 0;
+
+  // All chunk ids currently held; used for the GC exchange with the manager.
+  virtual std::vector<ChunkId> List() const = 0;
+
+  virtual std::uint64_t BytesUsed() const = 0;
+  virtual std::size_t ChunkCount() const = 0;
+};
+
+// In-memory store (unit tests, simulation, RAM-donor scenarios).
+std::unique_ptr<ChunkStore> MakeMemoryChunkStore();
+
+// On-disk store rooted at `directory`: each chunk is a file named by its
+// hex content address, fanned out over 256 subdirectories.
+Result<std::unique_ptr<ChunkStore>> MakeDiskChunkStore(
+    const std::string& directory);
+
+}  // namespace stdchk

@@ -1,0 +1,150 @@
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <unordered_map>
+
+#include "chunk/chunk_store.h"
+
+namespace stdchk {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Chunk-per-file store with a 256-way fanout by the first hex byte, the
+// usual layout for content-addressed stores (avoids giant directories).
+class DiskChunkStore final : public ChunkStore {
+ public:
+  explicit DiskChunkStore(fs::path root) : root_(std::move(root)) {}
+
+  Status Init() {
+    std::error_code ec;
+    fs::create_directories(root_, ec);
+    if (ec) return InternalError("create_directories: " + ec.message());
+    // Rebuild the index from whatever survived a previous run (a benefactor
+    // restart must re-offer its chunks to the manager).
+    for (const auto& dir : fs::directory_iterator(root_, ec)) {
+      if (!dir.is_directory()) continue;
+      for (const auto& f : fs::directory_iterator(dir.path(), ec)) {
+        ChunkId id;
+        if (!ParseHex(f.path().filename().string(), id)) continue;
+        std::uint64_t size = f.file_size(ec);
+        index_[id] = size;
+        bytes_used_ += size;
+      }
+    }
+    return OkStatus();
+  }
+
+  Status Put(const ChunkId& id, ByteSpan data) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (index_.contains(id)) return OkStatus();
+    fs::path path = PathFor(id);
+    std::error_code ec;
+    fs::create_directories(path.parent_path(), ec);
+    if (ec) return InternalError("mkdir: " + ec.message());
+    // Write to a temp name then rename so a crash never leaves a torn chunk
+    // visible under its content address.
+    fs::path tmp = path;
+    tmp += ".tmp";
+    {
+      std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+      if (!out) return InternalError("open for write: " + tmp.string());
+      out.write(reinterpret_cast<const char*>(data.data()),
+                static_cast<std::streamsize>(data.size()));
+      if (!out) return InternalError("short write: " + tmp.string());
+    }
+    fs::rename(tmp, path, ec);
+    if (ec) return InternalError("rename: " + ec.message());
+    index_[id] = data.size();
+    bytes_used_ += data.size();
+    return OkStatus();
+  }
+
+  Result<Bytes> Get(const ChunkId& id) const override {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!index_.contains(id)) {
+        return NotFoundError("chunk " + id.ToHex() + " not on disk");
+      }
+    }
+    std::ifstream in(PathFor(id), std::ios::binary);
+    if (!in) return InternalError("open for read: " + id.ToHex());
+    Bytes data((std::istreambuf_iterator<char>(in)),
+               std::istreambuf_iterator<char>());
+    return data;
+  }
+
+  bool Contains(const ChunkId& id) const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return index_.contains(id);
+  }
+
+  Status Delete(const ChunkId& id) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(id);
+    if (it == index_.end()) {
+      return NotFoundError("chunk " + id.ToHex() + " not on disk");
+    }
+    std::error_code ec;
+    fs::remove(PathFor(id), ec);
+    if (ec) return InternalError("remove: " + ec.message());
+    bytes_used_ -= it->second;
+    index_.erase(it);
+    return OkStatus();
+  }
+
+  std::vector<ChunkId> List() const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<ChunkId> out;
+    out.reserve(index_.size());
+    for (const auto& [id, size] : index_) out.push_back(id);
+    return out;
+  }
+
+  std::uint64_t BytesUsed() const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return bytes_used_;
+  }
+
+  std::size_t ChunkCount() const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return index_.size();
+  }
+
+ private:
+  fs::path PathFor(const ChunkId& id) const {
+    std::string hex = id.ToHex();
+    return root_ / hex.substr(0, 2) / hex;
+  }
+
+  static bool ParseHex(const std::string& hex, ChunkId& out) {
+    if (hex.size() != 40) return false;
+    auto nibble = [](char c) -> int {
+      if (c >= '0' && c <= '9') return c - '0';
+      if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+      return -1;
+    };
+    for (std::size_t i = 0; i < 20; ++i) {
+      int hi = nibble(hex[2 * i]), lo = nibble(hex[2 * i + 1]);
+      if (hi < 0 || lo < 0) return false;
+      out.digest.bytes[i] = static_cast<std::uint8_t>(hi << 4 | lo);
+    }
+    return true;
+  }
+
+  fs::path root_;
+  mutable std::mutex mu_;
+  std::unordered_map<ChunkId, std::uint64_t, ChunkIdHash> index_;
+  std::uint64_t bytes_used_ = 0;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<ChunkStore>> MakeDiskChunkStore(
+    const std::string& directory) {
+  auto store = std::make_unique<DiskChunkStore>(directory);
+  STDCHK_RETURN_IF_ERROR(store->Init());
+  return std::unique_ptr<ChunkStore>(std::move(store));
+}
+
+}  // namespace stdchk

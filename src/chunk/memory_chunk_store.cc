@@ -1,0 +1,73 @@
+#include <mutex>
+#include <unordered_map>
+
+#include "chunk/chunk_store.h"
+
+namespace stdchk {
+namespace {
+
+class MemoryChunkStore final : public ChunkStore {
+ public:
+  Status Put(const ChunkId& id, ByteSpan data) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto [it, inserted] = chunks_.try_emplace(id, Bytes(data.begin(), data.end()));
+    if (inserted) bytes_used_ += data.size();
+    return OkStatus();
+  }
+
+  Result<Bytes> Get(const ChunkId& id) const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = chunks_.find(id);
+    if (it == chunks_.end()) {
+      return NotFoundError("chunk " + id.ToHex() + " not in store");
+    }
+    return it->second;
+  }
+
+  bool Contains(const ChunkId& id) const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return chunks_.contains(id);
+  }
+
+  Status Delete(const ChunkId& id) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = chunks_.find(id);
+    if (it == chunks_.end()) {
+      return NotFoundError("chunk " + id.ToHex() + " not in store");
+    }
+    bytes_used_ -= it->second.size();
+    chunks_.erase(it);
+    return OkStatus();
+  }
+
+  std::vector<ChunkId> List() const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<ChunkId> out;
+    out.reserve(chunks_.size());
+    for (const auto& [id, data] : chunks_) out.push_back(id);
+    return out;
+  }
+
+  std::uint64_t BytesUsed() const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return bytes_used_;
+  }
+
+  std::size_t ChunkCount() const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return chunks_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<ChunkId, Bytes, ChunkIdHash> chunks_;
+  std::uint64_t bytes_used_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<ChunkStore> MakeMemoryChunkStore() {
+  return std::make_unique<MemoryChunkStore>();
+}
+
+}  // namespace stdchk

@@ -1,0 +1,30 @@
+// Transport abstraction the client uses to reach benefactors by node id.
+//
+// In this repository the "network" between client and donors is an
+// in-process call through this interface; core/LocalTransport implements it
+// over Benefactor objects and injects failures for tests. Data transfers
+// never pass through the metadata manager (paper §IV.A: "the actual
+// transfer of data chunks occurs directly between the storage nodes and the
+// client").
+#pragma once
+
+#include "chunk/chunk.h"
+#include "common/status.h"
+#include "manager/types.h"
+
+namespace stdchk {
+
+class BenefactorAccess {
+ public:
+  virtual ~BenefactorAccess() = default;
+
+  virtual Status PutChunk(NodeId node, const ChunkId& id, ByteSpan data) = 0;
+  virtual Result<Bytes> GetChunk(NodeId node, const ChunkId& id) = 0;
+
+  // Client-side leg of the manager-recovery protocol: stash the final chunk
+  // map on a write-stripe benefactor when the manager is unreachable.
+  virtual Status StashChunkMap(NodeId node, const VersionRecord& record,
+                               int stripe_width) = 0;
+};
+
+}  // namespace stdchk

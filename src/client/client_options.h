@@ -1,0 +1,48 @@
+// Client-side configuration: write protocol, semantics, striping.
+#pragma once
+
+#include <cstddef>
+
+#include "chunk/chunk.h"
+
+namespace stdchk {
+
+// The three write-optimized paths of §IV.B. Functionally they produce the
+// same committed file; they differ in when data leaves the client:
+//   CLW buffers the whole file locally and pushes at close();
+//   IW  pushes each temp-file-sized increment as it completes;
+//   SW  pushes each chunk as soon as it is produced (no local spill).
+enum class WriteProtocol { kCompleteLocal, kIncremental, kSlidingWindow };
+
+// §IV.A "tunable write semantics": pessimistic writes return only after the
+// replication target is met; optimistic writes return after the first
+// replica persists and let background replication catch up.
+enum class WriteSemantics { kOptimistic, kPessimistic };
+
+struct ClientOptions {
+  int stripe_width = 4;
+  std::size_t chunk_size = kDefaultChunkSize;
+  WriteProtocol protocol = WriteProtocol::kSlidingWindow;
+  WriteSemantics semantics = WriteSemantics::kOptimistic;
+
+  // IW temp-file size (bytes of application data per increment).
+  std::size_t increment_size = 64_MiB;
+
+  // Incremental checkpointing: skip uploading chunks the system already
+  // stores (FsCH with chunker == transfer chunk size, as the prototype in
+  // the paper integrates).
+  bool incremental_fsch = false;
+
+  // Replicas required at close() for pessimistic writes; also recorded as
+  // the version's replication target (0 = inherit the folder policy).
+  int replication_target = 0;
+
+  // Per-write eager space reservation granularity (§IV.A incremental
+  // allocation).
+  std::size_t reservation_extent = 256_MiB;
+
+  // Read path: chunks prefetched ahead of the reader's position.
+  int read_ahead_chunks = 2;
+};
+
+}  // namespace stdchk

@@ -1,0 +1,124 @@
+#include "client/client_proxy.h"
+
+namespace stdchk {
+
+Result<std::unique_ptr<WriteSession>> ClientProxy::CreateFile(
+    const CheckpointName& name) {
+  if (manager_->IsUp() && manager_->GetVersion(name).ok()) {
+    return AlreadyExistsError("checkpoint image " + name.ToString() +
+                              " already exists");
+  }
+  return std::make_unique<WriteSession>(manager_, access_, name, options_);
+}
+
+Result<CloseOutcome> ClientProxy::WriteFile(const CheckpointName& name,
+                                            ByteSpan data) {
+  STDCHK_ASSIGN_OR_RETURN(auto session, CreateFile(name));
+  STDCHK_RETURN_IF_ERROR(session->Write(data));
+  return session->Close();
+}
+
+Result<UploadPlan> ClientProxy::WriteFileDeduped(const CheckpointName& name,
+                                                 ByteSpan data,
+                                                 const Chunker& chunker) {
+  if (manager_->IsUp() && manager_->GetVersion(name).ok()) {
+    return AlreadyExistsError("checkpoint image " + name.ToString() +
+                              " already exists");
+  }
+
+  // Chunk + hash the whole image, then ask the manager which chunks the
+  // system already stores (one round trip).
+  STDCHK_ASSIGN_OR_RETURN(
+      UploadPlan plan,
+      PlanUpload(data, chunker, [this](const std::vector<ChunkId>& ids) {
+        return manager_->FilterKnownChunks(ids);
+      }));
+
+  // Locate existing replicas for the reused chunks.
+  std::vector<ChunkId> reused_ids;
+  for (const PlannedChunk& pc : plan.chunks) {
+    if (!pc.novel) reused_ids.push_back(pc.id);
+  }
+  std::vector<std::vector<NodeId>> located;
+  if (!reused_ids.empty()) {
+    STDCHK_ASSIGN_OR_RETURN(located, manager_->LocateChunks(reused_ids));
+  }
+
+  // Reserve a stripe sized for the novel bytes only.
+  WriteReservation reservation;
+  bool have_reservation = false;
+  if (plan.novel_bytes > 0) {
+    STDCHK_ASSIGN_OR_RETURN(
+        reservation,
+        manager_->ReserveStripe(options_.stripe_width, plan.novel_bytes));
+    have_reservation = true;
+  }
+
+  VersionRecord record;
+  record.name = name;
+  record.size = plan.total_bytes;
+  record.replication_target = options_.replication_target;
+
+  std::size_t rr = 0;
+  std::size_t reused_index = 0;
+  std::uint64_t offset = 0;
+  for (const PlannedChunk& pc : plan.chunks) {
+    ChunkLocation loc;
+    loc.id = pc.id;
+    loc.file_offset = offset;
+    loc.size = pc.span.size;
+    offset += pc.span.size;
+
+    if (!pc.novel) {
+      loc.replicas = located[reused_index++];
+      if (loc.replicas.empty()) {
+        // The oracle said known but no replica exists (e.g. raced with a
+        // purge): fall through and upload it after all.
+      } else {
+        record.chunk_map.chunks.push_back(std::move(loc));
+        continue;
+      }
+    }
+
+    // Upload with failover across the stripe (novel path).
+    ByteSpan bytes = data.subspan(pc.span.offset, pc.span.size);
+    Status last = UnavailableError("no benefactors in stripe");
+    for (std::size_t attempt = 0;
+         attempt < reservation.stripe.size() && loc.replicas.empty();
+         ++attempt) {
+      NodeId node = reservation.stripe[(rr + attempt) % reservation.stripe.size()];
+      last = access_->PutChunk(node, pc.id, bytes);
+      if (last.ok()) loc.replicas.push_back(node);
+    }
+    if (loc.replicas.empty()) {
+      if (have_reservation) (void)manager_->ReleaseReservation(reservation.id);
+      return last;
+    }
+    rr = (rr + 1) % std::max<std::size_t>(1, reservation.stripe.size());
+    record.chunk_map.chunks.push_back(std::move(loc));
+  }
+
+  STDCHK_RETURN_IF_ERROR(manager_->CommitVersion(
+      have_reservation ? reservation.id : 0, record));
+  return plan;
+}
+
+Result<std::unique_ptr<ReadSession>> ClientProxy::OpenFile(
+    const CheckpointName& name) {
+  STDCHK_ASSIGN_OR_RETURN(VersionRecord record, manager_->GetVersion(name));
+  return std::make_unique<ReadSession>(access_, std::move(record), options_);
+}
+
+Result<std::unique_ptr<ReadSession>> ClientProxy::OpenLatest(
+    const std::string& app, const std::string& node) {
+  STDCHK_ASSIGN_OR_RETURN(VersionRecord record,
+                          manager_->GetLatest(app, node));
+  return std::make_unique<ReadSession>(access_, std::move(record), options_);
+}
+
+Result<Bytes> ClientProxy::ReadFile(const CheckpointName& name) {
+  STDCHK_ASSIGN_OR_RETURN(auto session, OpenFile(name));
+  return session->ReadAll();
+}
+
+}  // namespace stdchk

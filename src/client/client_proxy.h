@@ -1,0 +1,65 @@
+// The stdchk client proxy: the per-desktop component that turns
+// application file operations into manager/benefactor protocol actions
+// (paper §IV.A). The FUSE-facade (src/fs) sits on top of this API.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "chkpt/upload_plan.h"
+#include "client/benefactor_access.h"
+#include "client/client_options.h"
+#include "client/read_session.h"
+#include "client/write_session.h"
+#include "common/status.h"
+#include "manager/metadata_manager.h"
+
+namespace stdchk {
+
+class ClientProxy {
+ public:
+  ClientProxy(MetadataManager* manager, BenefactorAccess* access,
+              ClientOptions options = {})
+      : manager_(manager), access_(access), options_(options) {}
+
+  const ClientOptions& options() const { return options_; }
+  void set_options(const ClientOptions& options) { options_ = options; }
+
+  // Opens a new checkpoint image for writing. Fails if the version already
+  // exists (images are immutable, single-producer).
+  Result<std::unique_ptr<WriteSession>> CreateFile(const CheckpointName& name);
+
+  // Writes an entire image in one call (what the FUSE layer does for the
+  // common write-then-close pattern).
+  Result<CloseOutcome> WriteFile(const CheckpointName& name, ByteSpan data);
+
+  // Whole-image write with dedup under an arbitrary chunking heuristic —
+  // extends the prototype's FsCH integration to content-defined (CbCH)
+  // chunking, which needs the full image to place boundaries. Only chunks
+  // the system does not already store are transferred; the committed map
+  // mixes fresh uploads with references to existing chunks. Returns the
+  // upload plan actually executed (novel/reused byte counts).
+  Result<UploadPlan> WriteFileDeduped(const CheckpointName& name,
+                                      ByteSpan data, const Chunker& chunker);
+
+  // Opens a committed image for reading.
+  Result<std::unique_ptr<ReadSession>> OpenFile(const CheckpointName& name);
+  // Opens the most recent timestep for (app, node) — the restart path.
+  Result<std::unique_ptr<ReadSession>> OpenLatest(const std::string& app,
+                                                  const std::string& node);
+
+  Result<Bytes> ReadFile(const CheckpointName& name);
+
+  Status Delete(const CheckpointName& name) {
+    return manager_->DeleteVersion(name);
+  }
+
+  MetadataManager* manager() { return manager_; }
+
+ private:
+  MetadataManager* manager_;
+  BenefactorAccess* access_;
+  ClientOptions options_;
+};
+
+}  // namespace stdchk

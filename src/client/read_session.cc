@@ -1,0 +1,114 @@
+#include "client/read_session.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace stdchk {
+
+ReadSession::ReadSession(BenefactorAccess* access, VersionRecord record,
+                         ClientOptions options)
+    : access_(access), record_(std::move(record)), options_(options) {}
+
+Status ReadSession::Prefetch(std::size_t index) {
+  for (const CachedChunk& c : cache_) {
+    if (c.index == index) return OkStatus();
+  }
+  const ChunkLocation& loc = record_.chunk_map.chunks[index];
+  if (loc.replicas.empty()) {
+    return DataLossError("chunk " + loc.id.ToHex() + " has no replicas");
+  }
+  // Rotate the starting replica across fetches so load spreads over the
+  // stripe (round-robin read striping, as in FreeLoader).
+  Status last = UnavailableError("no replica reachable");
+  for (std::size_t i = 0; i < loc.replicas.size(); ++i) {
+    NodeId node = loc.replicas[(rr_replica_ + i) % loc.replicas.size()];
+    Result<Bytes> data = access_->GetChunk(node, loc.id);
+    if (data.ok()) {
+      cache_.push_back(CachedChunk{index, std::move(data).value()});
+      ++chunks_fetched_;
+      // Bound the cache: current chunk + read-ahead window.
+      std::size_t limit =
+          static_cast<std::size_t>(std::max(1, options_.read_ahead_chunks)) + 1;
+      while (cache_.size() > limit) cache_.pop_front();
+      rr_replica_ = (rr_replica_ + 1) % loc.replicas.size();
+      return OkStatus();
+    }
+    last = data.status();
+  }
+  return last;
+}
+
+Result<const Bytes*> ReadSession::ChunkData(std::size_t index) {
+  STDCHK_RETURN_IF_ERROR(Prefetch(index));
+  // Issue read-ahead for the following chunks (synchronous analogue of the
+  // FUSE layer's read-ahead: they land in the cache for the next calls).
+  for (int ahead = 1; ahead <= options_.read_ahead_chunks; ++ahead) {
+    std::size_t next = index + static_cast<std::size_t>(ahead);
+    if (next >= record_.chunk_map.chunks.size()) break;
+    (void)Prefetch(next);
+  }
+  for (const CachedChunk& c : cache_) {
+    if (c.index == index) return &c.data;
+  }
+  return InternalError("prefetched chunk evicted before use");
+}
+
+Result<std::size_t> ReadSession::ReadAt(std::uint64_t offset,
+                                        MutableByteSpan out) {
+  if (offset >= record_.size || out.empty()) return std::size_t{0};
+
+  std::size_t written = 0;
+  const auto& chunks = record_.chunk_map.chunks;
+  // Chunks are ordered by file_offset; binary-search the starting chunk.
+  std::size_t lo = 0, hi = chunks.size();
+  while (lo + 1 < hi) {
+    std::size_t mid = (lo + hi) / 2;
+    if (chunks[mid].file_offset <= offset) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+
+  std::uint64_t pos = offset;
+  for (std::size_t i = lo; i < chunks.size() && written < out.size(); ++i) {
+    const ChunkLocation& c = chunks[i];
+    if (pos < c.file_offset) break;  // hole (should not happen)
+    if (pos >= c.file_offset + c.size) continue;
+
+    bool was_cached = false;
+    for (const CachedChunk& cc : cache_) {
+      if (cc.index == i) {
+        was_cached = true;
+        break;
+      }
+    }
+    STDCHK_ASSIGN_OR_RETURN(const Bytes* data, ChunkData(i));
+    if (was_cached) ++cache_hits_;
+
+    std::uint64_t chunk_off = pos - c.file_offset;
+    std::size_t n = static_cast<std::size_t>(
+        std::min<std::uint64_t>(c.size - chunk_off, out.size() - written));
+    std::memcpy(out.data() + written, data->data() + chunk_off, n);
+    written += n;
+    pos += n;
+  }
+  return written;
+}
+
+Result<Bytes> ReadSession::ReadAll() {
+  Bytes out(record_.size);
+  std::uint64_t offset = 0;
+  while (offset < record_.size) {
+    STDCHK_ASSIGN_OR_RETURN(
+        std::size_t n,
+        ReadAt(offset, MutableByteSpan(out.data() + offset,
+                                       out.size() - offset)));
+    if (n == 0) return DataLossError("short read at offset " +
+                                     std::to_string(offset));
+    offset += n;
+  }
+  return out;
+}
+
+}  // namespace stdchk

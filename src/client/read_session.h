@@ -1,0 +1,54 @@
+// Read path: chunk-map lookup at the manager, then direct chunk fetches
+// from benefactors with replica failover and simple read-ahead (paper
+// §IV.E: "improves read performance through read-ahead and high volume
+// caching"). Reads matter for timely job restarts (§III.B).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+
+#include "client/benefactor_access.h"
+#include "client/client_options.h"
+#include "common/status.h"
+#include "manager/metadata_manager.h"
+
+namespace stdchk {
+
+class ReadSession {
+ public:
+  ReadSession(BenefactorAccess* access, VersionRecord record,
+              ClientOptions options);
+
+  std::uint64_t size() const { return record_.size; }
+
+  // Reads up to `out.size()` bytes at `offset`; returns bytes read (0 at
+  // EOF). Sequential callers benefit from read-ahead caching.
+  Result<std::size_t> ReadAt(std::uint64_t offset, MutableByteSpan out);
+
+  // Convenience: the whole file.
+  Result<Bytes> ReadAll();
+
+  std::uint64_t chunks_fetched() const { return chunks_fetched_; }
+  std::uint64_t cache_hits() const { return cache_hits_; }
+
+ private:
+  // Fetches chunk `index` (with replica failover) into the cache.
+  Status Prefetch(std::size_t index);
+  Result<const Bytes*> ChunkData(std::size_t index);
+
+  BenefactorAccess* access_;
+  VersionRecord record_;
+  ClientOptions options_;
+
+  struct CachedChunk {
+    std::size_t index;
+    Bytes data;
+  };
+  std::deque<CachedChunk> cache_;
+  std::size_t rr_replica_ = 0;
+  std::uint64_t chunks_fetched_ = 0;
+  std::uint64_t cache_hits_ = 0;
+};
+
+}  // namespace stdchk

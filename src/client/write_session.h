@@ -1,0 +1,91 @@
+// One open-for-write file: the client proxy's side of session semantics.
+//
+// The application streams bytes in with Write(); Close() pushes whatever
+// remains, then commits the chunk map to the manager in one atomic call —
+// until that commit no reader can observe the file (paper §IV.A, session
+// semantics). If the manager is down at commit time, the session stashes
+// the final chunk map on the stripe's benefactors so the manager-recovery
+// protocol can commit it later.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "client/benefactor_access.h"
+#include "client/client_options.h"
+#include "common/status.h"
+#include "manager/metadata_manager.h"
+#include "manager/types.h"
+
+namespace stdchk {
+
+// What Close() achieved.
+enum class CloseOutcome {
+  kCommitted,        // chunk map committed at the manager
+  kStashedForRecovery,  // manager down; map stashed on benefactors
+};
+
+struct WriteStats {
+  std::uint64_t bytes_written = 0;     // application bytes accepted
+  std::uint64_t bytes_transferred = 0; // bytes actually sent to benefactors
+  std::uint64_t chunks_total = 0;
+  std::uint64_t chunks_deduplicated = 0;
+  std::uint64_t replica_puts = 0;      // total chunk-replica transfers
+};
+
+class WriteSession {
+ public:
+  WriteSession(MetadataManager* manager, BenefactorAccess* access,
+               CheckpointName name, ClientOptions options);
+  ~WriteSession();
+
+  WriteSession(const WriteSession&) = delete;
+  WriteSession& operator=(const WriteSession&) = delete;
+
+  // Appends application data (checkpoint images are written sequentially).
+  Status Write(ByteSpan data);
+
+  // Flush + atomic commit. Idempotent: second call is an error.
+  Result<CloseOutcome> Close();
+
+  // Abandons the write: releases the reservation; pushed chunks become
+  // orphans and are reclaimed by GC.
+  void Abort();
+
+  const WriteStats& stats() const { return stats_; }
+  bool closed() const { return closed_; }
+
+ private:
+  // Ensures a stripe reservation exists and covers `upcoming` more bytes.
+  Status EnsureReservation(std::uint64_t upcoming);
+
+  // Sends [buffer_ start, complete chunks] to benefactors; `final` flushes
+  // the tail partial chunk too.
+  Status FlushBufferedChunks(bool final);
+
+  // Uploads one chunk to `replicas_needed` distinct stripe nodes, with
+  // failover across the stripe. Appends the committed location.
+  Status UploadChunk(ByteSpan chunk_bytes);
+
+  Status StashOnStripe(const VersionRecord& record);
+
+  MetadataManager* manager_;
+  BenefactorAccess* access_;
+  CheckpointName name_;
+  ClientOptions options_;
+
+  WriteReservation reservation_;
+  bool have_reservation_ = false;
+  std::uint64_t reserved_remaining_ = 0;
+
+  Bytes buffer_;              // data not yet pushed (spill / window)
+  std::uint64_t file_offset_ = 0;
+  std::size_t rr_next_ = 0;   // round-robin cursor within the stripe
+  ChunkMap map_;
+  WriteStats stats_;
+  bool closed_ = false;
+  bool aborted_ = false;
+};
+
+}  // namespace stdchk

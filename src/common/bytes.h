@@ -1,0 +1,44 @@
+// Byte-buffer vocabulary types shared across stdchk.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace stdchk {
+
+using Bytes = std::vector<std::uint8_t>;
+using ByteSpan = std::span<const std::uint8_t>;
+using MutableByteSpan = std::span<std::uint8_t>;
+
+inline ByteSpan AsBytes(const std::string& s) {
+  return ByteSpan(reinterpret_cast<const std::uint8_t*>(s.data()), s.size());
+}
+
+inline Bytes ToBytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+inline std::string ToString(ByteSpan bytes) {
+  return std::string(reinterpret_cast<const char*>(bytes.data()), bytes.size());
+}
+
+inline void Append(Bytes& dst, ByteSpan src) {
+  dst.insert(dst.end(), src.begin(), src.end());
+}
+
+// Size literals.
+constexpr std::size_t operator""_KiB(unsigned long long v) {
+  return static_cast<std::size_t>(v) << 10;
+}
+constexpr std::size_t operator""_MiB(unsigned long long v) {
+  return static_cast<std::size_t>(v) << 20;
+}
+constexpr std::size_t operator""_GiB(unsigned long long v) {
+  return static_cast<std::size_t>(v) << 30;
+}
+
+}  // namespace stdchk

@@ -1,0 +1,150 @@
+#include "common/hash.h"
+
+#include <cstring>
+
+namespace stdchk {
+namespace {
+
+inline std::uint32_t RotL(std::uint32_t v, int n) {
+  return (v << n) | (v >> (32 - n));
+}
+
+}  // namespace
+
+std::string Sha1Digest::ToHex() const {
+  static const char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(40);
+  for (std::uint8_t b : bytes) {
+    out.push_back(kHex[b >> 4]);
+    out.push_back(kHex[b & 0xF]);
+  }
+  return out;
+}
+
+std::uint64_t Sha1Digest::Prefix64() const {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | bytes[static_cast<std::size_t>(i)];
+  return v;
+}
+
+Sha1Hasher::Sha1Hasher()
+    : state_{0x67452301u, 0xEFCDAB89u, 0x98BADCFEu, 0x10325476u, 0xC3D2E1F0u} {}
+
+void Sha1Hasher::ProcessBlock(const std::uint8_t* block) {
+  std::uint32_t w[80];
+  for (int i = 0; i < 16; ++i) {
+    w[i] = (static_cast<std::uint32_t>(block[i * 4]) << 24) |
+           (static_cast<std::uint32_t>(block[i * 4 + 1]) << 16) |
+           (static_cast<std::uint32_t>(block[i * 4 + 2]) << 8) |
+           static_cast<std::uint32_t>(block[i * 4 + 3]);
+  }
+  for (int i = 16; i < 80; ++i) {
+    w[i] = RotL(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+  }
+
+  std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3],
+                e = state_[4];
+  for (int i = 0; i < 80; ++i) {
+    std::uint32_t f, k;
+    if (i < 20) {
+      f = (b & c) | (~b & d);
+      k = 0x5A827999u;
+    } else if (i < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ED9EBA1u;
+    } else if (i < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8F1BBCDCu;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xCA62C1D6u;
+    }
+    std::uint32_t temp = RotL(a, 5) + f + e + k + w[i];
+    e = d;
+    d = c;
+    c = RotL(b, 30);
+    b = a;
+    a = temp;
+  }
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+  state_[4] += e;
+}
+
+void Sha1Hasher::Update(ByteSpan data) {
+  total_bytes_ += data.size();
+  const std::uint8_t* p = data.data();
+  std::size_t n = data.size();
+
+  if (buffered_ > 0) {
+    std::size_t take = std::min(n, buffer_.size() - buffered_);
+    std::memcpy(buffer_.data() + buffered_, p, take);
+    buffered_ += take;
+    p += take;
+    n -= take;
+    if (buffered_ == buffer_.size()) {
+      ProcessBlock(buffer_.data());
+      buffered_ = 0;
+    }
+  }
+  while (n >= 64) {
+    ProcessBlock(p);
+    p += 64;
+    n -= 64;
+  }
+  if (n > 0) {
+    std::memcpy(buffer_.data(), p, n);
+    buffered_ = n;
+  }
+}
+
+Sha1Digest Sha1Hasher::Finish() {
+  std::uint64_t bit_len = total_bytes_ * 8;
+  const std::uint8_t pad = 0x80;
+  Update(ByteSpan(&pad, 1));
+  const std::uint8_t zero = 0x00;
+  while (buffered_ != 56) Update(ByteSpan(&zero, 1));
+  std::uint8_t len_be[8];
+  for (int i = 0; i < 8; ++i) {
+    len_be[i] = static_cast<std::uint8_t>(bit_len >> (56 - 8 * i));
+  }
+  Update(ByteSpan(len_be, 8));
+
+  Sha1Digest digest;
+  for (int i = 0; i < 5; ++i) {
+    digest.bytes[static_cast<std::size_t>(i * 4)] =
+        static_cast<std::uint8_t>(state_[i] >> 24);
+    digest.bytes[static_cast<std::size_t>(i * 4 + 1)] =
+        static_cast<std::uint8_t>(state_[i] >> 16);
+    digest.bytes[static_cast<std::size_t>(i * 4 + 2)] =
+        static_cast<std::uint8_t>(state_[i] >> 8);
+    digest.bytes[static_cast<std::size_t>(i * 4 + 3)] =
+        static_cast<std::uint8_t>(state_[i]);
+  }
+  return digest;
+}
+
+Sha1Digest Sha1(ByteSpan data) {
+  Sha1Hasher hasher;
+  hasher.Update(data);
+  return hasher.Finish();
+}
+
+std::uint64_t Fnv1a64(ByteSpan data) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (std::uint8_t b : data) {
+    h ^= b;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::uint64_t Fnv1a64(std::string_view data) {
+  return Fnv1a64(ByteSpan(reinterpret_cast<const std::uint8_t*>(data.data()),
+                          data.size()));
+}
+
+}  // namespace stdchk

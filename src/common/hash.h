@@ -1,0 +1,60 @@
+// Content hashing used for content-addressed chunk naming (compare-by-hash).
+//
+// The paper names chunks by a cryptographic hash of their content (§IV.C,
+// "content based addressability"). We implement SHA-1 from scratch (the hash
+// LBFS and the 2008-era systems used) plus FNV-1a for cheap non-cryptographic
+// needs.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.h"
+
+namespace stdchk {
+
+// 160-bit SHA-1 digest. Used as the content address of a chunk.
+struct Sha1Digest {
+  std::array<std::uint8_t, 20> bytes{};
+
+  auto operator<=>(const Sha1Digest&) const = default;
+
+  // Lowercase hex rendering, e.g. "da39a3ee5e6b4b0d3255bfef95601890afd80709".
+  std::string ToHex() const;
+
+  // First 8 bytes as an integer; convenient hash-table key.
+  std::uint64_t Prefix64() const;
+};
+
+// One-shot SHA-1.
+Sha1Digest Sha1(ByteSpan data);
+
+// Streaming SHA-1 for data that arrives in pieces (e.g. incremental writes).
+class Sha1Hasher {
+ public:
+  Sha1Hasher();
+  void Update(ByteSpan data);
+  Sha1Digest Finish();
+
+ private:
+  void ProcessBlock(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 5> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+// FNV-1a 64-bit, for hash tables and cheap fingerprints.
+std::uint64_t Fnv1a64(ByteSpan data);
+std::uint64_t Fnv1a64(std::string_view data);
+
+struct Sha1DigestHash {
+  std::size_t operator()(const Sha1Digest& d) const {
+    return static_cast<std::size_t>(d.Prefix64());
+  }
+};
+
+}  // namespace stdchk

@@ -1,0 +1,23 @@
+#include "common/log.h"
+
+#include <cstdio>
+
+namespace stdchk {
+
+Logger& Logger::Instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::Write(LogLevel level, std::string_view component,
+                   std::string_view msg) {
+  if (level < level_) return;
+  static const char* kNames[] = {"DEBUG", "INFO", "WARN", "ERROR"};
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fprintf(stderr, "[%s] %.*s: %.*s\n",
+               kNames[static_cast<int>(level)],
+               static_cast<int>(component.size()), component.data(),
+               static_cast<int>(msg.size()), msg.data());
+}
+
+}  // namespace stdchk

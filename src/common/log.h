@@ -1,0 +1,53 @@
+// Minimal leveled logger. Off by default at DEBUG so tests stay quiet;
+// benches and examples raise the level when narrating.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace stdchk {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kOff = 4 };
+
+class Logger {
+ public:
+  static Logger& Instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+
+  void Write(LogLevel level, std::string_view component, std::string_view msg);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kWarning;
+  std::mutex mu_;
+};
+
+namespace internal {
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string_view component)
+      : level_(level), component_(component) {}
+  ~LogLine() { Logger::Instance().Write(level_, component_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+}  // namespace internal
+
+#define STDCHK_LOG(severity, component)                        \
+  if (::stdchk::Logger::Instance().level() <=                  \
+      ::stdchk::LogLevel::severity)                            \
+  ::stdchk::internal::LogLine(::stdchk::LogLevel::severity, component)
+
+}  // namespace stdchk

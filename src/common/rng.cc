@@ -1,0 +1,86 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+#include "common/rolling_hash.h"  // Mix64
+
+namespace stdchk {
+namespace {
+
+inline std::uint64_t RotL(std::uint64_t v, int n) {
+  return (v << n) | (v >> (64 - n));
+}
+
+}  // namespace
+
+void Rng::Seed(std::uint64_t seed) {
+  // splitmix64 expansion of the seed into the xoshiro state, as recommended
+  // by the xoshiro authors.
+  std::uint64_t x = seed;
+  for (auto& s : s_) {
+    x += 0x9e3779b97f4a7c15ull;
+    s = Mix64(x);
+  }
+}
+
+std::uint64_t Rng::Next() {
+  const std::uint64_t result = RotL(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = RotL(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::NextBelow(std::uint64_t bound) {
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t threshold = -bound % bound;
+  for (;;) {
+    std::uint64_t r = Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+std::uint64_t Rng::NextInRange(std::uint64_t lo, std::uint64_t hi) {
+  return lo + NextBelow(hi - lo + 1);
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::NextBool(double p_true) { return NextDouble() < p_true; }
+
+double Rng::NextExponential(double mean) {
+  double u;
+  do {
+    u = NextDouble();
+  } while (u <= 0.0);
+  return -mean * std::log(u);
+}
+
+void Rng::Fill(MutableByteSpan out) {
+  std::size_t i = 0;
+  while (i + 8 <= out.size()) {
+    std::uint64_t v = Next();
+    for (int b = 0; b < 8; ++b) out[i++] = static_cast<std::uint8_t>(v >> (8 * b));
+  }
+  if (i < out.size()) {
+    std::uint64_t v = Next();
+    while (i < out.size()) {
+      out[i++] = static_cast<std::uint8_t>(v);
+      v >>= 8;
+    }
+  }
+}
+
+Bytes Rng::RandomBytes(std::size_t n) {
+  Bytes out(n);
+  Fill(MutableByteSpan(out));
+  return out;
+}
+
+}  // namespace stdchk

@@ -1,0 +1,55 @@
+// Deterministic PRNG (xoshiro256**) used everywhere randomness is needed:
+// workload generators, striping tie-breaks, failure injection. Determinism
+// matters because both the DES and the functional tests must be replayable.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "common/bytes.h"
+
+namespace stdchk {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5DEECE66Dull) { Seed(seed); }
+
+  void Seed(std::uint64_t seed);
+
+  std::uint64_t Next();
+
+  // Uniform in [0, bound). bound must be > 0.
+  std::uint64_t NextBelow(std::uint64_t bound);
+
+  // Uniform in [lo, hi] inclusive.
+  std::uint64_t NextInRange(std::uint64_t lo, std::uint64_t hi);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Bernoulli trial.
+  bool NextBool(double p_true);
+
+  // Exponentially distributed value with the given mean (for Poisson
+  // arrival processes in the simulator).
+  double NextExponential(double mean);
+
+  // Fills `out` with pseudo-random bytes.
+  void Fill(MutableByteSpan out);
+
+  // Returns `n` random bytes.
+  Bytes RandomBytes(std::size_t n);
+
+  // UniformRandomBitGenerator interface so Rng works with <algorithm>.
+  using result_type = std::uint64_t;
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+  result_type operator()() { return Next(); }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace stdchk

@@ -1,0 +1,53 @@
+// Rabin-Karp style polynomial rolling hash over a fixed window of m bytes.
+//
+// This is the primitive behind the CbCH (content-based compare-by-hash)
+// boundary detector (paper §IV.C, after LBFS): slide an m-byte window over
+// the file; declare a chunk boundary whenever the low k bits of the window
+// hash are all zero.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace stdchk {
+
+class RollingHash {
+ public:
+  // `window` is m, the number of bytes covered by the hash.
+  explicit RollingHash(std::size_t window);
+
+  std::size_t window() const { return window_; }
+
+  // Resets to the empty-window state.
+  void Reset();
+
+  // Pushes one byte into the window. Once the window is full, the oldest
+  // byte must be provided via Roll() instead.
+  void Push(std::uint8_t in);
+
+  // Slides the window one byte: removes `out` (the byte leaving the window)
+  // and appends `in`.
+  void Roll(std::uint8_t out, std::uint8_t in);
+
+  std::uint64_t value() const { return hash_; }
+
+  // True when the low `k_bits` of the current hash are all zero — the CbCH
+  // chunk-boundary condition. The hash is mixed first so that low-entropy
+  // inputs (e.g. runs of zero bytes) do not degenerate.
+  bool IsBoundary(int k_bits) const;
+
+ private:
+  static constexpr std::uint64_t kBase = 0x100000001b3ull;
+
+  std::size_t window_;
+  std::uint64_t hash_ = 0;
+  std::uint64_t base_pow_window_;  // kBase^window, for removing old bytes
+};
+
+// 64-bit finalizer (splitmix64-style) used to decorrelate the polynomial
+// hash bits before masking.
+std::uint64_t Mix64(std::uint64_t v);
+
+}  // namespace stdchk

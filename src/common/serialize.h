@@ -1,0 +1,101 @@
+// Minimal binary serialization used for manager-metadata snapshots (the
+// hot-standby failover path). Little-endian, length-prefixed, no schema
+// evolution — snapshots are same-version, same-process artifacts.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace stdchk {
+
+class BinaryWriter {
+ public:
+  void U8(std::uint8_t v) { out_.push_back(v); }
+  void U32(std::uint32_t v) { Raw(&v, sizeof(v)); }
+  void U64(std::uint64_t v) { Raw(&v, sizeof(v)); }
+  void I64(std::int64_t v) { Raw(&v, sizeof(v)); }
+  void F64(double v) { Raw(&v, sizeof(v)); }
+  void Bool(bool v) { U8(v ? 1 : 0); }
+
+  void Str(const std::string& s) {
+    U32(static_cast<std::uint32_t>(s.size()));
+    Raw(s.data(), s.size());
+  }
+  void Blob(ByteSpan b) {
+    U32(static_cast<std::uint32_t>(b.size()));
+    Raw(b.data(), b.size());
+  }
+
+  const Bytes& buffer() const { return out_; }
+  Bytes Take() { return std::move(out_); }
+
+ private:
+  void Raw(const void* p, std::size_t n) {
+    const auto* bytes = static_cast<const std::uint8_t*>(p);
+    out_.insert(out_.end(), bytes, bytes + n);
+  }
+  Bytes out_;
+};
+
+class BinaryReader {
+ public:
+  explicit BinaryReader(ByteSpan data) : data_(data) {}
+
+  Result<std::uint8_t> U8() {
+    STDCHK_RETURN_IF_ERROR(Need(1));
+    return data_[pos_++];
+  }
+  Result<std::uint32_t> U32() { return Fixed<std::uint32_t>(); }
+  Result<std::uint64_t> U64() { return Fixed<std::uint64_t>(); }
+  Result<std::int64_t> I64() { return Fixed<std::int64_t>(); }
+  Result<double> F64() { return Fixed<double>(); }
+  Result<bool> Bool() {
+    STDCHK_ASSIGN_OR_RETURN(std::uint8_t v, U8());
+    return v != 0;
+  }
+
+  Result<std::string> Str() {
+    STDCHK_ASSIGN_OR_RETURN(std::uint32_t n, U32());
+    STDCHK_RETURN_IF_ERROR(Need(n));
+    std::string s(reinterpret_cast<const char*>(data_.data() + pos_), n);
+    pos_ += n;
+    return s;
+  }
+  Result<Bytes> Blob() {
+    STDCHK_ASSIGN_OR_RETURN(std::uint32_t n, U32());
+    STDCHK_RETURN_IF_ERROR(Need(n));
+    Bytes b(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+            data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return b;
+  }
+
+  bool AtEnd() const { return pos_ == data_.size(); }
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  template <typename T>
+  Result<T> Fixed() {
+    STDCHK_RETURN_IF_ERROR(Need(sizeof(T)));
+    T v;
+    std::memcpy(&v, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+  Status Need(std::size_t n) {
+    if (pos_ + n > data_.size()) {
+      return DataLossError("truncated snapshot: need " + std::to_string(n) +
+                           " bytes at offset " + std::to_string(pos_));
+    }
+    return OkStatus();
+  }
+
+  ByteSpan data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace stdchk

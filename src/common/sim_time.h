@@ -1,0 +1,33 @@
+// Simulated-time vocabulary. The DES runs on an integer nanosecond clock so
+// event ordering is exact and runs are bit-reproducible.
+#pragma once
+
+#include <cstdint>
+
+namespace stdchk {
+
+// Nanoseconds since simulation start.
+using SimTime = std::int64_t;
+
+constexpr SimTime kSimNever = INT64_MAX;
+
+constexpr SimTime Nanoseconds(std::int64_t n) { return n; }
+constexpr SimTime Microseconds(std::int64_t us) { return us * 1'000; }
+constexpr SimTime Milliseconds(std::int64_t ms) { return ms * 1'000'000; }
+constexpr SimTime Seconds(double s) {
+  return static_cast<SimTime>(s * 1e9);
+}
+
+constexpr double ToSeconds(SimTime t) { return static_cast<double>(t) / 1e9; }
+
+// Time to move `bytes` through a resource of `mb_per_s` MB/s (MB = 2^20).
+constexpr SimTime TransferTime(double bytes, double mb_per_s) {
+  return static_cast<SimTime>(bytes / (mb_per_s * 1048576.0) * 1e9);
+}
+
+// Throughput in MB/s for `bytes` moved in `elapsed` simulated time.
+constexpr double ThroughputMBps(double bytes, SimTime elapsed) {
+  return elapsed > 0 ? bytes / 1048576.0 / ToSeconds(elapsed) : 0.0;
+}
+
+}  // namespace stdchk

@@ -1,0 +1,84 @@
+#include "common/stats.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace stdchk {
+
+void RunningStats::Add(double x) {
+  ++n_;
+  sum_ += x;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double Sample::Percentile(double p) const {
+  if (values_.empty()) return 0.0;
+  std::vector<double> sorted = values_;
+  std::sort(sorted.begin(), sorted.end());
+  double rank = (p / 100.0) * static_cast<double>(sorted.size() - 1);
+  std::size_t lo = static_cast<std::size_t>(rank);
+  std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double Sample::Mean() const {
+  if (values_.empty()) return 0.0;
+  double s = 0;
+  for (double v : values_) s += v;
+  return s / static_cast<double>(values_.size());
+}
+
+void ThroughputTimeline::Record(double time_seconds, double bytes) {
+  if (time_seconds < 0) return;
+  std::size_t bucket = static_cast<std::size_t>(time_seconds / bucket_seconds_);
+  if (bucket >= bucket_bytes_.size()) bucket_bytes_.resize(bucket + 1, 0.0);
+  bucket_bytes_[bucket] += bytes;
+}
+
+std::vector<ThroughputTimeline::Point> ThroughputTimeline::Series() const {
+  std::vector<Point> out;
+  out.reserve(bucket_bytes_.size());
+  for (std::size_t i = 0; i < bucket_bytes_.size(); ++i) {
+    out.push_back(Point{(static_cast<double>(i) + 0.5) * bucket_seconds_,
+                        bucket_bytes_[i] / bucket_seconds_ / (1 << 20)});
+  }
+  return out;
+}
+
+double ThroughputTimeline::PeakMBps() const {
+  double peak = 0;
+  for (const auto& p : Series()) peak = std::max(peak, p.mb_per_second);
+  return peak;
+}
+
+double ThroughputTimeline::SustainedMBps() const {
+  double total = 0;
+  std::size_t active = 0;
+  for (const auto& p : Series()) {
+    if (p.mb_per_second > 0) {
+      total += p.mb_per_second;
+      ++active;
+    }
+  }
+  return active ? total / static_cast<double>(active) : 0.0;
+}
+
+std::string FormatMBps(double mbps) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1f MB/s", mbps);
+  return buf;
+}
+
+}  // namespace stdchk

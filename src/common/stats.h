@@ -1,0 +1,74 @@
+// Small statistics toolkit used by the benchmarks and the simulator:
+// running mean/stddev (Welford), min/max, and a time-bucketed throughput
+// series for Figure-8 style plots.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace stdchk {
+
+class RunningStats {
+ public:
+  void Add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  // sample variance
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Exact percentiles over a retained sample vector (fine at bench scale).
+class Sample {
+ public:
+  void Add(double x) { values_.push_back(x); }
+  std::size_t count() const { return values_.size(); }
+  double Percentile(double p) const;  // p in [0,100]
+  double Mean() const;
+
+ private:
+  std::vector<double> values_;
+};
+
+// Accumulates (time, bytes) completions into fixed-width buckets and
+// reports per-bucket throughput — used to regenerate the Figure 8 timeline.
+class ThroughputTimeline {
+ public:
+  explicit ThroughputTimeline(double bucket_seconds)
+      : bucket_seconds_(bucket_seconds) {}
+
+  void Record(double time_seconds, double bytes);
+
+  struct Point {
+    double time_seconds;
+    double mb_per_second;
+  };
+  std::vector<Point> Series() const;
+
+  double PeakMBps() const;
+  // Mean throughput over buckets with any traffic (steady-state estimate).
+  double SustainedMBps() const;
+
+ private:
+  double bucket_seconds_;
+  std::vector<double> bucket_bytes_;
+};
+
+// Render helpers for bench output tables.
+std::string FormatMBps(double mbps);
+
+}  // namespace stdchk

@@ -1,0 +1,131 @@
+// Lightweight Status / Result<T> error-handling vocabulary used across
+// stdchk. Modeled after the widely used absl::Status idiom: recoverable
+// failures travel as values, exceptions are reserved for programming errors.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace stdchk {
+
+enum class StatusCode {
+  kOk = 0,
+  kNotFound,
+  kAlreadyExists,
+  kInvalidArgument,
+  kFailedPrecondition,
+  kUnavailable,       // transient: node offline, connection refused
+  kResourceExhausted, // out of space / quota
+  kDataLoss,          // integrity check failed / chunks unrecoverable
+  kTimeout,
+  kInternal,
+};
+
+std::string_view StatusCodeName(StatusCode code);
+
+// Value type carrying success or an error code plus human-readable detail.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    assert(code != StatusCode::kOk && "use OkStatus() for success");
+  }
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline Status OkStatus() { return Status::Ok(); }
+
+Status NotFoundError(std::string message);
+Status AlreadyExistsError(std::string message);
+Status InvalidArgumentError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status UnavailableError(std::string message);
+Status ResourceExhaustedError(std::string message);
+Status DataLossError(std::string message);
+Status TimeoutError(std::string message);
+Status InternalError(std::string message);
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+// Result<T>: either a value or a non-OK Status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : data_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(data_).ok() &&
+           "Result constructed from OK status without a value");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  const Status& status() const {
+    static const Status kOk = OkStatus();
+    return ok() ? kOk : std::get<Status>(data_);
+  }
+
+  T& value() & {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(data_));
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  T value_or(T fallback) const& { return ok() ? value() : std::move(fallback); }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+// Propagate a non-OK status out of the current function.
+#define STDCHK_RETURN_IF_ERROR(expr)            \
+  do {                                          \
+    ::stdchk::Status status_macro_ = (expr);    \
+    if (!status_macro_.ok()) return status_macro_; \
+  } while (false)
+
+// Evaluate a Result<T> expression; on error return its status, otherwise
+// bind the unwrapped value to `lhs`.
+#define STDCHK_ASSIGN_OR_RETURN(lhs, expr)        \
+  STDCHK_ASSIGN_OR_RETURN_IMPL_(                  \
+      STDCHK_MACRO_CONCAT_(result_, __LINE__), lhs, expr)
+#define STDCHK_MACRO_CONCAT_INNER_(a, b) a##b
+#define STDCHK_MACRO_CONCAT_(a, b) STDCHK_MACRO_CONCAT_INNER_(a, b)
+#define STDCHK_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                  \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).value()
+
+}  // namespace stdchk

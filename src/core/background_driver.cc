@@ -1,0 +1,34 @@
+#include "core/background_driver.h"
+
+namespace stdchk {
+
+BackgroundDriver::BackgroundDriver(StdchkCluster* cluster,
+                                   double period_seconds)
+    : cluster_(cluster), period_seconds_(period_seconds) {
+  thread_ = std::thread([this] { Loop(); });
+}
+
+BackgroundDriver::~BackgroundDriver() { Stop(); }
+
+void BackgroundDriver::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_.exchange(true)) return;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void BackgroundDriver::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_.load()) {
+    auto period = std::chrono::duration<double>(period_seconds_);
+    if (cv_.wait_for(lock, period, [this] { return stop_.load(); })) break;
+    lock.unlock();
+    cluster_->Tick(period_seconds_);
+    ticks_.fetch_add(1);
+    lock.lock();
+  }
+}
+
+}  // namespace stdchk

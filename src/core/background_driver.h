@@ -1,0 +1,43 @@
+// Wall-clock driver for StdchkCluster background work. The cluster itself
+// is deterministic and step-driven (tests call Tick() directly); examples
+// and long-running deployments attach this driver to pump ticks from a
+// thread.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "core/cluster.h"
+
+namespace stdchk {
+
+class BackgroundDriver {
+ public:
+  // Pumps `cluster.Tick(period_seconds)` every `period_seconds` of wall
+  // time until destroyed or Stop()ped.
+  BackgroundDriver(StdchkCluster* cluster, double period_seconds);
+  ~BackgroundDriver();
+
+  BackgroundDriver(const BackgroundDriver&) = delete;
+  BackgroundDriver& operator=(const BackgroundDriver&) = delete;
+
+  void Stop();
+
+  std::uint64_t ticks() const { return ticks_.load(); }
+
+ private:
+  void Loop();
+
+  StdchkCluster* cluster_;
+  double period_seconds_;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> ticks_{0};
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::thread thread_;
+};
+
+}  // namespace stdchk

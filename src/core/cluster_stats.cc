@@ -1,0 +1,36 @@
+#include "core/cluster_stats.h"
+
+#include "core/cluster.h"
+
+namespace stdchk {
+
+ClusterStats CollectStats(StdchkCluster& cluster) {
+  ClusterStats stats;
+  stats.benefactors_total = cluster.benefactor_count();
+  for (std::size_t i = 0; i < cluster.benefactor_count(); ++i) {
+    Benefactor& b = cluster.benefactor(i);
+    NodeStats node;
+    node.host = b.host();
+    node.online = b.online();
+    node.bytes_used = b.BytesUsed();
+    node.capacity = b.capacity();
+    node.chunk_count = b.ChunkCount();
+    stats.nodes.push_back(node);
+
+    if (node.online) ++stats.benefactors_online;
+    stats.capacity_bytes += node.capacity;
+    stats.stored_bytes += node.bytes_used;
+  }
+
+  const FileCatalog& catalog = cluster.manager().catalog();
+  stats.versions = catalog.TotalVersions();
+  stats.applications = catalog.ListApps().size();
+  stats.logical_bytes = catalog.TotalLogicalBytes();
+  stats.unique_bytes = catalog.TotalUniqueBytes();
+  stats.pending_replications = cluster.manager().pending_replications();
+  stats.rpcs = cluster.transport().rpc_count();
+  stats.network_bytes = cluster.transport().bytes_moved();
+  return stats;
+}
+
+}  // namespace stdchk

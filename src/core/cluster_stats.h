@@ -1,0 +1,61 @@
+// Cluster-wide observability snapshot: what an operator's dashboard (or a
+// test assertion) wants to know about a running stdchk pool.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace stdchk {
+
+class StdchkCluster;
+
+struct NodeStats {
+  std::string host;
+  bool online = false;
+  std::uint64_t bytes_used = 0;
+  std::uint64_t capacity = 0;
+  std::size_t chunk_count = 0;
+};
+
+struct ClusterStats {
+  // Pool.
+  std::size_t benefactors_total = 0;
+  std::size_t benefactors_online = 0;
+  std::uint64_t capacity_bytes = 0;
+  std::uint64_t stored_bytes = 0;  // physical bytes on donors (w/ replicas)
+
+  // Catalog.
+  std::size_t versions = 0;
+  std::size_t applications = 0;
+  std::uint64_t logical_bytes = 0;  // sum of committed file sizes
+  std::uint64_t unique_bytes = 0;   // after compare-by-hash dedup
+
+  // Background machinery.
+  std::size_t pending_replications = 0;
+
+  // Transport.
+  std::uint64_t rpcs = 0;
+  std::uint64_t network_bytes = 0;
+
+  std::vector<NodeStats> nodes;
+
+  // Effective space efficiency of incremental checkpointing: logical bytes
+  // the applications wrote per unique byte stored.
+  double dedup_factor() const {
+    return unique_bytes ? static_cast<double>(logical_bytes) /
+                              static_cast<double>(unique_bytes)
+                        : 1.0;
+  }
+  double utilization() const {
+    return capacity_bytes ? static_cast<double>(stored_bytes) /
+                                static_cast<double>(capacity_bytes)
+                          : 0.0;
+  }
+};
+
+// Collects a consistent snapshot from a cluster (declared here, defined in
+// cluster_stats.cc to keep cluster.h lean).
+ClusterStats CollectStats(StdchkCluster& cluster);
+
+}  // namespace stdchk

@@ -1,0 +1,64 @@
+#include "core/local_transport.h"
+
+namespace stdchk {
+
+void LocalTransport::AddEndpoint(Benefactor* benefactor) {
+  endpoints_[benefactor->id()] = benefactor;
+}
+
+void LocalTransport::SetUnreachable(NodeId node, bool unreachable) {
+  if (unreachable) {
+    unreachable_.insert(node);
+  } else {
+    unreachable_.erase(node);
+  }
+}
+
+void LocalTransport::SetLossRate(NodeId node, double p) {
+  loss_rate_[node] = p;
+}
+
+Result<Benefactor*> LocalTransport::Route(NodeId node) {
+  ++rpc_count_;
+  auto it = endpoints_.find(node);
+  if (it == endpoints_.end()) {
+    return UnavailableError("no route to node " + std::to_string(node));
+  }
+  if (unreachable_.contains(node)) {
+    return UnavailableError("node " + std::to_string(node) + " unreachable");
+  }
+  auto loss = loss_rate_.find(node);
+  if (loss != loss_rate_.end() && rng_.NextBool(loss->second)) {
+    return UnavailableError("rpc to node " + std::to_string(node) +
+                            " dropped");
+  }
+  return it->second;
+}
+
+Status LocalTransport::PutChunk(NodeId node, const ChunkId& id,
+                                ByteSpan data) {
+  STDCHK_ASSIGN_OR_RETURN(Benefactor * b, Route(node));
+  bytes_moved_ += data.size();
+  return b->PutChunk(id, data);
+}
+
+Result<Bytes> LocalTransport::GetChunk(NodeId node, const ChunkId& id) {
+  STDCHK_ASSIGN_OR_RETURN(Benefactor * b, Route(node));
+  Result<Bytes> out = b->GetChunk(id);
+  if (out.ok()) bytes_moved_ += out.value().size();
+  return out;
+}
+
+Status LocalTransport::StashChunkMap(NodeId node, const VersionRecord& record,
+                                     int stripe_width) {
+  STDCHK_ASSIGN_OR_RETURN(Benefactor * b, Route(node));
+  return b->StashChunkMap(record, stripe_width);
+}
+
+Status LocalTransport::CopyChunk(const ChunkId& id, NodeId source,
+                                 NodeId target) {
+  STDCHK_ASSIGN_OR_RETURN(Bytes data, GetChunk(source, id));
+  return PutChunk(target, id, data);
+}
+
+}  // namespace stdchk

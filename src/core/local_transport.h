@@ -1,0 +1,55 @@
+// In-process transport between clients and benefactors, with fault
+// injection. This is the functional stand-in for the desktop grid's LAN:
+// calls are synchronous, but nodes can be made unreachable or lossy to
+// exercise every failure path the paper describes.
+#pragma once
+
+#include <map>
+#include <set>
+
+#include "benefactor/benefactor.h"
+#include "client/benefactor_access.h"
+#include "common/rng.h"
+
+namespace stdchk {
+
+class LocalTransport final : public BenefactorAccess {
+ public:
+  LocalTransport() : rng_(0xC0FFEE) {}
+
+  // Registers a benefactor endpoint (must have joined a pool already so it
+  // has a node id). Does not take ownership.
+  void AddEndpoint(Benefactor* benefactor);
+
+  // ---- Fault injection -----------------------------------------------------
+  // Cuts the "network" to a node without touching the node itself (models
+  // a switch/link failure as opposed to a desktop reclaim).
+  void SetUnreachable(NodeId node, bool unreachable);
+  // Every data RPC to `node` fails with this probability.
+  void SetLossRate(NodeId node, double p);
+
+  std::uint64_t rpc_count() const { return rpc_count_; }
+  std::uint64_t bytes_moved() const { return bytes_moved_; }
+
+  // ---- BenefactorAccess ------------------------------------------------------
+  Status PutChunk(NodeId node, const ChunkId& id, ByteSpan data) override;
+  Result<Bytes> GetChunk(NodeId node, const ChunkId& id) override;
+  Status StashChunkMap(NodeId node, const VersionRecord& record,
+                       int stripe_width) override;
+
+  // Direct benefactor-to-benefactor copy, used to execute replication
+  // commands (the shadow-map copy of §IV.A).
+  Status CopyChunk(const ChunkId& id, NodeId source, NodeId target);
+
+ private:
+  Result<Benefactor*> Route(NodeId node);
+
+  std::map<NodeId, Benefactor*> endpoints_;
+  std::set<NodeId> unreachable_;
+  std::map<NodeId, double> loss_rate_;
+  Rng rng_;
+  std::uint64_t rpc_count_ = 0;
+  std::uint64_t bytes_moved_ = 0;
+};
+
+}  // namespace stdchk

@@ -1,0 +1,60 @@
+#include "erasure/gf256.h"
+
+namespace stdchk::gf256 {
+namespace internal {
+
+Tables::Tables() {
+  std::uint16_t x = 1;
+  for (int i = 0; i < 255; ++i) {
+    exp[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(x);
+    log[static_cast<std::size_t>(x)] = static_cast<std::uint8_t>(i);
+    x <<= 1;
+    if (x & 0x100) x ^= 0x11D;
+  }
+  for (int i = 255; i < 512; ++i) {
+    exp[static_cast<std::size_t>(i)] = exp[static_cast<std::size_t>(i - 255)];
+  }
+  log[0] = 0;  // undefined; never consulted for zero
+}
+
+const Tables& GetTables() {
+  static const Tables tables;
+  return tables;
+}
+
+}  // namespace internal
+
+std::uint8_t Div(std::uint8_t a, std::uint8_t b) {
+  if (a == 0) return 0;
+  const auto& t = internal::GetTables();
+  return t.exp[static_cast<std::size_t>(t.log[a]) + 255 - t.log[b]];
+}
+
+std::uint8_t Inv(std::uint8_t a) {
+  const auto& t = internal::GetTables();
+  return t.exp[static_cast<std::size_t>(255 - t.log[a])];
+}
+
+std::uint8_t Exp(unsigned e) {
+  const auto& t = internal::GetTables();
+  return t.exp[e % 255];
+}
+
+void MulAccum(std::uint8_t c, const std::uint8_t* src, std::uint8_t* dst,
+              std::size_t n) {
+  if (c == 0) return;
+  if (c == 1) {
+    for (std::size_t i = 0; i < n; ++i) dst[i] ^= src[i];
+    return;
+  }
+  const auto& t = internal::GetTables();
+  const std::uint8_t logc = t.log[c];
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint8_t s = src[i];
+    if (s != 0) {
+      dst[i] ^= t.exp[static_cast<std::size_t>(logc) + t.log[s]];
+    }
+  }
+}
+
+}  // namespace stdchk::gf256

@@ -1,0 +1,51 @@
+// GF(2^8) arithmetic for Reed-Solomon erasure coding.
+//
+// The paper (§IV.A) weighs erasure coding against replication and picks
+// replication for its lower computational cost. This module provides the
+// real arithmetic so that tradeoff can be measured rather than asserted
+// (see bench_ablation_erasure).
+//
+// Field: GF(256) with the conventional primitive polynomial
+// x^8 + x^4 + x^3 + x^2 + 1 (0x11D), generator 2.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace stdchk::gf256 {
+
+// Addition/subtraction in GF(2^8) is XOR.
+inline std::uint8_t Add(std::uint8_t a, std::uint8_t b) {
+  return static_cast<std::uint8_t>(a ^ b);
+}
+
+namespace internal {
+struct Tables {
+  std::array<std::uint8_t, 256> log{};
+  std::array<std::uint8_t, 512> exp{};  // doubled to skip a mod-255
+  Tables();
+};
+const Tables& GetTables();
+}  // namespace internal
+
+inline std::uint8_t Mul(std::uint8_t a, std::uint8_t b) {
+  if (a == 0 || b == 0) return 0;
+  const auto& t = internal::GetTables();
+  return t.exp[static_cast<std::size_t>(t.log[a]) + t.log[b]];
+}
+
+// b must be non-zero.
+std::uint8_t Div(std::uint8_t a, std::uint8_t b);
+
+// a must be non-zero.
+std::uint8_t Inv(std::uint8_t a);
+
+// generator^e
+std::uint8_t Exp(unsigned e);
+
+// Multiply-accumulate over a buffer: dst[i] ^= c * src[i]. The hot loop of
+// RS encoding/decoding.
+void MulAccum(std::uint8_t c, const std::uint8_t* src, std::uint8_t* dst,
+              std::size_t n);
+
+}  // namespace stdchk::gf256

@@ -1,0 +1,215 @@
+#include "erasure/reed_solomon.h"
+
+#include <algorithm>
+
+#include "erasure/gf256.h"
+
+namespace stdchk {
+namespace {
+
+// Invert a square matrix over GF(256) by Gauss-Jordan elimination.
+// Returns false if singular (cannot happen for Cauchy submatrices, but the
+// check guards against misuse).
+bool InvertMatrix(std::vector<std::vector<std::uint8_t>>& a) {
+  const std::size_t n = a.size();
+  std::vector<std::vector<std::uint8_t>> inv(
+      n, std::vector<std::uint8_t>(n, 0));
+  for (std::size_t i = 0; i < n; ++i) inv[i][i] = 1;
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Find a pivot.
+    std::size_t pivot = col;
+    while (pivot < n && a[pivot][col] == 0) ++pivot;
+    if (pivot == n) return false;
+    std::swap(a[pivot], a[col]);
+    std::swap(inv[pivot], inv[col]);
+
+    // Normalize the pivot row.
+    std::uint8_t inv_p = gf256::Inv(a[col][col]);
+    for (std::size_t j = 0; j < n; ++j) {
+      a[col][j] = gf256::Mul(a[col][j], inv_p);
+      inv[col][j] = gf256::Mul(inv[col][j], inv_p);
+    }
+    // Eliminate the column elsewhere.
+    for (std::size_t row = 0; row < n; ++row) {
+      if (row == col || a[row][col] == 0) continue;
+      std::uint8_t c = a[row][col];
+      for (std::size_t j = 0; j < n; ++j) {
+        a[row][j] = gf256::Add(a[row][j], gf256::Mul(c, a[col][j]));
+        inv[row][j] = gf256::Add(inv[row][j], gf256::Mul(c, inv[col][j]));
+      }
+    }
+  }
+  a = std::move(inv);
+  return true;
+}
+
+}  // namespace
+
+ReedSolomon::ReedSolomon(int k, int m) : k_(k), m_(m) {
+  // Systematic matrix: identity on top, Cauchy rows below.
+  // Cauchy: parity row i, data col j -> 1 / (x_i + y_j) with
+  // x_i = i + k (i in [0,m)), y_j = j (j in [0,k)); all x_i != y_j so the
+  // entries are defined and every k x k submatrix is invertible.
+  matrix_.assign(static_cast<std::size_t>(k + m),
+                 std::vector<std::uint8_t>(static_cast<std::size_t>(k), 0));
+  for (int i = 0; i < k; ++i) {
+    matrix_[static_cast<std::size_t>(i)][static_cast<std::size_t>(i)] = 1;
+  }
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < k; ++j) {
+      std::uint8_t x = static_cast<std::uint8_t>(i + k);
+      std::uint8_t y = static_cast<std::uint8_t>(j);
+      matrix_[static_cast<std::size_t>(k + i)][static_cast<std::size_t>(j)] =
+          gf256::Inv(gf256::Add(x, y));
+    }
+  }
+}
+
+Result<ReedSolomon> ReedSolomon::Create(int data_shards, int parity_shards) {
+  if (data_shards < 1 || parity_shards < 1) {
+    return InvalidArgumentError("need at least 1 data and 1 parity shard");
+  }
+  if (data_shards + parity_shards > 255) {
+    return InvalidArgumentError("k + m must be <= 255 over GF(256)");
+  }
+  return ReedSolomon(data_shards, parity_shards);
+}
+
+Result<std::vector<Bytes>> ReedSolomon::EncodeParity(
+    const std::vector<Bytes>& data_shards) const {
+  if (static_cast<int>(data_shards.size()) != k_) {
+    return InvalidArgumentError("expected exactly k data shards");
+  }
+  const std::size_t shard_size = data_shards[0].size();
+  for (const Bytes& shard : data_shards) {
+    if (shard.size() != shard_size) {
+      return InvalidArgumentError("data shards must have equal size");
+    }
+  }
+
+  std::vector<Bytes> parity(static_cast<std::size_t>(m_),
+                            Bytes(shard_size, 0));
+  for (int i = 0; i < m_; ++i) {
+    const std::vector<std::uint8_t>& row = Row(k_ + i);
+    for (int j = 0; j < k_; ++j) {
+      gf256::MulAccum(row[static_cast<std::size_t>(j)],
+                      data_shards[static_cast<std::size_t>(j)].data(),
+                      parity[static_cast<std::size_t>(i)].data(), shard_size);
+    }
+  }
+  return parity;
+}
+
+std::vector<Bytes> ReedSolomon::EncodeBlock(ByteSpan data) const {
+  const std::size_t shard_size =
+      (data.size() + static_cast<std::size_t>(k_) - 1) /
+      static_cast<std::size_t>(k_);
+  std::vector<Bytes> shards;
+  shards.reserve(static_cast<std::size_t>(k_ + m_));
+  for (int i = 0; i < k_; ++i) {
+    Bytes shard(shard_size, 0);
+    std::size_t offset = static_cast<std::size_t>(i) * shard_size;
+    if (offset < data.size()) {
+      std::size_t n = std::min(shard_size, data.size() - offset);
+      std::copy_n(data.data() + offset, n, shard.data());
+    }
+    shards.push_back(std::move(shard));
+  }
+  auto parity = EncodeParity(shards);
+  for (Bytes& p : parity.value()) shards.push_back(std::move(p));
+  return shards;
+}
+
+Status ReedSolomon::Reconstruct(
+    std::vector<std::optional<Bytes>>& shards) const {
+  if (static_cast<int>(shards.size()) != k_ + m_) {
+    return InvalidArgumentError("expected k+m shard slots");
+  }
+  std::vector<int> present;
+  std::size_t shard_size = 0;
+  for (int i = 0; i < k_ + m_; ++i) {
+    if (shards[static_cast<std::size_t>(i)].has_value()) {
+      present.push_back(i);
+      shard_size = shards[static_cast<std::size_t>(i)]->size();
+    }
+  }
+  if (static_cast<int>(present.size()) < k_) {
+    return DataLossError("only " + std::to_string(present.size()) +
+                         " of the required " + std::to_string(k_) +
+                         " shards survive");
+  }
+  bool any_missing = false;
+  for (const auto& shard : shards) {
+    if (!shard.has_value()) {
+      any_missing = true;
+    } else if (shard->size() != shard_size) {
+      return InvalidArgumentError("surviving shards differ in size");
+    }
+  }
+  if (!any_missing) return OkStatus();
+
+  // Build the k x k matrix of the first k surviving rows and invert it:
+  // decode_matrix * [surviving shards] = [data shards].
+  std::vector<std::vector<std::uint8_t>> sub;
+  std::vector<int> used(present.begin(), present.begin() + k_);
+  for (int r : used) sub.push_back(Row(r));
+  if (!InvertMatrix(sub)) {
+    return InternalError("Cauchy submatrix unexpectedly singular");
+  }
+
+  // Recover the data shards first.
+  std::vector<Bytes> data(static_cast<std::size_t>(k_));
+  for (int i = 0; i < k_; ++i) {
+    if (shards[static_cast<std::size_t>(i)].has_value()) {
+      data[static_cast<std::size_t>(i)] = *shards[static_cast<std::size_t>(i)];
+      continue;
+    }
+    Bytes out(shard_size, 0);
+    for (int j = 0; j < k_; ++j) {
+      gf256::MulAccum(sub[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)],
+                      shards[static_cast<std::size_t>(used[static_cast<std::size_t>(j)])]->data(),
+                      out.data(), shard_size);
+    }
+    data[static_cast<std::size_t>(i)] = std::move(out);
+  }
+  for (int i = 0; i < k_; ++i) {
+    if (!shards[static_cast<std::size_t>(i)].has_value()) {
+      shards[static_cast<std::size_t>(i)] = data[static_cast<std::size_t>(i)];
+    }
+  }
+
+  // Re-encode any missing parity shards from the recovered data.
+  for (int i = 0; i < m_; ++i) {
+    std::size_t idx = static_cast<std::size_t>(k_ + i);
+    if (shards[idx].has_value()) continue;
+    Bytes out(shard_size, 0);
+    const std::vector<std::uint8_t>& row = Row(k_ + i);
+    for (int j = 0; j < k_; ++j) {
+      gf256::MulAccum(row[static_cast<std::size_t>(j)],
+                      data[static_cast<std::size_t>(j)].data(), out.data(),
+                      shard_size);
+    }
+    shards[idx] = std::move(out);
+  }
+  return OkStatus();
+}
+
+Result<Bytes> ReedSolomon::DecodeBlock(std::vector<std::optional<Bytes>> shards,
+                                       std::size_t data_size) const {
+  STDCHK_RETURN_IF_ERROR(Reconstruct(shards));
+  Bytes out;
+  out.reserve(data_size);
+  for (int i = 0; i < k_ && out.size() < data_size; ++i) {
+    const Bytes& shard = *shards[static_cast<std::size_t>(i)];
+    std::size_t n = std::min(shard.size(), data_size - out.size());
+    out.insert(out.end(), shard.begin(),
+               shard.begin() + static_cast<std::ptrdiff_t>(n));
+  }
+  if (out.size() != data_size) {
+    return InvalidArgumentError("data_size exceeds encoded payload");
+  }
+  return out;
+}
+
+}  // namespace stdchk

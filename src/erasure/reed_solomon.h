@@ -1,0 +1,59 @@
+// Systematic Reed-Solomon erasure coding over GF(256), Cauchy-matrix
+// construction: k data shards + m parity shards; any k of the k+m shards
+// reconstruct the original data.
+//
+// Used by the replication-vs-erasure ablation (paper §IV.A): the paper
+// rejects erasure coding for checkpoint data because of encode/decode CPU
+// cost and repair traffic; this implementation lets the bench measure both
+// against replication on real bytes.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace stdchk {
+
+class ReedSolomon {
+ public:
+  // k data shards, m parity shards; k >= 1, m >= 1, k + m <= 255.
+  static Result<ReedSolomon> Create(int data_shards, int parity_shards);
+
+  int data_shards() const { return k_; }
+  int parity_shards() const { return m_; }
+  int total_shards() const { return k_ + m_; }
+
+  // Splits `data` into k equal shards (zero-padded) and appends m parity
+  // shards. Returns k+m shards, each of size ceil(data.size()/k).
+  std::vector<Bytes> EncodeBlock(ByteSpan data) const;
+
+  // Computes parity for pre-split, equal-length data shards.
+  Result<std::vector<Bytes>> EncodeParity(
+      const std::vector<Bytes>& data_shards) const;
+
+  // Reconstructs all missing shards in place. `shards` has k+m entries;
+  // std::nullopt marks a lost shard. Fails if fewer than k survive.
+  Status Reconstruct(std::vector<std::optional<Bytes>>& shards) const;
+
+  // Convenience: reassembles the original block of `data_size` bytes from
+  // (possibly damaged) shards.
+  Result<Bytes> DecodeBlock(std::vector<std::optional<Bytes>> shards,
+                            std::size_t data_size) const;
+
+ private:
+  ReedSolomon(int k, int m);
+
+  // Row `r` of the (k+m) x k encoding matrix. Rows 0..k-1 form the
+  // identity (systematic); rows k..k+m-1 are Cauchy rows.
+  const std::vector<std::uint8_t>& Row(int r) const {
+    return matrix_[static_cast<std::size_t>(r)];
+  }
+
+  int k_;
+  int m_;
+  std::vector<std::vector<std::uint8_t>> matrix_;  // (k+m) rows x k cols
+};
+
+}  // namespace stdchk

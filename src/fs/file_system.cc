@@ -1,0 +1,218 @@
+#include "fs/file_system.h"
+
+#include <algorithm>
+
+namespace stdchk {
+
+FileSystem::FileSystem(ClientProxy* proxy, std::string mount_point)
+    : proxy_(proxy), mount_point_(std::move(mount_point)) {}
+
+Result<FileSystem::ParsedPath> FileSystem::ParsePath(
+    const std::string& path) const {
+  if (path.compare(0, mount_point_.size(), mount_point_) != 0) {
+    return InvalidArgumentError("path " + path + " outside mount point " +
+                                mount_point_);
+  }
+  std::string rest = path.substr(mount_point_.size());
+  while (!rest.empty() && rest.front() == '/') rest.erase(rest.begin());
+  while (!rest.empty() && rest.back() == '/') rest.pop_back();
+
+  ParsedPath out;
+  if (rest.empty()) {
+    out.kind = ParsedPath::kRoot;
+    return out;
+  }
+  std::size_t slash = rest.find('/');
+  if (slash == std::string::npos) {
+    // Single component: an app folder, or a bare A.Ni.Tj file at the root
+    // (we then derive the folder from the name, per the convention).
+    auto name = CheckpointName::Parse(rest);
+    if (name.has_value()) {
+      out.kind = ParsedPath::kFile;
+      out.name = *name;
+      out.app = name->app;
+    } else {
+      out.kind = ParsedPath::kAppDir;
+      out.app = rest;
+    }
+    return out;
+  }
+  out.app = rest.substr(0, slash);
+  std::string file = rest.substr(slash + 1);
+  if (file.find('/') != std::string::npos) {
+    return InvalidArgumentError("nested directories are not supported: " +
+                                path);
+  }
+  auto name = CheckpointName::Parse(file);
+  if (!name.has_value()) {
+    return InvalidArgumentError(
+        "file name must follow the <app>.<node>.T<j> convention: " + file);
+  }
+  if (name->app != out.app) {
+    return InvalidArgumentError("file " + file + " does not belong to folder " +
+                                out.app);
+  }
+  out.kind = ParsedPath::kFile;
+  out.name = *name;
+  return out;
+}
+
+Result<Fd> FileSystem::Open(const std::string& path, OpenMode mode) {
+  STDCHK_ASSIGN_OR_RETURN(ParsedPath parsed, ParsePath(path));
+  if (parsed.kind != ParsedPath::kFile) {
+    return InvalidArgumentError("cannot open a directory: " + path);
+  }
+
+  OpenFile file;
+  file.path = path;
+  if (mode == OpenMode::kWrite) {
+    STDCHK_ASSIGN_OR_RETURN(file.writer, proxy_->CreateFile(parsed.name));
+  } else {
+    STDCHK_ASSIGN_OR_RETURN(file.reader, proxy_->OpenFile(parsed.name));
+  }
+  Fd fd = next_fd_++;
+  open_files_[fd] = std::move(file);
+  return fd;
+}
+
+Result<std::size_t> FileSystem::Write(Fd fd, ByteSpan data) {
+  auto it = open_files_.find(fd);
+  if (it == open_files_.end()) return InvalidArgumentError("bad fd");
+  if (!it->second.writer) {
+    return FailedPreconditionError("fd not open for writing");
+  }
+  STDCHK_RETURN_IF_ERROR(it->second.writer->Write(data));
+  it->second.position += data.size();
+  return data.size();
+}
+
+Result<std::size_t> FileSystem::Read(Fd fd, MutableByteSpan out) {
+  auto it = open_files_.find(fd);
+  if (it == open_files_.end()) return InvalidArgumentError("bad fd");
+  STDCHK_ASSIGN_OR_RETURN(std::size_t n, PRead(fd, it->second.position, out));
+  it->second.position += n;
+  return n;
+}
+
+Result<std::size_t> FileSystem::PRead(Fd fd, std::uint64_t offset,
+                                      MutableByteSpan out) {
+  auto it = open_files_.find(fd);
+  if (it == open_files_.end()) return InvalidArgumentError("bad fd");
+  if (!it->second.reader) {
+    return FailedPreconditionError("fd not open for reading");
+  }
+  return it->second.reader->ReadAt(offset, out);
+}
+
+Result<std::uint64_t> FileSystem::Seek(Fd fd, std::uint64_t offset) {
+  auto it = open_files_.find(fd);
+  if (it == open_files_.end()) return InvalidArgumentError("bad fd");
+  if (it->second.writer) {
+    return FailedPreconditionError(
+        "checkpoint images are written sequentially; seek on a write fd is "
+        "not supported");
+  }
+  it->second.position = offset;
+  return offset;
+}
+
+Status FileSystem::Close(Fd fd) {
+  auto it = open_files_.find(fd);
+  if (it == open_files_.end()) return InvalidArgumentError("bad fd");
+  Status result = OkStatus();
+  if (it->second.writer) {
+    Result<CloseOutcome> outcome = it->second.writer->Close();
+    if (!outcome.ok()) result = outcome.status();
+    // The file's attributes changed from "open/invisible" to committed.
+    attr_cache_.erase(it->second.path);
+  }
+  open_files_.erase(it);
+  return result;
+}
+
+Result<FileAttr> FileSystem::GetAttr(const std::string& path) {
+  auto cached = attr_cache_.find(path);
+  if (cached != attr_cache_.end()) {
+    ++attr_cache_hits_;
+    return cached->second;
+  }
+  ++attr_cache_misses_;
+
+  STDCHK_ASSIGN_OR_RETURN(ParsedPath parsed, ParsePath(path));
+  FileAttr attr;
+  switch (parsed.kind) {
+    case ParsedPath::kRoot:
+      attr.is_directory = true;
+      break;
+    case ParsedPath::kAppDir: {
+      STDCHK_ASSIGN_OR_RETURN(auto versions,
+                              proxy_->manager()->ListVersions(parsed.app));
+      if (versions.empty()) {
+        return NotFoundError("no such application folder: " + parsed.app);
+      }
+      attr.is_directory = true;
+      break;
+    }
+    case ParsedPath::kFile: {
+      STDCHK_ASSIGN_OR_RETURN(VersionRecord record,
+                              proxy_->manager()->GetVersion(parsed.name));
+      attr.size = record.size;
+      attr.commit_time = record.commit_time;
+      break;
+    }
+  }
+  attr_cache_[path] = attr;
+  return attr;
+}
+
+Result<std::vector<std::string>> FileSystem::ReadDir(const std::string& path) {
+  STDCHK_ASSIGN_OR_RETURN(ParsedPath parsed, ParsePath(path));
+  std::vector<std::string> out;
+  if (parsed.kind == ParsedPath::kRoot) {
+    STDCHK_ASSIGN_OR_RETURN(out, proxy_->manager()->ListApps());
+    return out;
+  }
+  if (parsed.kind == ParsedPath::kAppDir) {
+    STDCHK_ASSIGN_OR_RETURN(auto versions,
+                            proxy_->manager()->ListVersions(parsed.app));
+    out.reserve(versions.size());
+    for (const CheckpointName& name : versions) out.push_back(name.ToString());
+    return out;
+  }
+  return InvalidArgumentError("not a directory: " + path);
+}
+
+Status FileSystem::Unlink(const std::string& path) {
+  STDCHK_ASSIGN_OR_RETURN(ParsedPath parsed, ParsePath(path));
+  if (parsed.kind != ParsedPath::kFile) {
+    return InvalidArgumentError("unlink expects a file: " + path);
+  }
+  STDCHK_RETURN_IF_ERROR(proxy_->Delete(parsed.name));
+  attr_cache_.erase(path);
+  return OkStatus();
+}
+
+Status FileSystem::RemoveAll(const std::string& app_dir_path) {
+  STDCHK_ASSIGN_OR_RETURN(ParsedPath parsed, ParsePath(app_dir_path));
+  if (parsed.kind != ParsedPath::kAppDir) {
+    return InvalidArgumentError("expected an application folder: " +
+                                app_dir_path);
+  }
+  STDCHK_RETURN_IF_ERROR(proxy_->manager()->DeleteApp(parsed.app).status());
+  InvalidateCaches();
+  return OkStatus();
+}
+
+Status FileSystem::SetPolicy(const std::string& app_dir_path,
+                             const FolderPolicy& policy) {
+  STDCHK_ASSIGN_OR_RETURN(ParsedPath parsed, ParsePath(app_dir_path));
+  if (parsed.kind != ParsedPath::kAppDir) {
+    return InvalidArgumentError("policies attach to application folders: " +
+                                app_dir_path);
+  }
+  return proxy_->manager()->SetFolderPolicy(parsed.app, policy);
+}
+
+void FileSystem::InvalidateCaches() { attr_cache_.clear(); }
+
+}  // namespace stdchk

@@ -1,0 +1,101 @@
+// Traditional file-system interface over stdchk (paper §IV.E).
+//
+// The paper mounts the storage system under /stdchk via FUSE; every system
+// call against the mount point is forwarded to user-space callbacks. This
+// module is that callback layer: a mount-point namespace, a file-descriptor
+// table, sequential read/write positions, and a metadata cache "so that
+// most readdir and getattr system calls can be answered without contacting
+// the manager". The kernel hop itself is hardware-specific; its cost (32 µs
+// per call) is modeled in src/perf for the performance experiments.
+//
+// Namespace layout (paper §IV.D naming convention):
+//   /stdchk/<app>/<app>.<node>.T<j>   one checkpoint image
+//   /stdchk/<app>/                    application folder (policy attaches here)
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "client/client_proxy.h"
+#include "common/status.h"
+
+namespace stdchk {
+
+using Fd = int;
+
+enum class OpenMode { kRead, kWrite };
+
+struct FileAttr {
+  std::uint64_t size = 0;
+  ClockTime commit_time = 0;
+  bool is_directory = false;
+};
+
+class FileSystem {
+ public:
+  explicit FileSystem(ClientProxy* proxy, std::string mount_point = "/stdchk");
+
+  const std::string& mount_point() const { return mount_point_; }
+
+  // ---- File I/O ------------------------------------------------------------
+  // Opening for write creates a new (immutable) checkpoint image; its name
+  // component must follow the A.Ni.Tj convention. Opening for read requires
+  // a committed image.
+  Result<Fd> Open(const std::string& path, OpenMode mode);
+
+  Result<std::size_t> Write(Fd fd, ByteSpan data);
+
+  // Sequential read at the fd's position.
+  Result<std::size_t> Read(Fd fd, MutableByteSpan out);
+  // Positional read (does not move the fd position).
+  Result<std::size_t> PRead(Fd fd, std::uint64_t offset, MutableByteSpan out);
+
+  Result<std::uint64_t> Seek(Fd fd, std::uint64_t offset);
+
+  // close() is the session-semantics commit point for written files.
+  Status Close(Fd fd);
+
+  // ---- Namespace -----------------------------------------------------------
+  Result<FileAttr> GetAttr(const std::string& path);
+  Result<std::vector<std::string>> ReadDir(const std::string& path);
+  Status Unlink(const std::string& path);
+  // Removes an application folder and all images in it.
+  Status RemoveAll(const std::string& app_dir_path);
+
+  // Attaches a retention policy to an application folder (§IV.D metadata).
+  Status SetPolicy(const std::string& app_dir_path, const FolderPolicy& policy);
+
+  // ---- Cache telemetry --------------------------------------------------------
+  std::uint64_t attr_cache_hits() const { return attr_cache_hits_; }
+  std::uint64_t attr_cache_misses() const { return attr_cache_misses_; }
+  void InvalidateCaches();
+
+ private:
+  struct ParsedPath {
+    enum Kind { kRoot, kAppDir, kFile } kind = kRoot;
+    std::string app;
+    CheckpointName name;  // valid when kind == kFile
+  };
+  Result<ParsedPath> ParsePath(const std::string& path) const;
+
+  struct OpenFile {
+    std::unique_ptr<WriteSession> writer;
+    std::unique_ptr<ReadSession> reader;
+    std::uint64_t position = 0;
+    std::string path;
+  };
+
+  ClientProxy* proxy_;
+  std::string mount_point_;
+  Fd next_fd_ = 3;  // after stdin/stdout/stderr, in the spirit of the name
+  std::map<Fd, OpenFile> open_files_;
+
+  std::map<std::string, FileAttr> attr_cache_;
+  std::uint64_t attr_cache_hits_ = 0;
+  std::uint64_t attr_cache_misses_ = 0;
+};
+
+}  // namespace stdchk

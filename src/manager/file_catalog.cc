@@ -1,0 +1,337 @@
+#include "manager/file_catalog.h"
+
+#include <algorithm>
+
+namespace stdchk {
+
+void FileCatalog::SetFolderPolicy(const std::string& app,
+                                  const FolderPolicy& policy) {
+  folders_[app].policy = policy;
+}
+
+FolderPolicy FileCatalog::GetFolderPolicy(const std::string& app) const {
+  auto it = folders_.find(app);
+  return it == folders_.end() ? FolderPolicy{} : it->second.policy;
+}
+
+void FileCatalog::Ref(const ChunkLocation& loc) {
+  ChunkRecord& rec = chunks_[loc.id];
+  rec.size = loc.size;
+  ++rec.refcount;
+  for (NodeId node : loc.replicas) rec.replicas.insert(node);
+}
+
+void FileCatalog::Unref(const ChunkId& id) {
+  auto it = chunks_.find(id);
+  if (it == chunks_.end()) return;
+  if (--it->second.refcount <= 0) chunks_.erase(it);
+}
+
+void FileCatalog::RemoveVersionChunks(const VersionRecord& record) {
+  for (const ChunkLocation& loc : record.chunk_map.chunks) Unref(loc.id);
+}
+
+Status FileCatalog::CommitVersion(const VersionRecord& record) {
+  Folder& folder = folders_[record.name.app];
+  auto key = std::make_pair(record.name.node, record.name.timestep);
+  if (folder.versions.contains(key)) {
+    return AlreadyExistsError("version " + record.name.ToString() +
+                              " already committed (images are immutable)");
+  }
+  for (const ChunkLocation& loc : record.chunk_map.chunks) {
+    if (loc.replicas.empty()) {
+      return InvalidArgumentError("chunk map entry with no replicas");
+    }
+  }
+  VersionRecord stored = record;
+  stored.commit_time = clock_->NowUs();
+  for (const ChunkLocation& loc : stored.chunk_map.chunks) Ref(loc);
+  folder.versions.emplace(key, std::move(stored));
+  return OkStatus();
+}
+
+Result<VersionRecord> FileCatalog::GetVersion(
+    const CheckpointName& name) const {
+  auto folder = folders_.find(name.app);
+  if (folder == folders_.end()) {
+    return NotFoundError("no such application: " + name.app);
+  }
+  auto it = folder->second.versions.find({name.node, name.timestep});
+  if (it == folder->second.versions.end()) {
+    return NotFoundError("no such version: " + name.ToString());
+  }
+  // Refresh replica lists from the chunk records (replication may have
+  // added copies since commit).
+  VersionRecord out = it->second;
+  for (ChunkLocation& loc : out.chunk_map.chunks) {
+    auto chunk = chunks_.find(loc.id);
+    if (chunk != chunks_.end()) {
+      loc.replicas.assign(chunk->second.replicas.begin(),
+                          chunk->second.replicas.end());
+    }
+  }
+  return out;
+}
+
+Result<VersionRecord> FileCatalog::GetLatest(const std::string& app,
+                                             const std::string& node) const {
+  auto folder = folders_.find(app);
+  if (folder == folders_.end()) {
+    return NotFoundError("no such application: " + app);
+  }
+  const VersionRecord* best = nullptr;
+  for (const auto& [key, record] : folder->second.versions) {
+    if (key.first != node) continue;
+    if (best == nullptr || record.name.timestep > best->name.timestep) {
+      best = &record;
+    }
+  }
+  if (best == nullptr) {
+    return NotFoundError("no versions for " + app + "." + node);
+  }
+  return GetVersion(best->name);
+}
+
+std::vector<CheckpointName> FileCatalog::ListVersions(
+    const std::string& app) const {
+  std::vector<CheckpointName> out;
+  auto folder = folders_.find(app);
+  if (folder == folders_.end()) return out;
+  for (const auto& [key, record] : folder->second.versions) {
+    out.push_back(record.name);
+  }
+  return out;
+}
+
+std::vector<std::string> FileCatalog::ListApps() const {
+  std::vector<std::string> out;
+  for (const auto& [app, folder] : folders_) {
+    if (!folder.versions.empty()) out.push_back(app);
+  }
+  return out;
+}
+
+bool FileCatalog::Exists(const CheckpointName& name) const {
+  auto folder = folders_.find(name.app);
+  return folder != folders_.end() &&
+         folder->second.versions.contains({name.node, name.timestep});
+}
+
+Status FileCatalog::DeleteVersion(const CheckpointName& name) {
+  auto folder = folders_.find(name.app);
+  if (folder == folders_.end()) {
+    return NotFoundError("no such application: " + name.app);
+  }
+  auto it = folder->second.versions.find({name.node, name.timestep});
+  if (it == folder->second.versions.end()) {
+    return NotFoundError("no such version: " + name.ToString());
+  }
+  RemoveVersionChunks(it->second);
+  folder->second.versions.erase(it);
+  return OkStatus();
+}
+
+Result<std::size_t> FileCatalog::DeleteApp(const std::string& app) {
+  auto folder = folders_.find(app);
+  if (folder == folders_.end()) {
+    return NotFoundError("no such application: " + app);
+  }
+  std::size_t n = folder->second.versions.size();
+  for (const auto& [key, record] : folder->second.versions) {
+    RemoveVersionChunks(record);
+  }
+  folders_.erase(folder);
+  return n;
+}
+
+std::vector<CheckpointName> FileCatalog::ApplyRetention() {
+  std::vector<CheckpointName> removed;
+  ClockTime now = clock_->NowUs();
+
+  for (auto& [app, folder] : folders_) {
+    switch (folder.policy.retention) {
+      case RetentionPolicy::kNoIntervention:
+        break;
+
+      case RetentionPolicy::kAutomatedReplace: {
+        // Per (node) lineage keep only the newest `keep_last` timesteps.
+        std::map<std::string, std::vector<std::uint64_t>> by_node;
+        for (const auto& [key, record] : folder.versions) {
+          by_node[key.first].push_back(key.second);
+        }
+        for (auto& [node, steps] : by_node) {
+          std::sort(steps.begin(), steps.end());
+          int keep = std::max(1, folder.policy.keep_last);
+          if (static_cast<int>(steps.size()) <= keep) continue;
+          steps.resize(steps.size() - static_cast<std::size_t>(keep));
+          for (std::uint64_t step : steps) {
+            auto it = folder.versions.find({node, step});
+            removed.push_back(it->second.name);
+            RemoveVersionChunks(it->second);
+            folder.versions.erase(it);
+          }
+        }
+        break;
+      }
+
+      case RetentionPolicy::kAutomatedPurge: {
+        for (auto it = folder.versions.begin(); it != folder.versions.end();) {
+          if (now - it->second.commit_time >= folder.policy.purge_age_us) {
+            removed.push_back(it->second.name);
+            RemoveVersionChunks(it->second);
+            it = folder.versions.erase(it);
+          } else {
+            ++it;
+          }
+        }
+        break;
+      }
+    }
+  }
+  return removed;
+}
+
+bool FileCatalog::IsChunkLive(const ChunkId& id) const {
+  return chunks_.contains(id);
+}
+
+std::vector<bool> FileCatalog::KnownChunks(
+    const std::vector<ChunkId>& ids) const {
+  std::vector<bool> out(ids.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    auto it = chunks_.find(ids[i]);
+    out[i] = it != chunks_.end() && !it->second.replicas.empty();
+  }
+  return out;
+}
+
+std::vector<NodeId> FileCatalog::ChunkReplicas(const ChunkId& id) const {
+  auto it = chunks_.find(id);
+  if (it == chunks_.end()) return {};
+  return std::vector<NodeId>(it->second.replicas.begin(),
+                             it->second.replicas.end());
+}
+
+std::uint32_t FileCatalog::ChunkSize(const ChunkId& id) const {
+  auto it = chunks_.find(id);
+  return it == chunks_.end() ? 0 : it->second.size;
+}
+
+std::set<ChunkId> FileCatalog::LiveChunksOn(NodeId node) const {
+  std::set<ChunkId> out;
+  for (const auto& [id, rec] : chunks_) {
+    if (rec.replicas.contains(node)) out.insert(id);
+  }
+  return out;
+}
+
+void FileCatalog::AddReplica(const ChunkId& id, NodeId node) {
+  auto it = chunks_.find(id);
+  if (it != chunks_.end()) it->second.replicas.insert(node);
+}
+
+std::vector<ChunkId> FileCatalog::RemoveNodeReplicas(NodeId node) {
+  std::vector<ChunkId> lost;
+  for (auto& [id, rec] : chunks_) {
+    if (rec.replicas.erase(node) > 0 && rec.replicas.empty()) {
+      lost.push_back(id);
+    }
+  }
+  return lost;
+}
+
+std::vector<FileCatalog::UnderReplicated> FileCatalog::FindUnderReplicated(
+    const std::set<NodeId>& online) const {
+  // A chunk's target is the max across versions referencing it; since we do
+  // not track back-references, recompute per version (catalog sizes in this
+  // system are small relative to data).
+  std::unordered_map<ChunkId, int, ChunkIdHash> targets;
+  for (const auto& [app, folder] : folders_) {
+    for (const auto& [key, record] : folder.versions) {
+      for (const ChunkLocation& loc : record.chunk_map.chunks) {
+        int& t = targets[loc.id];
+        t = std::max(t, record.replication_target);
+      }
+    }
+  }
+
+  std::vector<UnderReplicated> out;
+  for (const auto& [id, want] : targets) {
+    auto it = chunks_.find(id);
+    if (it == chunks_.end()) continue;
+    int have = 0;
+    for (NodeId node : it->second.replicas) {
+      if (online.contains(node)) ++have;
+    }
+    if (have < want && have > 0) {
+      out.push_back(UnderReplicated{id, have, want});
+    }
+  }
+  return out;
+}
+
+std::size_t FileCatalog::TotalVersions() const {
+  std::size_t n = 0;
+  for (const auto& [app, folder] : folders_) n += folder.versions.size();
+  return n;
+}
+
+std::uint64_t FileCatalog::TotalLogicalBytes() const {
+  std::uint64_t n = 0;
+  for (const auto& [app, folder] : folders_) {
+    for (const auto& [key, record] : folder.versions) n += record.size;
+  }
+  return n;
+}
+
+std::uint64_t FileCatalog::TotalUniqueBytes() const {
+  std::uint64_t n = 0;
+  for (const auto& [id, rec] : chunks_) n += rec.size;
+  return n;
+}
+
+FileCatalog::ExportedState FileCatalog::Export() const {
+  ExportedState state;
+  for (const auto& [app, folder] : folders_) {
+    state.policies.emplace_back(app, folder.policy);
+    for (const auto& [key, record] : folder.versions) {
+      state.versions.push_back(record);
+    }
+  }
+  for (const auto& [id, rec] : chunks_) {
+    state.chunk_replicas.emplace_back(
+        id, std::vector<NodeId>(rec.replicas.begin(), rec.replicas.end()));
+  }
+  return state;
+}
+
+Status FileCatalog::Import(const ExportedState& state) {
+  folders_.clear();
+  chunks_.clear();
+  for (const auto& [app, policy] : state.policies) {
+    folders_[app].policy = policy;
+  }
+  for (const VersionRecord& record : state.versions) {
+    Folder& folder = folders_[record.name.app];
+    auto key = std::make_pair(record.name.node, record.name.timestep);
+    if (folder.versions.contains(key)) {
+      return InvalidArgumentError("duplicate version in snapshot: " +
+                                  record.name.ToString());
+    }
+    // Unlike CommitVersion, preserve the snapshot's commit_time.
+    for (const ChunkLocation& loc : record.chunk_map.chunks) Ref(loc);
+    folder.versions.emplace(key, record);
+  }
+  for (const auto& [id, replicas] : state.chunk_replicas) {
+    auto it = chunks_.find(id);
+    if (it == chunks_.end()) {
+      return InvalidArgumentError(
+          "snapshot lists replicas for unreferenced chunk " + id.ToHex());
+    }
+    it->second.replicas.clear();
+    it->second.replicas.insert(replicas.begin(), replicas.end());
+  }
+  return OkStatus();
+}
+
+}  // namespace stdchk

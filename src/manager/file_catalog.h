@@ -1,0 +1,127 @@
+// The manager's file catalog: application folders, versioned checkpoint
+// images, chunk maps, chunk reference counts and replica locations.
+//
+// Responsibilities mapped to the paper:
+//  * versioning + copy-on-write chunk sharing between successive images
+//    (§IV.C): chunks are refcounted across versions, so committing a new
+//    version that reuses prior chunks stores no duplicate data;
+//  * lifetime management (§IV.D): per-folder retention policies
+//    (no-intervention / automated-replace / automated-purge);
+//  * replica bookkeeping feeding the replication scheduler and the GC
+//    protocol (§IV.A).
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "manager/types.h"
+#include "manager/virtual_clock.h"
+
+namespace stdchk {
+
+class FileCatalog {
+ public:
+  explicit FileCatalog(const VirtualClock* clock) : clock_(clock) {}
+
+  // ---- Folder policies -------------------------------------------------
+  void SetFolderPolicy(const std::string& app, const FolderPolicy& policy);
+  FolderPolicy GetFolderPolicy(const std::string& app) const;
+
+  // ---- Version lifecycle ------------------------------------------------
+  // Atomically commits a version (the session-semantics commit point). The
+  // chunk map's replica lists are folded into the catalog's chunk records.
+  // Re-committing an existing name fails (checkpoint images are immutable).
+  Status CommitVersion(const VersionRecord& record);
+
+  Result<VersionRecord> GetVersion(const CheckpointName& name) const;
+
+  // Latest committed timestep for (app, node).
+  Result<VersionRecord> GetLatest(const std::string& app,
+                                  const std::string& node) const;
+
+  std::vector<CheckpointName> ListVersions(const std::string& app) const;
+  std::vector<std::string> ListApps() const;
+  bool Exists(const CheckpointName& name) const;
+
+  Status DeleteVersion(const CheckpointName& name);
+  // Deletes every version of an application (e.g. at successful job
+  // completion). Returns the number of versions removed.
+  Result<std::size_t> DeleteApp(const std::string& app);
+
+  // Applies retention policies (replace/purge). Returns the names removed.
+  std::vector<CheckpointName> ApplyRetention();
+
+  // ---- Chunk-level views --------------------------------------------------
+  bool IsChunkLive(const ChunkId& id) const;
+  // For dedup (FsCH/CbCH): which of `ids` the system already stores.
+  std::vector<bool> KnownChunks(const std::vector<ChunkId>& ids) const;
+  // Replica locations of a live chunk (empty if unknown).
+  std::vector<NodeId> ChunkReplicas(const ChunkId& id) const;
+  std::uint32_t ChunkSize(const ChunkId& id) const;
+
+  // Set of live chunks the manager believes `node` holds (GC exchange).
+  std::set<ChunkId> LiveChunksOn(NodeId node) const;
+
+  // Records that `node` now holds a replica of `id` (replication ack).
+  void AddReplica(const ChunkId& id, NodeId node);
+
+  // Drops `node` from every chunk's replica list (node declared dead).
+  // Returns chunks that lost their last replica (actual data loss).
+  std::vector<ChunkId> RemoveNodeReplicas(NodeId node);
+
+  // Chunks of committed versions whose live replica count (counting only
+  // `online` nodes) is below the version's replication target. Each entry
+  // carries the target so the scheduler knows how many copies to add.
+  struct UnderReplicated {
+    ChunkId chunk;
+    int have = 0;
+    int want = 0;
+  };
+  std::vector<UnderReplicated> FindUnderReplicated(
+      const std::set<NodeId>& online) const;
+
+  std::size_t TotalVersions() const;
+  std::uint64_t TotalLogicalBytes() const;   // sum of file sizes
+  std::uint64_t TotalUniqueBytes() const;    // sum of live chunk sizes
+
+  // ---- Snapshot support (hot-standby manager, §IV.A) -----------------------
+  struct ExportedState {
+    std::vector<std::pair<std::string, FolderPolicy>> policies;
+    std::vector<VersionRecord> versions;
+    // Current replica locations (may exceed commit-time replicas after
+    // background replication).
+    std::vector<std::pair<ChunkId, std::vector<NodeId>>> chunk_replicas;
+  };
+  ExportedState Export() const;
+  // Replaces the entire catalog; chunk refcounts are rebuilt from the
+  // versions, then replica sets are overwritten from the snapshot.
+  Status Import(const ExportedState& state);
+
+ private:
+  struct ChunkRecord {
+    std::uint32_t size = 0;
+    int refcount = 0;
+    std::set<NodeId> replicas;
+  };
+
+  struct Folder {
+    FolderPolicy policy;
+    // Ordered by (node, timestep) for deterministic iteration.
+    std::map<std::pair<std::string, std::uint64_t>, VersionRecord> versions;
+  };
+
+  void Ref(const ChunkLocation& loc);
+  // Unrefs and erases dead chunk records.
+  void Unref(const ChunkId& id);
+  void RemoveVersionChunks(const VersionRecord& record);
+
+  const VirtualClock* clock_;
+  std::map<std::string, Folder> folders_;
+  std::unordered_map<ChunkId, ChunkRecord, ChunkIdHash> chunks_;
+};
+
+}  // namespace stdchk

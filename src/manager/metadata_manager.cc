@@ -1,0 +1,527 @@
+#include "manager/metadata_manager.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+#include "common/serialize.h"
+
+namespace stdchk {
+namespace {
+
+// Fingerprint of a chunk map used to match recovery offers from different
+// benefactors: offers endorse the same version only if the maps agree.
+std::uint64_t ChunkMapFingerprint(const ChunkMap& map) {
+  Sha1Hasher hasher;
+  for (const ChunkLocation& loc : map.chunks) {
+    hasher.Update(ByteSpan(loc.id.digest.bytes.data(),
+                           loc.id.digest.bytes.size()));
+    std::uint64_t meta[2] = {loc.file_offset, loc.size};
+    hasher.Update(ByteSpan(reinterpret_cast<const std::uint8_t*>(meta),
+                           sizeof(meta)));
+  }
+  return hasher.Finish().Prefix64();
+}
+
+}  // namespace
+
+MetadataManager::MetadataManager(const VirtualClock* clock,
+                                 ManagerOptions options)
+    : clock_(clock),
+      options_(options),
+      registry_(clock, options.heartbeat_expiry_us),
+      catalog_(clock) {}
+
+Result<NodeId> MetadataManager::RegisterBenefactor(const BenefactorInfo& info) {
+  std::lock_guard<std::mutex> lock(mu_);
+  STDCHK_RETURN_IF_ERROR(CheckUp());
+  return registry_.Register(info);
+}
+
+Status MetadataManager::Heartbeat(NodeId node, std::uint64_t free_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  STDCHK_RETURN_IF_ERROR(CheckUp());
+  return registry_.Heartbeat(node, free_bytes);
+}
+
+Result<std::vector<ChunkId>> MetadataManager::GcExchange(
+    NodeId node, const std::vector<ChunkId>& held) {
+  std::lock_guard<std::mutex> lock(mu_);
+  STDCHK_RETURN_IF_ERROR(CheckUp());
+  if (!registry_.IsOnline(node)) {
+    return UnavailableError("GC exchange from offline node");
+  }
+
+  // Chunks the node holds that are not live anywhere are orphans — deleted
+  // files, failed writes, or purged versions. Exception: never collect
+  // while the node is part of an active write reservation: the unknown
+  // chunks may be the in-flight data itself.
+  bool node_has_active_reservation = false;
+  for (const auto& [id, res] : reservations_) {
+    if (std::find(res.stripe.begin(), res.stripe.end(), node) !=
+        res.stripe.end()) {
+      node_has_active_reservation = true;
+      break;
+    }
+  }
+
+  std::vector<ChunkId> to_delete;
+  for (const ChunkId& id : held) {
+    if (catalog_.IsChunkLive(id)) {
+      // Re-integration: a desktop returning from an outage still holds
+      // chunks the catalog dropped when its heartbeat expired. Content
+      // addressing makes this safe — same id, same bytes — so the copy
+      // counts toward availability again instead of being collected.
+      catalog_.AddReplica(id, node);
+      continue;
+    }
+    if (node_has_active_reservation) continue;  // defer: possibly in flight
+    to_delete.push_back(id);
+  }
+  return to_delete;
+}
+
+Status MetadataManager::OfferRecoveredVersion(NodeId from,
+                                              const VersionRecord& record,
+                                              int stripe_width) {
+  std::lock_guard<std::mutex> lock(mu_);
+  STDCHK_RETURN_IF_ERROR(CheckUp());
+  if (stripe_width <= 0) return InvalidArgumentError("stripe width must be > 0");
+  if (catalog_.Exists(record.name)) return OkStatus();  // already recovered
+
+  auto key = std::make_pair(record.name.ToString(),
+                            ChunkMapFingerprint(record.chunk_map));
+  std::set<NodeId>& endorsers = offers_[key];
+  endorsers.insert(from);
+
+  // Commit once two-thirds of the stripe width concur (§IV.A).
+  if (3 * endorsers.size() >= 2 * static_cast<std::size_t>(stripe_width)) {
+    STDCHK_RETURN_IF_ERROR(catalog_.CommitVersion(record));
+    offers_.erase(key);
+  }
+  return OkStatus();
+}
+
+Result<WriteReservation> MetadataManager::ReserveStripe(int width,
+                                                        std::uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  STDCHK_RETURN_IF_ERROR(CheckUp());
+  STDCHK_ASSIGN_OR_RETURN(std::vector<NodeId> stripe,
+                          registry_.SelectStripe(width));
+  Reservation res;
+  res.id = next_reservation_++;
+  res.stripe = stripe;
+  res.bytes = bytes;
+  res.last_touch = clock_->NowUs();
+  std::uint64_t per_node = bytes / static_cast<std::uint64_t>(width) + 1;
+  for (NodeId node : stripe) registry_.AddReserved(node, per_node);
+  reservations_[res.id] = res;
+
+  WriteReservation out;
+  out.id = res.id;
+  out.stripe = std::move(stripe);
+  out.reserved_bytes = bytes;
+  return out;
+}
+
+Status MetadataManager::ExtendReservation(ReservationId id,
+                                          std::uint64_t additional_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  STDCHK_RETURN_IF_ERROR(CheckUp());
+  auto it = reservations_.find(id);
+  if (it == reservations_.end()) return NotFoundError("unknown reservation");
+  it->second.bytes += additional_bytes;
+  it->second.last_touch = clock_->NowUs();
+  std::uint64_t per_node =
+      additional_bytes / it->second.stripe.size() + 1;
+  for (NodeId node : it->second.stripe) registry_.AddReserved(node, per_node);
+  return OkStatus();
+}
+
+void MetadataManager::ReleaseReservationLocked(
+    std::map<ReservationId, Reservation>::iterator it) {
+  std::uint64_t per_node = it->second.bytes / it->second.stripe.size() + 1;
+  for (NodeId node : it->second.stripe) {
+    registry_.ReleaseReserved(node, per_node);
+  }
+  reservations_.erase(it);
+}
+
+Status MetadataManager::ReleaseReservation(ReservationId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  STDCHK_RETURN_IF_ERROR(CheckUp());
+  auto it = reservations_.find(id);
+  if (it == reservations_.end()) return NotFoundError("unknown reservation");
+  ReleaseReservationLocked(it);
+  return OkStatus();
+}
+
+Status MetadataManager::CommitVersion(ReservationId id,
+                                      const VersionRecord& record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  STDCHK_RETURN_IF_ERROR(CheckUp());
+  VersionRecord to_commit = record;
+  // The folder's replication target applies unless the record overrides it.
+  FolderPolicy policy = catalog_.GetFolderPolicy(record.name.app);
+  if (to_commit.replication_target <= 0) {
+    to_commit.replication_target = policy.replication_target;
+  }
+  STDCHK_RETURN_IF_ERROR(catalog_.CommitVersion(to_commit));
+  for (const ChunkLocation& loc : to_commit.chunk_map.chunks) {
+    for (NodeId node : loc.replicas) registry_.AddUsed(node, loc.size);
+  }
+  if (id != 0) {
+    auto it = reservations_.find(id);
+    if (it != reservations_.end()) ReleaseReservationLocked(it);
+  }
+  return OkStatus();
+}
+
+Result<VersionRecord> MetadataManager::GetVersion(
+    const CheckpointName& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  STDCHK_RETURN_IF_ERROR(CheckUp());
+  return catalog_.GetVersion(name);
+}
+
+Result<VersionRecord> MetadataManager::GetLatest(const std::string& app,
+                                                 const std::string& node) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  STDCHK_RETURN_IF_ERROR(CheckUp());
+  return catalog_.GetLatest(app, node);
+}
+
+Result<std::vector<CheckpointName>> MetadataManager::ListVersions(
+    const std::string& app) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  STDCHK_RETURN_IF_ERROR(CheckUp());
+  return catalog_.ListVersions(app);
+}
+
+Result<std::vector<std::string>> MetadataManager::ListApps() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  STDCHK_RETURN_IF_ERROR(CheckUp());
+  return catalog_.ListApps();
+}
+
+Result<std::vector<bool>> MetadataManager::FilterKnownChunks(
+    const std::vector<ChunkId>& ids) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  STDCHK_RETURN_IF_ERROR(CheckUp());
+  return catalog_.KnownChunks(ids);
+}
+
+Result<std::vector<std::vector<NodeId>>> MetadataManager::LocateChunks(
+    const std::vector<ChunkId>& ids) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  STDCHK_RETURN_IF_ERROR(CheckUp());
+  std::vector<std::vector<NodeId>> out;
+  out.reserve(ids.size());
+  for (const ChunkId& id : ids) out.push_back(catalog_.ChunkReplicas(id));
+  return out;
+}
+
+Status MetadataManager::SetFolderPolicy(const std::string& app,
+                                        const FolderPolicy& policy) {
+  std::lock_guard<std::mutex> lock(mu_);
+  STDCHK_RETURN_IF_ERROR(CheckUp());
+  if (policy.replication_target <= 0) {
+    return InvalidArgumentError("replication target must be >= 1");
+  }
+  catalog_.SetFolderPolicy(app, policy);
+  return OkStatus();
+}
+
+Result<FolderPolicy> MetadataManager::GetFolderPolicy(
+    const std::string& app) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  STDCHK_RETURN_IF_ERROR(CheckUp());
+  return catalog_.GetFolderPolicy(app);
+}
+
+Status MetadataManager::DeleteVersion(const CheckpointName& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  STDCHK_RETURN_IF_ERROR(CheckUp());
+  return catalog_.DeleteVersion(name);
+}
+
+Result<std::size_t> MetadataManager::DeleteApp(const std::string& app) {
+  std::lock_guard<std::mutex> lock(mu_);
+  STDCHK_RETURN_IF_ERROR(CheckUp());
+  return catalog_.DeleteApp(app);
+}
+
+std::vector<NodeId> MetadataManager::TickExpiry() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!up_) return {};
+  std::vector<NodeId> expired = registry_.ExpireStale();
+  for (NodeId node : expired) {
+    std::vector<ChunkId> lost = catalog_.RemoveNodeReplicas(node);
+    lost_chunks_.insert(lost_chunks_.end(), lost.begin(), lost.end());
+  }
+  return expired;
+}
+
+std::vector<ReplicationCommand> MetadataManager::TickReplication() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!up_) return {};
+  std::set<NodeId> online;
+  for (NodeId node : registry_.OnlineNodes()) online.insert(node);
+
+  std::vector<ReplicationCommand> commands;
+  for (const auto& ur : catalog_.FindUnderReplicated(online)) {
+    if (static_cast<int>(commands.size()) >= options_.max_replications_per_tick) {
+      break;
+    }
+    std::vector<NodeId> holders = catalog_.ChunkReplicas(ur.chunk);
+    // Source: any online holder.
+    NodeId source = kInvalidNode;
+    for (NodeId node : holders) {
+      if (online.contains(node)) {
+        source = node;
+        break;
+      }
+    }
+    if (source == kInvalidNode) continue;
+
+    int missing = ur.want - ur.have;
+    // Exclude existing holders and targets already in flight for this chunk.
+    std::vector<NodeId> exclude = holders;
+    for (const auto& [chunk, target] : inflight_) {
+      if (chunk == ur.chunk) exclude.push_back(target);
+    }
+    int already_inflight = static_cast<int>(
+        std::count_if(inflight_.begin(), inflight_.end(),
+                      [&](const auto& p) { return p.first == ur.chunk; }));
+    missing -= already_inflight;
+
+    for (int i = 0; i < missing; ++i) {
+      auto stripe = registry_.SelectStripe(1, exclude);
+      if (!stripe.ok()) break;  // no eligible target left
+      NodeId target = stripe.value()[0];
+      exclude.push_back(target);
+      inflight_.insert({ur.chunk, target});
+      commands.push_back(ReplicationCommand{ur.chunk, source, target});
+      if (static_cast<int>(commands.size()) >=
+          options_.max_replications_per_tick) {
+        break;
+      }
+    }
+  }
+  return commands;
+}
+
+Status MetadataManager::AckReplication(const ReplicationCommand& cmd,
+                                       bool success) {
+  std::lock_guard<std::mutex> lock(mu_);
+  inflight_.erase({cmd.chunk, cmd.target});
+  if (!up_) return UnavailableError("metadata manager is down");
+  if (success) {
+    catalog_.AddReplica(cmd.chunk, cmd.target);
+    registry_.AddUsed(cmd.target, catalog_.ChunkSize(cmd.chunk));
+  }
+  return OkStatus();
+}
+
+std::vector<CheckpointName> MetadataManager::TickRetention() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!up_) return {};
+  return catalog_.ApplyRetention();
+}
+
+void MetadataManager::TickReservationGc() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!up_) return;
+  ClockTime now = clock_->NowUs();
+  for (auto it = reservations_.begin(); it != reservations_.end();) {
+    if (now - it->second.last_touch > options_.reservation_ttl_us) {
+      auto doomed = it++;
+      ReleaseReservationLocked(doomed);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::vector<ChunkId> MetadataManager::TakeLostChunks() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ChunkId> out;
+  out.swap(lost_chunks_);
+  return out;
+}
+
+namespace {
+
+constexpr std::uint32_t kSnapshotMagic = 0x53544348;  // "STCH"
+
+void WriteChunkId(BinaryWriter& w, const ChunkId& id) {
+  w.Blob(ByteSpan(id.digest.bytes.data(), id.digest.bytes.size()));
+}
+
+Result<ChunkId> ReadChunkId(BinaryReader& r) {
+  STDCHK_ASSIGN_OR_RETURN(Bytes raw, r.Blob());
+  if (raw.size() != 20) return DataLossError("bad chunk id in snapshot");
+  ChunkId id;
+  std::copy(raw.begin(), raw.end(), id.digest.bytes.begin());
+  return id;
+}
+
+void WriteVersion(BinaryWriter& w, const VersionRecord& v) {
+  w.Str(v.name.app);
+  w.Str(v.name.node);
+  w.U64(v.name.timestep);
+  w.U64(v.size);
+  w.I64(v.commit_time);
+  w.U32(static_cast<std::uint32_t>(v.replication_target));
+  w.U32(static_cast<std::uint32_t>(v.chunk_map.chunks.size()));
+  for (const ChunkLocation& loc : v.chunk_map.chunks) {
+    WriteChunkId(w, loc.id);
+    w.U64(loc.file_offset);
+    w.U32(loc.size);
+    w.U32(static_cast<std::uint32_t>(loc.replicas.size()));
+    for (NodeId node : loc.replicas) w.U32(node);
+  }
+}
+
+Result<VersionRecord> ReadVersion(BinaryReader& r) {
+  VersionRecord v;
+  STDCHK_ASSIGN_OR_RETURN(v.name.app, r.Str());
+  STDCHK_ASSIGN_OR_RETURN(v.name.node, r.Str());
+  STDCHK_ASSIGN_OR_RETURN(v.name.timestep, r.U64());
+  STDCHK_ASSIGN_OR_RETURN(v.size, r.U64());
+  STDCHK_ASSIGN_OR_RETURN(v.commit_time, r.I64());
+  STDCHK_ASSIGN_OR_RETURN(std::uint32_t target, r.U32());
+  v.replication_target = static_cast<int>(target);
+  STDCHK_ASSIGN_OR_RETURN(std::uint32_t chunks, r.U32());
+  v.chunk_map.chunks.reserve(chunks);
+  for (std::uint32_t i = 0; i < chunks; ++i) {
+    ChunkLocation loc;
+    STDCHK_ASSIGN_OR_RETURN(loc.id, ReadChunkId(r));
+    STDCHK_ASSIGN_OR_RETURN(loc.file_offset, r.U64());
+    STDCHK_ASSIGN_OR_RETURN(loc.size, r.U32());
+    STDCHK_ASSIGN_OR_RETURN(std::uint32_t replicas, r.U32());
+    for (std::uint32_t j = 0; j < replicas; ++j) {
+      STDCHK_ASSIGN_OR_RETURN(NodeId node, r.U32());
+      loc.replicas.push_back(node);
+    }
+    v.chunk_map.chunks.push_back(std::move(loc));
+  }
+  return v;
+}
+
+}  // namespace
+
+Bytes MetadataManager::SaveSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  BinaryWriter w;
+  w.U32(kSnapshotMagic);
+
+  // Registry.
+  std::vector<BenefactorStatus> nodes = registry_.Export();
+  w.U32(registry_.next_id());
+  w.U32(static_cast<std::uint32_t>(nodes.size()));
+  for (const BenefactorStatus& node : nodes) {
+    w.U32(node.id);
+    w.Str(node.info.host);
+    w.U64(node.info.total_bytes);
+    w.U64(node.info.free_bytes);
+    w.I64(node.last_heartbeat);
+    w.Bool(node.online);
+    w.U64(node.reserved_bytes);
+  }
+
+  // Catalog.
+  FileCatalog::ExportedState state = catalog_.Export();
+  w.U32(static_cast<std::uint32_t>(state.policies.size()));
+  for (const auto& [app, policy] : state.policies) {
+    w.Str(app);
+    w.U8(static_cast<std::uint8_t>(policy.retention));
+    w.I64(policy.purge_age_us);
+    w.U32(static_cast<std::uint32_t>(policy.keep_last));
+    w.U32(static_cast<std::uint32_t>(policy.replication_target));
+  }
+  w.U32(static_cast<std::uint32_t>(state.versions.size()));
+  for (const VersionRecord& v : state.versions) WriteVersion(w, v);
+  w.U32(static_cast<std::uint32_t>(state.chunk_replicas.size()));
+  for (const auto& [id, replicas] : state.chunk_replicas) {
+    WriteChunkId(w, id);
+    w.U32(static_cast<std::uint32_t>(replicas.size()));
+    for (NodeId node : replicas) w.U32(node);
+  }
+  return w.Take();
+}
+
+Status MetadataManager::LoadSnapshot(ByteSpan snapshot) {
+  std::lock_guard<std::mutex> lock(mu_);
+  BinaryReader r(snapshot);
+  STDCHK_ASSIGN_OR_RETURN(std::uint32_t magic, r.U32());
+  if (magic != kSnapshotMagic) {
+    return DataLossError("not a stdchk manager snapshot");
+  }
+
+  STDCHK_ASSIGN_OR_RETURN(NodeId next_id, r.U32());
+  STDCHK_ASSIGN_OR_RETURN(std::uint32_t node_count, r.U32());
+  std::vector<BenefactorStatus> nodes;
+  nodes.reserve(node_count);
+  for (std::uint32_t i = 0; i < node_count; ++i) {
+    BenefactorStatus node;
+    STDCHK_ASSIGN_OR_RETURN(node.id, r.U32());
+    STDCHK_ASSIGN_OR_RETURN(node.info.host, r.Str());
+    STDCHK_ASSIGN_OR_RETURN(node.info.total_bytes, r.U64());
+    STDCHK_ASSIGN_OR_RETURN(node.info.free_bytes, r.U64());
+    STDCHK_ASSIGN_OR_RETURN(node.last_heartbeat, r.I64());
+    STDCHK_ASSIGN_OR_RETURN(node.online, r.Bool());
+    STDCHK_ASSIGN_OR_RETURN(node.reserved_bytes, r.U64());
+    // Reservations are transient and not restored.
+    node.reserved_bytes = 0;
+    nodes.push_back(std::move(node));
+  }
+
+  FileCatalog::ExportedState state;
+  STDCHK_ASSIGN_OR_RETURN(std::uint32_t policy_count, r.U32());
+  for (std::uint32_t i = 0; i < policy_count; ++i) {
+    std::string app;
+    FolderPolicy policy;
+    STDCHK_ASSIGN_OR_RETURN(app, r.Str());
+    STDCHK_ASSIGN_OR_RETURN(std::uint8_t retention, r.U8());
+    if (retention > static_cast<std::uint8_t>(RetentionPolicy::kAutomatedPurge)) {
+      return DataLossError("bad retention policy in snapshot");
+    }
+    policy.retention = static_cast<RetentionPolicy>(retention);
+    STDCHK_ASSIGN_OR_RETURN(policy.purge_age_us, r.I64());
+    STDCHK_ASSIGN_OR_RETURN(std::uint32_t keep_last, r.U32());
+    policy.keep_last = static_cast<int>(keep_last);
+    STDCHK_ASSIGN_OR_RETURN(std::uint32_t target, r.U32());
+    policy.replication_target = static_cast<int>(target);
+    state.policies.emplace_back(std::move(app), policy);
+  }
+  STDCHK_ASSIGN_OR_RETURN(std::uint32_t version_count, r.U32());
+  for (std::uint32_t i = 0; i < version_count; ++i) {
+    STDCHK_ASSIGN_OR_RETURN(VersionRecord v, ReadVersion(r));
+    state.versions.push_back(std::move(v));
+  }
+  STDCHK_ASSIGN_OR_RETURN(std::uint32_t replica_count, r.U32());
+  for (std::uint32_t i = 0; i < replica_count; ++i) {
+    STDCHK_ASSIGN_OR_RETURN(ChunkId id, ReadChunkId(r));
+    STDCHK_ASSIGN_OR_RETURN(std::uint32_t n, r.U32());
+    std::vector<NodeId> replicas;
+    replicas.reserve(n);
+    for (std::uint32_t j = 0; j < n; ++j) {
+      STDCHK_ASSIGN_OR_RETURN(NodeId node, r.U32());
+      replicas.push_back(node);
+    }
+    state.chunk_replicas.emplace_back(id, std::move(replicas));
+  }
+  if (!r.AtEnd()) return DataLossError("trailing bytes in snapshot");
+
+  // Commit point: only mutate after the whole snapshot parsed.
+  registry_.Import(nodes, next_id);
+  STDCHK_RETURN_IF_ERROR(catalog_.Import(state));
+  reservations_.clear();
+  inflight_.clear();
+  offers_.clear();
+  lost_chunks_.clear();
+  up_ = true;
+  return OkStatus();
+}
+
+}  // namespace stdchk

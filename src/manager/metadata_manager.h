@@ -1,0 +1,181 @@
+// The centralized metadata manager (paper §IV.A).
+//
+// Maintains all system metadata: donor status (soft state), file chunk
+// distribution, dataset attributes, versioning and replication state. Data
+// never flows through the manager — clients receive a stripe / chunk map
+// and talk to benefactors directly.
+//
+// Background work (heartbeat expiry, replication, retention, reservation
+// GC) advances through explicit Tick*() pumps so tests are deterministic;
+// core/BackgroundDriver wraps them in a thread for the examples.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "manager/benefactor_registry.h"
+#include "manager/file_catalog.h"
+#include "manager/types.h"
+#include "manager/virtual_clock.h"
+
+namespace stdchk {
+
+struct ManagerOptions {
+  // Soft-state expiry: a benefactor silent for longer is considered gone.
+  ClockTime heartbeat_expiry_us = 10'000'000;  // 10 s
+  // Eager reservations unused for longer are garbage collected (§IV.A:
+  // "if this space is not used, it is asynchronously garbage collected").
+  ClockTime reservation_ttl_us = 60'000'000;  // 60 s
+  // Replication commands issued per TickReplication() call. Bounding this
+  // implements "creation of new files has priority over replication": the
+  // scheduler trickles copies instead of flooding benefactors.
+  int max_replications_per_tick = 8;
+};
+
+class MetadataManager {
+ public:
+  MetadataManager(const VirtualClock* clock, ManagerOptions options = {});
+
+  // ---- Availability (manager-failure experiments) ------------------------
+  // Crash() makes every RPC fail Unavailable; committed catalog state is
+  // durable and survives Restart(). In-flight (un-committed) chunk maps are
+  // exactly what the benefactor-assisted recovery protocol recovers.
+  void Crash() { up_.store(false); }
+  void Restart() { up_.store(true); }
+  bool IsUp() const { return up_.load(); }
+
+  // ---- Benefactor-facing RPCs --------------------------------------------
+  Result<NodeId> RegisterBenefactor(const BenefactorInfo& info);
+  Status Heartbeat(NodeId node, std::uint64_t free_bytes);
+
+  // GC exchange (§IV.A): the benefactor reports the full set of chunks it
+  // stores; the reply lists the chunks it may delete (orphans).
+  Result<std::vector<ChunkId>> GcExchange(NodeId node,
+                                          const std::vector<ChunkId>& held);
+
+  // Manager-recovery protocol (§IV.A): after a manager failure, clients
+  // stash the final chunk map on the write stripe's benefactors; once the
+  // manager is back, each benefactor offers the stashed map. The version
+  // commits when two-thirds of the stripe width concur.
+  Status OfferRecoveredVersion(NodeId from, const VersionRecord& record,
+                               int stripe_width);
+
+  // ---- Client-facing RPCs --------------------------------------------------
+  // Eagerly reserves `bytes` across a stripe of `width` benefactors.
+  Result<WriteReservation> ReserveStripe(int width, std::uint64_t bytes);
+  // Extends an existing reservation (incremental space allocation: stdchk
+  // "cannot predict in advance the file size", §IV.A).
+  Status ExtendReservation(ReservationId id, std::uint64_t additional_bytes);
+  Status ReleaseReservation(ReservationId id);
+
+  // Atomic commit of a version's chunk map — the session-semantics commit
+  // point. Releases the reservation (id 0 = no reservation).
+  Status CommitVersion(ReservationId id, const VersionRecord& record);
+
+  Result<VersionRecord> GetVersion(const CheckpointName& name) const;
+  Result<VersionRecord> GetLatest(const std::string& app,
+                                  const std::string& node) const;
+  Result<std::vector<CheckpointName>> ListVersions(const std::string& app) const;
+  Result<std::vector<std::string>> ListApps() const;
+
+  // Dedup support (§IV.C content addressability): marks which of `ids` the
+  // system already stores, so the client skips transferring those chunks.
+  Result<std::vector<bool>> FilterKnownChunks(
+      const std::vector<ChunkId>& ids) const;
+
+  // Replica locations for each of `ids` (empty vector for unknown chunks).
+  // Used when a deduplicated chunk map must reference already-stored chunks.
+  Result<std::vector<std::vector<NodeId>>> LocateChunks(
+      const std::vector<ChunkId>& ids) const;
+
+  Status SetFolderPolicy(const std::string& app, const FolderPolicy& policy);
+  Result<FolderPolicy> GetFolderPolicy(const std::string& app) const;
+  Status DeleteVersion(const CheckpointName& name);
+  Result<std::size_t> DeleteApp(const std::string& app);
+
+  // ---- Background pumps -----------------------------------------------------
+  // Expires stale benefactors; drops their replicas from the catalog.
+  // Returns the ids of newly expired nodes.
+  std::vector<NodeId> TickExpiry();
+
+  // Emits replication commands (shadow-map copies) for under-replicated
+  // chunks. The caller (transport layer) executes them and must call
+  // AckReplication with the outcome.
+  std::vector<ReplicationCommand> TickReplication();
+  Status AckReplication(const ReplicationCommand& cmd, bool success);
+  std::size_t pending_replications() const { return inflight_.size(); }
+
+  // Applies retention policies; returns purged version names.
+  std::vector<CheckpointName> TickRetention();
+
+  // Reclaims expired reservations.
+  void TickReservationGc();
+
+  // Chunks that lost every replica since the last call (data loss events;
+  // surfaced for monitoring / tests).
+  std::vector<ChunkId> TakeLostChunks();
+
+  // ---- Hot-standby snapshots (§IV.A) ---------------------------------------
+  // Serializes all durable metadata (catalog + registry). Transient state —
+  // reservations, in-flight replication, recovery offers — is deliberately
+  // excluded: reservations are client-renewable, replication re-derives
+  // from the catalog, and offers are re-pushed by benefactors.
+  Bytes SaveSnapshot() const;
+  // Replaces this manager's durable state with the snapshot and clears all
+  // transient state, as a promoted standby would. The manager comes back
+  // up regardless of prior Crash() state.
+  Status LoadSnapshot(ByteSpan snapshot);
+
+  // ---- Introspection -----------------------------------------------------
+  const FileCatalog& catalog() const { return catalog_; }
+  const BenefactorRegistry& registry() const { return registry_; }
+  BenefactorRegistry& registry_mutable() { return registry_; }
+
+ private:
+  struct Reservation {
+    ReservationId id = 0;
+    std::vector<NodeId> stripe;
+    std::uint64_t bytes = 0;
+    ClockTime last_touch = 0;
+  };
+
+  Status CheckUp() const {
+    return up_.load() ? OkStatus()
+                      : UnavailableError("metadata manager is down");
+  }
+  void ReleaseReservationLocked(std::map<ReservationId, Reservation>::iterator it);
+
+  const VirtualClock* clock_;
+  ManagerOptions options_;
+  std::atomic<bool> up_{true};
+
+  // Coarse-grained lock: the manager is a single shared control-plane
+  // component accessed by clients, benefactors and the background pumps
+  // concurrently. Metadata operations are tiny relative to data transfers
+  // (which never pass through the manager), so one mutex suffices.
+  mutable std::mutex mu_;
+
+  BenefactorRegistry registry_;
+  FileCatalog catalog_;
+
+  ReservationId next_reservation_ = 1;
+  std::map<ReservationId, Reservation> reservations_;
+
+  // Replication commands issued but not yet acked, keyed by (chunk, target)
+  // so the scheduler does not double-issue.
+  std::set<std::pair<ChunkId, NodeId>> inflight_;
+
+  // Recovery offers: (version name, chunk-map fingerprint) -> endorsers.
+  std::map<std::pair<std::string, std::uint64_t>, std::set<NodeId>> offers_;
+
+  std::vector<ChunkId> lost_chunks_;
+};
+
+}  // namespace stdchk

@@ -1,0 +1,35 @@
+#include "manager/types.h"
+
+#include <charconv>
+
+namespace stdchk {
+
+std::string CheckpointName::ToString() const {
+  return app + "." + node + ".T" + std::to_string(timestep);
+}
+
+std::optional<CheckpointName> CheckpointName::Parse(const std::string& name) {
+  // Split on the last two dots: <app>.<node>.T<j>. The app may contain dots.
+  std::size_t last = name.rfind('.');
+  if (last == std::string::npos || last + 2 > name.size()) return std::nullopt;
+  std::size_t mid = name.rfind('.', last - 1);
+  if (mid == std::string::npos || mid == 0) return std::nullopt;
+
+  std::string_view tpart(name.data() + last + 1, name.size() - last - 1);
+  if (tpart.size() < 2 || tpart[0] != 'T') return std::nullopt;
+  std::uint64_t timestep = 0;
+  auto [ptr, ec] = std::from_chars(tpart.data() + 1,
+                                   tpart.data() + tpart.size(), timestep);
+  if (ec != std::errc() || ptr != tpart.data() + tpart.size()) {
+    return std::nullopt;
+  }
+
+  CheckpointName out;
+  out.app = name.substr(0, mid);
+  out.node = name.substr(mid + 1, last - mid - 1);
+  out.timestep = timestep;
+  if (out.node.empty()) return std::nullopt;
+  return out;
+}
+
+}  // namespace stdchk

@@ -1,0 +1,30 @@
+// Virtual clock for the functional cluster. Tests advance it explicitly so
+// heartbeat expiry, purge policies and replication pacing are deterministic;
+// the examples drive it from wall time.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "manager/types.h"
+
+namespace stdchk {
+
+class VirtualClock {
+ public:
+  explicit VirtualClock(ClockTime start_us = 0) : now_us_(start_us) {}
+
+  ClockTime NowUs() const { return now_us_.load(std::memory_order_relaxed); }
+
+  void AdvanceUs(ClockTime delta_us) {
+    now_us_.fetch_add(delta_us, std::memory_order_relaxed);
+  }
+  void AdvanceSeconds(double s) {
+    AdvanceUs(static_cast<ClockTime>(s * 1e6));
+  }
+
+ private:
+  std::atomic<ClockTime> now_us_;
+};
+
+}  // namespace stdchk

@@ -1,0 +1,207 @@
+#include "perf/experiments.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "chkpt/chunker.h"
+#include "chkpt/similarity.h"
+#include "workload/trace_generators.h"
+
+namespace stdchk::perf {
+
+WriteResult RunSingleWrite(const PlatformModel& platform, int benefactors,
+                           PipelineConfig config) {
+  TestbedModel testbed(platform, /*clients=*/1, benefactors);
+  if (config.stripe.empty()) {
+    for (int i = 0; i < benefactors; ++i) config.stripe.push_back(i);
+  }
+  WritePipeline pipeline(&testbed, 0, config);
+  pipeline.Start();
+  testbed.simulator().Run();
+
+  WriteResult result;
+  result.oab_mbps = pipeline.oab_mbps();
+  result.asb_mbps = pipeline.asb_mbps();
+  result.close_seconds = ToSeconds(pipeline.close_time());
+  result.stored_seconds =
+      ToSeconds(std::max(pipeline.stored_time(), pipeline.close_time()));
+  result.bytes_transferred = pipeline.bytes_transferred();
+  return result;
+}
+
+// ---- Table 1 baselines ---------------------------------------------------------
+
+double LocalIoSeconds(const PlatformModel& platform,
+                      std::uint64_t file_bytes) {
+  // The measured sustained rate already folds in syscall and copy cost.
+  return ToSeconds(TransferTime(static_cast<double>(file_bytes),
+                                platform.local_disk_write_mbps));
+}
+
+double FuseToLocalSeconds(const PlatformModel& platform,
+                          std::uint64_t file_bytes) {
+  std::uint64_t calls =
+      (file_bytes + platform.app_write_block - 1) / platform.app_write_block;
+  return LocalIoSeconds(platform, file_bytes) +
+         ToSeconds(static_cast<SimTime>(calls) * platform.fuse_per_call);
+}
+
+double FuseNullSeconds(const PlatformModel& platform,
+                       std::uint64_t file_bytes) {
+  // /stdchk/null: the callback discards the data — all that remains is the
+  // per-call FUSE + VFS cost and the user-kernel copy.
+  std::uint64_t calls =
+      (file_bytes + platform.app_write_block - 1) / platform.app_write_block;
+  return ToSeconds(static_cast<SimTime>(calls) *
+                       (platform.fuse_per_call + platform.syscall_per_call) +
+                   TransferTime(static_cast<double>(file_bytes),
+                                platform.memcpy_mbps));
+}
+
+double NfsSeconds(const PlatformModel& platform, std::uint64_t file_bytes) {
+  return ToSeconds(
+      TransferTime(static_cast<double>(file_bytes), platform.nfs_mbps));
+}
+
+// ---- Figure 8 --------------------------------------------------------------------
+
+ScalabilityResult RunScalability(const PlatformModel& platform,
+                                 ScalabilityConfig config) {
+  TestbedModel testbed(platform, config.clients, config.benefactors);
+  ThroughputTimeline timeline(config.timeline_bucket_s);
+
+  struct ClientState {
+    int index = 0;
+    int files_remaining = 0;
+    int next_stripe_base = 0;
+    std::vector<std::unique_ptr<WritePipeline>> pipelines;
+  };
+  std::vector<ClientState> states(static_cast<std::size_t>(config.clients));
+  std::uint64_t total_bytes = 0;
+  SimTime last_close = 0;
+
+  // Each client writes its files back to back; a new file starts when the
+  // previous close() returns (the application's checkpoint loop).
+  std::function<void(ClientState*)> start_next = [&](ClientState* stp) {
+    ClientState& st = *stp;
+    if (st.files_remaining == 0) return;
+    --st.files_remaining;
+
+    PipelineConfig pc;
+    pc.protocol = ProtocolModel::kSW;
+    pc.file_bytes = config.file_bytes;
+    pc.chunk_size = config.chunk_size;
+    pc.buffer_bytes = config.buffer_bytes;
+    // Rotate stripes through the benefactor pool so load spreads like the
+    // manager's most-free-space policy does at scale.
+    for (int s = 0; s < config.stripe_width; ++s) {
+      pc.stripe.push_back((st.next_stripe_base + s) % config.benefactors);
+    }
+    st.next_stripe_base =
+        (st.next_stripe_base + config.stripe_width) % config.benefactors;
+
+    pc.on_chunk_stored = [&timeline, &total_bytes](SimTime t,
+                                                   std::uint64_t bytes) {
+      timeline.Record(ToSeconds(t), static_cast<double>(bytes));
+      total_bytes += bytes;
+    };
+    pc.on_closed = [&last_close, &start_next, stp](SimTime t) {
+      last_close = std::max(last_close, t);
+      start_next(stp);
+    };
+
+    auto pipeline = std::make_unique<WritePipeline>(&testbed, st.index, pc);
+    pipeline->Start();
+    st.pipelines.push_back(std::move(pipeline));
+  };
+
+  for (int c = 0; c < config.clients; ++c) {
+    ClientState& st = states[static_cast<std::size_t>(c)];
+    st.index = c;
+    st.files_remaining = config.files_per_client;
+    st.next_stripe_base = (c * config.stripe_width) % config.benefactors;
+    ClientState* stp = &st;
+    testbed.simulator().At(Seconds(config.client_start_interval_s * c),
+                           [&start_next, stp] { start_next(stp); });
+  }
+
+  testbed.simulator().Run();
+
+  ScalabilityResult result;
+  result.timeline = timeline.Series();
+  result.peak_mbps = timeline.PeakMBps();
+  result.sustained_mbps = timeline.SustainedMBps();
+  result.total_seconds = ToSeconds(last_close);
+  result.total_bytes = total_bytes;
+  return result;
+}
+
+// ---- Table 5 ----------------------------------------------------------------------
+
+BlastResult RunBlastComparison(const PlatformModel& platform,
+                               BlastConfig config) {
+  // 1. Generate the BLCR-like trace and measure the *real* FsCH dedup ratio
+  //    of every image against its predecessor.
+  BlcrTraceOptions trace_options;
+  trace_options.initial_pages = config.image_pages;
+  trace_options.dirty_fraction = config.dirty_fraction;
+  trace_options.mean_insertions = config.mean_insertions;
+  trace_options.mean_odd_insertions = config.mean_odd_insertions;
+  trace_options.deletion_prob = 0.05;
+  trace_options.seed = config.seed;
+  auto trace = MakeBlcrLikeTrace(trace_options);
+
+  FixedSizeChunker chunker(config.chunk_size);
+  SimilarityTracker tracker(&chunker);
+
+  std::vector<double> dedup;
+  std::vector<std::uint64_t> sizes;
+  dedup.reserve(static_cast<std::size_t>(config.checkpoints));
+  for (int i = 0; i < config.checkpoints; ++i) {
+    Bytes image = trace->Next();
+    ImageSimilarity sim = tracker.AddImage(image);
+    dedup.push_back(i == 0 ? 0.0 : sim.ratio());
+    sizes.push_back(image.size());
+  }
+
+  BlastResult result;
+
+  // 2. Local-disk column: every image pays serialization + local write.
+  for (int i = 0; i < config.checkpoints; ++i) {
+    double s = static_cast<double>(sizes[static_cast<std::size_t>(i)]);
+    double serialize = s / 1048576.0 / config.serialize_mbps;
+    double write = ToSeconds(TransferTime(s, platform.local_disk_write_mbps));
+    result.local_ckpt_s += serialize + write;
+    result.local_data_gb += s / (1 << 30);
+  }
+
+  // 3. stdchk column: SW + FsCH through the DES. Serialization paces the
+  //    producer (modeled as the hashing/ingest rate floor).
+  double fsch_hash_mbps = 800.0;  // SHA-1 on 2008-era Xeon
+  double producer_mbps =
+      1.0 / (1.0 / config.serialize_mbps + 1.0 / fsch_hash_mbps);
+  for (int i = 0; i < config.checkpoints; ++i) {
+    double d = dedup[static_cast<std::size_t>(i)];
+    PipelineConfig pc;
+    pc.protocol = ProtocolModel::kSW;
+    pc.file_bytes = sizes[static_cast<std::size_t>(i)];
+    pc.chunk_size = config.chunk_size;
+    pc.buffer_bytes = config.buffer_bytes;
+    pc.dedup_ratio = d;
+    pc.hash_mbps = producer_mbps;
+    WriteResult wr = RunSingleWrite(platform, config.stripe_width, pc);
+    result.stdchk_ckpt_s += wr.close_seconds;
+    result.stdchk_data_gb +=
+        static_cast<double>(wr.bytes_transferred) / (1 << 30);
+    result.avg_dedup_ratio += d;
+  }
+  result.avg_dedup_ratio /= static_cast<double>(config.checkpoints);
+
+  double compute_total =
+      config.compute_seconds * static_cast<double>(config.checkpoints);
+  result.local_total_s = compute_total + result.local_ckpt_s;
+  result.stdchk_total_s = compute_total + result.stdchk_ckpt_s;
+  return result;
+}
+
+}  // namespace stdchk::perf

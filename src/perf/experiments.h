@@ -1,0 +1,103 @@
+// High-level experiment runners: one function per paper table/figure (plus
+// ablations). The bench binaries in /bench are thin wrappers that sweep
+// parameters and print the paper-shaped rows.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.h"
+#include "perf/platform_model.h"
+#include "perf/write_pipeline.h"
+
+namespace stdchk::perf {
+
+struct WriteResult {
+  double oab_mbps = 0;
+  double asb_mbps = 0;
+  double close_seconds = 0;
+  double stored_seconds = 0;
+  std::uint64_t bytes_transferred = 0;
+};
+
+// Runs one file write on a fresh 1-client testbed with `benefactors`
+// donors; config.stripe is filled with 0..stripe_width-1 if empty.
+WriteResult RunSingleWrite(const PlatformModel& platform, int benefactors,
+                           PipelineConfig config);
+
+// ---- Table 1 baselines ----------------------------------------------------
+// Seconds to write `file_bytes` via each path.
+double LocalIoSeconds(const PlatformModel& platform, std::uint64_t file_bytes);
+double FuseToLocalSeconds(const PlatformModel& platform,
+                          std::uint64_t file_bytes);
+double FuseNullSeconds(const PlatformModel& platform,
+                       std::uint64_t file_bytes);
+double NfsSeconds(const PlatformModel& platform, std::uint64_t file_bytes);
+
+// ---- Figure 8: multi-client scalability ------------------------------------
+struct ScalabilityConfig {
+  int clients = 7;
+  int benefactors = 20;
+  int files_per_client = 100;
+  std::uint64_t file_bytes = 100_MiB;
+  double client_start_interval_s = 10.0;
+  int stripe_width = 4;
+  std::size_t chunk_size = 1_MiB;
+  std::uint64_t buffer_bytes = 64_MiB;
+  double timeline_bucket_s = 5.0;
+};
+
+struct ScalabilityResult {
+  std::vector<ThroughputTimeline::Point> timeline;
+  double peak_mbps = 0;
+  double sustained_mbps = 0;
+  double total_seconds = 0;
+  std::uint64_t total_bytes = 0;
+};
+
+ScalabilityResult RunScalability(const PlatformModel& platform,
+                                 ScalabilityConfig config);
+
+// ---- Table 5: BLAST end-to-end ------------------------------------------------
+struct BlastConfig {
+  int checkpoints = 150;
+  std::uint64_t checkpoint_bytes = 0;  // derived from the trace if 0
+  // Application compute time between checkpoints (the paper's BLAST run
+  // checkpoints every 30 s).
+  double compute_seconds = 30.0;
+  // Rate at which BLCR serializes process state into write() calls — the
+  // write path can go no faster than the checkpointer feeds it.
+  double serialize_mbps = 150.0;
+  std::size_t chunk_size = 1_MiB;  // the paper's transfer chunk size
+  int stripe_width = 4;
+  std::uint64_t buffer_bytes = 64_MiB;
+  // Trace shape: BLCR-like with a 30-second interval's worth of mutation.
+  std::size_t image_pages = 8192;  // 32 MiB synthetic images (scaled down)
+  double dirty_fraction = 0.02;
+  double mean_insertions = 0.1;
+  double mean_odd_insertions = 0.05;
+  std::uint64_t seed = 42;
+};
+
+struct BlastResult {
+  // "Local disk" column vs "stdchk" column of Table 5.
+  double local_total_s = 0, stdchk_total_s = 0;
+  double local_ckpt_s = 0, stdchk_ckpt_s = 0;
+  double local_data_gb = 0, stdchk_data_gb = 0;
+  double avg_dedup_ratio = 0;
+
+  double total_improvement() const {
+    return 1.0 - stdchk_total_s / local_total_s;
+  }
+  double ckpt_improvement() const {
+    return 1.0 - stdchk_ckpt_s / local_ckpt_s;
+  }
+  double data_reduction() const {
+    return 1.0 - stdchk_data_gb / local_data_gb;
+  }
+};
+
+BlastResult RunBlastComparison(const PlatformModel& platform,
+                               BlastConfig config);
+
+}  // namespace stdchk::perf

@@ -1,0 +1,31 @@
+#include "perf/testbed_model.h"
+
+namespace stdchk::perf {
+
+TestbedModel::TestbedModel(const PlatformModel& platform, int clients,
+                           int benefactors)
+    : platform_(platform) {
+  for (int i = 0; i < clients; ++i) {
+    auto node = std::make_unique<ClientNode>();
+    node->disk = std::make_unique<sim::Pipe>(
+        &sim_, "client" + std::to_string(i) + ".disk",
+        platform.local_disk_write_mbps);
+    node->nic = std::make_unique<sim::Pipe>(
+        &sim_, "client" + std::to_string(i) + ".nic", platform.client_nic_mbps,
+        platform.per_chunk_net_overhead);
+    clients_.push_back(std::move(node));
+  }
+  for (int i = 0; i < benefactors; ++i) {
+    auto node = std::make_unique<BenefactorNode>();
+    node->nic = std::make_unique<sim::Pipe>(
+        &sim_, "bene" + std::to_string(i) + ".nic",
+        platform.benefactor_nic_mbps);
+    node->disk = std::make_unique<sim::Pipe>(
+        &sim_, "bene" + std::to_string(i) + ".disk",
+        platform.benefactor_disk_mbps, platform.benefactor_disk_overhead);
+    benefactors_.push_back(std::move(node));
+  }
+  fabric_ = std::make_unique<sim::Pipe>(&sim_, "fabric", platform.fabric_mbps);
+}
+
+}  // namespace stdchk::perf

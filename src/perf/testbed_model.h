@@ -1,0 +1,48 @@
+// Modeled testbed: a set of client nodes and benefactor nodes joined by a
+// shared switching fabric. Owns the simulator and all resource pipes; the
+// write pipelines (write_pipeline.h) schedule chunk transfers across them.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "perf/platform_model.h"
+#include "sim/bounded_buffer.h"
+#include "sim/pipe.h"
+#include "sim/simulator.h"
+
+namespace stdchk::perf {
+
+struct ClientNode {
+  std::unique_ptr<sim::Pipe> disk;  // local disk (shared by write & read)
+  std::unique_ptr<sim::Pipe> nic;
+};
+
+struct BenefactorNode {
+  std::unique_ptr<sim::Pipe> nic;
+  std::unique_ptr<sim::Pipe> disk;
+};
+
+class TestbedModel {
+ public:
+  TestbedModel(const PlatformModel& platform, int clients, int benefactors);
+
+  sim::Simulator& simulator() { return sim_; }
+  const PlatformModel& platform() const { return platform_; }
+
+  ClientNode& client(std::size_t i) { return *clients_[i]; }
+  BenefactorNode& benefactor(std::size_t i) { return *benefactors_[i]; }
+  sim::Pipe& fabric() { return *fabric_; }
+
+  std::size_t client_count() const { return clients_.size(); }
+  std::size_t benefactor_count() const { return benefactors_.size(); }
+
+ private:
+  PlatformModel platform_;
+  sim::Simulator sim_;
+  std::vector<std::unique_ptr<ClientNode>> clients_;
+  std::vector<std::unique_ptr<BenefactorNode>> benefactors_;
+  std::unique_ptr<sim::Pipe> fabric_;
+};
+
+}  // namespace stdchk::perf

@@ -1,0 +1,305 @@
+#include "perf/write_pipeline.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace stdchk::perf {
+
+WritePipeline::WritePipeline(TestbedModel* testbed, int client_index,
+                             PipelineConfig config)
+    : testbed_(testbed),
+      client_(&testbed->client(static_cast<std::size_t>(client_index))),
+      config_(std::move(config)) {
+  assert(!config_.stripe.empty());
+  assert(config_.replicas >= 1);
+  if (config_.protocol != ProtocolModel::kCLW) {
+    buffer_ = std::make_unique<sim::BoundedBuffer>(config_.buffer_bytes);
+  }
+}
+
+std::size_t WritePipeline::total_chunks() const {
+  return static_cast<std::size_t>(
+      (config_.file_bytes + config_.chunk_size - 1) / config_.chunk_size);
+}
+
+std::uint64_t WritePipeline::ChunkBytes(std::size_t i) const {
+  std::uint64_t start = static_cast<std::uint64_t>(i) * config_.chunk_size;
+  return std::min<std::uint64_t>(config_.chunk_size,
+                                 config_.file_bytes - start);
+}
+
+bool WritePipeline::IsDup(std::size_t i) const {
+  if (config_.dedup_ratio <= 0) return false;
+  // Deterministic spreading of duplicate chunks through the file:
+  // chunk i is a duplicate iff the cumulative dup count increases at i.
+  double d = config_.dedup_ratio;
+  return std::floor(static_cast<double>(i + 1) * d) >
+         std::floor(static_cast<double>(i) * d);
+}
+
+SimTime WritePipeline::BufferedProduceTime(std::uint64_t bytes) const {
+  const PlatformModel& p = testbed_->platform();
+  std::uint64_t calls = (bytes + p.app_write_block - 1) / p.app_write_block;
+  SimTime t = static_cast<SimTime>(calls) *
+                  (p.fuse_per_call + p.syscall_per_call) +
+              TransferTime(static_cast<double>(bytes), p.memcpy_mbps) +
+              p.chunk_admission_overhead;
+  if (config_.hash_mbps > 0) {
+    t += TransferTime(static_cast<double>(bytes), config_.hash_mbps);
+  }
+  return t;
+}
+
+SimTime WritePipeline::LocalProduceTime(std::uint64_t bytes) const {
+  // The measured sustained disk rate already includes syscall + memcpy
+  // costs; the FUSE hop is the paper's measured ~2% on top (Table 1).
+  const PlatformModel& p = testbed_->platform();
+  std::uint64_t calls = (bytes + p.app_write_block - 1) / p.app_write_block;
+  return TransferTime(static_cast<double>(bytes), p.local_disk_write_mbps) +
+         static_cast<SimTime>(calls) * p.fuse_per_call;
+}
+
+void WritePipeline::Start() {
+  start_time_ = testbed_->simulator().Now();
+  ProduceNext();
+}
+
+void WritePipeline::ProduceNext() {
+  if (next_produce_ == total_chunks()) {
+    FinishProduction();
+    return;
+  }
+  std::size_t i = next_produce_;
+  std::uint64_t bytes = ChunkBytes(i);
+
+  if (config_.protocol == ProtocolModel::kCLW) {
+    // Local spill: paced by the sustained local-disk write rate.
+    testbed_->simulator().After(LocalProduceTime(bytes),
+                                [this, i, bytes] { OnProduced(i, bytes); });
+    return;
+  }
+
+  // IW under cache pressure: if the next write would block while a partial
+  // temp file sits unsent, the kernel's writeback (modeled: early push)
+  // frees the cache — otherwise producer and sender would deadlock when
+  // the increment size exceeds the cache allowance.
+  if (config_.protocol == ProtocolModel::kIW && buffer_->capacity() != 0 &&
+      buffer_->free_bytes() < bytes && !iw_pending_.empty()) {
+    while (!iw_pending_.empty()) {
+      auto [ci, cb] = iw_pending_.front();
+      iw_pending_.pop_front();
+      SendChunk(ci, cb, /*from_disk=*/false);
+    }
+  }
+
+  // SW / IW: the application blocks until the window/cache has room.
+  buffer_->Acquire(bytes, [this, i, bytes] {
+    SimTime t = BufferedProduceTime(bytes);
+    if (config_.protocol == ProtocolModel::kIW) {
+      std::uint64_t end = static_cast<std::uint64_t>(i) * config_.chunk_size +
+                          bytes;
+      if (end % config_.increment_bytes == 0) {
+        t += testbed_->platform().increment_rollover_overhead;
+      }
+    }
+    testbed_->simulator().After(t, [this, i, bytes] { OnProduced(i, bytes); });
+  });
+}
+
+void WritePipeline::OnProduced(std::size_t i, std::uint64_t bytes) {
+  ++next_produce_;
+  produced_bytes_ += bytes;
+
+  if (IsDup(i)) {
+    // Already stored: no transfer needed; it is durable the moment the
+    // chunk map will reference it.
+    if (buffer_) buffer_->Release(bytes);
+    stored_first_bytes_ += bytes;
+    replicated_bytes_ += bytes * static_cast<std::uint64_t>(config_.replicas);
+    if (config_.on_chunk_stored) {
+      config_.on_chunk_stored(testbed_->simulator().Now(), bytes);
+    }
+    OnReplicaStored(i, 0, config_.replicas - 1);  // completion bookkeeping
+  } else {
+    switch (config_.protocol) {
+      case ProtocolModel::kSW:
+        SendChunk(i, bytes, /*from_disk=*/false);
+        break;
+      case ProtocolModel::kIW: {
+        iw_pending_.emplace_back(i, bytes);
+        std::uint64_t end =
+            static_cast<std::uint64_t>(i) * config_.chunk_size + bytes;
+        bool increment_complete = end % config_.increment_bytes == 0;
+        bool file_complete = next_produce_ == total_chunks();
+        if (increment_complete || file_complete) {
+          while (!iw_pending_.empty()) {
+            auto [ci, cb] = iw_pending_.front();
+            iw_pending_.pop_front();
+            SendChunk(ci, cb, /*from_disk=*/false);
+          }
+        }
+        break;
+      }
+      case ProtocolModel::kCLW:
+        break;  // pushed after close
+    }
+  }
+
+  ProduceNext();
+}
+
+void WritePipeline::FinishProduction() {
+  if (production_done_) return;
+  production_done_ = true;
+  production_end_ = testbed_->simulator().Now();
+  if (config_.protocol == ProtocolModel::kCLW) {
+    // IW leftover (file smaller than one increment, or tail) was flushed in
+    // OnProduced; CLW pushes everything now, after the app's close().
+    StartClwPush();
+  }
+  MaybeClose();
+}
+
+void WritePipeline::MaybeClose() {
+  if (closed_ || !production_done_) return;
+  bool replication_met =
+      replicated_bytes_ >=
+      config_.file_bytes * static_cast<std::uint64_t>(config_.replicas);
+  if (config_.pessimistic && !replication_met) return;
+  closed_ = true;
+  close_time_ = testbed_->simulator().Now() +
+                testbed_->platform().commit_overhead;
+  if (config_.on_closed) {
+    SimTime t = close_time_;
+    testbed_->simulator().At(t, [this, t] { config_.on_closed(t); });
+  }
+}
+
+void WritePipeline::StartClwPush() {
+  for (std::size_t i = 0; i < total_chunks(); ++i) {
+    if (IsDup(i)) continue;  // accounted at production
+    SendChunk(i, ChunkBytes(i), /*from_disk=*/true);
+  }
+}
+
+void WritePipeline::SendChunk(std::size_t i, std::uint64_t bytes,
+                              bool from_disk) {
+  auto network_leg = [this, i, bytes] {
+    // Pessimistic writes push every replica through the client (close()
+    // cannot return before the target is met); optimistic writes push one
+    // copy and leave the rest to background benefactor-to-benefactor
+    // replication, which never touches the client NIC (§IV.A).
+    const int client_replicas = config_.pessimistic ? config_.replicas : 1;
+    for (int r = 0; r < client_replicas; ++r) {
+      int target = config_.stripe[(next_stripe_ + static_cast<std::size_t>(r)) %
+                                  config_.stripe.size()];
+      client_->nic->Transfer(
+          static_cast<double>(bytes), [this, i, bytes, r, target] {
+            bytes_transferred_ += bytes;
+            BenefactorNode& bene =
+                testbed_->benefactor(static_cast<std::size_t>(target));
+            testbed_->fabric().Transfer(
+                static_cast<double>(bytes), [this, i, bytes, r, target,
+                                             &bene] {
+                  bene.nic->Transfer(
+                      static_cast<double>(bytes), [this, i, bytes, r, target,
+                                                   &bene] {
+                        bene.disk->Transfer(
+                            static_cast<double>(bytes),
+                            [this, i, bytes, r, target] {
+                              if (r == 0) {
+                                stored_first_bytes_ += bytes;
+                                if (config_.on_chunk_stored) {
+                                  config_.on_chunk_stored(
+                                      testbed_->simulator().Now(), bytes);
+                                }
+                                // End-to-end flow control: the window slot
+                                // frees on the storage ack ("written safely
+                                // once"), so a slow stripe throttles the
+                                // producer just as TCP backpressure would.
+                                if (buffer_) buffer_->Release(bytes);
+                                if (!config_.pessimistic) {
+                                  StartBackgroundReplicas(i, bytes, target);
+                                }
+                              }
+                              replicated_bytes_ += bytes;
+                              OnReplicaStored(i, bytes, r);
+                            });
+                      });
+                });
+          });
+    }
+    next_stripe_ = (next_stripe_ + 1) % config_.stripe.size();
+  };
+
+  if (from_disk) {
+    client_->disk->Transfer(static_cast<double>(bytes), network_leg);
+  } else {
+    network_leg();
+  }
+}
+
+// Shadow-map copies: the manager directs the benefactor holding the first
+// replica to copy the chunk to fresh donors. Source-NIC -> fabric ->
+// target-NIC -> target-disk; the client is not involved.
+void WritePipeline::StartBackgroundReplicas(std::size_t i,
+                                            std::uint64_t bytes,
+                                            int source) {
+  BenefactorNode& src = testbed_->benefactor(static_cast<std::size_t>(source));
+  for (int r = 1; r < config_.replicas; ++r) {
+    int target = -1;
+    // Next stripe members after the source, skipping the source itself.
+    for (std::size_t probe = 0; probe < config_.stripe.size(); ++probe) {
+      int candidate = config_.stripe[(next_stripe_ + static_cast<std::size_t>(r) +
+                                      probe) %
+                                     config_.stripe.size()];
+      if (candidate != source) {
+        target = candidate;
+        break;
+      }
+    }
+    if (target < 0) target = source;  // single-node stripe: degenerate copy
+    BenefactorNode& dst = testbed_->benefactor(static_cast<std::size_t>(target));
+    src.nic->Transfer(static_cast<double>(bytes), [this, i, bytes, r, &dst] {
+      bytes_transferred_ += bytes;
+      testbed_->fabric().Transfer(
+          static_cast<double>(bytes), [this, i, bytes, r, &dst] {
+            dst.nic->Transfer(
+                static_cast<double>(bytes), [this, i, bytes, r, &dst] {
+                  dst.disk->Transfer(static_cast<double>(bytes),
+                                     [this, i, bytes, r] {
+                                       replicated_bytes_ += bytes;
+                                       OnReplicaStored(i, bytes, r);
+                                     });
+                });
+          });
+    });
+  }
+}
+
+void WritePipeline::OnReplicaStored(std::size_t /*i*/, std::uint64_t /*bytes*/,
+                                    int /*replica_index*/) {
+  if (stored_time_ == kSimNever && stored_first_bytes_ >= config_.file_bytes) {
+    stored_time_ = testbed_->simulator().Now();
+  }
+  if (replicated_time_ == kSimNever &&
+      replicated_bytes_ >=
+          config_.file_bytes * static_cast<std::uint64_t>(config_.replicas)) {
+    replicated_time_ = testbed_->simulator().Now();
+  }
+  MaybeClose();
+}
+
+double WritePipeline::oab_mbps() const {
+  return ThroughputMBps(static_cast<double>(config_.file_bytes),
+                        close_time_ - start_time_);
+}
+
+double WritePipeline::asb_mbps() const {
+  SimTime done = std::max(stored_time_, production_end_);
+  return ThroughputMBps(static_cast<double>(config_.file_bytes),
+                        done - start_time_);
+}
+
+}  // namespace stdchk::perf

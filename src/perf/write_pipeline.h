@@ -1,0 +1,130 @@
+// Event-driven models of the three write-optimized protocols (paper §IV.B)
+// plus the measurement of the paper's two metrics (§V.B):
+//
+//   OAB (observed application bandwidth)  = file size / (open .. close)
+//   ASB (achieved storage bandwidth)      = file size / (open .. all remote
+//                                           I/O completed)
+//
+// Pipeline structure per protocol:
+//
+//   CLW  app -> page cache/disk (sustained disk rate) ... close() ...
+//        disk read -> client NIC -> fabric -> benefactor NIC -> disk
+//
+//   IW   app -> memory temp file (memcpy rate, bounded allowance); each
+//        completed temp file becomes eligible and is pushed concurrently
+//        with production of the next one; close() after production (the
+//        remaining push is what separates OAB from ASB)
+//
+//   SW   app -> bounded memory window (memcpy rate); every chunk is pushed
+//        the moment it is produced; no local I/O at all
+//
+// Chunks flow store-and-forward through FIFO bandwidth pipes, so the steady
+// state is the min-bandwidth stage and stripe-width saturation emerges
+// naturally (two 1 Gbps benefactors saturate one 1 Gbps client NIC).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "perf/testbed_model.h"
+#include "sim/bounded_buffer.h"
+
+namespace stdchk::perf {
+
+enum class ProtocolModel { kCLW, kIW, kSW };
+
+struct PipelineConfig {
+  ProtocolModel protocol = ProtocolModel::kSW;
+  std::uint64_t file_bytes = 1_GiB;
+  std::size_t chunk_size = 1_MiB;
+  // SW window / IW page-cache allowance. 0 = unbounded.
+  std::uint64_t buffer_bytes = 64_MiB;
+  std::uint64_t increment_bytes = 64_MiB;  // IW temp-file size
+  std::vector<int> stripe;                 // benefactor indices
+
+  // Incremental checkpointing model: fraction of chunks already stored
+  // (not transferred), and the hashing throughput charged per produced
+  // byte when FsCH is enabled (0 = FsCH off).
+  double dedup_ratio = 0.0;
+  double hash_mbps = 0.0;
+
+  // Replication (ablation): replicas per chunk; pessimistic close() waits
+  // for all of them, optimistic returns at production end.
+  int replicas = 1;
+  bool pessimistic = false;
+
+  // Observability hooks (may be empty).
+  std::function<void(SimTime, std::uint64_t)> on_chunk_stored;
+  std::function<void(SimTime)> on_closed;
+};
+
+class WritePipeline {
+ public:
+  WritePipeline(TestbedModel* testbed, int client_index,
+                PipelineConfig config);
+
+  // Schedules the first event; results are valid after the simulator runs
+  // past completion.
+  void Start();
+
+  SimTime start_time() const { return start_time_; }
+  SimTime close_time() const { return close_time_; }
+  SimTime stored_time() const { return stored_time_; }          // first replica
+  SimTime replicated_time() const { return replicated_time_; }  // all replicas
+  bool finished() const {
+    return close_time_ != kSimNever && replicated_time_ != kSimNever;
+  }
+
+  double oab_mbps() const;
+  double asb_mbps() const;
+  // Bytes that actually crossed the network (novel chunks x replicas).
+  std::uint64_t bytes_transferred() const { return bytes_transferred_; }
+
+ private:
+  std::size_t total_chunks() const;
+  std::uint64_t ChunkBytes(std::size_t i) const;
+  bool IsDup(std::size_t i) const;
+
+  SimTime BufferedProduceTime(std::uint64_t bytes) const;  // SW / IW
+  SimTime LocalProduceTime(std::uint64_t bytes) const;     // CLW
+
+  void ProduceNext();
+  void OnProduced(std::size_t i, std::uint64_t bytes);
+  void FinishProduction();
+  void MaybeClose();
+
+  void StartClwPush();
+  // Network leg for one chunk replica set; `from_disk` reads through the
+  // client disk pipe first (CLW push).
+  void SendChunk(std::size_t i, std::uint64_t bytes, bool from_disk);
+  // Optimistic-mode background replication (benefactor-to-benefactor).
+  void StartBackgroundReplicas(std::size_t i, std::uint64_t bytes, int source);
+  void OnReplicaStored(std::size_t i, std::uint64_t bytes, int replica_index);
+
+  TestbedModel* testbed_;
+  ClientNode* client_;
+  PipelineConfig config_;
+  std::unique_ptr<sim::BoundedBuffer> buffer_;
+
+  std::size_t next_produce_ = 0;
+  std::size_t next_stripe_ = 0;
+  std::deque<std::pair<std::size_t, std::uint64_t>> iw_pending_;
+  std::uint64_t produced_bytes_ = 0;
+
+  std::uint64_t stored_first_bytes_ = 0;
+  std::uint64_t replicated_bytes_ = 0;
+  std::uint64_t bytes_transferred_ = 0;
+  bool production_done_ = false;
+  bool closed_ = false;
+
+  SimTime start_time_ = 0;
+  SimTime production_end_ = kSimNever;
+  SimTime close_time_ = kSimNever;
+  SimTime stored_time_ = kSimNever;
+  SimTime replicated_time_ = kSimNever;
+};
+
+}  // namespace stdchk::perf

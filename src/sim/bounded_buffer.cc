@@ -1,0 +1,29 @@
+#include "sim/bounded_buffer.h"
+
+namespace stdchk::sim {
+
+void BoundedBuffer::Acquire(std::uint64_t bytes, std::function<void()> fn) {
+  if (!unbounded()) {
+    assert(bytes <= capacity_ && "request larger than buffer capacity");
+  }
+  if (waiters_.empty() && (unbounded() || used_ + bytes <= capacity_)) {
+    used_ += bytes;
+    fn();
+    return;
+  }
+  waiters_.push_back(Waiter{bytes, std::move(fn)});
+}
+
+void BoundedBuffer::Release(std::uint64_t bytes) {
+  assert(bytes <= used_);
+  used_ -= bytes;
+  while (!waiters_.empty() &&
+         (unbounded() || used_ + waiters_.front().bytes <= capacity_)) {
+    Waiter w = std::move(waiters_.front());
+    waiters_.pop_front();
+    used_ += w.bytes;
+    w.fn();
+  }
+}
+
+}  // namespace stdchk::sim

@@ -1,0 +1,48 @@
+// Byte-counted bounded buffer with asynchronous space acquisition.
+//
+// Models the sliding-window write interface's memory buffer (paper §IV.B):
+// the application fills the buffer at memcpy speed and blocks when it is
+// full; the network sender drains it and releases space as chunks leave the
+// client NIC. Also models a disk write cache.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+namespace stdchk::sim {
+
+class BoundedBuffer {
+ public:
+  explicit BoundedBuffer(std::uint64_t capacity_bytes)
+      : capacity_(capacity_bytes) {}
+
+  std::uint64_t capacity() const { return capacity_; }
+  std::uint64_t used() const { return used_; }
+  std::uint64_t free_bytes() const { return capacity_ - used_; }
+
+  // Requests `bytes` of space; runs `fn` immediately if available, otherwise
+  // queues it (FIFO) until enough Release() calls arrive. `bytes` may exceed
+  // capacity only if the buffer is unbounded (capacity 0 == unbounded).
+  void Acquire(std::uint64_t bytes, std::function<void()> fn);
+
+  // Returns `bytes` of space and unblocks waiters in order.
+  void Release(std::uint64_t bytes);
+
+  std::size_t waiters() const { return waiters_.size(); }
+
+ private:
+  bool unbounded() const { return capacity_ == 0; }
+
+  struct Waiter {
+    std::uint64_t bytes;
+    std::function<void()> fn;
+  };
+
+  std::uint64_t capacity_;
+  std::uint64_t used_ = 0;
+  std::deque<Waiter> waiters_;
+};
+
+}  // namespace stdchk::sim

@@ -1,0 +1,16 @@
+#include "sim/pipe.h"
+
+#include <algorithm>
+
+namespace stdchk::sim {
+
+SimTime Pipe::Transfer(double bytes, std::function<void()> done) {
+  SimTime start = std::max(sim_->Now(), busy_until_);
+  SimTime duration = per_op_overhead_ + TransferTime(bytes, mb_per_s_);
+  busy_until_ = start + duration;
+  bytes_moved_ += bytes;
+  if (done) sim_->At(busy_until_, std::move(done));
+  return busy_until_;
+}
+
+}  // namespace stdchk::sim

@@ -1,0 +1,52 @@
+// Modeled bandwidth resources.
+//
+// A Pipe is a FIFO store-and-forward resource: each transfer occupies the
+// resource for (overhead + bytes/bandwidth). Chaining pipes (client disk ->
+// client NIC -> switch -> benefactor NIC -> benefactor disk) and feeding
+// them chunk-sized segments yields pipelined behaviour whose steady state is
+// the min-bandwidth stage — exactly the bottleneck structure the paper's
+// write-throughput experiments probe.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "common/sim_time.h"
+#include "sim/simulator.h"
+
+namespace stdchk::sim {
+
+class Pipe {
+ public:
+  Pipe(Simulator* sim, std::string name, double mb_per_s,
+       SimTime per_op_overhead = 0)
+      : sim_(sim),
+        name_(std::move(name)),
+        mb_per_s_(mb_per_s),
+        per_op_overhead_(per_op_overhead) {}
+
+  const std::string& name() const { return name_; }
+  double mb_per_s() const { return mb_per_s_; }
+  void set_bandwidth(double mb_per_s) { mb_per_s_ = mb_per_s; }
+
+  // Enqueues a transfer of `bytes`; calls `done` at its completion time.
+  // Returns the scheduled completion time.
+  SimTime Transfer(double bytes, std::function<void()> done);
+
+  // Convenience: transfer with no completion action (models background
+  // traffic occupying the resource).
+  SimTime Occupy(double bytes) { return Transfer(bytes, nullptr); }
+
+  SimTime busy_until() const { return busy_until_; }
+  double bytes_moved() const { return bytes_moved_; }
+
+ private:
+  Simulator* sim_;
+  std::string name_;
+  double mb_per_s_;
+  SimTime per_op_overhead_;
+  SimTime busy_until_ = 0;
+  double bytes_moved_ = 0;
+};
+
+}  // namespace stdchk::sim

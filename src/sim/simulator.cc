@@ -1,0 +1,35 @@
+#include "sim/simulator.h"
+
+#include <cassert>
+
+namespace stdchk::sim {
+
+void Simulator::At(SimTime t, std::function<void()> fn) {
+  assert(t >= now_ && "cannot schedule into the past");
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+void Simulator::Run() {
+  while (!queue_.empty()) {
+    // priority_queue::top() is const; move out via const_cast on the
+    // function object only (the key fields are left untouched before pop).
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.time;
+    ++events_processed_;
+    ev.fn();
+  }
+}
+
+void Simulator::RunUntil(SimTime t) {
+  while (!queue_.empty() && queue_.top().time <= t) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.time;
+    ++events_processed_;
+    ev.fn();
+  }
+  if (now_ < t) now_ = t;
+}
+
+}  // namespace stdchk::sim

@@ -1,0 +1,63 @@
+// Deterministic discrete-event simulator.
+//
+// This is the substrate that stands in for the paper's 28-node testbed
+// (DESIGN.md §2): protocol pipelines are expressed as chains of events over
+// modeled resources (disks, NICs, a switch backplane). Time is integer
+// nanoseconds; ties are broken by insertion sequence, so every run is
+// bit-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/sim_time.h"
+
+namespace stdchk::sim {
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime Now() const { return now_; }
+
+  // Schedules `fn` at absolute time `t` (must be >= Now()).
+  void At(SimTime t, std::function<void()> fn);
+
+  // Schedules `fn` `delay` after Now().
+  void After(SimTime delay, std::function<void()> fn) {
+    At(now_ + delay, std::move(fn));
+  }
+
+  // Runs until the event queue is empty.
+  void Run();
+
+  // Runs events with time <= `t`, then sets Now() to `t`.
+  void RunUntil(SimTime t);
+
+  std::uint64_t events_processed() const { return events_processed_; }
+  bool empty() const { return queue_.empty(); }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;  // FIFO among same-time events
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace stdchk::sim

@@ -1,0 +1,114 @@
+// Synthetic checkpoint-image trace generators (DESIGN.md §2 substitution
+// for the paper's BMS and BLAST traces).
+//
+// Table 3 of the paper shows that similarity between successive checkpoint
+// images is determined by *how* the checkpointer serializes state:
+//
+//  * application-level (BMS): user-controlled, "ideally-compressed" format
+//    -> no detectable cross-version similarity. We generate fresh
+//    pseudo-random bytes per image.
+//
+//  * library-level (BLCR): a linear dump of the address space -> unchanged
+//    pages produce identical byte ranges, but heap growth inserts bytes and
+//    shifts everything behind it. CbCH detects the unchanged content (high
+//    similarity); FsCH only matches the prefix before the first shift
+//    (moderate similarity, dropping with interval length as more
+//    insertions/mutations accumulate per interval).
+//
+//  * VM-level (Xen): pages saved "in essentially random order", each with
+//    added bookkeeping metadata -> neither heuristic finds much (only
+//    zero/constant pages repeat).
+//
+// Each generator evolves a persistent memory image so consecutive calls to
+// Next() produce *successive* checkpoints of the same synthetic process.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+
+namespace stdchk {
+
+class CheckpointTrace {
+ public:
+  virtual ~CheckpointTrace() = default;
+  // Produces the next checkpoint image in the trace.
+  virtual Bytes Next() = 0;
+  virtual std::string name() const = 0;
+};
+
+// ---- Application-level (BMS-like) -------------------------------------------
+struct AppLevelTraceOptions {
+  std::size_t image_bytes = 2'831'155;  // ~2.7 MB, as in Table 2
+  double size_jitter = 0.02;            // +/- fraction of size variation
+  std::uint64_t seed = 1;
+};
+std::unique_ptr<CheckpointTrace> MakeAppLevelTrace(AppLevelTraceOptions options);
+
+// ---- Library-level (BLCR-like) ----------------------------------------------
+struct BlcrTraceOptions {
+  std::size_t page_bytes = 4096;
+  std::size_t initial_pages = 8192;  // 32 MiB image (scaled-down default;
+                                     // ratios are size-invariant)
+  // Fraction of pages whose content is rewritten per checkpoint interval.
+  double dirty_fraction = 0.10;
+  // Dirty pages arrive in contiguous runs of ~this many pages (applications
+  // touch whole buffers/arrays, not uniformly random pages). Clustering is
+  // what lets FsCH find clean chunks between dirty regions — with uniform
+  // page dirtying every 256 KB chunk would contain a dirty page and FsCH
+  // similarity would collapse to zero, which is not what Table 3 shows.
+  std::size_t dirty_run_pages = 64;
+  // Expected count of page insertions (heap/stack growth) per interval;
+  // each insertion shifts all following bytes by a page.
+  double mean_insertions = 3.0;
+  // Expected count of odd-sized insertions per interval: variable-length
+  // segment records (BLCR dumps interleave bookkeeping with page data).
+  // These shift downstream content by amounts that are NOT multiples of
+  // any chunk grid, which is what caps FsCH at ~25% in the paper's Table 3
+  // even for 1 KB chunks; content-defined (CbCH) boundaries absorb them.
+  double mean_odd_insertions = 2.0;
+  // Probability that an interval also removes a page (e.g. free()d arena).
+  double deletion_prob = 0.2;
+  // Fraction of pages that are all-zero (untouched allocations); these
+  // produce the small residual similarity even Xen-style dumps show.
+  double zero_page_fraction = 0.05;
+  std::uint64_t seed = 2;
+};
+std::unique_ptr<CheckpointTrace> MakeBlcrLikeTrace(BlcrTraceOptions options);
+
+// BLCR options matching the paper's 5- and 15-minute checkpoint intervals:
+// a longer interval accumulates ~3x the mutations and insertions.
+BlcrTraceOptions BlcrOptionsForInterval(int interval_minutes,
+                                        std::size_t image_pages,
+                                        std::uint64_t seed);
+
+// ---- VM-level (Xen-like) ------------------------------------------------------
+struct XenTraceOptions {
+  std::size_t page_bytes = 4096;
+  std::size_t pages = 8192;
+  double dirty_fraction = 0.10;
+  std::size_t dirty_run_pages = 64;
+  // Per-page bookkeeping header Xen prepends (pfn, flags, ...).
+  std::size_t header_bytes = 16;
+  double zero_page_fraction = 0.10;
+  std::uint64_t seed = 3;
+};
+std::unique_ptr<CheckpointTrace> MakeXenLikeTrace(XenTraceOptions options);
+
+// ---- Table 2 descriptors --------------------------------------------------------
+// The paper's collected-trace characteristics, used to parameterize
+// generators and to print the Table 2 bench.
+struct TraceSpec {
+  std::string application;
+  std::string checkpointing_type;
+  int interval_minutes = 0;
+  std::size_t checkpoint_count = 0;
+  double avg_size_mb = 0;
+};
+std::vector<TraceSpec> PaperTable2Specs();
+
+}  // namespace stdchk

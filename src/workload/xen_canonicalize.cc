@@ -1,0 +1,88 @@
+#include "workload/xen_canonicalize.h"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+
+namespace stdchk {
+
+Result<CanonicalXenImage> CanonicalizeXenImage(ByteSpan image,
+                                               const XenImageLayout& layout) {
+  if (layout.pfn_bytes == 0 || layout.pfn_bytes > 8 ||
+      layout.pfn_bytes > layout.header_bytes) {
+    return InvalidArgumentError("bad pfn field layout");
+  }
+  const std::size_t record = layout.header_bytes + layout.page_bytes;
+  if (record == 0 || image.size() % record != 0) {
+    return InvalidArgumentError(
+        "image size is not a whole number of (header, page) records");
+  }
+  const std::size_t records = image.size() / record;
+
+  // pfn -> record index; ordered map gives the canonical (sorted) order.
+  std::map<std::uint64_t, std::size_t> by_pfn;
+  CanonicalXenImage out;
+  out.layout = layout;
+  out.original_order.reserve(records);
+  const std::size_t volatile_bytes = layout.header_bytes - layout.pfn_bytes;
+  out.volatile_headers.reserve(records * volatile_bytes);
+
+  for (std::size_t i = 0; i < records; ++i) {
+    const std::uint8_t* rec = image.data() + i * record;
+    std::uint64_t pfn = 0;
+    std::memcpy(&pfn, rec, layout.pfn_bytes);
+    if (!by_pfn.emplace(pfn, i).second) {
+      return InvalidArgumentError("duplicate pfn " + std::to_string(pfn) +
+                                  " in Xen image");
+    }
+    out.original_order.push_back(pfn);
+    Append(out.volatile_headers,
+           ByteSpan(rec + layout.pfn_bytes, volatile_bytes));
+  }
+
+  out.pages.resize(records * layout.page_bytes);
+  std::size_t slot = 0;
+  for (const auto& [pfn, index] : by_pfn) {
+    const std::uint8_t* page =
+        image.data() + index * record + layout.header_bytes;
+    std::memcpy(out.pages.data() + slot * layout.page_bytes, page,
+                layout.page_bytes);
+    ++slot;
+  }
+  return out;
+}
+
+Result<Bytes> ReassembleXenImage(const CanonicalXenImage& canonical) {
+  const XenImageLayout& layout = canonical.layout;
+  const std::size_t record = layout.header_bytes + layout.page_bytes;
+  const std::size_t records = canonical.original_order.size();
+  const std::size_t volatile_bytes = layout.header_bytes - layout.pfn_bytes;
+  if (canonical.pages.size() != records * layout.page_bytes ||
+      canonical.volatile_headers.size() != records * volatile_bytes) {
+    return InvalidArgumentError("canonical image pieces are inconsistent");
+  }
+
+  // Sorted pfn -> canonical slot.
+  std::vector<std::uint64_t> sorted = canonical.original_order;
+  std::sort(sorted.begin(), sorted.end());
+  std::map<std::uint64_t, std::size_t> slot_of;
+  for (std::size_t i = 0; i < sorted.size(); ++i) slot_of[sorted[i]] = i;
+
+  Bytes out(records * record);
+  for (std::size_t i = 0; i < records; ++i) {
+    std::uint8_t* rec = out.data() + i * record;
+    std::uint64_t pfn = canonical.original_order[i];
+    std::memcpy(rec, &pfn, layout.pfn_bytes);
+    std::memcpy(rec + layout.pfn_bytes,
+                canonical.volatile_headers.data() + i * volatile_bytes,
+                volatile_bytes);
+    auto it = slot_of.find(pfn);
+    if (it == slot_of.end()) return InternalError("pfn lost in round trip");
+    std::memcpy(rec + layout.header_bytes,
+                canonical.pages.data() + it->second * layout.page_bytes,
+                layout.page_bytes);
+  }
+  return out;
+}
+
+}  // namespace stdchk

@@ -1,0 +1,54 @@
+// Xen checkpoint canonicalization — the paper's open problem, implemented.
+//
+// §V.E: "A surprising result is the near-zero similarity observed using
+// virtual machine based checkpointing... Xen optimizes for speed, and when
+// creating checkpoints it saves memory pages in essentially random order.
+// Further... Xen adds additional information to each saved memory page. We
+// are currently exploring solutions to create Xen checkpoint images that
+// preserve the similarity between incremental checkpoint images."
+//
+// The fix is a storage-side canonicalization pass: parse the (header,
+// page) records, re-order pages by their physical frame number, and strip
+// the per-save volatile header fields. The canonical image is a linear
+// pfn-ordered dump — exactly the layout whose cross-version similarity the
+// BLCR experiments show compare-by-hash can exploit. Restoring the
+// original record order on read is possible by keeping the (pfn ->
+// original index, flags) table, which is tiny relative to the image.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace stdchk {
+
+struct XenImageLayout {
+  std::size_t page_bytes = 4096;
+  std::size_t header_bytes = 16;
+  // Leading bytes of each record header holding the pfn (the stable part);
+  // the rest of the header is per-save metadata and is dropped.
+  std::size_t pfn_bytes = 8;
+};
+
+struct CanonicalXenImage {
+  // pfn-sorted page contents, back to back.
+  Bytes pages;
+  // Sidecar needed to reproduce the original image exactly: for each
+  // original record position, the pfn it held, plus the volatile header
+  // remainders in original order.
+  std::vector<std::uint64_t> original_order;
+  Bytes volatile_headers;  // (header_bytes - pfn_bytes) per record
+  XenImageLayout layout;
+};
+
+// Splits a raw Xen-style image into the canonical page dump + sidecar.
+// Fails if the image size is not a whole number of records or a pfn
+// repeats.
+Result<CanonicalXenImage> CanonicalizeXenImage(ByteSpan image,
+                                               const XenImageLayout& layout);
+
+// Inverse transform: byte-exact reconstruction of the original image.
+Result<Bytes> ReassembleXenImage(const CanonicalXenImage& canonical);
+
+}  // namespace stdchk

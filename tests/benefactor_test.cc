@@ -1,0 +1,145 @@
+#include "benefactor/benefactor.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace stdchk {
+namespace {
+
+class BenefactorTest : public ::testing::Test {
+ protected:
+  BenefactorTest()
+      : manager_(&clock_),
+        benefactor_("desk0", MakeMemoryChunkStore(), /*capacity=*/4096) {}
+
+  VirtualClock clock_;
+  MetadataManager manager_;
+  Benefactor benefactor_;
+};
+
+TEST_F(BenefactorTest, JoinPoolAssignsId) {
+  EXPECT_EQ(benefactor_.id(), kInvalidNode);
+  ASSERT_TRUE(benefactor_.JoinPool(manager_).ok());
+  EXPECT_NE(benefactor_.id(), kInvalidNode);
+  EXPECT_TRUE(manager_.registry().IsOnline(benefactor_.id()));
+}
+
+TEST_F(BenefactorTest, PutVerifiesContentAddress) {
+  Bytes data = ToBytes("checkpoint chunk data");
+  ChunkId right = ChunkId::For(data);
+  ChunkId wrong = ChunkId::For(ToBytes("other"));
+  EXPECT_TRUE(benefactor_.PutChunk(right, data).ok());
+  EXPECT_EQ(benefactor_.PutChunk(wrong, data).code(), StatusCode::kDataLoss);
+}
+
+TEST_F(BenefactorTest, GetVerifiesIntegrity) {
+  Bytes data = ToBytes("some bytes");
+  ChunkId id = ChunkId::For(data);
+  ASSERT_TRUE(benefactor_.PutChunk(id, data).ok());
+  auto got = benefactor_.GetChunk(id);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value(), data);
+}
+
+TEST_F(BenefactorTest, CapacityEnforced) {
+  Rng rng(1);
+  Bytes big = rng.RandomBytes(3000);
+  Bytes more = rng.RandomBytes(2000);
+  ASSERT_TRUE(benefactor_.PutChunk(ChunkId::For(big), big).ok());
+  EXPECT_EQ(benefactor_.PutChunk(ChunkId::For(more), more).code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(benefactor_.FreeBytes(), 4096u - 3000u);
+}
+
+TEST_F(BenefactorTest, RePutOfExistingChunkBypassesCapacityCheck) {
+  Rng rng(2);
+  Bytes data = rng.RandomBytes(4000);
+  ChunkId id = ChunkId::For(data);
+  ASSERT_TRUE(benefactor_.PutChunk(id, data).ok());
+  // Same chunk again: no additional space needed.
+  EXPECT_TRUE(benefactor_.PutChunk(id, data).ok());
+  EXPECT_EQ(benefactor_.ChunkCount(), 1u);
+}
+
+TEST_F(BenefactorTest, CrashRejectsOperationsButKeepsData) {
+  Bytes data = ToBytes("persist me");
+  ChunkId id = ChunkId::For(data);
+  ASSERT_TRUE(benefactor_.PutChunk(id, data).ok());
+
+  benefactor_.Crash();
+  EXPECT_FALSE(benefactor_.online());
+  EXPECT_EQ(benefactor_.PutChunk(id, data).code(), StatusCode::kUnavailable);
+  EXPECT_EQ(benefactor_.GetChunk(id).status().code(), StatusCode::kUnavailable);
+  EXPECT_FALSE(benefactor_.HasChunk(id));  // unavailable while down
+
+  benefactor_.Restart();
+  EXPECT_TRUE(benefactor_.HasChunk(id));
+  EXPECT_TRUE(benefactor_.GetChunk(id).ok());
+}
+
+TEST_F(BenefactorTest, WipeDestroysData) {
+  Bytes data = ToBytes("gone");
+  ChunkId id = ChunkId::For(data);
+  ASSERT_TRUE(benefactor_.PutChunk(id, data).ok());
+  benefactor_.Wipe();
+  benefactor_.Restart();
+  EXPECT_FALSE(benefactor_.HasChunk(id));
+  EXPECT_EQ(benefactor_.BytesUsed(), 0u);
+}
+
+TEST_F(BenefactorTest, HeartbeatRequiresJoin) {
+  EXPECT_EQ(benefactor_.SendHeartbeat(manager_).code(),
+            StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(benefactor_.JoinPool(manager_).ok());
+  EXPECT_TRUE(benefactor_.SendHeartbeat(manager_).ok());
+}
+
+TEST_F(BenefactorTest, RunGcDeletesWhatManagerSays) {
+  ASSERT_TRUE(benefactor_.JoinPool(manager_).ok());
+  Bytes orphan = ToBytes("orphan chunk");
+  ASSERT_TRUE(benefactor_.PutChunk(ChunkId::For(orphan), orphan).ok());
+
+  auto reclaimed = benefactor_.RunGc(manager_);
+  ASSERT_TRUE(reclaimed.ok());
+  EXPECT_EQ(reclaimed.value(), 1u);
+  EXPECT_EQ(benefactor_.ChunkCount(), 0u);
+}
+
+TEST_F(BenefactorTest, StashAndOfferRecoveredVersions) {
+  ASSERT_TRUE(benefactor_.JoinPool(manager_).ok());
+  Benefactor peer("desk1", MakeMemoryChunkStore(), 4096);
+  ASSERT_TRUE(peer.JoinPool(manager_).ok());
+
+  VersionRecord record;
+  record.name = CheckpointName{"app", "n", 1};
+  ChunkLocation loc;
+  loc.id = ChunkId::For(ToBytes("c"));
+  loc.size = 1;
+  loc.replicas = {benefactor_.id()};
+  record.chunk_map.chunks.push_back(loc);
+  record.size = 1;
+
+  ASSERT_TRUE(benefactor_.StashChunkMap(record, /*stripe_width=*/2).ok());
+  ASSERT_TRUE(peer.StashChunkMap(record, 2).ok());
+  EXPECT_EQ(benefactor_.stashed_count(), 1u);
+
+  // First offer: 1 of 2 endorsements — version not yet committed, and the
+  // benefactor keeps the stash until it is.
+  ASSERT_TRUE(benefactor_.OfferStashedVersions(manager_).ok());
+  EXPECT_FALSE(manager_.GetVersion(record.name).ok());
+
+  ASSERT_TRUE(peer.OfferStashedVersions(manager_).ok());
+  EXPECT_TRUE(manager_.GetVersion(record.name).ok());
+}
+
+TEST_F(BenefactorTest, StashWhileOfflineFails) {
+  benefactor_.Crash();
+  VersionRecord record;
+  record.name = CheckpointName{"a", "n", 1};
+  EXPECT_EQ(benefactor_.StashChunkMap(record, 1).code(),
+            StatusCode::kUnavailable);
+}
+
+}  // namespace
+}  // namespace stdchk

@@ -1,0 +1,91 @@
+#include "sim/bounded_buffer.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace stdchk::sim {
+namespace {
+
+TEST(BoundedBufferTest, ImmediateAcquireWhenSpace) {
+  BoundedBuffer buf(100);
+  bool ran = false;
+  buf.Acquire(60, [&] { ran = true; });
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(buf.used(), 60u);
+  EXPECT_EQ(buf.free_bytes(), 40u);
+}
+
+TEST(BoundedBufferTest, BlocksWhenFull) {
+  BoundedBuffer buf(100);
+  buf.Acquire(80, [] {});
+  bool ran = false;
+  buf.Acquire(40, [&] { ran = true; });
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(buf.waiters(), 1u);
+
+  buf.Release(30);  // 50 used, 40 fits now
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(buf.used(), 90u);
+  EXPECT_EQ(buf.waiters(), 0u);
+}
+
+TEST(BoundedBufferTest, WaitersWakeInFifoOrder) {
+  BoundedBuffer buf(100);
+  buf.Acquire(100, [] {});
+  std::vector<int> order;
+  buf.Acquire(50, [&] { order.push_back(1); });
+  buf.Acquire(10, [&] { order.push_back(2); });
+  buf.Acquire(40, [&] { order.push_back(3); });
+
+  buf.Release(100);
+  // 50 + 10 + 40 == 100: all fit, in order.
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(buf.used(), 100u);
+}
+
+TEST(BoundedBufferTest, HeadOfLineBlocking) {
+  // A small waiter behind a large one does not jump the queue (the
+  // application's writes are strictly ordered).
+  BoundedBuffer buf(100);
+  buf.Acquire(90, [] {});
+  std::vector<int> order;
+  buf.Acquire(50, [&] { order.push_back(1); });  // cannot fit yet
+  buf.Acquire(5, [&] { order.push_back(2); });   // could fit, but must wait
+
+  buf.Release(10);  // 80 used; 50 still cannot fit
+  EXPECT_TRUE(order.empty());
+
+  buf.Release(40);  // 40 used; both fit now
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(BoundedBufferTest, UnboundedCapacityNeverBlocks) {
+  BoundedBuffer buf(0);  // unbounded
+  bool a = false, b = false;
+  buf.Acquire(1'000'000'000ull, [&] { a = true; });
+  buf.Acquire(5'000'000'000ull, [&] { b = true; });
+  EXPECT_TRUE(a);
+  EXPECT_TRUE(b);
+}
+
+TEST(BoundedBufferTest, ReleaseAllDrains) {
+  BoundedBuffer buf(10);
+  int ran = 0;
+  for (int i = 0; i < 5; ++i) buf.Acquire(10, [&] { ++ran; });
+  EXPECT_EQ(ran, 1);
+  for (int i = 0; i < 4; ++i) buf.Release(10);
+  EXPECT_EQ(ran, 5);
+  EXPECT_EQ(buf.used(), 10u);
+}
+
+TEST(BoundedBufferTest, ExactFit) {
+  BoundedBuffer buf(64);
+  bool ran = false;
+  buf.Acquire(64, [&] { ran = true; });
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(buf.free_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace stdchk::sim

@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "manager/types.h"
+
+namespace stdchk {
+namespace {
+
+TEST(CheckpointNameTest, ParseBasic) {
+  auto name = CheckpointName::Parse("blast.node07.T42");
+  ASSERT_TRUE(name.has_value());
+  EXPECT_EQ(name->app, "blast");
+  EXPECT_EQ(name->node, "node07");
+  EXPECT_EQ(name->timestep, 42u);
+}
+
+TEST(CheckpointNameTest, RoundTrip) {
+  CheckpointName name{"bms", "N3", 17};
+  auto parsed = CheckpointName::Parse(name.ToString());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->app, "bms");
+  EXPECT_EQ(parsed->node, "N3");
+  EXPECT_EQ(parsed->timestep, 17u);
+}
+
+TEST(CheckpointNameTest, AppMayContainDots) {
+  auto name = CheckpointName::Parse("my.sim.v2.worker1.T9");
+  ASSERT_TRUE(name.has_value());
+  EXPECT_EQ(name->app, "my.sim.v2");
+  EXPECT_EQ(name->node, "worker1");
+  EXPECT_EQ(name->timestep, 9u);
+}
+
+TEST(CheckpointNameTest, TimestepZero) {
+  auto name = CheckpointName::Parse("a.n.T0");
+  ASSERT_TRUE(name.has_value());
+  EXPECT_EQ(name->timestep, 0u);
+}
+
+TEST(CheckpointNameTest, LargeTimestep) {
+  auto name = CheckpointName::Parse("a.n.T18446744073709551615");
+  ASSERT_TRUE(name.has_value());
+  EXPECT_EQ(name->timestep, UINT64_MAX);
+}
+
+struct MalformedCase {
+  const char* input;
+};
+
+class MalformedNameTest : public ::testing::TestWithParam<MalformedCase> {};
+
+TEST_P(MalformedNameTest, ParseRejects) {
+  EXPECT_FALSE(CheckpointName::Parse(GetParam().input).has_value())
+      << GetParam().input;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, MalformedNameTest,
+    ::testing::Values(MalformedCase{""}, MalformedCase{"noseparators"},
+                      MalformedCase{"app.T5"},        // missing node
+                      MalformedCase{"app.node.5"},    // missing T prefix
+                      MalformedCase{"app.node.T"},    // empty timestep
+                      MalformedCase{"app.node.Txy"},  // non-numeric
+                      MalformedCase{"app.node.T5x"},  // trailing junk
+                      MalformedCase{".node.T5"},      // empty app
+                      MalformedCase{"app..T5"},       // empty node
+                      MalformedCase{"app.node.T-3"}));
+
+TEST(CheckpointNameTest, ToStringFormat) {
+  CheckpointName name{"app", "node", 5};
+  EXPECT_EQ(name.ToString(), "app.node.T5");
+}
+
+}  // namespace
+}  // namespace stdchk

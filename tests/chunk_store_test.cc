@@ -1,0 +1,165 @@
+#include "chunk/chunk_store.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "common/rng.h"
+
+namespace stdchk {
+namespace {
+
+enum class StoreKind { kMemory, kDisk };
+
+class ChunkStoreTest : public ::testing::TestWithParam<StoreKind> {
+ protected:
+  void SetUp() override {
+    if (GetParam() == StoreKind::kMemory) {
+      store_ = MakeMemoryChunkStore();
+    } else {
+      dir_ = std::filesystem::temp_directory_path() /
+             ("stdchk_store_test_" + std::to_string(::getpid()) + "_" +
+              ::testing::UnitTest::GetInstance()->current_test_info()->name());
+      std::filesystem::remove_all(dir_);
+      auto store = MakeDiskChunkStore(dir_.string());
+      ASSERT_TRUE(store.ok()) << store.status();
+      store_ = std::move(store).value();
+    }
+  }
+
+  void TearDown() override {
+    store_.reset();
+    if (!dir_.empty()) std::filesystem::remove_all(dir_);
+  }
+
+  static Bytes MakeData(std::size_t n, std::uint64_t seed) {
+    Rng rng(seed);
+    return rng.RandomBytes(n);
+  }
+
+  std::unique_ptr<ChunkStore> store_;
+  std::filesystem::path dir_;
+};
+
+TEST_P(ChunkStoreTest, PutThenGetRoundTrips) {
+  Bytes data = MakeData(1000, 1);
+  ChunkId id = ChunkId::For(data);
+  ASSERT_TRUE(store_->Put(id, data).ok());
+  auto got = store_->Get(id);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value(), data);
+}
+
+TEST_P(ChunkStoreTest, GetMissingIsNotFound) {
+  ChunkId id = ChunkId::For(AsBytes(std::string("nothing")));
+  EXPECT_EQ(store_->Get(id).status().code(), StatusCode::kNotFound);
+}
+
+TEST_P(ChunkStoreTest, ContainsReflectsState) {
+  Bytes data = MakeData(64, 2);
+  ChunkId id = ChunkId::For(data);
+  EXPECT_FALSE(store_->Contains(id));
+  ASSERT_TRUE(store_->Put(id, data).ok());
+  EXPECT_TRUE(store_->Contains(id));
+}
+
+TEST_P(ChunkStoreTest, PutIsIdempotent) {
+  Bytes data = MakeData(128, 3);
+  ChunkId id = ChunkId::For(data);
+  ASSERT_TRUE(store_->Put(id, data).ok());
+  ASSERT_TRUE(store_->Put(id, data).ok());
+  EXPECT_EQ(store_->ChunkCount(), 1u);
+  EXPECT_EQ(store_->BytesUsed(), 128u);
+}
+
+TEST_P(ChunkStoreTest, DeleteRemovesAndAccounts) {
+  Bytes data = MakeData(256, 4);
+  ChunkId id = ChunkId::For(data);
+  ASSERT_TRUE(store_->Put(id, data).ok());
+  ASSERT_TRUE(store_->Delete(id).ok());
+  EXPECT_FALSE(store_->Contains(id));
+  EXPECT_EQ(store_->BytesUsed(), 0u);
+  EXPECT_EQ(store_->ChunkCount(), 0u);
+  EXPECT_EQ(store_->Delete(id).code(), StatusCode::kNotFound);
+}
+
+TEST_P(ChunkStoreTest, ListReturnsAllChunks) {
+  std::set<std::string> expected;
+  for (int i = 0; i < 10; ++i) {
+    Bytes data = MakeData(100 + static_cast<std::size_t>(i), 100 + i);
+    ChunkId id = ChunkId::For(data);
+    expected.insert(id.ToHex());
+    ASSERT_TRUE(store_->Put(id, data).ok());
+  }
+  std::set<std::string> got;
+  for (const ChunkId& id : store_->List()) got.insert(id.ToHex());
+  EXPECT_EQ(got, expected);
+}
+
+TEST_P(ChunkStoreTest, BytesUsedSumsSizes) {
+  for (std::size_t n : {10u, 20u, 30u}) {
+    Bytes data = MakeData(n, n);
+    ASSERT_TRUE(store_->Put(ChunkId::For(data), data).ok());
+  }
+  EXPECT_EQ(store_->BytesUsed(), 60u);
+}
+
+TEST_P(ChunkStoreTest, EmptyChunkSupported) {
+  Bytes empty;
+  ChunkId id = ChunkId::For(empty);
+  ASSERT_TRUE(store_->Put(id, empty).ok());
+  auto got = store_->Get(id);
+  ASSERT_TRUE(got.ok());
+  EXPECT_TRUE(got.value().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, ChunkStoreTest,
+                         ::testing::Values(StoreKind::kMemory,
+                                           StoreKind::kDisk),
+                         [](const auto& info) {
+                           return info.param == StoreKind::kMemory ? "Memory"
+                                                                   : "Disk";
+                         });
+
+TEST(DiskChunkStoreTest, SurvivesReopen) {
+  auto dir = std::filesystem::temp_directory_path() / "stdchk_reopen_test";
+  std::filesystem::remove_all(dir);
+
+  Rng rng(5);
+  Bytes data = rng.RandomBytes(512);
+  ChunkId id = ChunkId::For(data);
+  {
+    auto store = MakeDiskChunkStore(dir.string());
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE(store.value()->Put(id, data).ok());
+  }
+  {
+    auto store = MakeDiskChunkStore(dir.string());
+    ASSERT_TRUE(store.ok());
+    EXPECT_TRUE(store.value()->Contains(id));
+    EXPECT_EQ(store.value()->BytesUsed(), 512u);
+    auto got = store.value()->Get(id);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(got.value(), data);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ChunkIdTest, ContentAddressing) {
+  Bytes a = ToBytes("same content");
+  Bytes b = ToBytes("same content");
+  Bytes c = ToBytes("other content");
+  EXPECT_EQ(ChunkId::For(a), ChunkId::For(b));
+  EXPECT_NE(ChunkId::For(a), ChunkId::For(c));
+}
+
+TEST(ChunkMapTest, FileSizeFromChunks) {
+  ChunkMap map;
+  EXPECT_EQ(map.FileSize(), 0u);
+  map.chunks.push_back(ChunkLocation{ChunkId{}, 0, 100, {1}});
+  map.chunks.push_back(ChunkLocation{ChunkId{}, 100, 50, {2}});
+  EXPECT_EQ(map.FileSize(), 150u);
+}
+
+}  // namespace
+}  // namespace stdchk

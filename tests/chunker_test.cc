@@ -1,0 +1,265 @@
+#include "chkpt/chunker.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <unordered_set>
+
+#include "common/rng.h"
+
+namespace stdchk {
+namespace {
+
+// Invariant shared by every chunker: spans are contiguous, non-empty, and
+// cover [0, size) exactly.
+void ExpectFullCoverage(const std::vector<ChunkSpan>& spans,
+                        std::size_t size) {
+  std::uint64_t expected_offset = 0;
+  for (const ChunkSpan& span : spans) {
+    ASSERT_EQ(span.offset, expected_offset);
+    ASSERT_GT(span.size, 0u);
+    expected_offset += span.size;
+  }
+  EXPECT_EQ(expected_offset, size);
+}
+
+TEST(FixedSizeChunkerTest, ExactMultiple) {
+  FixedSizeChunker chunker(100);
+  Rng rng(1);
+  Bytes data = rng.RandomBytes(500);
+  auto spans = chunker.Split(data);
+  ASSERT_EQ(spans.size(), 5u);
+  for (const auto& s : spans) EXPECT_EQ(s.size, 100u);
+  ExpectFullCoverage(spans, data.size());
+}
+
+TEST(FixedSizeChunkerTest, TrailingPartialChunk) {
+  FixedSizeChunker chunker(100);
+  Rng rng(2);
+  Bytes data = rng.RandomBytes(250);
+  auto spans = chunker.Split(data);
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans.back().size, 50u);
+  ExpectFullCoverage(spans, data.size());
+}
+
+TEST(FixedSizeChunkerTest, EmptyInput) {
+  FixedSizeChunker chunker(100);
+  EXPECT_TRUE(chunker.Split(ByteSpan{}).empty());
+}
+
+TEST(FixedSizeChunkerTest, InputSmallerThanChunk) {
+  FixedSizeChunker chunker(1_MiB);
+  Rng rng(3);
+  Bytes data = rng.RandomBytes(10);
+  auto spans = chunker.Split(data);
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].size, 10u);
+}
+
+TEST(FixedSizeChunkerTest, NameIncludesSize) {
+  EXPECT_EQ(FixedSizeChunker(1024).name(), "FsCH(1024)");
+}
+
+struct CbchCase {
+  std::size_t m;
+  int k;
+  std::size_t p;
+};
+
+class CbchCoverageTest : public ::testing::TestWithParam<CbchCase> {};
+
+TEST_P(CbchCoverageTest, CoversInputExactly) {
+  const CbchCase& c = GetParam();
+  ContentBasedChunker chunker(
+      CbchParams{c.m, c.k, c.p, /*max_chunk=*/1u << 20});
+  Rng rng(c.m * 1000 + static_cast<std::uint64_t>(c.k));
+  for (std::size_t size : {0u, 1u, 5u, 100u, 4096u, 65536u, 300000u}) {
+    Bytes data = rng.RandomBytes(size);
+    auto spans = chunker.Split(data);
+    ExpectFullCoverage(spans, size);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Params, CbchCoverageTest,
+    ::testing::Values(CbchCase{20, 14, 1}, CbchCase{20, 14, 20},
+                      CbchCase{32, 10, 32}, CbchCase{64, 8, 64},
+                      CbchCase{128, 12, 128}, CbchCase{256, 10, 256},
+                      CbchCase{20, 8, 1}, CbchCase{48, 10, 16}));
+
+class CbchRecomputeCoverageTest : public ::testing::TestWithParam<CbchCase> {};
+
+TEST_P(CbchRecomputeCoverageTest, PaperStyleScanCoversInputExactly) {
+  const CbchCase& c = GetParam();
+  CbchParams params{c.m, c.k, c.p, /*max_chunk=*/1u << 20,
+                    /*recompute=*/true};
+  ContentBasedChunker chunker(params);
+  Rng rng(c.m * 7 + static_cast<std::uint64_t>(c.k));
+  for (std::size_t size : {0u, 1u, 100u, 4096u, 100000u}) {
+    Bytes data = rng.RandomBytes(size);
+    ExpectFullCoverage(chunker.Split(data), size);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Params, CbchRecomputeCoverageTest,
+                         ::testing::Values(CbchCase{20, 14, 1},
+                                           CbchCase{20, 10, 20},
+                                           CbchCase{32, 8, 32}));
+
+TEST(CbchRecomputeTest, ShiftResilienceHoldsForPaperStyleOverlap) {
+  Rng rng(77);
+  Bytes original = rng.RandomBytes(1 << 17);
+  Bytes shifted;
+  shifted.push_back('Q');
+  Append(shifted, original);
+
+  CbchParams params{20, 10, 1, 1u << 20, /*recompute=*/true};
+  ContentBasedChunker chunker(params);
+  auto spans_a = chunker.Split(original);
+  auto ids_a = HashChunks(original, spans_a);
+  std::unordered_set<std::uint64_t> set_a;
+  for (const auto& id : ids_a) set_a.insert(id.digest.Prefix64());
+  auto spans_b = chunker.Split(shifted);
+  auto ids_b = HashChunks(shifted, spans_b);
+  std::uint64_t shared = 0;
+  for (std::size_t i = 0; i < ids_b.size(); ++i) {
+    if (set_a.contains(ids_b[i].digest.Prefix64())) shared += spans_b[i].size;
+  }
+  EXPECT_GT(static_cast<double>(shared) / static_cast<double>(shifted.size()),
+            0.85);
+}
+
+TEST(CbchTest, DeterministicAcrossCalls) {
+  ContentBasedChunker chunker(CbchParams{20, 10, 1});
+  Rng rng(11);
+  Bytes data = rng.RandomBytes(100000);
+  EXPECT_EQ(chunker.Split(data), chunker.Split(data));
+}
+
+TEST(CbchTest, SmallerKMakesSmallerChunks) {
+  Rng rng(12);
+  Bytes data = rng.RandomBytes(1 << 20);
+  ContentBasedChunker small_k(CbchParams{32, 8, 32, 0});
+  ContentBasedChunker large_k(CbchParams{32, 12, 32, 0});
+  auto s1 = ComputeChunkSizeStats(small_k.Split(data));
+  auto s2 = ComputeChunkSizeStats(large_k.Split(data));
+  EXPECT_LT(s1.avg_bytes, s2.avg_bytes);
+}
+
+TEST(CbchTest, MaxChunkBoundIsRespected) {
+  // Content with no natural boundaries: constant bytes.
+  Bytes data(1 << 20, 0x42);
+  ContentBasedChunker chunker(CbchParams{20, 30, 20, /*max_chunk=*/4096});
+  auto spans = chunker.Split(data);
+  for (const auto& s : spans) EXPECT_LE(s.size, 4096u + 20u);
+  ExpectFullCoverage(spans, data.size());
+}
+
+TEST(CbchTest, TinyInputIsOneChunk) {
+  ContentBasedChunker chunker(CbchParams{20, 14, 1});
+  Bytes data = ToBytes("short");
+  auto spans = chunker.Split(data);
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].size, 5u);
+}
+
+// The core CbCH property the paper relies on (§IV.C): after inserting bytes
+// near the start, most chunk *hashes* still match, because boundaries are
+// content-defined. FsCH, by contrast, loses everything past the insertion.
+TEST(CbchTest, InsertionShiftResilience) {
+  Rng rng(13);
+  Bytes original = rng.RandomBytes(1 << 19);  // 512 KB
+  Bytes shifted;
+  shifted.reserve(original.size() + 3);
+  shifted.push_back('X');
+  shifted.push_back('Y');
+  shifted.push_back('Z');
+  Append(shifted, original);
+
+  auto count_shared_bytes = [](const Chunker& chunker, ByteSpan a,
+                               ByteSpan b) {
+    auto spans_a = chunker.Split(a);
+    auto ids_a = HashChunks(a, spans_a);
+    std::unordered_set<std::uint64_t> set_a;
+    for (const auto& id : ids_a) set_a.insert(id.digest.Prefix64());
+
+    auto spans_b = chunker.Split(b);
+    auto ids_b = HashChunks(b, spans_b);
+    std::uint64_t shared = 0;
+    for (std::size_t i = 0; i < ids_b.size(); ++i) {
+      if (set_a.contains(ids_b[i].digest.Prefix64())) {
+        shared += spans_b[i].size;
+      }
+    }
+    return static_cast<double>(shared) / static_cast<double>(b.size());
+  };
+
+  ContentBasedChunker cbch(CbchParams{20, 11, 1});
+  FixedSizeChunker fsch(4096);
+  double cbch_shared = count_shared_bytes(cbch, original, shifted);
+  double fsch_shared = count_shared_bytes(fsch, original, shifted);
+
+  EXPECT_GT(cbch_shared, 0.85);  // almost everything survives the shift
+  EXPECT_LT(fsch_shared, 0.05);  // fixed-grid chunking loses everything
+}
+
+TEST(CbchTest, OverlapDetectsMoreOrEqualSimilarityThanNoOverlap) {
+  // p=1 inspects every offset; p=m only multiples of m from the last
+  // boundary — overlap should never be (materially) worse.
+  Rng rng(14);
+  Bytes v1 = rng.RandomBytes(1 << 18);
+  Bytes v2 = v1;
+  // Mutate a 4 KB region in the middle.
+  for (std::size_t i = 100000; i < 104096; ++i) v2[i] ^= 0xFF;
+
+  auto shared_ratio = [&](const Chunker& chunker) {
+    auto spans1 = chunker.Split(v1);
+    auto ids1 = HashChunks(v1, spans1);
+    std::unordered_set<std::uint64_t> set1;
+    for (const auto& id : ids1) set1.insert(id.digest.Prefix64());
+    auto spans2 = chunker.Split(v2);
+    auto ids2 = HashChunks(v2, spans2);
+    std::uint64_t shared = 0;
+    for (std::size_t i = 0; i < ids2.size(); ++i) {
+      if (set1.contains(ids2[i].digest.Prefix64())) shared += spans2[i].size;
+    }
+    return static_cast<double>(shared) / static_cast<double>(v2.size());
+  };
+
+  double overlap = shared_ratio(ContentBasedChunker(CbchParams{20, 11, 1}));
+  double no_overlap =
+      shared_ratio(ContentBasedChunker(CbchParams{20, 11, 20}));
+  EXPECT_GE(overlap + 0.05, no_overlap);
+  EXPECT_GT(overlap, 0.8);
+}
+
+TEST(ChunkSizeStatsTest, ComputesMinMaxAvg) {
+  std::vector<ChunkSpan> spans{{0, 100}, {100, 300}, {400, 200}};
+  ChunkSizeStats stats = ComputeChunkSizeStats(spans);
+  EXPECT_EQ(stats.count, 3u);
+  EXPECT_EQ(stats.min_bytes, 100u);
+  EXPECT_EQ(stats.max_bytes, 300u);
+  EXPECT_DOUBLE_EQ(stats.avg_bytes, 200.0);
+}
+
+TEST(ChunkSizeStatsTest, EmptyInput) {
+  ChunkSizeStats stats = ComputeChunkSizeStats({});
+  EXPECT_EQ(stats.count, 0u);
+}
+
+TEST(HashChunksTest, HashesMatchManualSha1) {
+  Bytes data = ToBytes("hello world checkpoint");
+  FixedSizeChunker chunker(5);
+  auto spans = chunker.Split(data);
+  auto ids = HashChunks(data, spans);
+  ASSERT_EQ(ids.size(), spans.size());
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    EXPECT_EQ(ids[i],
+              ChunkId::For(ByteSpan(data.data() + spans[i].offset,
+                                    spans[i].size)));
+  }
+}
+
+}  // namespace
+}  // namespace stdchk

@@ -1,0 +1,84 @@
+#include "core/cluster_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/cluster.h"
+
+namespace stdchk {
+namespace {
+
+TEST(ClusterStatsTest, FreshClusterIsEmpty) {
+  ClusterOptions options;
+  options.benefactor_count = 4;
+  options.capacity_per_node = 1_GiB;
+  StdchkCluster cluster(options);
+
+  ClusterStats stats = CollectStats(cluster);
+  EXPECT_EQ(stats.benefactors_total, 4u);
+  EXPECT_EQ(stats.benefactors_online, 4u);
+  EXPECT_EQ(stats.capacity_bytes, 4_GiB);
+  EXPECT_EQ(stats.stored_bytes, 0u);
+  EXPECT_EQ(stats.versions, 0u);
+  EXPECT_EQ(stats.logical_bytes, 0u);
+  EXPECT_DOUBLE_EQ(stats.utilization(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.dedup_factor(), 1.0);
+  EXPECT_EQ(stats.nodes.size(), 4u);
+}
+
+TEST(ClusterStatsTest, TracksWritesAndDedup) {
+  ClusterOptions options;
+  options.benefactor_count = 4;
+  options.client.stripe_width = 2;
+  options.client.chunk_size = 1024;
+  options.client.incremental_fsch = true;
+  StdchkCluster cluster(options);
+  Rng rng(5);
+
+  Bytes image = rng.RandomBytes(8 * 1024);
+  ASSERT_TRUE(cluster.client().WriteFile(CheckpointName{"a", "n", 1}, image).ok());
+  ASSERT_TRUE(cluster.client().WriteFile(CheckpointName{"a", "n", 2}, image).ok());
+
+  ClusterStats stats = CollectStats(cluster);
+  EXPECT_EQ(stats.versions, 2u);
+  EXPECT_EQ(stats.applications, 1u);
+  EXPECT_EQ(stats.logical_bytes, 16u * 1024);
+  EXPECT_EQ(stats.unique_bytes, 8u * 1024);
+  EXPECT_EQ(stats.stored_bytes, 8u * 1024);
+  EXPECT_DOUBLE_EQ(stats.dedup_factor(), 2.0);
+  EXPECT_GT(stats.rpcs, 0u);
+  EXPECT_GE(stats.network_bytes, 8u * 1024);
+}
+
+TEST(ClusterStatsTest, CountsOfflineNodes) {
+  ClusterOptions options;
+  options.benefactor_count = 3;
+  StdchkCluster cluster(options);
+  cluster.benefactor(1).Crash();
+  ClusterStats stats = CollectStats(cluster);
+  EXPECT_EQ(stats.benefactors_online, 2u);
+  EXPECT_FALSE(stats.nodes[1].online);
+}
+
+TEST(ClusterStatsTest, PendingReplicationsVisibleMidRepair) {
+  ClusterOptions options;
+  options.benefactor_count = 5;
+  options.client.stripe_width = 2;
+  options.client.chunk_size = 1024;
+  options.client.replication_target = 3;
+  StdchkCluster cluster(options);
+  Rng rng(6);
+  ASSERT_TRUE(cluster.client()
+                  .WriteFile(CheckpointName{"a", "n", 1}, rng.RandomBytes(4096))
+                  .ok());
+  // Issue replication commands without executing them.
+  auto cmds = cluster.manager().TickReplication();
+  ASSERT_FALSE(cmds.empty());
+  EXPECT_EQ(CollectStats(cluster).pending_replications, cmds.size());
+  for (const auto& cmd : cmds) {
+    (void)cluster.manager().AckReplication(cmd, false);
+  }
+}
+
+}  // namespace
+}  // namespace stdchk

@@ -1,0 +1,244 @@
+// Whole-system integration tests: many files, multiple writers, desktop
+// churn, and the combined background machinery.
+#include "core/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <map>
+
+#include "common/rng.h"
+#include "fs/file_system.h"
+
+namespace stdchk {
+namespace {
+
+TEST(ClusterTest, ConstructionRegistersBenefactors) {
+  ClusterOptions options;
+  options.benefactor_count = 5;
+  StdchkCluster cluster(options);
+  EXPECT_EQ(cluster.benefactor_count(), 5u);
+  EXPECT_EQ(cluster.manager().registry().online_count(), 5u);
+}
+
+TEST(ClusterTest, ManyFilesFromManyClients) {
+  ClusterOptions options;
+  options.benefactor_count = 8;
+  options.client.stripe_width = 4;
+  options.client.chunk_size = 1024;
+  StdchkCluster cluster(options);
+  Rng rng(1);
+
+  // Three desktop-grid "processes" each write 5 timesteps.
+  std::map<std::string, std::map<int, Bytes>> written;
+  for (int p = 0; p < 3; ++p) {
+    auto client = cluster.MakeClient(cluster.client().options());
+    std::string node = "n" + std::to_string(p);
+    for (int t = 1; t <= 5; ++t) {
+      Bytes data = rng.RandomBytes(2048 + static_cast<std::size_t>(t) * 777);
+      ASSERT_TRUE(client
+                      ->WriteFile(CheckpointName{"job", node,
+                                                 static_cast<std::uint64_t>(t)},
+                                  data)
+                      .ok());
+      written[node][t] = data;
+    }
+    cluster.Tick(1.0);
+  }
+
+  EXPECT_EQ(cluster.manager().catalog().TotalVersions(), 15u);
+  for (const auto& [node, by_t] : written) {
+    for (const auto& [t, data] : by_t) {
+      auto read_back = cluster.client().ReadFile(
+          CheckpointName{"job", node, static_cast<std::uint64_t>(t)});
+      ASSERT_TRUE(read_back.ok());
+      EXPECT_EQ(read_back.value(), data);
+    }
+  }
+}
+
+TEST(ClusterTest, SurvivesChurnWithReplication) {
+  ClusterOptions options;
+  options.benefactor_count = 8;
+  options.client.stripe_width = 3;
+  options.client.chunk_size = 1024;
+  options.client.semantics = WriteSemantics::kPessimistic;
+  options.client.replication_target = 2;
+  StdchkCluster cluster(options);
+  Rng rng(2);
+
+  std::vector<Bytes> images;
+  for (int t = 1; t <= 6; ++t) {
+    Bytes data = rng.RandomBytes(4 * 1024);
+    ASSERT_TRUE(cluster.client()
+                    .WriteFile(CheckpointName{"app", "n1",
+                                              static_cast<std::uint64_t>(t)},
+                              data)
+                    .ok());
+    images.push_back(data);
+
+    // Churn: one desktop leaves after each write, the oldest casualty
+    // returns two writes later.
+    cluster.benefactor(static_cast<std::size_t>(t % 8)).Crash();
+    if (t >= 2) {
+      (void)cluster.RestartBenefactor(static_cast<std::size_t>((t - 2) % 8));
+    }
+    for (int i = 0; i < 15; ++i) cluster.Tick(1.0);
+  }
+  for (std::size_t i = 0; i < cluster.benefactor_count(); ++i) {
+    (void)cluster.RestartBenefactor(i);
+  }
+  cluster.Settle(256);
+
+  for (int t = 1; t <= 6; ++t) {
+    auto read_back = cluster.client().ReadFile(
+        CheckpointName{"app", "n1", static_cast<std::uint64_t>(t)});
+    ASSERT_TRUE(read_back.ok()) << "timestep " << t << ": "
+                                << read_back.status();
+    EXPECT_EQ(read_back.value(), images[static_cast<std::size_t>(t - 1)]);
+  }
+}
+
+TEST(ClusterTest, AddBenefactorGrowsPool) {
+  ClusterOptions options;
+  options.benefactor_count = 2;
+  options.client.stripe_width = 2;
+  StdchkCluster cluster(options);
+
+  auto added = cluster.AddBenefactor(1_GiB);
+  ASSERT_TRUE(added.ok());
+  EXPECT_EQ(cluster.benefactor_count(), 3u);
+  EXPECT_EQ(cluster.manager().registry().online_count(), 3u);
+
+  ClientOptions wide = cluster.client().options();
+  wide.stripe_width = 3;
+  auto client = cluster.MakeClient(wide);
+  Rng rng(3);
+  EXPECT_TRUE(
+      client->WriteFile(CheckpointName{"a", "n", 1}, rng.RandomBytes(4096))
+          .ok());
+}
+
+TEST(ClusterTest, FindBenefactorByNodeId) {
+  StdchkCluster cluster{ClusterOptions{}};
+  NodeId id = cluster.benefactor(0).id();
+  EXPECT_EQ(cluster.FindBenefactor(id), &cluster.benefactor(0));
+  EXPECT_EQ(cluster.FindBenefactor(0xDEAD), nullptr);
+}
+
+TEST(ClusterTest, TransportFaultInjectionDropsRpcs) {
+  ClusterOptions options;
+  options.benefactor_count = 3;
+  options.client.stripe_width = 2;
+  options.client.chunk_size = 1024;
+  StdchkCluster cluster(options);
+  Rng rng(4);
+
+  // Cut the network to node 0; writes must still succeed via others.
+  cluster.transport().SetUnreachable(cluster.benefactor(0).id(), true);
+  Bytes data = rng.RandomBytes(8 * 1024);
+  ASSERT_TRUE(cluster.client().WriteFile(CheckpointName{"a", "n", 1}, data).ok());
+
+  auto record = cluster.manager().GetVersion(CheckpointName{"a", "n", 1});
+  ASSERT_TRUE(record.ok());
+  for (const auto& loc : record.value().chunk_map.chunks) {
+    for (NodeId node : loc.replicas) {
+      EXPECT_NE(node, cluster.benefactor(0).id());
+    }
+  }
+}
+
+TEST(ClusterTest, LossyLinkStillCompletesWithRetries) {
+  ClusterOptions options;
+  options.benefactor_count = 4;
+  options.client.stripe_width = 4;
+  options.client.chunk_size = 1024;
+  StdchkCluster cluster(options);
+  Rng rng(5);
+
+  for (std::size_t i = 0; i < cluster.benefactor_count(); ++i) {
+    cluster.transport().SetLossRate(cluster.benefactor(i).id(), 0.3);
+  }
+  Bytes data = rng.RandomBytes(16 * 1024);
+  auto outcome = cluster.client().WriteFile(CheckpointName{"a", "n", 1}, data);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+
+  for (std::size_t i = 0; i < cluster.benefactor_count(); ++i) {
+    cluster.transport().SetLossRate(cluster.benefactor(i).id(), 0.0);
+  }
+  auto read_back = cluster.client().ReadFile(CheckpointName{"a", "n", 1});
+  ASSERT_TRUE(read_back.ok());
+  EXPECT_EQ(read_back.value(), data);
+}
+
+TEST(ClusterTest, DiskBackedBenefactorsPersistChunks) {
+  auto dir = std::filesystem::temp_directory_path() / "stdchk_cluster_disk";
+  std::filesystem::remove_all(dir);
+
+  ClusterOptions options;
+  options.benefactor_count = 2;
+  options.client.stripe_width = 2;
+  options.client.chunk_size = 1024;
+  options.disk_root = dir.string();
+  {
+    StdchkCluster cluster(options);
+    Rng rng(6);
+    Bytes data = rng.RandomBytes(4096);
+    ASSERT_TRUE(
+        cluster.client().WriteFile(CheckpointName{"a", "n", 1}, data).ok());
+    auto read_back = cluster.client().ReadFile(CheckpointName{"a", "n", 1});
+    ASSERT_TRUE(read_back.ok());
+    EXPECT_EQ(read_back.value(), data);
+  }
+  // Chunk files are on disk.
+  std::size_t files = 0;
+  for (auto it = std::filesystem::recursive_directory_iterator(dir);
+       it != std::filesystem::recursive_directory_iterator(); ++it) {
+    if (it->is_regular_file()) ++files;
+  }
+  EXPECT_EQ(files, 4u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ClusterTest, EndToEndThroughFileSystemFacade) {
+  ClusterOptions options;
+  options.benefactor_count = 4;
+  options.client.chunk_size = 1024;
+  options.client.stripe_width = 2;
+  StdchkCluster cluster(options);
+  FileSystem fs(&cluster.client());
+  Rng rng(7);
+
+  // An application checkpoints through the mount point, a policy replaces
+  // old images, and the grid churns underneath.
+  FolderPolicy policy;
+  policy.retention = RetentionPolicy::kAutomatedReplace;
+  policy.replication_target = 2;
+  ASSERT_TRUE(cluster.manager().SetFolderPolicy("hpc", policy).ok());
+
+  Bytes last;
+  for (int t = 1; t <= 4; ++t) {
+    last = rng.RandomBytes(6 * 1024);
+    auto fd = fs.Open("/stdchk/hpc/hpc.n0.T" + std::to_string(t),
+                      OpenMode::kWrite);
+    ASSERT_TRUE(fd.ok());
+    ASSERT_TRUE(fs.Write(fd.value(), last).ok());
+    ASSERT_TRUE(fs.Close(fd.value()).ok());
+    cluster.Tick(1.0);
+  }
+  cluster.Settle();
+
+  auto entries = fs.ReadDir("/stdchk/hpc");
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries.value().size(), 1u);
+  EXPECT_EQ(entries.value()[0], "hpc.n0.T4");
+
+  auto rfd = fs.Open("/stdchk/hpc/hpc.n0.T4", OpenMode::kRead);
+  ASSERT_TRUE(rfd.ok());
+  Bytes out(last.size());
+  ASSERT_TRUE(fs.Read(rfd.value(), MutableByteSpan(out)).ok());
+  EXPECT_EQ(out, last);
+}
+
+}  // namespace
+}  // namespace stdchk

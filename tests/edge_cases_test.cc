@@ -1,0 +1,174 @@
+// Grab bag of edge cases across module boundaries.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/cluster.h"
+#include "fs/file_system.h"
+
+namespace stdchk {
+namespace {
+
+CheckpointName Name(std::uint64_t t) { return CheckpointName{"app", "n1", t}; }
+
+class EdgeCasesTest : public ::testing::Test {
+ protected:
+  EdgeCasesTest() {
+    ClusterOptions options;
+    options.benefactor_count = 4;
+    options.client.stripe_width = 2;
+    options.client.chunk_size = 1024;
+    cluster_ = std::make_unique<StdchkCluster>(options);
+  }
+
+  std::unique_ptr<StdchkCluster> cluster_;
+  Rng rng_{71};
+};
+
+TEST_F(EdgeCasesTest, AllNamespaceRpcsFailWhileManagerDown) {
+  cluster_->manager().Crash();
+  EXPECT_EQ(cluster_->manager().ListApps().status().code(),
+            StatusCode::kUnavailable);
+  EXPECT_EQ(cluster_->manager().ListVersions("x").status().code(),
+            StatusCode::kUnavailable);
+  EXPECT_EQ(cluster_->manager().DeleteApp("x").status().code(),
+            StatusCode::kUnavailable);
+  EXPECT_EQ(cluster_->manager().DeleteVersion(Name(1)).code(),
+            StatusCode::kUnavailable);
+  FolderPolicy policy;
+  EXPECT_EQ(cluster_->manager().SetFolderPolicy("x", policy).code(),
+            StatusCode::kUnavailable);
+  EXPECT_EQ(cluster_->manager().GetFolderPolicy("x").status().code(),
+            StatusCode::kUnavailable);
+  EXPECT_EQ(cluster_->manager()
+                .GcExchange(cluster_->benefactor(0).id(), {})
+                .status()
+                .code(),
+            StatusCode::kUnavailable);
+}
+
+TEST_F(EdgeCasesTest, ListVersionsOfUnknownAppIsEmptyNotError) {
+  auto versions = cluster_->manager().ListVersions("ghost");
+  ASSERT_TRUE(versions.ok());
+  EXPECT_TRUE(versions.value().empty());
+}
+
+TEST_F(EdgeCasesTest, ConcurrentProducersOfSameVersionOneWins) {
+  // Checkpoint images have a single producer by convention; if two race,
+  // session semantics guarantee exactly one atomic commit wins.
+  auto s1 = cluster_->client().CreateFile(Name(1));
+  auto s2 = cluster_->client().CreateFile(Name(1));
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s2.ok());
+  Bytes d1 = rng_.RandomBytes(2048);
+  Bytes d2 = rng_.RandomBytes(2048);
+  ASSERT_TRUE(s1.value()->Write(d1).ok());
+  ASSERT_TRUE(s2.value()->Write(d2).ok());
+
+  ASSERT_TRUE(s1.value()->Close().ok());
+  auto second = s2.value()->Close();
+  EXPECT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kAlreadyExists);
+
+  auto read_back = cluster_->client().ReadFile(Name(1));
+  ASSERT_TRUE(read_back.ok());
+  EXPECT_EQ(read_back.value(), d1);  // the winner's content, intact
+
+  // The loser's orphaned chunks are eventually collected.
+  cluster_->Settle();
+  std::uint64_t stored = 0;
+  for (std::size_t i = 0; i < cluster_->benefactor_count(); ++i) {
+    stored += cluster_->benefactor(i).BytesUsed();
+  }
+  EXPECT_EQ(stored, d1.size());
+}
+
+TEST_F(EdgeCasesTest, FileOfExactlyOneChunk) {
+  Bytes data = rng_.RandomBytes(1024);  // == chunk_size
+  ASSERT_TRUE(cluster_->client().WriteFile(Name(1), data).ok());
+  auto record = cluster_->manager().GetVersion(Name(1));
+  ASSERT_TRUE(record.ok());
+  EXPECT_EQ(record.value().chunk_map.chunks.size(), 1u);
+  auto read_back = cluster_->client().ReadFile(Name(1));
+  ASSERT_TRUE(read_back.ok());
+  EXPECT_EQ(read_back.value(), data);
+}
+
+TEST_F(EdgeCasesTest, SingleByteFile) {
+  Bytes data{0x42};
+  ASSERT_TRUE(cluster_->client().WriteFile(Name(1), data).ok());
+  auto read_back = cluster_->client().ReadFile(Name(1));
+  ASSERT_TRUE(read_back.ok());
+  EXPECT_EQ(read_back.value(), data);
+}
+
+TEST_F(EdgeCasesTest, StripeWiderThanPoolFailsUpFront) {
+  ClientOptions options = cluster_->client().options();
+  options.stripe_width = 99;
+  auto client = cluster_->MakeClient(options);
+  auto outcome = client->WriteFile(Name(1), rng_.RandomBytes(2048));
+  EXPECT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kUnavailable);
+}
+
+TEST_F(EdgeCasesTest, DeleteWhileReaderHoldsSession) {
+  // Session semantics: an open read session keeps working from its chunk
+  // map until GC actually collects the chunks.
+  Bytes data = rng_.RandomBytes(4096);
+  ASSERT_TRUE(cluster_->client().WriteFile(Name(1), data).ok());
+  auto session = cluster_->client().OpenFile(Name(1));
+  ASSERT_TRUE(session.ok());
+
+  ASSERT_TRUE(cluster_->client().Delete(Name(1)).ok());
+  // Before GC runs, the benefactors still hold the chunks.
+  auto all = session.value()->ReadAll();
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all.value(), data);
+
+  // After GC, a fresh open fails and the old session's fetches would too.
+  cluster_->Settle();
+  EXPECT_FALSE(cluster_->client().OpenFile(Name(1)).ok());
+}
+
+TEST_F(EdgeCasesTest, FsNegativeLookupsAreNotCachedAsPositive) {
+  FileSystem fs(&cluster_->client());
+  EXPECT_FALSE(fs.GetAttr("/stdchk/app/app.n1.T9").ok());
+  ASSERT_TRUE(cluster_->client().WriteFile(Name(9), rng_.RandomBytes(100)).ok());
+  auto attr = fs.GetAttr("/stdchk/app/app.n1.T9");
+  ASSERT_TRUE(attr.ok());
+  EXPECT_EQ(attr.value().size, 100u);
+}
+
+TEST_F(EdgeCasesTest, TimestepOrderingIndependentOfCommitOrder) {
+  // Commit out of order; GetLatest follows timestep, not commit time.
+  ASSERT_TRUE(cluster_->client().WriteFile(Name(5), rng_.RandomBytes(100)).ok());
+  ASSERT_TRUE(cluster_->client().WriteFile(Name(3), rng_.RandomBytes(100)).ok());
+  auto latest = cluster_->manager().GetLatest("app", "n1");
+  ASSERT_TRUE(latest.ok());
+  EXPECT_EQ(latest.value().name.timestep, 5u);
+}
+
+TEST_F(EdgeCasesTest, HeartbeatAfterSnapshotRestoreStillWorks) {
+  Bytes snapshot = cluster_->manager().SaveSnapshot();
+  ASSERT_TRUE(cluster_->manager().LoadSnapshot(snapshot).ok());
+  // Node ids survive the snapshot, so existing benefactors keep
+  // heartbeating without re-registering.
+  for (std::size_t i = 0; i < cluster_->benefactor_count(); ++i) {
+    EXPECT_TRUE(
+        cluster_->benefactor(i).SendHeartbeat(cluster_->manager()).ok());
+  }
+}
+
+TEST_F(EdgeCasesTest, ZeroAdvanceClockTickStillPumpsWork) {
+  ASSERT_TRUE(cluster_->client().WriteFile(Name(1), rng_.RandomBytes(2048)).ok());
+  ASSERT_TRUE(cluster_->client().Delete(Name(1)).ok());
+  // Ticks with no time advance must still run GC exchanges.
+  for (int i = 0; i < 4; ++i) cluster_->Tick(0.0);
+  std::uint64_t stored = 0;
+  for (std::size_t i = 0; i < cluster_->benefactor_count(); ++i) {
+    stored += cluster_->benefactor(i).BytesUsed();
+  }
+  EXPECT_EQ(stored, 0u);
+}
+
+}  // namespace
+}  // namespace stdchk

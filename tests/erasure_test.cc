@@ -1,0 +1,203 @@
+#include "erasure/reed_solomon.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "erasure/gf256.h"
+
+namespace stdchk {
+namespace {
+
+TEST(Gf256Test, AddIsXor) {
+  EXPECT_EQ(gf256::Add(0x53, 0xCA), 0x53 ^ 0xCA);
+  EXPECT_EQ(gf256::Add(7, 7), 0);
+}
+
+TEST(Gf256Test, MulIdentityAndZero) {
+  for (int a = 0; a < 256; ++a) {
+    EXPECT_EQ(gf256::Mul(static_cast<std::uint8_t>(a), 1), a);
+    EXPECT_EQ(gf256::Mul(static_cast<std::uint8_t>(a), 0), 0);
+    EXPECT_EQ(gf256::Mul(0, static_cast<std::uint8_t>(a)), 0);
+  }
+}
+
+TEST(Gf256Test, MulCommutativeAssociative) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    auto a = static_cast<std::uint8_t>(rng.Next());
+    auto b = static_cast<std::uint8_t>(rng.Next());
+    auto c = static_cast<std::uint8_t>(rng.Next());
+    EXPECT_EQ(gf256::Mul(a, b), gf256::Mul(b, a));
+    EXPECT_EQ(gf256::Mul(gf256::Mul(a, b), c), gf256::Mul(a, gf256::Mul(b, c)));
+  }
+}
+
+TEST(Gf256Test, MulDistributesOverAdd) {
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    auto a = static_cast<std::uint8_t>(rng.Next());
+    auto b = static_cast<std::uint8_t>(rng.Next());
+    auto c = static_cast<std::uint8_t>(rng.Next());
+    EXPECT_EQ(gf256::Mul(a, gf256::Add(b, c)),
+              gf256::Add(gf256::Mul(a, b), gf256::Mul(a, c)));
+  }
+}
+
+TEST(Gf256Test, InverseRoundTrips) {
+  for (int a = 1; a < 256; ++a) {
+    auto inv = gf256::Inv(static_cast<std::uint8_t>(a));
+    EXPECT_EQ(gf256::Mul(static_cast<std::uint8_t>(a), inv), 1) << a;
+    EXPECT_EQ(gf256::Div(1, static_cast<std::uint8_t>(a)), inv);
+  }
+}
+
+TEST(Gf256Test, DivInvertsMul) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    auto a = static_cast<std::uint8_t>(rng.Next());
+    auto b = static_cast<std::uint8_t>(rng.NextInRange(1, 255));
+    EXPECT_EQ(gf256::Div(gf256::Mul(a, b), b), a);
+  }
+}
+
+TEST(Gf256Test, KnownProduct) {
+  // 0x53 * 0xCA = 0x01 in AES-polynomial GF(256)... (0x11B). We use 0x11D,
+  // where the classic known pair is 2 * 0x8E = 1 (0x8E = inverse of 2).
+  EXPECT_EQ(gf256::Mul(2, gf256::Inv(2)), 1);
+  EXPECT_EQ(gf256::Exp(0), 1);
+  EXPECT_EQ(gf256::Exp(1), 2);
+  EXPECT_EQ(gf256::Exp(255), 1);  // order of the multiplicative group
+}
+
+TEST(Gf256Test, MulAccumMatchesScalarLoop) {
+  Rng rng(4);
+  Bytes src = rng.RandomBytes(1000);
+  Bytes dst1 = rng.RandomBytes(1000);
+  Bytes dst2 = dst1;
+  std::uint8_t c = 0x5A;
+  gf256::MulAccum(c, src.data(), dst1.data(), src.size());
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    dst2[i] = gf256::Add(dst2[i], gf256::Mul(c, src[i]));
+  }
+  EXPECT_EQ(dst1, dst2);
+}
+
+// ---- Reed-Solomon -----------------------------------------------------------
+
+struct RsCase {
+  int k;
+  int m;
+};
+
+class ReedSolomonTest : public ::testing::TestWithParam<RsCase> {};
+
+TEST_P(ReedSolomonTest, SurvivesEveryLossPatternUpToM) {
+  const auto [k, m] = GetParam();
+  auto rs = ReedSolomon::Create(k, m);
+  ASSERT_TRUE(rs.ok());
+
+  Rng rng(static_cast<std::uint64_t>(k * 100 + m));
+  Bytes data = rng.RandomBytes(static_cast<std::size_t>(k) * 257 + 13);
+  std::vector<Bytes> shards = rs->EncodeBlock(data);
+  ASSERT_EQ(shards.size(), static_cast<std::size_t>(k + m));
+
+  // Knock out m shards at rotating positions; always recoverable.
+  for (int start = 0; start < k + m; ++start) {
+    std::vector<std::optional<Bytes>> damaged(shards.begin(), shards.end());
+    for (int loss = 0; loss < m; ++loss) {
+      damaged[static_cast<std::size_t>((start + loss * 2) % (k + m))] =
+          std::nullopt;
+    }
+    auto decoded = rs->DecodeBlock(damaged, data.size());
+    ASSERT_TRUE(decoded.ok()) << "start=" << start;
+    EXPECT_EQ(decoded.value(), data);
+  }
+}
+
+TEST_P(ReedSolomonTest, ReconstructRestoresParityToo) {
+  const auto [k, m] = GetParam();
+  auto rs = ReedSolomon::Create(k, m);
+  ASSERT_TRUE(rs.ok());
+  Rng rng(static_cast<std::uint64_t>(k * 7 + m));
+  Bytes data = rng.RandomBytes(static_cast<std::size_t>(k) * 64);
+  std::vector<Bytes> shards = rs->EncodeBlock(data);
+
+  std::vector<std::optional<Bytes>> damaged(shards.begin(), shards.end());
+  // Lose the last parity shard, plus a data shard when m allows two losses.
+  damaged[static_cast<std::size_t>(k + m - 1)] = std::nullopt;
+  if (m >= 2) damaged[0] = std::nullopt;
+
+  ASSERT_TRUE(rs->Reconstruct(damaged).ok());
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    ASSERT_TRUE(damaged[i].has_value());
+    EXPECT_EQ(*damaged[i], shards[i]) << "shard " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, ReedSolomonTest,
+    ::testing::Values(RsCase{1, 1}, RsCase{2, 1}, RsCase{4, 2}, RsCase{8, 2},
+                      RsCase{8, 3}, RsCase{10, 4}, RsCase{16, 4}),
+    [](const auto& info) {
+      return "k" + std::to_string(info.param.k) + "m" +
+             std::to_string(info.param.m);
+    });
+
+TEST(ReedSolomonTest, FailsBeyondMLosses) {
+  auto rs = ReedSolomon::Create(4, 2);
+  ASSERT_TRUE(rs.ok());
+  Rng rng(9);
+  Bytes data = rng.RandomBytes(4096);
+  std::vector<Bytes> shards = rs->EncodeBlock(data);
+  std::vector<std::optional<Bytes>> damaged(shards.begin(), shards.end());
+  damaged[0] = damaged[1] = damaged[2] = std::nullopt;  // 3 > m = 2
+  EXPECT_EQ(rs->Reconstruct(damaged).code(), StatusCode::kDataLoss);
+}
+
+TEST(ReedSolomonTest, NoLossIsNoOp) {
+  auto rs = ReedSolomon::Create(3, 2);
+  ASSERT_TRUE(rs.ok());
+  Bytes data = ToBytes("erasure coded checkpoint data");
+  std::vector<Bytes> shards = rs->EncodeBlock(data);
+  std::vector<std::optional<Bytes>> intact(shards.begin(), shards.end());
+  ASSERT_TRUE(rs->Reconstruct(intact).ok());
+  auto decoded = rs->DecodeBlock(intact, data.size());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), data);
+}
+
+TEST(ReedSolomonTest, ValidatesParameters) {
+  EXPECT_FALSE(ReedSolomon::Create(0, 1).ok());
+  EXPECT_FALSE(ReedSolomon::Create(1, 0).ok());
+  EXPECT_FALSE(ReedSolomon::Create(200, 100).ok());
+  EXPECT_TRUE(ReedSolomon::Create(251, 4).ok());
+}
+
+TEST(ReedSolomonTest, EncodeParityRejectsUnevenShards) {
+  auto rs = ReedSolomon::Create(2, 1);
+  ASSERT_TRUE(rs.ok());
+  std::vector<Bytes> uneven{Bytes(10), Bytes(11)};
+  EXPECT_FALSE(rs->EncodeParity(uneven).ok());
+  std::vector<Bytes> wrong_count{Bytes(10)};
+  EXPECT_FALSE(rs->EncodeParity(wrong_count).ok());
+}
+
+TEST(ReedSolomonTest, TinyAndEmptyPayloads) {
+  auto rs = ReedSolomon::Create(4, 2);
+  ASSERT_TRUE(rs.ok());
+  for (std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{3},
+                        std::size_t{4}, std::size_t{5}}) {
+    Rng rng(n + 1);
+    Bytes data = rng.RandomBytes(n);
+    std::vector<Bytes> shards = rs->EncodeBlock(data);
+    std::vector<std::optional<Bytes>> damaged(shards.begin(), shards.end());
+    damaged[1] = std::nullopt;
+    damaged[4] = std::nullopt;
+    auto decoded = rs->DecodeBlock(damaged, n);
+    ASSERT_TRUE(decoded.ok()) << n;
+    EXPECT_EQ(decoded.value(), data);
+  }
+}
+
+}  // namespace
+}  // namespace stdchk

@@ -1,0 +1,104 @@
+// Experiment-level checks: the modeled baselines must land on the paper's
+// platform-characterization numbers, and the composite experiments must
+// show the paper's qualitative results.
+#include "perf/experiments.h"
+
+#include <gtest/gtest.h>
+
+namespace stdchk::perf {
+namespace {
+
+TEST(BaselineTest, Table1LocalIo) {
+  // Paper: 11.80 s +/- 0.16 for 1 GB.
+  double s = LocalIoSeconds(PaperLanTestbed(), 1_GiB);
+  EXPECT_NEAR(s, 11.88, 0.3);
+}
+
+TEST(BaselineTest, Table1FuseToLocal) {
+  // Paper: 12.00 s — about 2% over plain local I/O.
+  PlatformModel platform = PaperLanTestbed();
+  double local = LocalIoSeconds(platform, 1_GiB);
+  double fuse = FuseToLocalSeconds(platform, 1_GiB);
+  EXPECT_NEAR(fuse, 12.1, 0.4);
+  double overhead = (fuse - local) / local;
+  EXPECT_GT(overhead, 0.01);
+  EXPECT_LT(overhead, 0.04);
+}
+
+TEST(BaselineTest, Table1FuseNull) {
+  // Paper: 1.04 s +/- 0.03 for 1 GB through /stdchk/null.
+  EXPECT_NEAR(FuseNullSeconds(PaperLanTestbed(), 1_GiB), 1.04, 0.15);
+}
+
+TEST(BaselineTest, NfsMatchesMeasuredRate) {
+  double s = NfsSeconds(PaperLanTestbed(), 1_GiB);
+  EXPECT_NEAR(1024.0 / s, 24.8, 0.1);
+}
+
+TEST(ScalabilityTest, AggregateThroughputPlateausNearFabricLimit) {
+  ScalabilityConfig config;
+  // Shortened run, but long enough that the staggered clients overlap (each
+  // client is active for ~25 s against the 10 s start interval).
+  config.files_per_client = 30;
+  ScalabilityResult r = RunScalability(PaperLanTestbed(), config);
+
+  // Paper Fig. 8: sustained ~280 MB/s, fabric-limited.
+  EXPECT_GT(r.sustained_mbps, 200.0);
+  EXPECT_LE(r.peak_mbps, PaperLanTestbed().fabric_mbps * 1.05);
+  EXPECT_EQ(r.total_bytes, 7u * 30u * 100_MiB);
+  EXPECT_FALSE(r.timeline.empty());
+}
+
+TEST(ScalabilityTest, RampUpVisibleInTimeline) {
+  ScalabilityConfig config;
+  config.files_per_client = 30;
+  config.timeline_bucket_s = 5.0;
+  ScalabilityResult r = RunScalability(PaperLanTestbed(), config);
+  // Clients start at 10 s intervals: the first bucket (one client) moves
+  // less data than the plateau.
+  ASSERT_GE(r.timeline.size(), 4u);
+  EXPECT_LT(r.timeline[0].mb_per_second, r.sustained_mbps);
+}
+
+TEST(ScalabilityTest, SingleClientIsNicBound) {
+  ScalabilityConfig config;
+  config.clients = 1;
+  config.files_per_client = 4;
+  ScalabilityResult r = RunScalability(PaperLanTestbed(), config);
+  EXPECT_LT(r.peak_mbps, 125.0);  // one GigE client cannot exceed its NIC
+}
+
+TEST(BlastTest, ReproducesTable5Directionally) {
+  BlastConfig config;
+  config.checkpoints = 40;  // shortened; ratios are per-checkpoint
+  BlastResult r = RunBlastComparison(PaperLanTestbed(), config);
+
+  // stdchk speeds up the checkpoint operation itself...
+  EXPECT_GT(r.ckpt_improvement(), 0.15);
+  // ...cuts the stored/transferred data substantially (paper: 69%)...
+  EXPECT_GT(r.data_reduction(), 0.4);
+  // ...but barely moves total execution time (paper: 1.3%), because
+  // compute dominates.
+  EXPECT_GT(r.total_improvement(), 0.0);
+  EXPECT_LT(r.total_improvement(), 0.1);
+}
+
+TEST(BlastTest, DedupRatioComesFromRealTrace) {
+  BlastConfig config;
+  config.checkpoints = 10;
+  BlastResult r = RunBlastComparison(PaperLanTestbed(), config);
+  EXPECT_GT(r.avg_dedup_ratio, 0.2);
+  EXPECT_LT(r.avg_dedup_ratio, 0.99);
+  EXPECT_LT(r.stdchk_data_gb, r.local_data_gb);
+}
+
+TEST(SingleWriteTest, EmptyStripeDefaultsToAllBenefactors) {
+  PipelineConfig config;
+  config.protocol = ProtocolModel::kSW;
+  config.file_bytes = 32_MiB;
+  WriteResult r = RunSingleWrite(PaperLanTestbed(), 3, config);
+  EXPECT_GT(r.asb_mbps, 0.0);
+}
+
+}  // namespace
+}  // namespace stdchk::perf

@@ -1,0 +1,249 @@
+#include "fs/file_system.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "core/cluster.h"
+
+namespace stdchk {
+namespace {
+
+class FileSystemTest : public ::testing::Test {
+ protected:
+  FileSystemTest() {
+    ClusterOptions options;
+    options.benefactor_count = 4;
+    options.client.stripe_width = 2;
+    options.client.chunk_size = 1024;
+    cluster_ = std::make_unique<StdchkCluster>(options);
+    fs_ = std::make_unique<FileSystem>(&cluster_->client());
+  }
+
+  std::unique_ptr<StdchkCluster> cluster_;
+  std::unique_ptr<FileSystem> fs_;
+  Rng rng_{21};
+};
+
+TEST_F(FileSystemTest, WriteCloseReadRoundTrip) {
+  Bytes data = rng_.RandomBytes(5000);
+  auto fd = fs_->Open("/stdchk/sim/sim.n0.T1", OpenMode::kWrite);
+  ASSERT_TRUE(fd.ok());
+  auto n = fs_->Write(fd.value(), data);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(n.value(), data.size());
+  ASSERT_TRUE(fs_->Close(fd.value()).ok());
+
+  auto rfd = fs_->Open("/stdchk/sim/sim.n0.T1", OpenMode::kRead);
+  ASSERT_TRUE(rfd.ok());
+  Bytes out(data.size());
+  auto read = fs_->Read(rfd.value(), MutableByteSpan(out));
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value(), data.size());
+  EXPECT_EQ(out, data);
+  ASSERT_TRUE(fs_->Close(rfd.value()).ok());
+}
+
+TEST_F(FileSystemTest, SequentialReadAdvancesPosition) {
+  Bytes data = rng_.RandomBytes(3000);
+  auto fd = fs_->Open("/stdchk/a/a.n.T1", OpenMode::kWrite);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(fs_->Write(fd.value(), data).ok());
+  ASSERT_TRUE(fs_->Close(fd.value()).ok());
+
+  auto rfd = fs_->Open("/stdchk/a/a.n.T1", OpenMode::kRead);
+  ASSERT_TRUE(rfd.ok());
+  Bytes out;
+  Bytes buf(700);
+  while (true) {
+    auto n = fs_->Read(rfd.value(), MutableByteSpan(buf));
+    ASSERT_TRUE(n.ok());
+    if (n.value() == 0) break;
+    out.insert(out.end(), buf.begin(),
+               buf.begin() + static_cast<std::ptrdiff_t>(n.value()));
+  }
+  EXPECT_EQ(out, data);
+}
+
+TEST_F(FileSystemTest, SeekRepositionsReads) {
+  Bytes data = rng_.RandomBytes(4000);
+  auto fd = fs_->Open("/stdchk/a/a.n.T1", OpenMode::kWrite);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(fs_->Write(fd.value(), data).ok());
+  ASSERT_TRUE(fs_->Close(fd.value()).ok());
+
+  auto rfd = fs_->Open("/stdchk/a/a.n.T1", OpenMode::kRead);
+  ASSERT_TRUE(rfd.ok());
+  ASSERT_TRUE(fs_->Seek(rfd.value(), 2000).ok());
+  Bytes buf(100);
+  auto n = fs_->Read(rfd.value(), MutableByteSpan(buf));
+  ASSERT_TRUE(n.ok());
+  EXPECT_TRUE(std::equal(buf.begin(), buf.end(), data.begin() + 2000));
+}
+
+TEST_F(FileSystemTest, SeekOnWriteFdRejected) {
+  auto fd = fs_->Open("/stdchk/a/a.n.T1", OpenMode::kWrite);
+  ASSERT_TRUE(fd.ok());
+  EXPECT_EQ(fs_->Seek(fd.value(), 0).status().code(),
+            StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(fs_->Close(fd.value()).ok());
+}
+
+TEST_F(FileSystemTest, BareRootFileNameDerivesFolder) {
+  Bytes data = rng_.RandomBytes(100);
+  auto fd = fs_->Open("/stdchk/blast.n3.T9", OpenMode::kWrite);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(fs_->Write(fd.value(), data).ok());
+  ASSERT_TRUE(fs_->Close(fd.value()).ok());
+
+  auto entries = fs_->ReadDir("/stdchk/blast");
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries.value(), (std::vector<std::string>{"blast.n3.T9"}));
+}
+
+TEST_F(FileSystemTest, PathValidation) {
+  EXPECT_FALSE(fs_->Open("/other/a.n.T1", OpenMode::kWrite).ok());
+  EXPECT_FALSE(fs_->Open("/stdchk/a/b/c.n.T1", OpenMode::kWrite).ok());
+  EXPECT_FALSE(fs_->Open("/stdchk/a/badname", OpenMode::kWrite).ok());
+  // Folder mismatch: file "b.n.T1" inside folder "a".
+  EXPECT_FALSE(fs_->Open("/stdchk/a/b.n.T1", OpenMode::kWrite).ok());
+  EXPECT_FALSE(fs_->Open("/stdchk", OpenMode::kWrite).ok());
+}
+
+TEST_F(FileSystemTest, BadFdErrors) {
+  Bytes buf(10);
+  EXPECT_FALSE(fs_->Write(999, buf).ok());
+  EXPECT_FALSE(fs_->Read(999, MutableByteSpan(buf)).ok());
+  EXPECT_FALSE(fs_->Close(999).ok());
+}
+
+TEST_F(FileSystemTest, ReadOnWriteFdAndViceVersa) {
+  Bytes data = rng_.RandomBytes(100);
+  auto wfd = fs_->Open("/stdchk/a/a.n.T1", OpenMode::kWrite);
+  ASSERT_TRUE(wfd.ok());
+  Bytes buf(10);
+  EXPECT_EQ(fs_->Read(wfd.value(), MutableByteSpan(buf)).status().code(),
+            StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(fs_->Write(wfd.value(), data).ok());
+  ASSERT_TRUE(fs_->Close(wfd.value()).ok());
+
+  auto rfd = fs_->Open("/stdchk/a/a.n.T1", OpenMode::kRead);
+  ASSERT_TRUE(rfd.ok());
+  EXPECT_EQ(fs_->Write(rfd.value(), data).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(FileSystemTest, GetAttrForFileAndDirs) {
+  Bytes data = rng_.RandomBytes(2500);
+  auto fd = fs_->Open("/stdchk/app/app.n.T1", OpenMode::kWrite);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(fs_->Write(fd.value(), data).ok());
+  ASSERT_TRUE(fs_->Close(fd.value()).ok());
+
+  auto attr = fs_->GetAttr("/stdchk/app/app.n.T1");
+  ASSERT_TRUE(attr.ok());
+  EXPECT_EQ(attr.value().size, 2500u);
+  EXPECT_FALSE(attr.value().is_directory);
+
+  auto dir = fs_->GetAttr("/stdchk/app");
+  ASSERT_TRUE(dir.ok());
+  EXPECT_TRUE(dir.value().is_directory);
+
+  auto root = fs_->GetAttr("/stdchk");
+  ASSERT_TRUE(root.ok());
+  EXPECT_TRUE(root.value().is_directory);
+
+  EXPECT_FALSE(fs_->GetAttr("/stdchk/app/app.n.T9").ok());
+  EXPECT_FALSE(fs_->GetAttr("/stdchk/ghost").ok());
+}
+
+TEST_F(FileSystemTest, MetadataCacheServesRepeatLookups) {
+  Bytes data = rng_.RandomBytes(100);
+  auto fd = fs_->Open("/stdchk/app/app.n.T1", OpenMode::kWrite);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(fs_->Write(fd.value(), data).ok());
+  ASSERT_TRUE(fs_->Close(fd.value()).ok());
+
+  ASSERT_TRUE(fs_->GetAttr("/stdchk/app/app.n.T1").ok());
+  std::uint64_t misses = fs_->attr_cache_misses();
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(fs_->GetAttr("/stdchk/app/app.n.T1").ok());
+  }
+  EXPECT_EQ(fs_->attr_cache_misses(), misses);  // all hits
+  EXPECT_GE(fs_->attr_cache_hits(), 5u);
+
+  fs_->InvalidateCaches();
+  ASSERT_TRUE(fs_->GetAttr("/stdchk/app/app.n.T1").ok());
+  EXPECT_EQ(fs_->attr_cache_misses(), misses + 1);
+}
+
+TEST_F(FileSystemTest, ReadDirListsAppsAndVersions) {
+  for (int t = 1; t <= 3; ++t) {
+    std::string path = "/stdchk/app/app.n." + std::string("T") + std::to_string(t);
+    auto fd = fs_->Open(path, OpenMode::kWrite);
+    ASSERT_TRUE(fd.ok());
+    ASSERT_TRUE(fs_->Write(fd.value(), rng_.RandomBytes(10)).ok());
+    ASSERT_TRUE(fs_->Close(fd.value()).ok());
+  }
+  auto apps = fs_->ReadDir("/stdchk");
+  ASSERT_TRUE(apps.ok());
+  EXPECT_EQ(apps.value(), (std::vector<std::string>{"app"}));
+
+  auto versions = fs_->ReadDir("/stdchk/app");
+  ASSERT_TRUE(versions.ok());
+  EXPECT_EQ(versions.value().size(), 3u);
+
+  EXPECT_FALSE(fs_->ReadDir("/stdchk/app/app.n.T1").ok());
+}
+
+TEST_F(FileSystemTest, UnlinkRemovesFile) {
+  auto fd = fs_->Open("/stdchk/app/app.n.T1", OpenMode::kWrite);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(fs_->Write(fd.value(), rng_.RandomBytes(10)).ok());
+  ASSERT_TRUE(fs_->Close(fd.value()).ok());
+
+  ASSERT_TRUE(fs_->Unlink("/stdchk/app/app.n.T1").ok());
+  EXPECT_FALSE(fs_->Open("/stdchk/app/app.n.T1", OpenMode::kRead).ok());
+  EXPECT_FALSE(fs_->Unlink("/stdchk/app/app.n.T1").ok());
+  EXPECT_FALSE(fs_->Unlink("/stdchk/app").ok());  // not a file
+}
+
+TEST_F(FileSystemTest, RemoveAllDeletesAppFolder) {
+  for (int t = 1; t <= 3; ++t) {
+    auto fd = fs_->Open("/stdchk/app/app.n.T" + std::to_string(t),
+                        OpenMode::kWrite);
+    ASSERT_TRUE(fd.ok());
+    ASSERT_TRUE(fs_->Write(fd.value(), rng_.RandomBytes(10)).ok());
+    ASSERT_TRUE(fs_->Close(fd.value()).ok());
+  }
+  ASSERT_TRUE(fs_->RemoveAll("/stdchk/app").ok());
+  auto apps = fs_->ReadDir("/stdchk");
+  ASSERT_TRUE(apps.ok());
+  EXPECT_TRUE(apps.value().empty());
+}
+
+TEST_F(FileSystemTest, SetPolicyAttachesToFolder) {
+  FolderPolicy policy;
+  policy.retention = RetentionPolicy::kAutomatedReplace;
+  policy.replication_target = 2;
+  ASSERT_TRUE(fs_->SetPolicy("/stdchk/app", policy).ok());
+  auto got = cluster_->manager().GetFolderPolicy("app");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value().retention, RetentionPolicy::kAutomatedReplace);
+  EXPECT_FALSE(fs_->SetPolicy("/stdchk/app/app.n.T1", policy).ok());
+}
+
+TEST_F(FileSystemTest, CloseCommitsAtomically) {
+  // A second filesystem (another desktop) must not see the file mid-write.
+  FileSystem other(&cluster_->client());
+  auto fd = fs_->Open("/stdchk/app/app.n.T1", OpenMode::kWrite);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(fs_->Write(fd.value(), rng_.RandomBytes(5000)).ok());
+  EXPECT_FALSE(other.Open("/stdchk/app/app.n.T1", OpenMode::kRead).ok());
+  ASSERT_TRUE(fs_->Close(fd.value()).ok());
+  EXPECT_TRUE(other.Open("/stdchk/app/app.n.T1", OpenMode::kRead).ok());
+}
+
+}  // namespace
+}  // namespace stdchk

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/cluster.h"
+
+namespace stdchk {
+namespace {
+
+CheckpointName Name(std::uint64_t t) { return CheckpointName{"app", "n1", t}; }
+
+class GcTest : public ::testing::Test {
+ protected:
+  GcTest() {
+    ClusterOptions options;
+    options.benefactor_count = 4;
+    options.client.stripe_width = 2;
+    options.client.chunk_size = 1024;
+    cluster_ = std::make_unique<StdchkCluster>(options);
+  }
+
+  std::uint64_t TotalStoredBytes() {
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < cluster_->benefactor_count(); ++i) {
+      total += cluster_->benefactor(i).BytesUsed();
+    }
+    return total;
+  }
+
+  std::unique_ptr<StdchkCluster> cluster_;
+  Rng rng_{17};
+};
+
+TEST_F(GcTest, DeletedFilesChunksAreReclaimed) {
+  Bytes data = rng_.RandomBytes(8 * 1024);
+  ASSERT_TRUE(cluster_->client().WriteFile(Name(1), data).ok());
+  EXPECT_EQ(TotalStoredBytes(), data.size());
+
+  ASSERT_TRUE(cluster_->client().Delete(Name(1)).ok());
+  // The deletion happens only at the manager: chunks are orphaned until the
+  // next GC exchange (§IV.A).
+  EXPECT_EQ(TotalStoredBytes(), data.size());
+  cluster_->Settle();
+  EXPECT_EQ(TotalStoredBytes(), 0u);
+}
+
+TEST_F(GcTest, GcNeverCollectsLiveChunks) {
+  Bytes keep = rng_.RandomBytes(4 * 1024);
+  Bytes drop = rng_.RandomBytes(4 * 1024);
+  ASSERT_TRUE(cluster_->client().WriteFile(Name(1), keep).ok());
+  ASSERT_TRUE(cluster_->client().WriteFile(Name(2), drop).ok());
+  ASSERT_TRUE(cluster_->client().Delete(Name(2)).ok());
+  cluster_->Settle();
+
+  EXPECT_EQ(TotalStoredBytes(), keep.size());
+  auto read_back = cluster_->client().ReadFile(Name(1));
+  ASSERT_TRUE(read_back.ok());
+  EXPECT_EQ(read_back.value(), keep);
+}
+
+TEST_F(GcTest, SharedChunksSurviveSiblingDeletion) {
+  ClientOptions options = cluster_->client().options();
+  options.incremental_fsch = true;
+  auto client = cluster_->MakeClient(options);
+
+  Bytes image = rng_.RandomBytes(8 * 1024);
+  ASSERT_TRUE(client->WriteFile(Name(1), image).ok());
+  ASSERT_TRUE(client->WriteFile(Name(2), image).ok());  // fully deduped
+
+  ASSERT_TRUE(client->Delete(Name(1)).ok());
+  cluster_->Settle();
+
+  // T2 still references every chunk: nothing may be collected.
+  EXPECT_EQ(TotalStoredBytes(), image.size());
+  auto read_back = client->ReadFile(Name(2));
+  ASSERT_TRUE(read_back.ok());
+  EXPECT_EQ(read_back.value(), image);
+
+  ASSERT_TRUE(client->Delete(Name(2)).ok());
+  cluster_->Settle();
+  EXPECT_EQ(TotalStoredBytes(), 0u);
+}
+
+TEST_F(GcTest, InFlightWriteChunksAreNotCollected) {
+  auto session = cluster_->client().CreateFile(Name(1));
+  ASSERT_TRUE(session.ok());
+  Bytes data = rng_.RandomBytes(6 * 1024);
+  ASSERT_TRUE(session.value()->Write(data).ok());
+
+  // Background GC runs while the session is open (uncommitted chunks are
+  // on benefactors but unknown to the catalog).
+  for (int i = 0; i < 3; ++i) cluster_->Tick(1.0);
+  ASSERT_TRUE(session.value()->Close().ok());
+
+  auto read_back = cluster_->client().ReadFile(Name(1));
+  ASSERT_TRUE(read_back.ok());
+  EXPECT_EQ(read_back.value(), data);
+}
+
+TEST_F(GcTest, AbortedWriteChunksAreEventuallyReclaimed) {
+  {
+    auto session = cluster_->client().CreateFile(Name(1));
+    ASSERT_TRUE(session.ok());
+    ASSERT_TRUE(session.value()->Write(rng_.RandomBytes(6 * 1024)).ok());
+    session.value()->Abort();
+  }
+  cluster_->Settle();
+  EXPECT_EQ(TotalStoredBytes(), 0u);
+}
+
+TEST_F(GcTest, AbandonedSessionReclaimedAfterReservationTtl) {
+  // A client that dies without Abort(): the reservation GC expires the
+  // reservation (60 s TTL), after which the chunks become collectable.
+  auto session = cluster_->client().CreateFile(Name(1));
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE(session.value()->Write(rng_.RandomBytes(4 * 1024)).ok());
+  // Simulate client death: leak the session (never Close/Abort).
+  auto* leaked = session.value().release();
+  (void)leaked;
+
+  EXPECT_GT(TotalStoredBytes(), 0u);
+  for (int i = 0; i < 70; ++i) cluster_->Tick(1.0);
+  cluster_->Settle();
+  EXPECT_EQ(TotalStoredBytes(), 0u);
+}
+
+TEST_F(GcTest, RestartedNodeDropsStaleChunks) {
+  Bytes data = rng_.RandomBytes(4 * 1024);
+  ASSERT_TRUE(cluster_->client().WriteFile(Name(1), data).ok());
+
+  // The node crashes; heartbeat expiry drops its replicas; the file is
+  // deleted while it is away. On restart its chunks are orphans.
+  cluster_->benefactor(0).Crash();
+  cluster_->benefactor(1).Crash();
+  for (int i = 0; i < 15; ++i) cluster_->Tick(1.0);
+  ASSERT_TRUE(cluster_->client().Delete(Name(1)).ok());
+
+  ASSERT_TRUE(cluster_->RestartBenefactor(0).ok());
+  ASSERT_TRUE(cluster_->RestartBenefactor(1).ok());
+  cluster_->Settle();
+  EXPECT_EQ(TotalStoredBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace stdchk

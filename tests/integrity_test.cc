@@ -1,0 +1,96 @@
+// Content-addressing as an integrity mechanism (paper §IV.C: "prevent
+// faulty or malicious storage nodes from tampering with the chunks they
+// store"): corrupt stored bytes and verify detection end to end.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "benefactor/benefactor.h"
+#include "common/rng.h"
+#include "core/cluster.h"
+
+namespace stdchk {
+namespace {
+
+namespace fs = std::filesystem;
+
+TEST(IntegrityTest, TamperedDiskChunkIsDetectedOnRead) {
+  auto dir = fs::temp_directory_path() / "stdchk_integrity_test";
+  fs::remove_all(dir);
+
+  VirtualClock clock;
+  MetadataManager manager(&clock);
+  auto store = MakeDiskChunkStore((dir / "node0").string());
+  ASSERT_TRUE(store.ok());
+  Benefactor benefactor("node0", std::move(store).value(), 1_GiB);
+  ASSERT_TRUE(benefactor.JoinPool(manager).ok());
+
+  Rng rng(1);
+  Bytes data = rng.RandomBytes(4096);
+  ChunkId id = ChunkId::For(data);
+  ASSERT_TRUE(benefactor.PutChunk(id, data).ok());
+
+  // A "malicious donor" flips bits in the stored chunk file.
+  fs::path chunk_file;
+  for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+    if (entry.is_regular_file()) chunk_file = entry.path();
+  }
+  ASSERT_FALSE(chunk_file.empty());
+  {
+    std::fstream f(chunk_file, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(100);
+    char evil = 0x66;
+    f.write(&evil, 1);
+  }
+
+  auto got = benefactor.GetChunk(id);
+  EXPECT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kDataLoss);
+
+  fs::remove_all(dir);
+}
+
+TEST(IntegrityTest, ReaderFailsOverFromCorruptReplicaToGoodOne) {
+  // Two replicas; one donor's copy is corrupted in memory via a wipe+put
+  // of different content under the same id (simulating silent corruption
+  // is not possible through the public API — the content check in
+  // PutChunk is itself the guard — so we model the corrupt donor as one
+  // whose GetChunk fails, i.e. unreachable).
+  ClusterOptions options;
+  options.benefactor_count = 3;
+  options.client.stripe_width = 2;
+  options.client.chunk_size = 1024;
+  options.client.semantics = WriteSemantics::kPessimistic;
+  options.client.replication_target = 2;
+  StdchkCluster cluster(options);
+  Rng rng(2);
+  Bytes data = rng.RandomBytes(4096);
+  ASSERT_TRUE(
+      cluster.client().WriteFile(CheckpointName{"a", "n", 1}, data).ok());
+
+  // Make the first replica of every chunk unreachable.
+  auto record = cluster.manager().GetVersion(CheckpointName{"a", "n", 1});
+  ASSERT_TRUE(record.ok());
+  NodeId first = record.value().chunk_map.chunks[0].replicas[0];
+  cluster.transport().SetUnreachable(first, true);
+
+  auto read_back = cluster.client().ReadFile(CheckpointName{"a", "n", 1});
+  ASSERT_TRUE(read_back.ok());
+  EXPECT_EQ(read_back.value(), data);
+}
+
+TEST(IntegrityTest, PutRejectsMismatchedContentEvenViaTransport) {
+  ClusterOptions options;
+  options.benefactor_count = 1;
+  StdchkCluster cluster(options);
+  Bytes data = ToBytes("legit");
+  ChunkId wrong = ChunkId::For(ToBytes("other"));
+  EXPECT_EQ(cluster.transport()
+                .PutChunk(cluster.benefactor(0).id(), wrong, data)
+                .code(),
+            StatusCode::kDataLoss);
+}
+
+}  // namespace
+}  // namespace stdchk

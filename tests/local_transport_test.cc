@@ -1,0 +1,97 @@
+#include "core/local_transport.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "manager/virtual_clock.h"
+
+namespace stdchk {
+namespace {
+
+class LocalTransportTest : public ::testing::Test {
+ protected:
+  LocalTransportTest() : manager_(&clock_) {
+    for (int i = 0; i < 2; ++i) {
+      auto b = std::make_unique<Benefactor>("d" + std::to_string(i),
+                                            MakeMemoryChunkStore(), 1_GiB);
+      EXPECT_TRUE(b->JoinPool(manager_).ok());
+      transport_.AddEndpoint(b.get());
+      benefactors_.push_back(std::move(b));
+    }
+  }
+
+  VirtualClock clock_;
+  MetadataManager manager_;
+  LocalTransport transport_;
+  std::vector<std::unique_ptr<Benefactor>> benefactors_;
+};
+
+TEST_F(LocalTransportTest, RoutesPutAndGet) {
+  Bytes data = ToBytes("transported chunk");
+  ChunkId id = ChunkId::For(data);
+  NodeId node = benefactors_[0]->id();
+  ASSERT_TRUE(transport_.PutChunk(node, id, data).ok());
+  auto got = transport_.GetChunk(node, id);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value(), data);
+  EXPECT_EQ(transport_.bytes_moved(), 2 * data.size());
+  EXPECT_GE(transport_.rpc_count(), 2u);
+}
+
+TEST_F(LocalTransportTest, UnknownNodeIsUnroutable) {
+  Bytes data = ToBytes("x");
+  EXPECT_EQ(transport_.PutChunk(777, ChunkId::For(data), data).code(),
+            StatusCode::kUnavailable);
+}
+
+TEST_F(LocalTransportTest, UnreachableCutsTheLink) {
+  Bytes data = ToBytes("y");
+  ChunkId id = ChunkId::For(data);
+  NodeId node = benefactors_[0]->id();
+  transport_.SetUnreachable(node, true);
+  EXPECT_EQ(transport_.PutChunk(node, id, data).code(),
+            StatusCode::kUnavailable);
+  // The node itself is fine — it is the network that is down.
+  EXPECT_TRUE(benefactors_[0]->online());
+
+  transport_.SetUnreachable(node, false);
+  EXPECT_TRUE(transport_.PutChunk(node, id, data).ok());
+}
+
+TEST_F(LocalTransportTest, LossRateDropsSomeRpcs) {
+  Bytes data = ToBytes("z");
+  ChunkId id = ChunkId::For(data);
+  NodeId node = benefactors_[0]->id();
+  transport_.SetLossRate(node, 0.5);
+  int failures = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (!transport_.PutChunk(node, id, data).ok()) ++failures;
+  }
+  EXPECT_GT(failures, 50);
+  EXPECT_LT(failures, 150);
+}
+
+TEST_F(LocalTransportTest, CopyChunkMovesBetweenNodes) {
+  Bytes data = ToBytes("replicate me");
+  ChunkId id = ChunkId::For(data);
+  NodeId a = benefactors_[0]->id();
+  NodeId b = benefactors_[1]->id();
+  ASSERT_TRUE(transport_.PutChunk(a, id, data).ok());
+  ASSERT_TRUE(transport_.CopyChunk(id, a, b).ok());
+  EXPECT_TRUE(benefactors_[1]->HasChunk(id));
+
+  // Copy from a node that lacks the chunk fails.
+  ChunkId missing = ChunkId::For(ToBytes("missing"));
+  EXPECT_FALSE(transport_.CopyChunk(missing, a, b).ok());
+}
+
+TEST_F(LocalTransportTest, StashRoutedToNode) {
+  VersionRecord record;
+  record.name = CheckpointName{"a", "n", 1};
+  NodeId node = benefactors_[0]->id();
+  ASSERT_TRUE(transport_.StashChunkMap(node, record, 2).ok());
+  EXPECT_EQ(benefactors_[0]->stashed_count(), 1u);
+}
+
+}  // namespace
+}  // namespace stdchk

@@ -1,0 +1,327 @@
+#include "manager/metadata_manager.h"
+
+#include <gtest/gtest.h>
+
+#include "common/hash.h"
+
+namespace stdchk {
+namespace {
+
+ChunkId MakeChunkId(int i) {
+  std::string s = "mm-chunk-" + std::to_string(i);
+  return ChunkId{Sha1(AsBytes(s))};
+}
+
+class MetadataManagerTest : public ::testing::Test {
+ protected:
+  MetadataManagerTest() : manager_(&clock_) {
+    for (int i = 0; i < 4; ++i) {
+      BenefactorInfo info;
+      info.host = "d" + std::to_string(i);
+      info.total_bytes = 1_GiB;
+      info.free_bytes = 1_GiB;
+      nodes_.push_back(manager_.RegisterBenefactor(info).value());
+    }
+  }
+
+  VersionRecord MakeVersion(const std::string& app, std::uint64_t timestep,
+                            NodeId replica, int chunk_seed = 0) {
+    VersionRecord record;
+    record.name = CheckpointName{app, "n1", timestep};
+    ChunkLocation loc;
+    loc.id = MakeChunkId(chunk_seed + static_cast<int>(timestep) * 1000);
+    loc.file_offset = 0;
+    loc.size = 1024;
+    loc.replicas = {replica};
+    record.chunk_map.chunks.push_back(loc);
+    record.size = 1024;
+    return record;
+  }
+
+  VirtualClock clock_;
+  MetadataManager manager_;
+  std::vector<NodeId> nodes_;
+};
+
+TEST_F(MetadataManagerTest, ReserveStripeReturnsDistinctNodes) {
+  auto res = manager_.ReserveStripe(4, 100_MiB);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.value().stripe.size(), 4u);
+  EXPECT_NE(res.value().id, 0u);
+}
+
+TEST_F(MetadataManagerTest, ReserveStripeFailsBeyondPool) {
+  EXPECT_FALSE(manager_.ReserveStripe(5, 1_MiB).ok());
+}
+
+TEST_F(MetadataManagerTest, ReservationAffectsStripeSelection) {
+  auto res = manager_.ReserveStripe(1, 1_GiB);
+  ASSERT_TRUE(res.ok());
+  // The reserved node now has the least effective free space.
+  auto next = manager_.ReserveStripe(1, 1_MiB);
+  ASSERT_TRUE(next.ok());
+  EXPECT_NE(next.value().stripe[0], res.value().stripe[0]);
+}
+
+TEST_F(MetadataManagerTest, ExtendAndReleaseReservation) {
+  auto res = manager_.ReserveStripe(2, 10_MiB);
+  ASSERT_TRUE(res.ok());
+  EXPECT_TRUE(manager_.ExtendReservation(res.value().id, 10_MiB).ok());
+  EXPECT_TRUE(manager_.ReleaseReservation(res.value().id).ok());
+  EXPECT_EQ(manager_.ReleaseReservation(res.value().id).code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(MetadataManagerTest, ReservationGcReclaimsExpired) {
+  auto res = manager_.ReserveStripe(2, 10_MiB);
+  ASSERT_TRUE(res.ok());
+  clock_.AdvanceSeconds(120);  // past the 60 s TTL
+  manager_.TickReservationGc();
+  EXPECT_EQ(manager_.ExtendReservation(res.value().id, 1).code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(MetadataManagerTest, ReservationGcKeepsFreshOnes) {
+  auto res = manager_.ReserveStripe(2, 10_MiB);
+  ASSERT_TRUE(res.ok());
+  clock_.AdvanceSeconds(30);
+  manager_.TickReservationGc();
+  EXPECT_TRUE(manager_.ExtendReservation(res.value().id, 1).ok());
+}
+
+TEST_F(MetadataManagerTest, CommitReleasesReservation) {
+  auto res = manager_.ReserveStripe(1, 10_MiB);
+  ASSERT_TRUE(res.ok());
+  ASSERT_TRUE(manager_
+                  .CommitVersion(res.value().id,
+                                 MakeVersion("app", 1, res.value().stripe[0]))
+                  .ok());
+  EXPECT_EQ(manager_.ExtendReservation(res.value().id, 1).code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(MetadataManagerTest, CommitInheritsFolderReplicationTarget) {
+  FolderPolicy policy;
+  policy.replication_target = 3;
+  ASSERT_TRUE(manager_.SetFolderPolicy("app", policy).ok());
+  VersionRecord v = MakeVersion("app", 1, nodes_[0]);
+  v.replication_target = 0;  // inherit
+  ASSERT_TRUE(manager_.CommitVersion(0, v).ok());
+  EXPECT_EQ(manager_.GetVersion(v.name).value().replication_target, 3);
+}
+
+TEST_F(MetadataManagerTest, FilterAndLocateChunks) {
+  VersionRecord v = MakeVersion("app", 1, nodes_[2]);
+  ASSERT_TRUE(manager_.CommitVersion(0, v).ok());
+  ChunkId known = v.chunk_map.chunks[0].id;
+  ChunkId unknown = MakeChunkId(424242);
+
+  auto filter = manager_.FilterKnownChunks({known, unknown});
+  ASSERT_TRUE(filter.ok());
+  EXPECT_TRUE(filter.value()[0]);
+  EXPECT_FALSE(filter.value()[1]);
+
+  auto locate = manager_.LocateChunks({known, unknown});
+  ASSERT_TRUE(locate.ok());
+  EXPECT_EQ(locate.value()[0], std::vector<NodeId>{nodes_[2]});
+  EXPECT_TRUE(locate.value()[1].empty());
+}
+
+TEST_F(MetadataManagerTest, SetFolderPolicyValidates) {
+  FolderPolicy policy;
+  policy.replication_target = 0;
+  EXPECT_EQ(manager_.SetFolderPolicy("a", policy).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(MetadataManagerTest, CrashMakesRpcsUnavailable) {
+  manager_.Crash();
+  EXPECT_FALSE(manager_.IsUp());
+  EXPECT_EQ(manager_.ReserveStripe(1, 1).status().code(),
+            StatusCode::kUnavailable);
+  EXPECT_EQ(manager_.Heartbeat(nodes_[0], 1).code(), StatusCode::kUnavailable);
+  EXPECT_EQ(manager_.GetVersion(CheckpointName{"a", "n", 1}).status().code(),
+            StatusCode::kUnavailable);
+  EXPECT_TRUE(manager_.TickReplication().empty());
+  EXPECT_TRUE(manager_.TickRetention().empty());
+}
+
+TEST_F(MetadataManagerTest, CommittedStateSurvivesRestart) {
+  VersionRecord v = MakeVersion("app", 1, nodes_[0]);
+  ASSERT_TRUE(manager_.CommitVersion(0, v).ok());
+  manager_.Crash();
+  manager_.Restart();
+  EXPECT_TRUE(manager_.GetVersion(v.name).ok());
+}
+
+TEST_F(MetadataManagerTest, ExpiryDropsReplicasAndReportsLoss) {
+  VersionRecord v = MakeVersion("app", 1, nodes_[0]);
+  ASSERT_TRUE(manager_.CommitVersion(0, v).ok());
+
+  // Only node 0 goes silent.
+  clock_.AdvanceSeconds(11);
+  for (std::size_t i = 1; i < nodes_.size(); ++i) {
+    ASSERT_TRUE(manager_.Heartbeat(nodes_[i], 1_GiB).ok());
+  }
+  std::vector<NodeId> expired = manager_.TickExpiry();
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_EQ(expired[0], nodes_[0]);
+
+  std::vector<ChunkId> lost = manager_.TakeLostChunks();
+  ASSERT_EQ(lost.size(), 1u);
+  EXPECT_EQ(lost[0], v.chunk_map.chunks[0].id);
+  EXPECT_TRUE(manager_.TakeLostChunks().empty());  // drained
+}
+
+TEST_F(MetadataManagerTest, GcExchangeIdentifiesOrphans) {
+  VersionRecord v = MakeVersion("app", 1, nodes_[0]);
+  ASSERT_TRUE(manager_.CommitVersion(0, v).ok());
+
+  ChunkId live = v.chunk_map.chunks[0].id;
+  ChunkId orphan = MakeChunkId(777);
+  auto doomed = manager_.GcExchange(nodes_[0], {live, orphan});
+  ASSERT_TRUE(doomed.ok());
+  ASSERT_EQ(doomed.value().size(), 1u);
+  EXPECT_EQ(doomed.value()[0], orphan);
+}
+
+TEST_F(MetadataManagerTest, GcDefersWhileNodeHasActiveReservation) {
+  auto res = manager_.ReserveStripe(4, 10_MiB);  // covers all nodes
+  ASSERT_TRUE(res.ok());
+  ChunkId inflight = MakeChunkId(888);
+  auto doomed = manager_.GcExchange(nodes_[0], {inflight});
+  ASSERT_TRUE(doomed.ok());
+  EXPECT_TRUE(doomed.value().empty());  // not collected mid-write
+
+  ASSERT_TRUE(manager_.ReleaseReservation(res.value().id).ok());
+  doomed = manager_.GcExchange(nodes_[0], {inflight});
+  ASSERT_TRUE(doomed.ok());
+  EXPECT_EQ(doomed.value().size(), 1u);  // now an orphan
+}
+
+TEST_F(MetadataManagerTest, GcExchangeReintegratesReturningNodesReplicas) {
+  VersionRecord v = MakeVersion("app", 1, nodes_[0]);
+  ASSERT_TRUE(manager_.CommitVersion(0, v).ok());
+  ChunkId chunk = v.chunk_map.chunks[0].id;
+
+  // Node 0 goes silent; its replicas are dropped (data loss for r=1).
+  clock_.AdvanceSeconds(11);
+  for (std::size_t i = 1; i < nodes_.size(); ++i) {
+    ASSERT_TRUE(manager_.Heartbeat(nodes_[i], 1_GiB).ok());
+  }
+  manager_.TickExpiry();
+  EXPECT_TRUE(manager_.LocateChunks({chunk}).value()[0].empty());
+
+  // The desktop returns with its disk intact and runs a GC exchange: the
+  // still-live chunk must be re-adopted, not deleted.
+  ASSERT_TRUE(manager_.Heartbeat(nodes_[0], 1_GiB).ok());
+  auto doomed = manager_.GcExchange(nodes_[0], {chunk});
+  ASSERT_TRUE(doomed.ok());
+  EXPECT_TRUE(doomed.value().empty());
+  EXPECT_EQ(manager_.LocateChunks({chunk}).value()[0],
+            std::vector<NodeId>{nodes_[0]});
+}
+
+TEST_F(MetadataManagerTest, RecoveryRequiresTwoThirdsConcurrence) {
+  VersionRecord v = MakeVersion("app", 9, nodes_[0]);
+  // Stripe width 3 -> need ceil(2/3 * 3) = 2 endorsements.
+  ASSERT_TRUE(manager_.OfferRecoveredVersion(nodes_[0], v, 3).ok());
+  EXPECT_FALSE(manager_.GetVersion(v.name).ok());
+  ASSERT_TRUE(manager_.OfferRecoveredVersion(nodes_[1], v, 3).ok());
+  EXPECT_TRUE(manager_.GetVersion(v.name).ok());
+}
+
+TEST_F(MetadataManagerTest, RecoveryIgnoresDuplicateEndorser) {
+  VersionRecord v = MakeVersion("app", 9, nodes_[0]);
+  ASSERT_TRUE(manager_.OfferRecoveredVersion(nodes_[0], v, 3).ok());
+  ASSERT_TRUE(manager_.OfferRecoveredVersion(nodes_[0], v, 3).ok());
+  EXPECT_FALSE(manager_.GetVersion(v.name).ok());  // same node twice != 2
+}
+
+TEST_F(MetadataManagerTest, RecoveryOffersWithDifferentMapsDoNotMix) {
+  VersionRecord v1 = MakeVersion("app", 9, nodes_[0], /*chunk_seed=*/1);
+  VersionRecord v2 = MakeVersion("app", 9, nodes_[1], /*chunk_seed=*/2);
+  ASSERT_TRUE(manager_.OfferRecoveredVersion(nodes_[0], v1, 3).ok());
+  ASSERT_TRUE(manager_.OfferRecoveredVersion(nodes_[1], v2, 3).ok());
+  // Two endorsements but for different chunk maps: no commit.
+  EXPECT_FALSE(manager_.GetVersion(v1.name).ok());
+}
+
+TEST_F(MetadataManagerTest, RecoveryOfferAfterCommitIsNoOp) {
+  VersionRecord v = MakeVersion("app", 1, nodes_[0]);
+  ASSERT_TRUE(manager_.CommitVersion(0, v).ok());
+  EXPECT_TRUE(manager_.OfferRecoveredVersion(nodes_[1], v, 3).ok());
+  EXPECT_EQ(manager_.catalog().TotalVersions(), 1u);
+}
+
+TEST_F(MetadataManagerTest, ReplicationCommandsForUnderReplicatedChunks) {
+  VersionRecord v = MakeVersion("app", 1, nodes_[0]);
+  v.replication_target = 3;
+  ASSERT_TRUE(manager_.CommitVersion(0, v).ok());
+
+  std::vector<ReplicationCommand> cmds = manager_.TickReplication();
+  ASSERT_EQ(cmds.size(), 2u);
+  for (const auto& cmd : cmds) {
+    EXPECT_EQ(cmd.source, nodes_[0]);
+    EXPECT_NE(cmd.target, nodes_[0]);
+  }
+  EXPECT_NE(cmds[0].target, cmds[1].target);
+  EXPECT_EQ(manager_.pending_replications(), 2u);
+
+  // No duplicate issuance while in flight.
+  EXPECT_TRUE(manager_.TickReplication().empty());
+
+  // Ack both; replica lists update; no further commands.
+  for (const auto& cmd : cmds) {
+    ASSERT_TRUE(manager_.AckReplication(cmd, true).ok());
+  }
+  EXPECT_EQ(manager_.pending_replications(), 0u);
+  EXPECT_TRUE(manager_.TickReplication().empty());
+  EXPECT_EQ(manager_.LocateChunks({v.chunk_map.chunks[0].id}).value()[0].size(),
+            3u);
+}
+
+TEST_F(MetadataManagerTest, FailedReplicationIsRetried) {
+  VersionRecord v = MakeVersion("app", 1, nodes_[0]);
+  v.replication_target = 2;
+  ASSERT_TRUE(manager_.CommitVersion(0, v).ok());
+
+  auto cmds = manager_.TickReplication();
+  ASSERT_EQ(cmds.size(), 1u);
+  ASSERT_TRUE(manager_.AckReplication(cmds[0], false).ok());
+
+  auto retry = manager_.TickReplication();
+  ASSERT_EQ(retry.size(), 1u);  // re-issued
+}
+
+TEST_F(MetadataManagerTest, ReplicationRespectsPerTickBudget) {
+  ManagerOptions options;
+  options.max_replications_per_tick = 2;
+  MetadataManager manager(&clock_, options);
+  std::vector<NodeId> nodes;
+  for (int i = 0; i < 6; ++i) {
+    BenefactorInfo info;
+    info.host = "x" + std::to_string(i);
+    info.free_bytes = 1_GiB;
+    nodes.push_back(manager.RegisterBenefactor(info).value());
+  }
+  // Five chunks each needing one extra replica.
+  VersionRecord record;
+  record.name = CheckpointName{"app", "n", 1};
+  for (int c = 0; c < 5; ++c) {
+    ChunkLocation loc;
+    loc.id = MakeChunkId(5000 + c);
+    loc.file_offset = static_cast<std::uint64_t>(c) * 100;
+    loc.size = 100;
+    loc.replicas = {nodes[0]};
+    record.chunk_map.chunks.push_back(loc);
+  }
+  record.size = 500;
+  record.replication_target = 2;
+  ASSERT_TRUE(manager.CommitVersion(0, record).ok());
+
+  EXPECT_EQ(manager.TickReplication().size(), 2u);
+}
+
+}  // namespace
+}  // namespace stdchk

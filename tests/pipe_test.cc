@@ -1,0 +1,107 @@
+#include "sim/pipe.h"
+
+#include <gtest/gtest.h>
+
+namespace stdchk::sim {
+namespace {
+
+constexpr double kMB = 1048576.0;
+
+TEST(PipeTest, SingleTransferTiming) {
+  Simulator sim;
+  Pipe pipe(&sim, "p", 100.0);  // 100 MB/s
+  SimTime done = -1;
+  pipe.Transfer(100 * kMB, [&] { done = sim.Now(); });
+  sim.Run();
+  EXPECT_EQ(done, Seconds(1.0));
+}
+
+TEST(PipeTest, FifoQueueing) {
+  Simulator sim;
+  Pipe pipe(&sim, "p", 100.0);
+  SimTime first = -1, second = -1;
+  pipe.Transfer(100 * kMB, [&] { first = sim.Now(); });
+  pipe.Transfer(100 * kMB, [&] { second = sim.Now(); });
+  sim.Run();
+  EXPECT_EQ(first, Seconds(1.0));
+  EXPECT_EQ(second, Seconds(2.0));  // waits for the first
+}
+
+TEST(PipeTest, PerOpOverheadAdds) {
+  Simulator sim;
+  Pipe pipe(&sim, "p", 100.0, Milliseconds(10));
+  SimTime done = -1;
+  pipe.Transfer(100 * kMB, [&] { done = sim.Now(); });
+  sim.Run();
+  EXPECT_EQ(done, Seconds(1.0) + Milliseconds(10));
+}
+
+TEST(PipeTest, LaterArrivalStartsWhenIdle) {
+  Simulator sim;
+  Pipe pipe(&sim, "p", 100.0);
+  SimTime done = -1;
+  sim.At(Seconds(5.0), [&] {
+    pipe.Transfer(100 * kMB, [&] { done = sim.Now(); });
+  });
+  sim.Run();
+  EXPECT_EQ(done, Seconds(6.0));
+}
+
+TEST(PipeTest, TracksBytesMoved) {
+  Simulator sim;
+  Pipe pipe(&sim, "p", 100.0);
+  pipe.Occupy(10 * kMB);
+  pipe.Occupy(20 * kMB);
+  sim.Run();
+  EXPECT_DOUBLE_EQ(pipe.bytes_moved(), 30 * kMB);
+}
+
+TEST(PipeTest, BandwidthChangeAffectsNewTransfers) {
+  Simulator sim;
+  Pipe pipe(&sim, "p", 100.0);
+  SimTime done = -1;
+  pipe.set_bandwidth(50.0);
+  pipe.Transfer(100 * kMB, [&] { done = sim.Now(); });
+  sim.Run();
+  EXPECT_EQ(done, Seconds(2.0));
+}
+
+// Pipelining property: chunks flowing through two chained pipes complete at
+// the rate of the slower stage once the pipeline fills.
+TEST(PipeTest, ChainedPipesBottleneckAtSlowestStage) {
+  Simulator sim;
+  Pipe fast(&sim, "fast", 200.0);
+  Pipe slow(&sim, "slow", 50.0);
+
+  const int chunks = 20;
+  SimTime last_done = 0;
+  for (int i = 0; i < chunks; ++i) {
+    fast.Transfer(1 * kMB, [&] {
+      slow.Transfer(1 * kMB, [&] { last_done = sim.Now(); });
+    });
+  }
+  sim.Run();
+  // 20 MB total; steady state 50 MB/s; first chunk pays the fast stage too.
+  double seconds = ToSeconds(last_done);
+  EXPECT_NEAR(seconds, 20.0 / 50.0 + 1.0 / 200.0, 0.01);
+}
+
+// Store-and-forward: a shared middle stage serializes two producers.
+TEST(PipeTest, SharedStageSerializesStreams) {
+  Simulator sim;
+  Pipe shared(&sim, "shared", 100.0);
+  double bytes_done = 0;
+  SimTime last = 0;
+  for (int i = 0; i < 10; ++i) {
+    shared.Transfer(10 * kMB, [&] {
+      bytes_done += 10 * kMB;
+      last = sim.Now();
+    });
+  }
+  sim.Run();
+  EXPECT_DOUBLE_EQ(bytes_done, 100 * kMB);
+  EXPECT_EQ(last, Seconds(1.0));
+}
+
+}  // namespace
+}  // namespace stdchk::sim

@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/cluster.h"
+
+namespace stdchk {
+namespace {
+
+CheckpointName Name(std::uint64_t t) { return CheckpointName{"app", "n1", t}; }
+
+class ReplicationTest : public ::testing::Test {
+ protected:
+  ReplicationTest() {
+    ClusterOptions options;
+    options.benefactor_count = 6;
+    options.client.stripe_width = 2;
+    options.client.chunk_size = 1024;
+    cluster_ = std::make_unique<StdchkCluster>(options);
+  }
+
+  int CountReplicas(const CheckpointName& name) {
+    auto record = cluster_->manager().GetVersion(name);
+    EXPECT_TRUE(record.ok());
+    int min_replicas = INT32_MAX;
+    for (const auto& loc : record.value().chunk_map.chunks) {
+      min_replicas = std::min(min_replicas,
+                              static_cast<int>(loc.replicas.size()));
+    }
+    return min_replicas;
+  }
+
+  std::unique_ptr<StdchkCluster> cluster_;
+  Rng rng_{3};
+};
+
+TEST_F(ReplicationTest, BackgroundReplicationReachesTarget) {
+  ClientOptions options = cluster_->client().options();
+  options.semantics = WriteSemantics::kOptimistic;
+  options.replication_target = 3;
+  auto client = cluster_->MakeClient(options);
+
+  ASSERT_TRUE(client->WriteFile(Name(1), rng_.RandomBytes(8 * 1024)).ok());
+  EXPECT_EQ(CountReplicas(Name(1)), 1);  // optimistic: one replica at close
+
+  cluster_->Settle();
+  EXPECT_EQ(CountReplicas(Name(1)), 3);
+}
+
+TEST_F(ReplicationTest, ReplicationRepairsNodeLoss) {
+  ClientOptions options = cluster_->client().options();
+  options.semantics = WriteSemantics::kPessimistic;
+  options.replication_target = 2;
+  auto client = cluster_->MakeClient(options);
+  Bytes data = rng_.RandomBytes(6 * 1024);
+  ASSERT_TRUE(client->WriteFile(Name(1), data).ok());
+
+  // Kill one node; after heartbeat expiry + repair, every chunk is back to
+  // two replicas on live nodes.
+  cluster_->benefactor(0).Crash();
+  for (int i = 0; i < 20; ++i) cluster_->Tick(1.0);
+  cluster_->Settle();
+
+  auto record = cluster_->manager().GetVersion(Name(1));
+  ASSERT_TRUE(record.ok());
+  NodeId dead = cluster_->benefactor(0).id();
+  for (const auto& loc : record.value().chunk_map.chunks) {
+    int live = 0;
+    for (NodeId node : loc.replicas) {
+      if (node != dead) ++live;
+    }
+    EXPECT_GE(live, 2) << "chunk " << loc.id.ToHex();
+  }
+
+  // And the data is still readable.
+  auto read_back = client->ReadFile(Name(1));
+  ASSERT_TRUE(read_back.ok());
+  EXPECT_EQ(read_back.value(), data);
+}
+
+TEST_F(ReplicationTest, LosingEveryReplicaIsReportedAsDataLoss) {
+  ASSERT_TRUE(cluster_->client().WriteFile(Name(1), rng_.RandomBytes(2048)).ok());
+  auto record = cluster_->manager().GetVersion(Name(1));
+  ASSERT_TRUE(record.ok());
+
+  // Replication target is 1: killing the single holder loses the chunk.
+  std::set<NodeId> holders;
+  for (const auto& loc : record.value().chunk_map.chunks) {
+    for (NodeId node : loc.replicas) holders.insert(node);
+  }
+  for (std::size_t i = 0; i < cluster_->benefactor_count(); ++i) {
+    if (holders.contains(cluster_->benefactor(i).id())) {
+      cluster_->benefactor(i).Crash();
+    }
+  }
+  for (int i = 0; i < 20; ++i) cluster_->Tick(1.0);
+
+  EXPECT_FALSE(cluster_->manager().TakeLostChunks().empty() ||
+               cluster_->client().ReadFile(Name(1)).ok());
+}
+
+TEST_F(ReplicationTest, DedupedVersionsShareReplicas) {
+  ClientOptions options = cluster_->client().options();
+  options.incremental_fsch = true;
+  options.replication_target = 2;
+  options.semantics = WriteSemantics::kOptimistic;
+  auto client = cluster_->MakeClient(options);
+
+  Bytes image = rng_.RandomBytes(4 * 1024);
+  ASSERT_TRUE(client->WriteFile(Name(1), image).ok());
+  ASSERT_TRUE(client->WriteFile(Name(2), image).ok());
+  cluster_->Settle();
+
+  // Both versions reference the same chunks; storage holds target x unique.
+  EXPECT_EQ(CountReplicas(Name(1)), 2);
+  EXPECT_EQ(CountReplicas(Name(2)), 2);
+  std::uint64_t stored = 0;
+  for (std::size_t i = 0; i < cluster_->benefactor_count(); ++i) {
+    stored += cluster_->benefactor(i).BytesUsed();
+  }
+  EXPECT_EQ(stored, 2u * 4 * 1024);
+}
+
+TEST_F(ReplicationTest, SettleConvergesAndStops) {
+  ClientOptions options = cluster_->client().options();
+  options.replication_target = 2;
+  auto client = cluster_->MakeClient(options);
+  ASSERT_TRUE(client->WriteFile(Name(1), rng_.RandomBytes(4096)).ok());
+
+  cluster_->Settle();
+  // After convergence a further tick issues no replication commands.
+  auto report = cluster_->Tick(1.0);
+  EXPECT_EQ(report.replication_commands, 0u);
+  EXPECT_EQ(cluster_->manager().pending_replications(), 0u);
+}
+
+TEST_F(ReplicationTest, ReplicationSurvivesTargetNodeFailure) {
+  ClientOptions options = cluster_->client().options();
+  options.replication_target = 3;
+  auto client = cluster_->MakeClient(options);
+  ASSERT_TRUE(client->WriteFile(Name(1), rng_.RandomBytes(2048)).ok());
+
+  // Crash a non-holding node so some replication copies fail, then recover.
+  auto record = cluster_->manager().GetVersion(Name(1));
+  ASSERT_TRUE(record.ok());
+  std::set<NodeId> holders;
+  for (const auto& loc : record.value().chunk_map.chunks) {
+    for (NodeId node : loc.replicas) holders.insert(node);
+  }
+  for (std::size_t i = 0; i < cluster_->benefactor_count(); ++i) {
+    if (!holders.contains(cluster_->benefactor(i).id())) {
+      cluster_->benefactor(i).Crash();
+      break;
+    }
+  }
+  cluster_->Settle(128);
+  // Remaining pool is 5 nodes; target 3 is still reachable.
+  EXPECT_EQ(CountReplicas(Name(1)), 3);
+}
+
+}  // namespace
+}  // namespace stdchk

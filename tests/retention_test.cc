@@ -1,0 +1,148 @@
+// Automated, time-sensitive data management (paper §IV.D) exercised through
+// the whole cluster: policies purge versions at the manager and GC reclaims
+// the chunks on benefactors.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/cluster.h"
+
+namespace stdchk {
+namespace {
+
+class RetentionClusterTest : public ::testing::Test {
+ protected:
+  RetentionClusterTest() {
+    ClusterOptions options;
+    options.benefactor_count = 4;
+    options.client.stripe_width = 2;
+    options.client.chunk_size = 1024;
+    cluster_ = std::make_unique<StdchkCluster>(options);
+  }
+
+  std::uint64_t TotalStoredBytes() {
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < cluster_->benefactor_count(); ++i) {
+      total += cluster_->benefactor(i).BytesUsed();
+    }
+    return total;
+  }
+
+  std::unique_ptr<StdchkCluster> cluster_;
+  Rng rng_{11};
+};
+
+TEST_F(RetentionClusterTest, AutomatedReplaceKeepsOnlyNewestImage) {
+  FolderPolicy policy;
+  policy.retention = RetentionPolicy::kAutomatedReplace;
+  ASSERT_TRUE(cluster_->manager().SetFolderPolicy("app", policy).ok());
+
+  Bytes last;
+  for (std::uint64_t t = 1; t <= 5; ++t) {
+    last = rng_.RandomBytes(4 * 1024);
+    ASSERT_TRUE(cluster_->client()
+                    .WriteFile(CheckpointName{"app", "n1", t}, last)
+                    .ok());
+    cluster_->Tick(1.0);
+  }
+  cluster_->Settle();
+
+  auto versions = cluster_->manager().ListVersions("app");
+  ASSERT_TRUE(versions.ok());
+  ASSERT_EQ(versions.value().size(), 1u);
+  EXPECT_EQ(versions.value()[0].timestep, 5u);
+  EXPECT_EQ(TotalStoredBytes(), last.size());
+
+  auto read_back = cluster_->client().ReadFile(CheckpointName{"app", "n1", 5});
+  ASSERT_TRUE(read_back.ok());
+  EXPECT_EQ(read_back.value(), last);
+}
+
+TEST_F(RetentionClusterTest, AutomatedPurgeDropsOldImages) {
+  FolderPolicy policy;
+  policy.retention = RetentionPolicy::kAutomatedPurge;
+  policy.purge_age_us = 30'000'000;  // 30 s
+  ASSERT_TRUE(cluster_->manager().SetFolderPolicy("app", policy).ok());
+
+  ASSERT_TRUE(cluster_->client()
+                  .WriteFile(CheckpointName{"app", "n1", 1},
+                             rng_.RandomBytes(2048))
+                  .ok());
+  // 10 seconds later, a second image.
+  for (int i = 0; i < 10; ++i) cluster_->Tick(1.0);
+  ASSERT_TRUE(cluster_->client()
+                  .WriteFile(CheckpointName{"app", "n1", 2},
+                             rng_.RandomBytes(2048))
+                  .ok());
+
+  // 25 more seconds: T1 is 35 s old (purged), T2 is 25 s old (kept).
+  for (int i = 0; i < 25; ++i) cluster_->Tick(1.0);
+  auto versions = cluster_->manager().ListVersions("app");
+  ASSERT_TRUE(versions.ok());
+  ASSERT_EQ(versions.value().size(), 1u);
+  EXPECT_EQ(versions.value()[0].timestep, 2u);
+
+  // Another 10 seconds: everything gone, storage reclaimed.
+  for (int i = 0; i < 10; ++i) cluster_->Tick(1.0);
+  cluster_->Settle();
+  EXPECT_TRUE(cluster_->manager().ListVersions("app").value().empty());
+  EXPECT_EQ(TotalStoredBytes(), 0u);
+}
+
+TEST_F(RetentionClusterTest, NoInterventionKeepsEverything) {
+  for (std::uint64_t t = 1; t <= 4; ++t) {
+    ASSERT_TRUE(cluster_->client()
+                    .WriteFile(CheckpointName{"app", "n1", t},
+                               rng_.RandomBytes(1024))
+                    .ok());
+  }
+  for (int i = 0; i < 100; ++i) cluster_->Tick(1.0);
+  EXPECT_EQ(cluster_->manager().ListVersions("app").value().size(), 4u);
+}
+
+TEST_F(RetentionClusterTest, PoliciesAreIndependentPerFolder) {
+  FolderPolicy replace;
+  replace.retention = RetentionPolicy::kAutomatedReplace;
+  ASSERT_TRUE(cluster_->manager().SetFolderPolicy("volatile", replace).ok());
+
+  for (std::uint64_t t = 1; t <= 3; ++t) {
+    ASSERT_TRUE(cluster_->client()
+                    .WriteFile(CheckpointName{"volatile", "n", t},
+                               rng_.RandomBytes(512))
+                    .ok());
+    ASSERT_TRUE(cluster_->client()
+                    .WriteFile(CheckpointName{"archive", "n", t},
+                               rng_.RandomBytes(512))
+                    .ok());
+  }
+  cluster_->Settle();
+  EXPECT_EQ(cluster_->manager().ListVersions("volatile").value().size(), 1u);
+  EXPECT_EQ(cluster_->manager().ListVersions("archive").value().size(), 3u);
+}
+
+TEST_F(RetentionClusterTest, ReplaceWithDedupOnlyReclaimsUnsharedChunks) {
+  FolderPolicy policy;
+  policy.retention = RetentionPolicy::kAutomatedReplace;
+  ASSERT_TRUE(cluster_->manager().SetFolderPolicy("app", policy).ok());
+
+  ClientOptions options = cluster_->client().options();
+  options.incremental_fsch = true;
+  auto client = cluster_->MakeClient(options);
+
+  // v2 shares its first half with v1.
+  Bytes v1 = rng_.RandomBytes(8 * 1024);
+  Bytes v2 = v1;
+  for (std::size_t i = 4 * 1024; i < v2.size(); ++i) v2[i] ^= 0x77;
+
+  ASSERT_TRUE(client->WriteFile(CheckpointName{"app", "n", 1}, v1).ok());
+  ASSERT_TRUE(client->WriteFile(CheckpointName{"app", "n", 2}, v2).ok());
+  cluster_->Settle();
+
+  // Only T2 remains; its chunks (8K) survive, v1's unshared tail is gone.
+  EXPECT_EQ(TotalStoredBytes(), 8u * 1024);
+  auto read_back = client->ReadFile(CheckpointName{"app", "n", 2});
+  ASSERT_TRUE(read_back.ok());
+  EXPECT_EQ(read_back.value(), v2);
+}
+
+}  // namespace
+}  // namespace stdchk

@@ -1,0 +1,107 @@
+#include "common/rolling_hash.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace stdchk {
+namespace {
+
+// Recomputes the window hash from scratch for comparison.
+std::uint64_t DirectHash(ByteSpan window) {
+  RollingHash h(window.size());
+  for (std::uint8_t b : window) h.Push(b);
+  return h.value();
+}
+
+class RollingHashWindowTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RollingHashWindowTest, RollMatchesRecompute) {
+  const std::size_t m = GetParam();
+  Rng rng(m * 31 + 7);
+  Bytes data = rng.RandomBytes(m + 500);
+
+  RollingHash rolling(m);
+  for (std::size_t i = 0; i < m; ++i) rolling.Push(data[i]);
+  EXPECT_EQ(rolling.value(), DirectHash(ByteSpan(data.data(), m)));
+
+  for (std::size_t pos = 1; pos + m <= data.size(); ++pos) {
+    rolling.Roll(data[pos - 1], data[pos + m - 1]);
+    ASSERT_EQ(rolling.value(), DirectHash(ByteSpan(data.data() + pos, m)))
+        << "window at " << pos;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, RollingHashWindowTest,
+                         ::testing::Values(1, 2, 3, 8, 20, 32, 48, 64, 128,
+                                           256));
+
+TEST(RollingHashTest, ResetClearsState) {
+  RollingHash h(4);
+  h.Push(1);
+  h.Push(2);
+  ASSERT_NE(h.value(), 0u);
+  h.Reset();
+  EXPECT_EQ(h.value(), 0u);
+}
+
+TEST(RollingHashTest, DifferentContentDifferentHash) {
+  RollingHash a(8), b(8);
+  for (int i = 0; i < 8; ++i) {
+    a.Push(static_cast<std::uint8_t>(i));
+    b.Push(static_cast<std::uint8_t>(i + 1));
+  }
+  EXPECT_NE(a.value(), b.value());
+}
+
+TEST(RollingHashTest, BoundaryFrequencyRoughlyMatchesMask) {
+  // With k bits masked, roughly 1 in 2^k positions should be boundaries.
+  const int k = 8;
+  const std::size_t m = 16;
+  Rng rng(99);
+  Bytes data = rng.RandomBytes(1 << 18);
+
+  RollingHash h(m);
+  for (std::size_t i = 0; i < m; ++i) h.Push(data[i]);
+  std::size_t boundaries = 0;
+  std::size_t positions = 0;
+  for (std::size_t pos = 0; pos + m < data.size(); ++pos) {
+    if (h.IsBoundary(k)) ++boundaries;
+    ++positions;
+    h.Roll(data[pos], data[pos + m]);
+  }
+  double rate = static_cast<double>(boundaries) / static_cast<double>(positions);
+  double expected = 1.0 / 256.0;
+  EXPECT_GT(rate, expected / 2);
+  EXPECT_LT(rate, expected * 2);
+}
+
+TEST(RollingHashTest, ZeroRunsDoNotDegenerate) {
+  // All-zero content must not trigger a boundary at every position (the
+  // Mix64 finalizer decorrelates the masked bits).
+  const std::size_t m = 20;
+  Bytes zeros(100000, 0);
+  RollingHash h(m);
+  for (std::size_t i = 0; i < m; ++i) h.Push(zeros[i]);
+  // For constant content the hash is constant: it is either always or never
+  // a boundary. Requiring "never" for a small k would be flaky by design;
+  // instead check the hash is stable and nonzero.
+  std::uint64_t v = h.value();
+  h.Roll(0, 0);
+  EXPECT_EQ(h.value(), v);
+  EXPECT_NE(Mix64(v), 0u);
+}
+
+TEST(Mix64Test, IsBijectiveOnSamples) {
+  // Distinct inputs produce distinct outputs (spot check).
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    std::uint64_t a = rng.Next(), b = rng.Next();
+    if (a != b) {
+      EXPECT_NE(Mix64(a), Mix64(b));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace stdchk

@@ -1,0 +1,89 @@
+#include "common/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace stdchk {
+namespace {
+
+TEST(SerializeTest, ScalarRoundTrip) {
+  BinaryWriter w;
+  w.U8(0xAB);
+  w.U32(0xDEADBEEF);
+  w.U64(0x0123456789ABCDEFull);
+  w.I64(-42);
+  w.F64(3.14159);
+  w.Bool(true);
+  w.Bool(false);
+  Bytes data = w.Take();
+
+  BinaryReader r(data);
+  EXPECT_EQ(r.U8().value(), 0xAB);
+  EXPECT_EQ(r.U32().value(), 0xDEADBEEFu);
+  EXPECT_EQ(r.U64().value(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.I64().value(), -42);
+  EXPECT_DOUBLE_EQ(r.F64().value(), 3.14159);
+  EXPECT_TRUE(r.Bool().value());
+  EXPECT_FALSE(r.Bool().value());
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SerializeTest, StringsAndBlobs) {
+  BinaryWriter w;
+  w.Str("");
+  w.Str("checkpoint.node0.T1");
+  Rng rng(1);
+  Bytes blob = rng.RandomBytes(1000);
+  w.Blob(blob);
+  Bytes data = w.Take();
+
+  BinaryReader r(data);
+  EXPECT_EQ(r.Str().value(), "");
+  EXPECT_EQ(r.Str().value(), "checkpoint.node0.T1");
+  EXPECT_EQ(r.Blob().value(), blob);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SerializeTest, TruncationIsDetectedEverywhere) {
+  BinaryWriter w;
+  w.U32(7);
+  w.Str("hello");
+  w.U64(9);
+  Bytes data = w.Take();
+
+  // Every strict prefix must fail somewhere, never crash or mis-read.
+  for (std::size_t cut = 0; cut < data.size(); ++cut) {
+    BinaryReader r(ByteSpan(data.data(), cut));
+    auto a = r.U32();
+    if (!a.ok()) continue;
+    auto b = r.Str();
+    if (!b.ok()) continue;
+    auto c = r.U64();
+    EXPECT_FALSE(c.ok()) << "cut=" << cut;
+  }
+}
+
+TEST(SerializeTest, StringLengthBeyondBufferFails) {
+  BinaryWriter w;
+  w.U32(1'000'000);  // claims a megabyte of payload
+  Bytes data = w.Take();
+  BinaryReader r(data);
+  EXPECT_EQ(r.Str().status().code(), StatusCode::kDataLoss);
+}
+
+TEST(SerializeTest, RemainingTracksPosition) {
+  BinaryWriter w;
+  w.U32(1);
+  w.U32(2);
+  Bytes data = w.Take();
+  BinaryReader r(data);
+  EXPECT_EQ(r.remaining(), 8u);
+  ASSERT_TRUE(r.U32().ok());
+  EXPECT_EQ(r.remaining(), 4u);
+  ASSERT_TRUE(r.U32().ok());
+  EXPECT_TRUE(r.AtEnd());
+}
+
+}  // namespace
+}  // namespace stdchk

@@ -1,0 +1,106 @@
+#include "chkpt/similarity.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace stdchk {
+namespace {
+
+TEST(SimilarityTrackerTest, FirstImageHasNoPredecessor) {
+  FixedSizeChunker chunker(1024);
+  SimilarityTracker tracker(&chunker);
+  Rng rng(1);
+  Bytes image = rng.RandomBytes(64 * 1024);
+  ImageSimilarity sim = tracker.AddImage(image);
+  EXPECT_EQ(sim.duplicate_bytes, 0u);
+  EXPECT_EQ(tracker.images_processed(), 1u);
+  EXPECT_EQ(tracker.AverageSimilarity(), 0.0);  // excluded from averages
+}
+
+TEST(SimilarityTrackerTest, IdenticalSuccessorIsFullyDuplicate) {
+  FixedSizeChunker chunker(1024);
+  SimilarityTracker tracker(&chunker);
+  Rng rng(2);
+  Bytes image = rng.RandomBytes(64 * 1024);
+  tracker.AddImage(image);
+  ImageSimilarity sim = tracker.AddImage(image);
+  EXPECT_DOUBLE_EQ(sim.ratio(), 1.0);
+  EXPECT_DOUBLE_EQ(tracker.AverageSimilarity(), 1.0);
+}
+
+TEST(SimilarityTrackerTest, DisjointSuccessorHasZeroSimilarity) {
+  FixedSizeChunker chunker(1024);
+  SimilarityTracker tracker(&chunker);
+  Rng rng(3);
+  tracker.AddImage(rng.RandomBytes(64 * 1024));
+  ImageSimilarity sim = tracker.AddImage(rng.RandomBytes(64 * 1024));
+  EXPECT_DOUBLE_EQ(sim.ratio(), 0.0);
+}
+
+TEST(SimilarityTrackerTest, HalfModifiedImage) {
+  FixedSizeChunker chunker(1024);
+  SimilarityTracker tracker(&chunker);
+  Rng rng(4);
+  Bytes v1 = rng.RandomBytes(128 * 1024);
+  Bytes v2 = v1;
+  // Rewrite the second half (chunk-aligned so FsCH sees it cleanly).
+  for (std::size_t i = 64 * 1024; i < v2.size(); ++i) v2[i] ^= 0xA5;
+  tracker.AddImage(v1);
+  ImageSimilarity sim = tracker.AddImage(v2);
+  EXPECT_NEAR(sim.ratio(), 0.5, 0.02);
+}
+
+TEST(SimilarityTrackerTest, ComparesToImmediatePredecessorOnly) {
+  FixedSizeChunker chunker(1024);
+  SimilarityTracker tracker(&chunker);
+  Rng rng(5);
+  Bytes a = rng.RandomBytes(32 * 1024);
+  Bytes b = rng.RandomBytes(32 * 1024);
+  tracker.AddImage(a);
+  tracker.AddImage(b);
+  // Image identical to a but the predecessor is now b -> zero similarity.
+  ImageSimilarity sim = tracker.AddImage(a);
+  EXPECT_DOUBLE_EQ(sim.ratio(), 0.0);
+}
+
+TEST(SimilarityTrackerTest, TracksTotalsAcrossTrace) {
+  FixedSizeChunker chunker(1024);
+  SimilarityTracker tracker(&chunker);
+  Rng rng(6);
+  Bytes image = rng.RandomBytes(16 * 1024);
+  tracker.AddImage(image);
+  tracker.AddImage(image);
+  tracker.AddImage(image);
+  EXPECT_EQ(tracker.total_bytes(), 48u * 1024);
+  EXPECT_EQ(tracker.duplicate_bytes(), 32u * 1024);
+  EXPECT_GT(tracker.ThroughputMBps(), 0.0);
+}
+
+TEST(SimilarityTrackerTest, ChunkSizeStatsAreAveraged) {
+  FixedSizeChunker chunker(1000);
+  SimilarityTracker tracker(&chunker);
+  Rng rng(7);
+  tracker.AddImage(rng.RandomBytes(5000));
+  EXPECT_NEAR(tracker.AvgChunkKB(), 1000.0 / 1024.0, 1e-9);
+  EXPECT_NEAR(tracker.AvgMinChunkKB(), 1000.0 / 1024.0, 1e-9);
+  EXPECT_NEAR(tracker.AvgMaxChunkKB(), 1000.0 / 1024.0, 1e-9);
+}
+
+TEST(SimilarityTrackerTest, CbchTrackerDetectsShiftedContent) {
+  ContentBasedChunker chunker(CbchParams{20, 10, 1});
+  SimilarityTracker tracker(&chunker);
+  Rng rng(8);
+  Bytes v1 = rng.RandomBytes(256 * 1024);
+  tracker.AddImage(v1);
+
+  // Insert 7 bytes at the front: CbCH should still find nearly everything.
+  Bytes v2;
+  Append(v2, AsBytes(std::string("INSERT!")));
+  Append(v2, v1);
+  ImageSimilarity sim = tracker.AddImage(v2);
+  EXPECT_GT(sim.ratio(), 0.85);
+}
+
+}  // namespace
+}  // namespace stdchk

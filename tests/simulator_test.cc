@@ -1,0 +1,102 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace stdchk::sim {
+namespace {
+
+TEST(SimulatorTest, StartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.Now(), 0);
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST(SimulatorTest, EventsRunInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.At(Milliseconds(30), [&] { order.push_back(3); });
+  sim.At(Milliseconds(10), [&] { order.push_back(1); });
+  sim.At(Milliseconds(20), [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), Milliseconds(30));
+  EXPECT_EQ(sim.events_processed(), 3u);
+}
+
+TEST(SimulatorTest, SameTimeEventsRunFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.At(Milliseconds(5), [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SimulatorTest, AfterSchedulesRelativeToNow) {
+  Simulator sim;
+  SimTime fired_at = -1;
+  sim.At(Seconds(1.0), [&] {
+    sim.After(Seconds(2.0), [&] { fired_at = sim.Now(); });
+  });
+  sim.Run();
+  EXPECT_EQ(fired_at, Seconds(3.0));
+}
+
+TEST(SimulatorTest, EventsCanScheduleMoreEvents) {
+  Simulator sim;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 100) sim.After(Microseconds(1), chain);
+  };
+  sim.After(Microseconds(1), chain);
+  sim.Run();
+  EXPECT_EQ(count, 100);
+  EXPECT_EQ(sim.Now(), Microseconds(100));
+}
+
+TEST(SimulatorTest, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  std::vector<int> fired;
+  sim.At(Seconds(1.0), [&] { fired.push_back(1); });
+  sim.At(Seconds(2.0), [&] { fired.push_back(2); });
+  sim.At(Seconds(3.0), [&] { fired.push_back(3); });
+
+  sim.RunUntil(Seconds(2.0));
+  EXPECT_EQ(fired, (std::vector<int>{1, 2}));
+  EXPECT_EQ(sim.Now(), Seconds(2.0));
+
+  sim.RunUntil(Seconds(10.0));
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), Seconds(10.0));
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClockWithoutEvents) {
+  Simulator sim;
+  sim.RunUntil(Seconds(5.0));
+  EXPECT_EQ(sim.Now(), Seconds(5.0));
+}
+
+TEST(SimTimeTest, ConversionHelpers) {
+  EXPECT_EQ(Microseconds(1), 1000);
+  EXPECT_EQ(Milliseconds(1), 1'000'000);
+  EXPECT_EQ(Seconds(1.5), 1'500'000'000);
+  EXPECT_DOUBLE_EQ(ToSeconds(Seconds(2.5)), 2.5);
+}
+
+TEST(SimTimeTest, TransferTimeMatchesBandwidth) {
+  // 100 MB at 100 MB/s = 1 s.
+  EXPECT_NEAR(ToSeconds(TransferTime(100.0 * 1048576, 100.0)), 1.0, 1e-9);
+}
+
+TEST(SimTimeTest, ThroughputInverseOfTransferTime) {
+  double bytes = 512.0 * 1048576;
+  SimTime t = TransferTime(bytes, 86.2);
+  EXPECT_NEAR(ThroughputMBps(bytes, t), 86.2, 0.01);
+  EXPECT_EQ(ThroughputMBps(bytes, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace stdchk::sim

@@ -1,0 +1,101 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace stdchk {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats s;
+  s.Add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+  EXPECT_EQ(s.min(), 5.0);
+  EXPECT_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStatsTest, KnownSequence) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance of that classic sequence is 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatsTest, WelfordMatchesNaiveOnManyValues) {
+  RunningStats s;
+  double sum = 0, sumsq = 0;
+  const int n = 1000;
+  for (int i = 0; i < n; ++i) {
+    double v = static_cast<double>((i * 37) % 101);
+    s.Add(v);
+    sum += v;
+    sumsq += v * v;
+  }
+  double mean = sum / n;
+  double var = (sumsq - n * mean * mean) / (n - 1);
+  EXPECT_NEAR(s.mean(), mean, 1e-9);
+  EXPECT_NEAR(s.variance(), var, 1e-6);
+}
+
+TEST(SampleTest, PercentilesOfUniformRamp) {
+  Sample s;
+  for (int i = 0; i <= 100; ++i) s.Add(i);
+  EXPECT_NEAR(s.Percentile(0), 0.0, 1e-9);
+  EXPECT_NEAR(s.Percentile(50), 50.0, 1e-9);
+  EXPECT_NEAR(s.Percentile(100), 100.0, 1e-9);
+  EXPECT_NEAR(s.Percentile(25), 25.0, 1e-9);
+  EXPECT_NEAR(s.Mean(), 50.0, 1e-9);
+}
+
+TEST(SampleTest, EmptySampleIsZero) {
+  Sample s;
+  EXPECT_EQ(s.Percentile(50), 0.0);
+  EXPECT_EQ(s.Mean(), 0.0);
+}
+
+TEST(ThroughputTimelineTest, BucketsAccumulate) {
+  ThroughputTimeline t(1.0);
+  t.Record(0.1, 1048576);  // 1 MB in bucket 0
+  t.Record(0.9, 1048576);  // 1 MB in bucket 0
+  t.Record(1.5, 1048576);  // 1 MB in bucket 1
+  auto series = t.Series();
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_NEAR(series[0].mb_per_second, 2.0, 1e-9);
+  EXPECT_NEAR(series[1].mb_per_second, 1.0, 1e-9);
+  EXPECT_NEAR(series[0].time_seconds, 0.5, 1e-9);
+}
+
+TEST(ThroughputTimelineTest, PeakAndSustained) {
+  ThroughputTimeline t(1.0);
+  t.Record(0.5, 2 * 1048576.0);
+  t.Record(1.5, 4 * 1048576.0);
+  t.Record(3.5, 0.0);  // empty bucket does not count toward sustained
+  EXPECT_NEAR(t.PeakMBps(), 4.0, 1e-9);
+  EXPECT_NEAR(t.SustainedMBps(), 3.0, 1e-9);
+}
+
+TEST(ThroughputTimelineTest, NegativeTimeIgnored) {
+  ThroughputTimeline t(1.0);
+  t.Record(-1.0, 1048576);
+  EXPECT_TRUE(t.Series().empty());
+}
+
+TEST(FormatTest, FormatMBps) {
+  EXPECT_EQ(FormatMBps(110.04), "110.0 MB/s");
+  EXPECT_EQ(FormatMBps(0.0), "0.0 MB/s");
+}
+
+}  // namespace
+}  // namespace stdchk

@@ -1,0 +1,101 @@
+#include "chkpt/upload_plan.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "common/rng.h"
+
+namespace stdchk {
+namespace {
+
+TEST(UploadPlanTest, NoOracleMeansEverythingNovel) {
+  Rng rng(1);
+  Bytes image = rng.RandomBytes(10 * 1024);
+  FixedSizeChunker chunker(1024);
+  auto plan = PlanUpload(image, chunker, nullptr);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->chunks.size(), 10u);
+  EXPECT_EQ(plan->novel_bytes, image.size());
+  EXPECT_EQ(plan->reused_bytes(), 0u);
+  EXPECT_DOUBLE_EQ(plan->dedup_ratio(), 0.0);
+}
+
+TEST(UploadPlanTest, OracleMarksKnownChunks) {
+  Rng rng(2);
+  Bytes image = rng.RandomBytes(8 * 1024);
+  FixedSizeChunker chunker(1024);
+
+  // Pretend the system already stores the even-indexed chunks.
+  auto spans = chunker.Split(image);
+  auto ids = HashChunks(image, spans);
+  std::unordered_set<std::uint64_t> known_set;
+  for (std::size_t i = 0; i < ids.size(); i += 2) {
+    known_set.insert(ids[i].digest.Prefix64());
+  }
+  KnownChunksFn oracle = [&](const std::vector<ChunkId>& query)
+      -> Result<std::vector<bool>> {
+    std::vector<bool> out(query.size());
+    for (std::size_t i = 0; i < query.size(); ++i) {
+      out[i] = known_set.contains(query[i].digest.Prefix64());
+    }
+    return out;
+  };
+
+  auto plan = PlanUpload(image, chunker, oracle);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->total_bytes, image.size());
+  EXPECT_EQ(plan->novel_bytes, image.size() / 2);
+  EXPECT_DOUBLE_EQ(plan->dedup_ratio(), 0.5);
+  for (std::size_t i = 0; i < plan->chunks.size(); ++i) {
+    EXPECT_EQ(plan->chunks[i].novel, i % 2 == 1) << i;
+  }
+}
+
+TEST(UploadPlanTest, OracleErrorPropagates) {
+  Rng rng(3);
+  Bytes image = rng.RandomBytes(2048);
+  FixedSizeChunker chunker(1024);
+  KnownChunksFn oracle = [](const std::vector<ChunkId>&)
+      -> Result<std::vector<bool>> {
+    return UnavailableError("manager down");
+  };
+  EXPECT_EQ(PlanUpload(image, chunker, oracle).status().code(),
+            StatusCode::kUnavailable);
+}
+
+TEST(UploadPlanTest, WrongCardinalityIsInternalError) {
+  Rng rng(4);
+  Bytes image = rng.RandomBytes(2048);
+  FixedSizeChunker chunker(1024);
+  KnownChunksFn oracle = [](const std::vector<ChunkId>&)
+      -> Result<std::vector<bool>> {
+    return std::vector<bool>{true};  // wrong size
+  };
+  EXPECT_EQ(PlanUpload(image, chunker, oracle).status().code(),
+            StatusCode::kInternal);
+}
+
+TEST(UploadPlanTest, SpansAndIdsAreConsistent) {
+  Rng rng(5);
+  Bytes image = rng.RandomBytes(4096 + 17);
+  FixedSizeChunker chunker(1024);
+  auto plan = PlanUpload(image, chunker, nullptr);
+  ASSERT_TRUE(plan.ok());
+  for (const PlannedChunk& pc : plan->chunks) {
+    EXPECT_EQ(pc.id, ChunkId::For(ByteSpan(image.data() + pc.span.offset,
+                                           pc.span.size)));
+  }
+  EXPECT_EQ(plan->chunks.back().span.size, 17u);
+}
+
+TEST(UploadPlanTest, EmptyImage) {
+  FixedSizeChunker chunker(1024);
+  auto plan = PlanUpload(ByteSpan{}, chunker, nullptr);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan->chunks.empty());
+  EXPECT_EQ(plan->total_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace stdchk

@@ -1,0 +1,194 @@
+// Sanity properties of the DES write pipelines — the bottleneck structure
+// the paper's Figures 2-6 rely on must emerge from the model.
+#include "perf/write_pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include "perf/experiments.h"
+
+namespace stdchk::perf {
+namespace {
+
+PipelineConfig BaseConfig(ProtocolModel protocol, int stripe_width) {
+  PipelineConfig config;
+  config.protocol = protocol;
+  config.file_bytes = 1_GiB;  // the paper's file size; reaches steady state
+  config.chunk_size = 1_MiB;
+  config.buffer_bytes = 64_MiB;
+  config.increment_bytes = 64_MiB;
+  for (int i = 0; i < stripe_width; ++i) config.stripe.push_back(i);
+  return config;
+}
+
+WriteResult RunProto(ProtocolModel protocol, int stripe_width,
+                const PlatformModel& platform = PaperLanTestbed()) {
+  return RunSingleWrite(platform, stripe_width,
+                        BaseConfig(protocol, stripe_width));
+}
+
+TEST(WritePipelineTest, ClwOabTracksLocalDiskRate) {
+  WriteResult r = RunProto(ProtocolModel::kCLW, 4);
+  // CLW's OAB is the FUSE-to-local-disk write rate (~84 MB/s).
+  EXPECT_NEAR(r.oab_mbps, 84.0, 4.0);
+}
+
+TEST(WritePipelineTest, ClwAsbRoughlyHalvesOab) {
+  WriteResult r = RunProto(ProtocolModel::kCLW, 4);
+  // Local write then serial push: ASB ~ OAB/2.
+  EXPECT_LT(r.asb_mbps, r.oab_mbps * 0.65);
+  EXPECT_GT(r.asb_mbps, r.oab_mbps * 0.35);
+}
+
+TEST(WritePipelineTest, SwOabExceedsLocalDisk) {
+  WriteResult r = RunProto(ProtocolModel::kSW, 4);
+  // The headline result: SW checkpointing beats local I/O (~110 vs 86).
+  EXPECT_GT(r.oab_mbps, 100.0);
+  EXPECT_LT(r.oab_mbps, 135.0);
+}
+
+TEST(WritePipelineTest, OrderingClwWorstSwBestForAsb) {
+  WriteResult clw = RunProto(ProtocolModel::kCLW, 4);
+  WriteResult iw = RunProto(ProtocolModel::kIW, 4);
+  WriteResult sw = RunProto(ProtocolModel::kSW, 4);
+  EXPECT_LT(clw.asb_mbps, iw.asb_mbps);
+  EXPECT_LE(iw.asb_mbps, sw.asb_mbps + 1.0);
+}
+
+TEST(WritePipelineTest, TwoGigabitBenefactorsSaturateClientNic) {
+  WriteResult one = RunProto(ProtocolModel::kSW, 1);
+  WriteResult two = RunProto(ProtocolModel::kSW, 2);
+  WriteResult four = RunProto(ProtocolModel::kSW, 4);
+  WriteResult eight = RunProto(ProtocolModel::kSW, 8);
+
+  EXPECT_LT(one.asb_mbps, two.asb_mbps * 0.75);  // stripe 1 is disk-bound
+  // Beyond two benefactors the client NIC is the bottleneck: flat curve.
+  EXPECT_NEAR(two.asb_mbps, four.asb_mbps, 4.0);
+  EXPECT_NEAR(four.asb_mbps, eight.asb_mbps, 4.0);
+}
+
+TEST(WritePipelineTest, AsbNeverExceedsClientNic) {
+  for (int width : {1, 2, 4, 8}) {
+    WriteResult r = RunProto(ProtocolModel::kSW, width);
+    EXPECT_LE(r.asb_mbps, PaperLanTestbed().client_nic_mbps + 1.0);
+  }
+}
+
+TEST(WritePipelineTest, LargerBufferRaisesSwOab) {
+  PlatformModel platform = PaperLanTestbed();
+  double prev = 0;
+  for (std::uint64_t buffer : {32_MiB, 128_MiB, 512_MiB}) {
+    PipelineConfig config = BaseConfig(ProtocolModel::kSW, 4);
+    config.file_bytes = 1_GiB;
+    config.buffer_bytes = buffer;
+    WriteResult r = RunSingleWrite(platform, 4, config);
+    EXPECT_GE(r.oab_mbps, prev - 0.5) << buffer;
+    prev = r.oab_mbps;
+  }
+}
+
+TEST(WritePipelineTest, BufferLargerThanFileMakesOabMemoryBound) {
+  PipelineConfig config = BaseConfig(ProtocolModel::kSW, 4);
+  config.file_bytes = 256_MiB;
+  config.buffer_bytes = 512_MiB;
+  WriteResult r = RunSingleWrite(PaperLanTestbed(), 4, config);
+  // close() returns at ingest speed, far above the network rate (Fig. 7's
+  // 256 MB buffer observation).
+  EXPECT_GT(r.oab_mbps, 250.0);
+  // But the data still reaches storage at network speed.
+  EXPECT_LT(r.asb_mbps, 125.0);
+}
+
+TEST(WritePipelineTest, DedupReducesTransferAndRaisesThroughput) {
+  PipelineConfig plain = BaseConfig(ProtocolModel::kSW, 4);
+  PipelineConfig dedup = BaseConfig(ProtocolModel::kSW, 4);
+  dedup.dedup_ratio = 0.5;
+  dedup.hash_mbps = 800.0;
+
+  WriteResult p = RunSingleWrite(PaperLanTestbed(), 4, plain);
+  WriteResult d = RunSingleWrite(PaperLanTestbed(), 4, dedup);
+
+  EXPECT_NEAR(static_cast<double>(d.bytes_transferred),
+              static_cast<double>(p.bytes_transferred) * 0.5,
+              static_cast<double>(p.bytes_transferred) * 0.02);
+  EXPECT_GT(d.asb_mbps, p.asb_mbps * 1.5);
+}
+
+TEST(WritePipelineTest, ReplicationMultipliesTraffic) {
+  PipelineConfig config = BaseConfig(ProtocolModel::kSW, 4);
+  config.file_bytes = 64_MiB;
+  config.replicas = 3;
+  WriteResult r = RunSingleWrite(PaperLanTestbed(), 4, config);
+  EXPECT_EQ(r.bytes_transferred, 3u * 64_MiB);
+}
+
+TEST(WritePipelineTest, PessimisticCloseWaitsForReplication) {
+  PipelineConfig optimistic = BaseConfig(ProtocolModel::kSW, 4);
+  optimistic.file_bytes = 64_MiB;
+  optimistic.replicas = 3;
+  optimistic.pessimistic = false;
+
+  PipelineConfig pessimistic = optimistic;
+  pessimistic.pessimistic = true;
+
+  WriteResult o = RunSingleWrite(PaperLanTestbed(), 4, optimistic);
+  WriteResult p = RunSingleWrite(PaperLanTestbed(), 4, pessimistic);
+  EXPECT_GT(o.oab_mbps, p.oab_mbps * 1.2);  // durability costs throughput
+}
+
+TEST(WritePipelineTest, TenGigTestbedScalesWithStripe) {
+  PlatformModel platform = Paper10GTestbed();
+  double prev = 0;
+  for (int width : {1, 2, 3, 4}) {
+    PipelineConfig config = BaseConfig(ProtocolModel::kSW, width);
+    config.file_bytes = 1_GiB;
+    config.buffer_bytes = 512_MiB;
+    WriteResult r = RunSingleWrite(platform, width, config);
+    EXPECT_GT(r.asb_mbps, prev) << "stripe " << width;
+    prev = r.asb_mbps;
+  }
+  // Four 1 Gbps benefactors: aggregate ASB in the ~200-260 range (paper: 225).
+  EXPECT_GT(prev, 180.0);
+  EXPECT_LT(prev, 280.0);
+}
+
+TEST(WritePipelineTest, DeterministicAcrossRuns) {
+  WriteResult a = RunProto(ProtocolModel::kSW, 4);
+  WriteResult b = RunProto(ProtocolModel::kSW, 4);
+  EXPECT_DOUBLE_EQ(a.oab_mbps, b.oab_mbps);
+  EXPECT_DOUBLE_EQ(a.asb_mbps, b.asb_mbps);
+}
+
+TEST(WritePipelineTest, SmallerIncrementsRaiseIwThroughput) {
+  // The paper's omitted §V.C result: smaller temp files overlap creation
+  // and propagation better.
+  double prev_oab = 0;
+  for (std::uint64_t increment : {256_MiB, 64_MiB, 16_MiB}) {
+    PipelineConfig config = BaseConfig(ProtocolModel::kIW, 4);
+    config.buffer_bytes = 256_MiB;
+    config.increment_bytes = increment;
+    WriteResult r = RunSingleWrite(PaperLanTestbed(), 4, config);
+    EXPECT_GT(r.oab_mbps, prev_oab) << increment;
+    prev_oab = r.oab_mbps;
+  }
+}
+
+TEST(WritePipelineTest, IwIncrementLargerThanCacheDoesNotDeadlock) {
+  PipelineConfig config = BaseConfig(ProtocolModel::kIW, 4);
+  config.file_bytes = 256_MiB;
+  config.buffer_bytes = 32_MiB;
+  config.increment_bytes = 128_MiB;  // exceeds the cache allowance
+  WriteResult r = RunSingleWrite(PaperLanTestbed(), 4, config);
+  EXPECT_GT(r.asb_mbps, 0.0);
+  EXPECT_EQ(r.bytes_transferred, 256_MiB);
+}
+
+TEST(WritePipelineTest, PartialTailChunkHandled) {
+  PipelineConfig config = BaseConfig(ProtocolModel::kSW, 2);
+  config.file_bytes = 10_MiB + 12345;
+  WriteResult r = RunSingleWrite(PaperLanTestbed(), 2, config);
+  EXPECT_EQ(r.bytes_transferred, 10_MiB + 12345);
+  EXPECT_GT(r.asb_mbps, 0.0);
+}
+
+}  // namespace
+}  // namespace stdchk::perf

@@ -1,0 +1,376 @@
+#include "client/write_session.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/cluster.h"
+#include "common/rng.h"
+
+namespace stdchk {
+namespace {
+
+CheckpointName Name(std::uint64_t t, const std::string& app = "app") {
+  return CheckpointName{app, "n1", t};
+}
+
+struct ProtocolCase {
+  WriteProtocol protocol;
+  std::size_t file_size;
+};
+
+class WriteProtocolTest : public ::testing::TestWithParam<ProtocolCase> {};
+
+TEST_P(WriteProtocolTest, WriteThenReadBackMatches) {
+  ClusterOptions options;
+  options.benefactor_count = 6;
+  options.client.stripe_width = 4;
+  options.client.chunk_size = 4096;
+  options.client.increment_size = 16384;
+  options.client.protocol = GetParam().protocol;
+  StdchkCluster cluster(options);
+
+  Rng rng(GetParam().file_size + 99);
+  Bytes data = rng.RandomBytes(GetParam().file_size);
+
+  auto session = cluster.client().CreateFile(Name(1));
+  ASSERT_TRUE(session.ok());
+  // Write in odd-size pieces to exercise buffering boundaries.
+  std::size_t pos = 0, piece = 1000;
+  while (pos < data.size()) {
+    std::size_t n = std::min(piece, data.size() - pos);
+    ASSERT_TRUE(session.value()->Write(ByteSpan(data.data() + pos, n)).ok());
+    pos += n;
+    piece = piece * 2 + 13;
+  }
+  auto outcome = session.value()->Close();
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome.value(), CloseOutcome::kCommitted);
+
+  auto read_back = cluster.client().ReadFile(Name(1));
+  ASSERT_TRUE(read_back.ok());
+  EXPECT_EQ(read_back.value(), data);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ProtocolsAndSizes, WriteProtocolTest,
+    ::testing::Values(
+        ProtocolCase{WriteProtocol::kCompleteLocal, 0},
+        ProtocolCase{WriteProtocol::kCompleteLocal, 100},
+        ProtocolCase{WriteProtocol::kCompleteLocal, 50000},
+        ProtocolCase{WriteProtocol::kIncremental, 100},
+        ProtocolCase{WriteProtocol::kIncremental, 16384},
+        ProtocolCase{WriteProtocol::kIncremental, 70001},
+        ProtocolCase{WriteProtocol::kSlidingWindow, 100},
+        ProtocolCase{WriteProtocol::kSlidingWindow, 4096},
+        ProtocolCase{WriteProtocol::kSlidingWindow, 123457}));
+
+class WriteSessionTest : public ::testing::Test {
+ protected:
+  WriteSessionTest() {
+    ClusterOptions options;
+    options.benefactor_count = 6;
+    options.client.stripe_width = 3;
+    options.client.chunk_size = 1024;
+    cluster_ = std::make_unique<StdchkCluster>(options);
+  }
+
+  std::unique_ptr<StdchkCluster> cluster_;
+  Rng rng_{7};
+};
+
+TEST_F(WriteSessionTest, FileInvisibleUntilClose) {
+  auto session = cluster_->client().CreateFile(Name(1));
+  ASSERT_TRUE(session.ok());
+  Bytes data = rng_.RandomBytes(5000);
+  ASSERT_TRUE(session.value()->Write(data).ok());
+  // Session semantics: no commit yet -> readers see nothing.
+  EXPECT_FALSE(cluster_->client().ReadFile(Name(1)).ok());
+  ASSERT_TRUE(session.value()->Close().ok());
+  EXPECT_TRUE(cluster_->client().ReadFile(Name(1)).ok());
+}
+
+TEST_F(WriteSessionTest, DoubleCloseFails) {
+  auto session = cluster_->client().CreateFile(Name(1));
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE(session.value()->Write(rng_.RandomBytes(100)).ok());
+  ASSERT_TRUE(session.value()->Close().ok());
+  EXPECT_EQ(session.value()->Close().status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(session.value()->Write(rng_.RandomBytes(1)).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(WriteSessionTest, DuplicateVersionRejected) {
+  ASSERT_TRUE(cluster_->client().WriteFile(Name(1), rng_.RandomBytes(100)).ok());
+  EXPECT_EQ(cluster_->client().WriteFile(Name(1), rng_.RandomBytes(100))
+                .status()
+                .code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST_F(WriteSessionTest, RoundRobinStripingSpreadsChunks) {
+  Bytes data = rng_.RandomBytes(12 * 1024);  // 12 chunks across 3 nodes
+  ASSERT_TRUE(cluster_->client().WriteFile(Name(1), data).ok());
+
+  auto record = cluster_->manager().GetVersion(Name(1));
+  ASSERT_TRUE(record.ok());
+  ASSERT_EQ(record.value().chunk_map.chunks.size(), 12u);
+
+  std::map<NodeId, int> counts;
+  for (const auto& loc : record.value().chunk_map.chunks) {
+    ASSERT_EQ(loc.replicas.size(), 1u);
+    counts[loc.replicas[0]]++;
+  }
+  ASSERT_EQ(counts.size(), 3u);  // stripe width respected
+  for (const auto& [node, count] : counts) EXPECT_EQ(count, 4);  // balanced
+}
+
+TEST_F(WriteSessionTest, ChunkMapOffsetsAreSequential) {
+  Bytes data = rng_.RandomBytes(5 * 1024 + 123);
+  ASSERT_TRUE(cluster_->client().WriteFile(Name(1), data).ok());
+  auto record = cluster_->manager().GetVersion(Name(1));
+  ASSERT_TRUE(record.ok());
+  std::uint64_t offset = 0;
+  for (const auto& loc : record.value().chunk_map.chunks) {
+    EXPECT_EQ(loc.file_offset, offset);
+    offset += loc.size;
+  }
+  EXPECT_EQ(offset, data.size());
+  EXPECT_EQ(record.value().size, data.size());
+}
+
+TEST_F(WriteSessionTest, PessimisticWriteReachesReplicationTarget) {
+  ClientOptions options = cluster_->client().options();
+  options.semantics = WriteSemantics::kPessimistic;
+  options.replication_target = 2;
+  auto client = cluster_->MakeClient(options);
+
+  Bytes data = rng_.RandomBytes(4096);
+  ASSERT_TRUE(client->WriteFile(Name(1), data).ok());
+
+  auto record = cluster_->manager().GetVersion(Name(1));
+  ASSERT_TRUE(record.ok());
+  for (const auto& loc : record.value().chunk_map.chunks) {
+    EXPECT_EQ(loc.replicas.size(), 2u);
+  }
+}
+
+TEST_F(WriteSessionTest, PessimisticFailsWhenTargetUnreachable) {
+  ClientOptions options = cluster_->client().options();
+  options.semantics = WriteSemantics::kPessimistic;
+  options.replication_target = 7;  // pool only has 6 nodes
+  options.stripe_width = 6;
+  auto client = cluster_->MakeClient(options);
+  auto outcome = client->WriteFile(Name(1), rng_.RandomBytes(2048));
+  EXPECT_FALSE(outcome.ok());
+}
+
+TEST_F(WriteSessionTest, OptimisticWriteStoresOneReplicaImmediately) {
+  ClientOptions options = cluster_->client().options();
+  options.semantics = WriteSemantics::kOptimistic;
+  options.replication_target = 3;
+  auto client = cluster_->MakeClient(options);
+
+  Bytes data = rng_.RandomBytes(2048);
+  ASSERT_TRUE(client->WriteFile(Name(1), data).ok());
+  auto record = cluster_->manager().GetVersion(Name(1));
+  ASSERT_TRUE(record.ok());
+  for (const auto& loc : record.value().chunk_map.chunks) {
+    EXPECT_EQ(loc.replicas.size(), 1u);  // background replication comes later
+  }
+  EXPECT_EQ(record.value().replication_target, 3);
+}
+
+TEST_F(WriteSessionTest, FailsOverToHealthyStripeMembers) {
+  // A stripe member dies before the data flows: the session must route
+  // every chunk around it and the committed file must avoid the dead node.
+  auto session = cluster_->client().CreateFile(Name(1));
+  ASSERT_TRUE(session.ok());
+  cluster_->benefactor(0).Crash();
+  NodeId dead = cluster_->benefactor(0).id();
+
+  Bytes data = rng_.RandomBytes(8 * 1024);
+  ASSERT_TRUE(session.value()->Write(data).ok());
+  auto outcome = session.value()->Close();
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+
+  auto record = cluster_->manager().GetVersion(Name(1));
+  ASSERT_TRUE(record.ok());
+  for (const auto& loc : record.value().chunk_map.chunks) {
+    for (NodeId node : loc.replicas) EXPECT_NE(node, dead);
+  }
+  auto read_back = cluster_->client().ReadFile(Name(1));
+  ASSERT_TRUE(read_back.ok());
+  EXPECT_EQ(read_back.value(), data);
+}
+
+TEST_F(WriteSessionTest, MidWriteCrashLosesOnlyUnreplicatedPrefix) {
+  // With replication target 1, chunks stored before a node dies are lost
+  // (the paper's "low risk" tradeoff); the session itself still completes
+  // by routing new chunks around the dead node.
+  Bytes part1 = rng_.RandomBytes(4 * 1024);
+  Bytes part2 = rng_.RandomBytes(4 * 1024);
+
+  auto session = cluster_->client().CreateFile(Name(1));
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE(session.value()->Write(part1).ok());
+
+  // Crash a desktop that actually received part1 chunks (the sliding
+  // window pushed them already).
+  std::size_t victim = cluster_->benefactor_count();
+  for (std::size_t i = 0; i < cluster_->benefactor_count(); ++i) {
+    if (cluster_->benefactor(i).BytesUsed() > 0) {
+      victim = i;
+      break;
+    }
+  }
+  ASSERT_LT(victim, cluster_->benefactor_count());
+  cluster_->benefactor(victim).Crash();
+
+  ASSERT_TRUE(session.value()->Write(part2).ok());
+  ASSERT_TRUE(session.value()->Close().ok());
+
+  // The whole file is committed; reading it fails only because the dead
+  // node holds some single-replica chunks.
+  ASSERT_TRUE(cluster_->manager().GetVersion(Name(1)).ok());
+  auto read_back = cluster_->client().ReadFile(Name(1));
+  EXPECT_FALSE(read_back.ok());
+
+  // Once the desktop returns (data intact on its disk), the file is whole.
+  ASSERT_TRUE(cluster_->RestartBenefactor(victim).ok());
+  read_back = cluster_->client().ReadFile(Name(1));
+  ASSERT_TRUE(read_back.ok());
+  Bytes expected = part1;
+  Append(expected, part2);
+  EXPECT_EQ(read_back.value(), expected);
+}
+
+TEST_F(WriteSessionTest, FailsWhenAllBenefactorsDown) {
+  auto session = cluster_->client().CreateFile(Name(1));
+  ASSERT_TRUE(session.ok());
+  for (std::size_t i = 0; i < cluster_->benefactor_count(); ++i) {
+    cluster_->benefactor(i).Crash();
+  }
+  Status status = session.value()->Write(rng_.RandomBytes(64 * 1024));
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+}
+
+TEST_F(WriteSessionTest, IncrementalFschSkipsKnownChunks) {
+  ClientOptions options = cluster_->client().options();
+  options.incremental_fsch = true;
+  auto client = cluster_->MakeClient(options);
+
+  Bytes v1 = rng_.RandomBytes(8 * 1024);
+  ASSERT_TRUE(client->WriteFile(Name(1), v1).ok());
+
+  // Second version: same content except the last chunk.
+  Bytes v2 = v1;
+  for (std::size_t i = 7 * 1024; i < v2.size(); ++i) v2[i] ^= 0x5A;
+
+  auto session = client->CreateFile(Name(2));
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE(session.value()->Write(v2).ok());
+  ASSERT_TRUE(session.value()->Close().ok());
+  const WriteStats& stats = session.value()->stats();
+  EXPECT_EQ(stats.chunks_total, 8u);
+  EXPECT_EQ(stats.chunks_deduplicated, 7u);
+  EXPECT_EQ(stats.bytes_transferred, 1024u);
+
+  auto read_back = client->ReadFile(Name(2));
+  ASSERT_TRUE(read_back.ok());
+  EXPECT_EQ(read_back.value(), v2);
+}
+
+TEST_F(WriteSessionTest, DedupAcrossIdenticalVersionTransfersNothing) {
+  ClientOptions options = cluster_->client().options();
+  options.incremental_fsch = true;
+  auto client = cluster_->MakeClient(options);
+
+  Bytes image = rng_.RandomBytes(16 * 1024);
+  ASSERT_TRUE(client->WriteFile(Name(1), image).ok());
+
+  auto session = client->CreateFile(Name(2));
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE(session.value()->Write(image).ok());
+  ASSERT_TRUE(session.value()->Close().ok());
+  EXPECT_EQ(session.value()->stats().bytes_transferred, 0u);
+
+  // Storage holds one copy of the chunks, referenced by both versions.
+  EXPECT_EQ(cluster_->manager().catalog().TotalLogicalBytes(), 32u * 1024);
+  EXPECT_EQ(cluster_->manager().catalog().TotalUniqueBytes(), 16u * 1024);
+}
+
+TEST_F(WriteSessionTest, AbortReleasesReservationAndLeavesOrphans) {
+  auto session = cluster_->client().CreateFile(Name(1));
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE(session.value()->Write(rng_.RandomBytes(4 * 1024)).ok());
+  session.value()->Abort();
+  EXPECT_FALSE(cluster_->client().ReadFile(Name(1)).ok());
+
+  // Orphaned chunks on benefactors are reclaimed by the GC exchange.
+  cluster_->Settle();
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < cluster_->benefactor_count(); ++i) {
+    total += cluster_->benefactor(i).BytesUsed();
+  }
+  EXPECT_EQ(total, 0u);
+}
+
+TEST_F(WriteSessionTest, LargeWriteExtendsReservationIncrementally) {
+  // Force the eager reservation to be extended several times (§IV.A:
+  // "storage space allocation is done incrementally").
+  ClientOptions options = cluster_->client().options();
+  options.reservation_extent = 4 * 1024;  // tiny extents
+  auto client = cluster_->MakeClient(options);
+
+  Bytes data = rng_.RandomBytes(20 * 1024);  // needs ~5 extents
+  auto session = client->CreateFile(Name(1));
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE(session.value()->Write(data).ok());
+  ASSERT_TRUE(session.value()->Close().ok());
+
+  auto read_back = client->ReadFile(Name(1));
+  ASSERT_TRUE(read_back.ok());
+  EXPECT_EQ(read_back.value(), data);
+}
+
+TEST_F(WriteSessionTest, ReservationExtensionFailsWhenManagerDies) {
+  ClientOptions options = cluster_->client().options();
+  options.reservation_extent = 2 * 1024;
+  auto client = cluster_->MakeClient(options);
+
+  auto session = client->CreateFile(Name(1));
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE(session.value()->Write(rng_.RandomBytes(2 * 1024)).ok());
+  cluster_->manager().Crash();
+  // The next extension round-trips to the dead manager.
+  Status status = session.value()->Write(rng_.RandomBytes(16 * 1024));
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+}
+
+TEST_F(WriteSessionTest, EmptyFileCommits) {
+  auto session = cluster_->client().CreateFile(Name(1));
+  ASSERT_TRUE(session.ok());
+  auto outcome = session.value()->Close();
+  ASSERT_TRUE(outcome.ok());
+  auto read_back = cluster_->client().ReadFile(Name(1));
+  ASSERT_TRUE(read_back.ok());
+  EXPECT_TRUE(read_back.value().empty());
+}
+
+TEST_F(WriteSessionTest, StatsCountWrites) {
+  auto session = cluster_->client().CreateFile(Name(1));
+  ASSERT_TRUE(session.ok());
+  Bytes data = rng_.RandomBytes(3 * 1024 + 10);
+  ASSERT_TRUE(session.value()->Write(data).ok());
+  ASSERT_TRUE(session.value()->Close().ok());
+  const WriteStats& stats = session.value()->stats();
+  EXPECT_EQ(stats.bytes_written, data.size());
+  EXPECT_EQ(stats.bytes_transferred, data.size());
+  EXPECT_EQ(stats.chunks_total, 4u);
+  EXPECT_EQ(stats.replica_puts, 4u);
+}
+
+}  // namespace
+}  // namespace stdchk

@@ -1,0 +1,122 @@
+#include "workload/xen_canonicalize.h"
+
+#include <gtest/gtest.h>
+
+#include "chkpt/similarity.h"
+#include "workload/trace_generators.h"
+
+namespace stdchk {
+namespace {
+
+XenTraceOptions SmallXen(std::uint64_t seed) {
+  XenTraceOptions options;
+  options.pages = 512;
+  options.seed = seed;
+  return options;
+}
+
+XenImageLayout LayoutFor(const XenTraceOptions& options) {
+  XenImageLayout layout;
+  layout.page_bytes = options.page_bytes;
+  layout.header_bytes = options.header_bytes;
+  layout.pfn_bytes = 8;
+  return layout;
+}
+
+TEST(XenCanonicalizeTest, RoundTripIsByteExact) {
+  XenTraceOptions options = SmallXen(1);
+  auto trace = MakeXenLikeTrace(options);
+  Bytes image = trace->Next();
+
+  auto canonical = CanonicalizeXenImage(image, LayoutFor(options));
+  ASSERT_TRUE(canonical.ok()) << canonical.status();
+  auto rebuilt = ReassembleXenImage(canonical.value());
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_EQ(rebuilt.value(), image);
+}
+
+TEST(XenCanonicalizeTest, CanonicalPagesAreOrderIndependent) {
+  // Two saves of the same VM state differ only in record order and
+  // volatile flags; the canonical page dump must be identical.
+  XenTraceOptions options = SmallXen(2);
+  options.dirty_fraction = 0.0;  // identical memory across saves
+  auto trace = MakeXenLikeTrace(options);
+  Bytes save1 = trace->Next();
+  Bytes save2 = trace->Next();
+  ASSERT_NE(save1, save2);  // raw images differ (ordering + flags)
+
+  auto c1 = CanonicalizeXenImage(save1, LayoutFor(options));
+  auto c2 = CanonicalizeXenImage(save2, LayoutFor(options));
+  ASSERT_TRUE(c1.ok());
+  ASSERT_TRUE(c2.ok());
+  EXPECT_EQ(c1.value().pages, c2.value().pages);
+}
+
+TEST(XenCanonicalizeTest, RestoresCompareByHashSimilarity) {
+  // The headline: raw Xen images show near-zero similarity; canonicalized
+  // ones behave like BLCR dumps.
+  XenTraceOptions options = SmallXen(3);
+  options.dirty_fraction = 0.10;
+
+  auto raw_trace = MakeXenLikeTrace(options);
+  FixedSizeChunker chunker(64 * 1024);
+  SimilarityTracker raw_tracker(&chunker);
+  auto canon_trace = MakeXenLikeTrace(options);
+  FixedSizeChunker chunker2(64 * 1024);
+  SimilarityTracker canon_tracker(&chunker2);
+
+  for (int i = 0; i < 5; ++i) {
+    raw_tracker.AddImage(raw_trace->Next());
+    auto canonical =
+        CanonicalizeXenImage(canon_trace->Next(), LayoutFor(options));
+    ASSERT_TRUE(canonical.ok());
+    canon_tracker.AddImage(canonical.value().pages);
+  }
+
+  EXPECT_LT(raw_tracker.AverageSimilarity(), 0.15);
+  EXPECT_GT(canon_tracker.AverageSimilarity(), 0.6);
+}
+
+TEST(XenCanonicalizeTest, SidecarIsSmall) {
+  XenTraceOptions options = SmallXen(4);
+  auto trace = MakeXenLikeTrace(options);
+  Bytes image = trace->Next();
+  auto canonical = CanonicalizeXenImage(image, LayoutFor(options));
+  ASSERT_TRUE(canonical.ok());
+  std::size_t sidecar = canonical->original_order.size() * 8 +
+                        canonical->volatile_headers.size();
+  EXPECT_LT(static_cast<double>(sidecar), 0.01 * static_cast<double>(image.size()));
+}
+
+TEST(XenCanonicalizeTest, RejectsMalformedImages) {
+  XenImageLayout layout;
+  Bytes odd(4100);  // not a whole record
+  EXPECT_FALSE(CanonicalizeXenImage(odd, layout).ok());
+
+  XenImageLayout bad_pfn = layout;
+  bad_pfn.pfn_bytes = 0;
+  EXPECT_FALSE(CanonicalizeXenImage(Bytes(), bad_pfn).ok());
+  bad_pfn.pfn_bytes = 20;
+  EXPECT_FALSE(CanonicalizeXenImage(Bytes(), bad_pfn).ok());
+}
+
+TEST(XenCanonicalizeTest, RejectsDuplicatePfns) {
+  XenImageLayout layout;
+  layout.page_bytes = 16;
+  layout.header_bytes = 16;
+  Bytes image(2 * (16 + 16), 0);  // two records, both pfn 0
+  EXPECT_FALSE(CanonicalizeXenImage(image, layout).ok());
+}
+
+TEST(XenCanonicalizeTest, EmptyImage) {
+  XenImageLayout layout;
+  auto canonical = CanonicalizeXenImage(Bytes(), layout);
+  ASSERT_TRUE(canonical.ok());
+  EXPECT_TRUE(canonical->pages.empty());
+  auto rebuilt = ReassembleXenImage(canonical.value());
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_TRUE(rebuilt->empty());
+}
+
+}  // namespace
+}  // namespace stdchk
