@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build, run the full test suite, then a
+# -Wall -Wextra -Werror warning sweep. Run from anywhere inside the repo.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "$repo_root"
+
+jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+echo "== configure =="
+cmake -B build -S .
+
+echo "== build =="
+cmake --build build -j "$jobs"
+
+echo "== test =="
+ctest --test-dir build --output-on-failure -j "$jobs"
+
+echo "== warning sweep (-Wall -Wextra -Werror) =="
+cmake -B build-werror -S . -DSTDCHK_WERROR=ON
+cmake --build build-werror -j "$jobs"
+
+echo "All checks passed."

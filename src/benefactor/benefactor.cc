@@ -1,5 +1,7 @@
 #include "benefactor/benefactor.h"
 
+#include <set>
+
 #include "chunk/chunk_store.h"
 
 namespace stdchk {
@@ -42,6 +44,34 @@ Status Benefactor::PutChunk(const ChunkId& id, ByteSpan data) {
     return ResourceExhaustedError("benefactor " + host_ + " is full");
   }
   return store_->Put(id, data);
+}
+
+Status Benefactor::PutChunkBatch(std::span<const ChunkPut> puts) {
+  STDCHK_RETURN_IF_ERROR(CheckOnline());
+  // Admission control over the whole batch: verify every content address
+  // and the aggregate space need before storing anything. Duplicate ids
+  // within the batch (repeated content, e.g. zeroed pages) store once, so
+  // they count once.
+  std::uint64_t new_bytes = 0;
+  std::set<ChunkId> counted;
+  for (const ChunkPut& put : puts) {
+    if (ChunkId::For(put.data) != put.id) {
+      return DataLossError("chunk content does not match its address " +
+                           put.id.ToHex());
+    }
+    if (!store_->Contains(put.id) && counted.insert(put.id).second) {
+      new_bytes += put.data.size();
+    }
+  }
+  if (store_->BytesUsed() + new_bytes > capacity_bytes_) {
+    return ResourceExhaustedError("benefactor " + host_ +
+                                  " cannot admit batch of " +
+                                  std::to_string(puts.size()) + " chunks");
+  }
+  for (const ChunkPut& put : puts) {
+    STDCHK_RETURN_IF_ERROR(store_->Put(put.id, put.data));
+  }
+  return OkStatus();
 }
 
 Result<Bytes> Benefactor::GetChunk(const ChunkId& id) const {

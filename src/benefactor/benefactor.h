@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -51,6 +52,14 @@ class Benefactor {
   // Verifies that `data` hashes to `id` before storing — content
   // addressability doubles as an integrity check (§IV.C).
   Status PutChunk(const ChunkId& id, ByteSpan data);
+
+  // Batched data path: one RPC admits many chunks. Integrity and capacity
+  // are verified for the whole batch before any chunk lands, so a batch
+  // rejected at admission stores nothing and the client's failover can
+  // re-route it wholesale. (A store-level I/O failure mid-batch may leave
+  // earlier chunks behind — they are content addressed, so they either
+  // become usable replicas or GC-reclaimable orphans.)
+  Status PutChunkBatch(std::span<const ChunkPut> puts);
 
   // Verifies stored bytes against the content address before returning, so
   // a tampering or bit-flipping donor is detected (§IV.C).

@@ -8,6 +8,14 @@
 
 namespace stdchk {
 
+std::vector<ChunkSpan> Chunker::SplitSealed(ByteSpan data) const {
+  std::vector<ChunkSpan> spans = Split(data);
+  // Conservative default: the trailing span ends at the buffer edge, not at
+  // a content-determined boundary, so it may still grow.
+  if (!spans.empty()) spans.pop_back();
+  return spans;
+}
+
 FixedSizeChunker::FixedSizeChunker(std::size_t chunk_size)
     : chunk_size_(chunk_size) {
   assert(chunk_size_ > 0);
@@ -24,6 +32,12 @@ std::vector<ChunkSpan> FixedSizeChunker::Split(ByteSpan data) const {
     offset += size;
   }
   return out;
+}
+
+std::vector<ChunkSpan> FixedSizeChunker::SplitSealed(ByteSpan data) const {
+  std::vector<ChunkSpan> spans = Split(data);
+  if (!spans.empty() && spans.back().size < chunk_size_) spans.pop_back();
+  return spans;
 }
 
 std::string FixedSizeChunker::name() const {
@@ -49,16 +63,21 @@ std::vector<ChunkSpan> ContentBasedChunker::Split(ByteSpan data) const {
 // O(1) per position. Every offset is inspected, so boundary placement is
 // maximally content-sensitive — and the whole file is effectively hashed
 // once per byte of window, which is why the paper measures ~1 MB/s here.
+//
+// The window restarts after every declared boundary (as SplitNoOverlap
+// already does): windows never straddle chunk boundaries, so a scan that
+// resumes at the last boundary — the streaming ChunkPlanner's sealed-drain
+// discipline — reproduces the whole-file scan bit for bit.
 std::vector<ChunkSpan> ContentBasedChunker::SplitOverlap(ByteSpan data) const {
   if (params_.recompute_per_window) return SplitOverlapRecompute(data);
   std::vector<ChunkSpan> out;
   const std::size_t m = params_.window_m;
   RollingHash hash(m);
-  for (std::size_t i = 0; i < m; ++i) hash.Push(data[i]);
 
   std::uint64_t chunk_start = 0;
-  // The window currently covers [pos, pos+m) with pos = 0.
-  for (std::size_t pos = 0;;) {
+  std::size_t pos = 0;  // the window covers [pos, pos+m)
+  for (std::size_t i = 0; i < m; ++i) hash.Push(data[i]);
+  for (;;) {
     std::uint64_t window_end = pos + m;
     bool boundary = hash.IsBoundary(params_.boundary_bits_k);
     bool forced = params_.max_chunk != 0 &&
@@ -67,6 +86,11 @@ std::vector<ChunkSpan> ContentBasedChunker::SplitOverlap(ByteSpan data) const {
       out.push_back(ChunkSpan{
           chunk_start, static_cast<std::uint32_t>(window_end - chunk_start)});
       chunk_start = window_end;
+      if (window_end + m > data.size()) break;
+      hash.Reset();
+      for (std::size_t i = 0; i < m; ++i) hash.Push(data[window_end + i]);
+      pos = window_end;
+      continue;
     }
     if (pos + m >= data.size()) break;
     hash.Roll(data[pos], data[pos + m]);
@@ -81,7 +105,8 @@ std::vector<ChunkSpan> ContentBasedChunker::SplitOverlap(ByteSpan data) const {
 
 // Paper-faithful overlap scan: every position hashes its whole window from
 // scratch, costing ~m hash-bytes per input byte. This is what limits the
-// paper's overlap CbCH to ~1 MB/s.
+// paper's overlap CbCH to ~1 MB/s. Restarts at each boundary, like
+// SplitOverlap, so streaming scans agree with whole-file scans.
 std::vector<ChunkSpan> ContentBasedChunker::SplitOverlapRecompute(
     ByteSpan data) const {
   std::vector<ChunkSpan> out;
@@ -89,16 +114,20 @@ std::vector<ChunkSpan> ContentBasedChunker::SplitOverlapRecompute(
   const std::uint64_t mask = (1ull << params_.boundary_bits_k) - 1;
 
   std::uint64_t chunk_start = 0;
-  for (std::size_t pos = 0; pos + m <= data.size(); ++pos) {
+  std::size_t pos = 0;
+  while (pos + m <= data.size()) {
     std::uint64_t h = Sha1(data.subspan(pos, m)).Prefix64();
     std::uint64_t window_end = pos + m;
     bool boundary = (Mix64(h) & mask) == 0;
     bool forced = params_.max_chunk != 0 &&
                   window_end - chunk_start >= params_.max_chunk;
-    if ((boundary || forced) && window_end > chunk_start) {
+    if (boundary || forced) {
       out.push_back(ChunkSpan{
           chunk_start, static_cast<std::uint32_t>(window_end - chunk_start)});
       chunk_start = window_end;
+      pos = window_end;
+    } else {
+      ++pos;
     }
   }
   if (chunk_start < data.size()) {

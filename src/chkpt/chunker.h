@@ -40,6 +40,15 @@ class Chunker {
   // Splits `data` into contiguous spans covering [0, data.size()) exactly.
   virtual std::vector<ChunkSpan> Split(ByteSpan data) const = 0;
 
+  // Streaming support (client/ChunkPlanner): returns the prefix of
+  // Split(data) whose boundaries are *sealed* — final no matter how much
+  // data is appended after `data`. The caller keeps the uncovered suffix
+  // buffered and re-offers it with more bytes later. The default withholds
+  // the trailing span, whose end is the buffer end rather than a
+  // content-determined boundary; chunkers that can prove the tail final
+  // (e.g. a full fixed-size chunk) may override.
+  virtual std::vector<ChunkSpan> SplitSealed(ByteSpan data) const;
+
   virtual std::string name() const = 0;
 };
 
@@ -49,6 +58,9 @@ class FixedSizeChunker final : public Chunker {
   explicit FixedSizeChunker(std::size_t chunk_size);
 
   std::vector<ChunkSpan> Split(ByteSpan data) const override;
+  // A trailing span of exactly chunk_size is sealed: appended data starts
+  // the next chunk.
+  std::vector<ChunkSpan> SplitSealed(ByteSpan data) const override;
   std::string name() const override;
   std::size_t chunk_size() const { return chunk_size_; }
 

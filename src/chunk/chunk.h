@@ -45,6 +45,14 @@ struct ChunkLocation {
   std::vector<NodeId> replicas;  // benefactor nodes holding this chunk
 };
 
+// One element of a batched multi-chunk store request (the write engine
+// coalesces per-benefactor puts into one RPC). `data` is a view into the
+// sender's staging buffers and must outlive the call.
+struct ChunkPut {
+  ChunkId id;
+  ByteSpan data;
+};
+
 // The chunk map of one file version: ordered chunk locations covering
 // [0, file_size). Committed atomically to the manager at close() — this
 // atomic commit is what provides session semantics (§IV.A).

@@ -8,6 +8,8 @@
 // client").
 #pragma once
 
+#include <span>
+
 #include "chunk/chunk.h"
 #include "common/status.h"
 #include "manager/types.h"
@@ -19,6 +21,19 @@ class BenefactorAccess {
   virtual ~BenefactorAccess() = default;
 
   virtual Status PutChunk(NodeId node, const ChunkId& id, ByteSpan data) = 0;
+
+  // Stores a batch of chunks on one node. Transports that support it make
+  // this a single RPC with all-or-nothing admission on the receiving node;
+  // the default loops over PutChunk and stops at the first failure (chunks
+  // stored before the failure stay put — harmless, they are content
+  // addressed and GC reclaims them if never committed).
+  virtual Status PutChunkBatch(NodeId node, std::span<const ChunkPut> puts) {
+    for (const ChunkPut& put : puts) {
+      STDCHK_RETURN_IF_ERROR(PutChunk(node, put.id, put.data));
+    }
+    return OkStatus();
+  }
+
   virtual Result<Bytes> GetChunk(NodeId node, const ChunkId& id) = 0;
 
   // Client-side leg of the manager-recovery protocol: stash the final chunk

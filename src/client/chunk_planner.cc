@@ -1,0 +1,47 @@
+#include "client/chunk_planner.h"
+
+#include <cassert>
+#include <utility>
+
+namespace stdchk {
+
+ChunkPlanner::ChunkPlanner(std::shared_ptr<const Chunker> chunker)
+    : chunker_(std::move(chunker)) {
+  assert(chunker_ != nullptr);
+}
+
+void ChunkPlanner::Append(ByteSpan data) { stdchk::Append(buffer_, data); }
+
+std::vector<StagedChunk> ChunkPlanner::Drain(bool final) {
+  std::vector<StagedChunk> out;
+  if (buffer_.empty()) return out;
+  if (!final && buffer_.size() < barren_floor_) return out;
+
+  // Scans always restart at the last sealed boundary, which is itself
+  // content-determined — so for content-based chunkers the boundary
+  // sequence depends only on the bytes, never on drain timing.
+  std::vector<ChunkSpan> spans =
+      final ? chunker_->Split(buffer_) : chunker_->SplitSealed(buffer_);
+  if (spans.empty()) {
+    barren_floor_ = buffer_.size() * 2;
+    return out;
+  }
+  barren_floor_ = 0;
+
+  // Freeze the current buffer generation: sealed chunks become views into
+  // it (zero-copy; `backing` holds it alive), and only the unsealed tail
+  // moves back into the working buffer.
+  auto backing = std::make_shared<const Bytes>(std::move(buffer_));
+  std::size_t consumed = spans.back().offset + spans.back().size;
+  buffer_.assign(backing->begin() + static_cast<std::ptrdiff_t>(consumed),
+                 backing->end());
+
+  out.reserve(spans.size());
+  for (const ChunkSpan& span : spans) {
+    ByteSpan view(backing->data() + span.offset, span.size);
+    out.push_back(StagedChunk{ChunkId::For(view), view, backing});
+  }
+  return out;
+}
+
+}  // namespace stdchk

@@ -1,0 +1,62 @@
+// Layer 1 of the staged write engine: buffering and chunk-boundary
+// decisions.
+//
+// The planner accepts the application's byte stream and carves it into
+// content-addressed chunks under any Chunker — FsCH for the paper's
+// fixed-size transfer chunks, CbCH for shift-resilient incremental
+// checkpointing (§IV.C). Boundaries are *sealed* incrementally: a chunk is
+// only released once no amount of future data can move its edges, so the
+// chunk map is a pure function of file content, independent of Write()
+// call granularity or of when each protocol drains the buffer.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "chkpt/chunker.h"
+#include "chunk/chunk.h"
+#include "common/bytes.h"
+
+namespace stdchk {
+
+// A chunk the planner has sealed: content address plus a view into the
+// drained buffer generation, ready for dedup filtering and upload staging.
+// `backing` keeps the generation alive for as long as any of its chunks is
+// still pending — no per-chunk copies, so a CLW close-drain of a large
+// image stays at ~1x the image in memory.
+struct StagedChunk {
+  ChunkId id;
+  ByteSpan bytes;
+  std::shared_ptr<const Bytes> backing;
+};
+
+class ChunkPlanner {
+ public:
+  explicit ChunkPlanner(std::shared_ptr<const Chunker> chunker);
+
+  // Buffers more application data (checkpoint images arrive sequentially).
+  void Append(ByteSpan data);
+
+  // Bytes accepted but not yet drained — the client-side spill/window the
+  // three protocols manage differently.
+  std::size_t buffered_bytes() const { return buffer_.size(); }
+
+  // Removes and returns chunks whose boundaries are sealed. `final` seals
+  // the tail as well (close-time drain); afterwards the planner is empty.
+  std::vector<StagedChunk> Drain(bool final);
+
+  const Chunker& chunker() const { return *chunker_; }
+
+ private:
+  std::shared_ptr<const Chunker> chunker_;
+  Bytes buffer_;
+  // Rescan throttle: after a non-final drain seals nothing, skip re-running
+  // the chunker until the buffer roughly doubles. Re-scans always start at
+  // the last sealed boundary, so a boundary-free stretch of length L would
+  // otherwise cost O(L^2) hashing across drains; geometric backoff keeps
+  // the total O(L) while only delaying (never moving) seal points.
+  std::size_t barren_floor_ = 0;
+};
+
+}  // namespace stdchk

@@ -1,0 +1,160 @@
+#include "client/chunk_uploader.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "common/log.h"
+
+namespace stdchk {
+
+ChunkUploader::ChunkUploader(BenefactorAccess* access,
+                             PlacementPolicy* placement,
+                             CommitCoordinator* coordinator,
+                             const ClientOptions& options, WriteStats* stats)
+    : access_(access),
+      placement_(placement),
+      coordinator_(coordinator),
+      options_(options),
+      stats_(stats) {}
+
+int ChunkUploader::replicas_needed() const {
+  return options_.semantics == WriteSemantics::kPessimistic
+             ? std::max(1, options_.replication_target)
+             : 1;
+}
+
+void ChunkUploader::Stage(StagedChunk chunk) {
+  Pending p;
+  p.map_slot = coordinator_->AddSlot(
+      chunk.id, static_cast<std::uint32_t>(chunk.bytes.size()));
+  pending_bytes_ += chunk.bytes.size();
+  p.chunk = std::move(chunk);
+  pending_.push_back(std::move(p));
+}
+
+Status ChunkUploader::Flush() {
+  if (pending_.empty()) return OkStatus();
+
+  // Batch-aware reservation: one ensure covers the whole drain instead of
+  // one manager round trip per chunk.
+  STDCHK_RETURN_IF_ERROR(coordinator_->EnsureReservation(pending_bytes_));
+
+  const int needed = replicas_needed();
+  const std::size_t stripe_size = coordinator_->stripe().size();
+  const std::size_t attempt_limit = stripe_size * 2 + 4;
+
+  // Plan every chunk's candidate walk up front; the cursor advances per
+  // chunk so successive chunks spread round-robin over the stripe.
+  struct Tracked {
+    Pending* p;
+    std::size_t attempts = 0;
+  };
+  std::vector<Tracked> tracked;
+  tracked.reserve(pending_.size());
+  for (Pending& p : pending_) {
+    p.candidates = placement_->PlanChunk(coordinator_->stripe());
+    placement_->OnChunkPlaced(coordinator_->stripe());
+    tracked.push_back(Tracked{&p});
+  }
+
+  // Drain rounds: each round assigns every still-needy chunk its next
+  // placement candidate, then issues one batched PUT per target node.
+  while (true) {
+    std::map<NodeId, std::vector<Pending*>> queues;
+    for (Tracked& t : tracked) {
+      Pending& p = *t.p;
+      if (static_cast<int>(p.replicas.size()) >= needed) continue;
+      // Next candidate not already holding the chunk; every pop counts
+      // against the failover budget.
+      NodeId target = kInvalidNode;
+      while (!p.candidates.empty() && t.attempts < attempt_limit) {
+        NodeId c = p.candidates.front();
+        p.candidates.erase(p.candidates.begin());
+        ++t.attempts;
+        if (std::find(p.replicas.begin(), p.replicas.end(), c) ==
+            p.replicas.end()) {
+          target = c;
+          break;
+        }
+      }
+      if (target != kInvalidNode) queues[target].push_back(&p);
+    }
+    if (queues.empty()) break;
+
+    for (auto& [node, items] : queues) {
+      std::size_t batch_limit =
+          options_.max_batch_chunks == 0 ? items.size()
+                                         : options_.max_batch_chunks;
+      bool node_failed = false;
+      for (std::size_t begin = 0; begin < items.size() && !node_failed;
+           begin += batch_limit) {
+        std::size_t end = std::min(items.size(), begin + batch_limit);
+        std::vector<ChunkPut> batch;
+        batch.reserve(end - begin);
+        for (std::size_t i = begin; i < end; ++i) {
+          batch.push_back(ChunkPut{items[i]->chunk.id, items[i]->chunk.bytes});
+        }
+        Status put = access_->PutChunkBatch(node, batch);
+        if (put.ok()) {
+          ++stats_->batched_puts;
+          for (std::size_t i = begin; i < end; ++i) {
+            items[i]->replicas.push_back(node);
+            stats_->bytes_transferred += items[i]->chunk.bytes.size();
+            ++stats_->replica_puts;
+          }
+          continue;
+        }
+        // The node rejected the batch (offline, unreachable, full): swap it
+        // out of the stripe and patch *every* still-needy chunk's walk in
+        // place — walks were snapshotted from the pre-failure stripe, so
+        // the fresh donor must take over the dead node's walk positions
+        // (and chunks outside this batch must see it too). Without a
+        // replacement, drop the dead node so walks stop burning failover
+        // budget on it.
+        node_failed = true;
+        STDCHK_LOG(kDebug, "client")
+            << "batch put of " << batch.size() << " chunks to node " << node
+            << " failed: " << put.ToString();
+        auto fresh = coordinator_->ReplaceStripeMember(node);
+        for (Tracked& t : tracked) {
+          Pending& p = *t.p;
+          if (static_cast<int>(p.replicas.size()) >= needed) continue;
+          if (fresh.ok()) {
+            std::replace(p.candidates.begin(), p.candidates.end(), node,
+                         fresh.value());
+          } else {
+            p.candidates.erase(std::remove(p.candidates.begin(),
+                                           p.candidates.end(), node),
+                               p.candidates.end());
+          }
+        }
+      }
+    }
+  }
+
+  // Validate the whole drain before settling anything: a failed flush
+  // must leave pending_ (including replicas already stored this round)
+  // intact, so a retry tops up what is missing instead of re-uploading
+  // and double-consuming the reservation.
+  for (const Pending& p : pending_) {
+    if (p.replicas.empty()) {
+      return UnavailableError("could not store chunk on any benefactor");
+    }
+    if (static_cast<int>(p.replicas.size()) < needed &&
+        options_.semantics == WriteSemantics::kPessimistic) {
+      return UnavailableError(
+          "pessimistic write could not reach replication target " +
+          std::to_string(needed));
+    }
+  }
+  for (Pending& p : pending_) {
+    coordinator_->ConsumeReserved(p.chunk.bytes.size());
+    coordinator_->SetReplicas(p.map_slot, std::move(p.replicas));
+  }
+  pending_.clear();
+  pending_bytes_ = 0;
+  return OkStatus();
+}
+
+}  // namespace stdchk

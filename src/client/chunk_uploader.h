@@ -1,0 +1,66 @@
+// Layer 3 of the staged write engine: moving sealed chunks to benefactors.
+//
+// Staged chunks accumulate in an ordered pending set; Flush() drains them
+// through per-benefactor queues as batched multi-chunk PUTs (one RPC per
+// node per round instead of one per chunk). The three §IV.B protocols
+// differ only in when they call Flush(): SW after every sealed chunk, IW
+// once per completed increment, CLW once at close. Failover re-routes a
+// rejected batch wholesale: the dead stripe member is swapped for a fresh
+// donor (CommitCoordinator::ReplaceStripeMember) and the affected chunks
+// walk on to their next placement candidates.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "client/benefactor_access.h"
+#include "client/chunk_planner.h"
+#include "client/client_options.h"
+#include "client/commit_coordinator.h"
+#include "client/placement.h"
+#include "client/write_stats.h"
+#include "common/status.h"
+
+namespace stdchk {
+
+class ChunkUploader {
+ public:
+  ChunkUploader(BenefactorAccess* access, PlacementPolicy* placement,
+                CommitCoordinator* coordinator, const ClientOptions& options,
+                WriteStats* stats);
+
+  // Queues one sealed chunk for upload. Its chunk-map slot is claimed
+  // immediately (map order == staging order == file order); the replicas
+  // are filled in when a flush lands it.
+  void Stage(StagedChunk chunk);
+
+  // Drains every pending chunk. Optimistic semantics need one replica per
+  // chunk; pessimistic need the full replication target or the flush
+  // fails (§IV.A tunable write semantics).
+  Status Flush();
+
+  std::uint64_t pending_bytes() const { return pending_bytes_; }
+  std::size_t pending_chunks() const { return pending_.size(); }
+
+ private:
+  struct Pending {
+    StagedChunk chunk;
+    std::size_t map_slot = 0;
+    std::vector<NodeId> candidates;  // remaining placement walk
+    std::vector<NodeId> replicas;    // nodes that accepted the chunk
+  };
+
+  int replicas_needed() const;
+
+  BenefactorAccess* access_;
+  PlacementPolicy* placement_;
+  CommitCoordinator* coordinator_;
+  const ClientOptions& options_;
+  WriteStats* stats_;
+
+  std::deque<Pending> pending_;
+  std::uint64_t pending_bytes_ = 0;
+};
+
+}  // namespace stdchk

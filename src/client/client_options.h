@@ -2,7 +2,9 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 
+#include "chkpt/chunker.h"
 #include "chunk/chunk.h"
 
 namespace stdchk {
@@ -28,10 +30,20 @@ struct ClientOptions {
   // IW temp-file size (bytes of application data per increment).
   std::size_t increment_size = 64_MiB;
 
-  // Incremental checkpointing: skip uploading chunks the system already
-  // stores (FsCH with chunker == transfer chunk size, as the prototype in
-  // the paper integrates).
+  // Chunk-boundary heuristic driving the write path's ChunkPlanner. Null
+  // selects FsCH at `chunk_size`; inject a ContentBasedChunker for CbCH
+  // (shift-resilient) boundaries on the streaming write path (§IV.C).
+  std::shared_ptr<const Chunker> chunker;
+
+  // Incremental checkpointing: compare-by-hash against the manager's chunk
+  // index so chunks the system already stores are referenced, not
+  // re-transferred. Applies to whichever `chunker` is active (the paper's
+  // prototype integrates FsCH with chunker == transfer chunk size).
   bool incremental_fsch = false;
+
+  // Upper bound on chunks coalesced into one batched multi-chunk PUT by
+  // the uploader's per-benefactor queues. 0 = unbounded.
+  std::size_t max_batch_chunks = 64;
 
   // Replicas required at close() for pessimistic writes; also recorded as
   // the version's replication target (0 = inherit the folder policy).

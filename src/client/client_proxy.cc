@@ -4,11 +4,16 @@ namespace stdchk {
 
 Result<std::unique_ptr<WriteSession>> ClientProxy::CreateFile(
     const CheckpointName& name) {
+  return CreateFileWith(name, options_);
+}
+
+Result<std::unique_ptr<WriteSession>> ClientProxy::CreateFileWith(
+    const CheckpointName& name, const ClientOptions& options) {
   if (manager_->IsUp() && manager_->GetVersion(name).ok()) {
     return AlreadyExistsError("checkpoint image " + name.ToString() +
                               " already exists");
   }
-  return std::make_unique<WriteSession>(manager_, access_, name, options_);
+  return std::make_unique<WriteSession>(manager_, access_, name, options);
 }
 
 Result<CloseOutcome> ClientProxy::WriteFile(const CheckpointName& name,
@@ -21,85 +26,36 @@ Result<CloseOutcome> ClientProxy::WriteFile(const CheckpointName& name,
 Result<UploadPlan> ClientProxy::WriteFileDeduped(const CheckpointName& name,
                                                  ByteSpan data,
                                                  const Chunker& chunker) {
-  if (manager_->IsUp() && manager_->GetVersion(name).ok()) {
-    return AlreadyExistsError("checkpoint image " + name.ToString() +
-                              " already exists");
+  // Whole-image dedup rides the staged write engine: CLW (the full image
+  // must be visible before content-defined boundaries are placed), the
+  // caller's chunker injected into the ChunkPlanner, and compare-by-hash
+  // filtering enabled. The engine then reuses stored chunks and uploads
+  // the rest through the batched per-benefactor queues.
+  ClientOptions options = options_;
+  options.protocol = WriteProtocol::kCompleteLocal;
+  options.incremental_fsch = true;
+  // Non-owning alias: the caller's chunker outlives the session.
+  options.chunker =
+      std::shared_ptr<const Chunker>(&chunker, [](const Chunker*) {});
+
+  STDCHK_ASSIGN_OR_RETURN(auto session, CreateFileWith(name, options));
+  STDCHK_RETURN_IF_ERROR(session->Write(data));
+  STDCHK_RETURN_IF_ERROR(session->Close().status());
+
+  const WriteStats& stats = session->stats();
+  const ChunkMap& map = session->chunk_map();
+  const std::vector<bool>& reused = session->chunk_reused();
+  UploadPlan plan;
+  plan.total_bytes = stats.bytes_written;
+  plan.novel_bytes = stats.bytes_written - stats.bytes_deduplicated;
+  plan.chunks.reserve(map.chunks.size());
+  for (std::size_t i = 0; i < map.chunks.size(); ++i) {
+    PlannedChunk pc;
+    pc.span = ChunkSpan{map.chunks[i].file_offset, map.chunks[i].size};
+    pc.id = map.chunks[i].id;
+    pc.novel = !reused[i];
+    plan.chunks.push_back(pc);
   }
-
-  // Chunk + hash the whole image, then ask the manager which chunks the
-  // system already stores (one round trip).
-  STDCHK_ASSIGN_OR_RETURN(
-      UploadPlan plan,
-      PlanUpload(data, chunker, [this](const std::vector<ChunkId>& ids) {
-        return manager_->FilterKnownChunks(ids);
-      }));
-
-  // Locate existing replicas for the reused chunks.
-  std::vector<ChunkId> reused_ids;
-  for (const PlannedChunk& pc : plan.chunks) {
-    if (!pc.novel) reused_ids.push_back(pc.id);
-  }
-  std::vector<std::vector<NodeId>> located;
-  if (!reused_ids.empty()) {
-    STDCHK_ASSIGN_OR_RETURN(located, manager_->LocateChunks(reused_ids));
-  }
-
-  // Reserve a stripe sized for the novel bytes only.
-  WriteReservation reservation;
-  bool have_reservation = false;
-  if (plan.novel_bytes > 0) {
-    STDCHK_ASSIGN_OR_RETURN(
-        reservation,
-        manager_->ReserveStripe(options_.stripe_width, plan.novel_bytes));
-    have_reservation = true;
-  }
-
-  VersionRecord record;
-  record.name = name;
-  record.size = plan.total_bytes;
-  record.replication_target = options_.replication_target;
-
-  std::size_t rr = 0;
-  std::size_t reused_index = 0;
-  std::uint64_t offset = 0;
-  for (const PlannedChunk& pc : plan.chunks) {
-    ChunkLocation loc;
-    loc.id = pc.id;
-    loc.file_offset = offset;
-    loc.size = pc.span.size;
-    offset += pc.span.size;
-
-    if (!pc.novel) {
-      loc.replicas = located[reused_index++];
-      if (loc.replicas.empty()) {
-        // The oracle said known but no replica exists (e.g. raced with a
-        // purge): fall through and upload it after all.
-      } else {
-        record.chunk_map.chunks.push_back(std::move(loc));
-        continue;
-      }
-    }
-
-    // Upload with failover across the stripe (novel path).
-    ByteSpan bytes = data.subspan(pc.span.offset, pc.span.size);
-    Status last = UnavailableError("no benefactors in stripe");
-    for (std::size_t attempt = 0;
-         attempt < reservation.stripe.size() && loc.replicas.empty();
-         ++attempt) {
-      NodeId node = reservation.stripe[(rr + attempt) % reservation.stripe.size()];
-      last = access_->PutChunk(node, pc.id, bytes);
-      if (last.ok()) loc.replicas.push_back(node);
-    }
-    if (loc.replicas.empty()) {
-      if (have_reservation) (void)manager_->ReleaseReservation(reservation.id);
-      return last;
-    }
-    rr = (rr + 1) % std::max<std::size_t>(1, reservation.stripe.size());
-    record.chunk_map.chunks.push_back(std::move(loc));
-  }
-
-  STDCHK_RETURN_IF_ERROR(manager_->CommitVersion(
-      have_reservation ? reservation.id : 0, record));
   return plan;
 }
 

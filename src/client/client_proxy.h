@@ -28,6 +28,10 @@ class ClientProxy {
   // Opens a new checkpoint image for writing. Fails if the version already
   // exists (images are immutable, single-producer).
   Result<std::unique_ptr<WriteSession>> CreateFile(const CheckpointName& name);
+  // Same, with per-session options (protocol, chunker, semantics) instead
+  // of the proxy's defaults.
+  Result<std::unique_ptr<WriteSession>> CreateFileWith(
+      const CheckpointName& name, const ClientOptions& options);
 
   // Writes an entire image in one call (what the FUSE layer does for the
   // common write-then-close pattern).

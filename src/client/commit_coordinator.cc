@@ -1,0 +1,156 @@
+#include "client/commit_coordinator.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace stdchk {
+
+CommitCoordinator::CommitCoordinator(MetadataManager* manager,
+                                     BenefactorAccess* access,
+                                     CheckpointName name,
+                                     const ClientOptions& options,
+                                     WriteStats* stats)
+    : manager_(manager),
+      access_(access),
+      name_(std::move(name)),
+      options_(options),
+      stats_(stats) {}
+
+Status CommitCoordinator::EnsureReservation(std::uint64_t upcoming) {
+  if (!have_reservation_) {
+    STDCHK_ASSIGN_OR_RETURN(
+        reservation_,
+        manager_->ReserveStripe(options_.stripe_width,
+                                std::max<std::uint64_t>(
+                                    upcoming, options_.reservation_extent)));
+    have_reservation_ = true;
+    reserved_remaining_ = reservation_.reserved_bytes;
+    return OkStatus();
+  }
+  if (upcoming > reserved_remaining_) {
+    // Incremental space allocation: extend the eager reservation (§IV.A).
+    std::uint64_t extent =
+        std::max<std::uint64_t>(upcoming, options_.reservation_extent);
+    STDCHK_RETURN_IF_ERROR(
+        manager_->ExtendReservation(reservation_.id, extent));
+    reserved_remaining_ += extent;
+  }
+  return OkStatus();
+}
+
+void CommitCoordinator::ConsumeReserved(std::uint64_t bytes) {
+  reserved_remaining_ =
+      reserved_remaining_ > bytes ? reserved_remaining_ - bytes : 0;
+}
+
+Result<NodeId> CommitCoordinator::ReplaceStripeMember(NodeId dead) {
+  if (!have_reservation_) {
+    return FailedPreconditionError("no reservation to repair");
+  }
+  STDCHK_ASSIGN_OR_RETURN(
+      NodeId fresh, manager_->ReplaceReservationNode(reservation_.id, dead));
+  std::replace(reservation_.stripe.begin(), reservation_.stripe.end(), dead,
+               fresh);
+  return fresh;
+}
+
+std::size_t CommitCoordinator::AddSlot(const ChunkId& id, std::uint32_t size) {
+  ChunkLocation loc;
+  loc.id = id;
+  loc.file_offset = file_offset_;
+  loc.size = size;
+  file_offset_ += size;
+  map_.chunks.push_back(std::move(loc));
+  slot_reused_.push_back(false);
+  return map_.chunks.size() - 1;
+}
+
+void CommitCoordinator::SetReplicas(std::size_t slot,
+                                    std::vector<NodeId> replicas) {
+  map_.chunks[slot].replicas = std::move(replicas);
+}
+
+std::vector<std::vector<NodeId>> CommitCoordinator::LocateReusable(
+    const std::vector<ChunkId>& ids) {
+  std::vector<std::vector<NodeId>> out(ids.size());
+  auto known = manager_->FilterKnownChunks(ids);
+  if (!known.ok()) return out;  // best effort: upload everything
+  std::vector<ChunkId> hits;
+  std::vector<std::size_t> hit_slots;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (known.value()[i]) {
+      hits.push_back(ids[i]);
+      hit_slots.push_back(i);
+    }
+  }
+  if (hits.empty()) return out;
+  auto located = manager_->LocateChunks(hits);
+  if (!located.ok()) return out;  // best effort again
+  for (std::size_t j = 0; j < hits.size(); ++j) {
+    // A known chunk with no live replica (raced with a purge) stays novel.
+    out[hit_slots[j]] = std::move(located.value()[j]);
+  }
+  return out;
+}
+
+void CommitCoordinator::ReuseExisting(const ChunkId& id, std::uint32_t size,
+                                      std::vector<NodeId> replicas) {
+  std::size_t slot = AddSlot(id, size);
+  SetReplicas(slot, std::move(replicas));
+  slot_reused_[slot] = true;
+  ++stats_->chunks_deduplicated;
+  stats_->bytes_deduplicated += size;
+}
+
+Result<CloseOutcome> CommitCoordinator::Commit() {
+  VersionRecord record;
+  record.name = name_;
+  record.chunk_map = map_;
+  record.size = file_offset_;
+  record.replication_target = options_.replication_target;
+
+  Status commit = manager_->CommitVersion(
+      have_reservation_ ? reservation_.id : 0, record);
+  if (commit.ok()) {
+    have_reservation_ = false;  // commit released it
+    return CloseOutcome::kCommitted;
+  }
+
+  if (commit.code() == StatusCode::kUnavailable) {
+    // Manager down: stash the final chunk map on the write stripe so the
+    // benefactors can recover the version when the manager returns (§IV.A).
+    STDCHK_RETURN_IF_ERROR(StashOnStripe(record));
+    return CloseOutcome::kStashedForRecovery;
+  }
+  // Terminal commit failure (e.g. the version was committed by another
+  // producer): the session is over — release the reservation so GC can
+  // reclaim the orphaned chunks promptly.
+  ReleaseReservation();
+  return commit;
+}
+
+Status CommitCoordinator::StashOnStripe(const VersionRecord& record) {
+  if (!have_reservation_) {
+    return FailedPreconditionError("no stripe to stash on (empty write)");
+  }
+  std::size_t stashed = 0;
+  for (NodeId node : reservation_.stripe) {
+    if (access_->StashChunkMap(node, record,
+                               static_cast<int>(reservation_.stripe.size()))
+            .ok()) {
+      ++stashed;
+    }
+  }
+  if (stashed == 0) {
+    return UnavailableError("could not stash chunk map on any benefactor");
+  }
+  return OkStatus();
+}
+
+void CommitCoordinator::ReleaseReservation() {
+  if (!have_reservation_) return;
+  (void)manager_->ReleaseReservation(reservation_.id);
+  have_reservation_ = false;
+}
+
+}  // namespace stdchk

@@ -1,241 +1,127 @@
 #include "client/write_session.h"
 
 #include <algorithm>
-
-#include "common/log.h"
+#include <utility>
 
 namespace stdchk {
 
-WriteSession::WriteSession(MetadataManager* manager, BenefactorAccess* access,
-                           CheckpointName name, ClientOptions options)
-    : manager_(manager),
-      access_(access),
-      name_(std::move(name)),
-      options_(options) {
+namespace {
+
+ClientOptions ResolveOptions(MetadataManager* manager,
+                             const CheckpointName& name,
+                             ClientOptions options) {
   // Resolve the effective replication target once, from the folder policy,
   // unless the client overrides it per write.
-  if (options_.replication_target <= 0) {
-    auto policy = manager_->GetFolderPolicy(name_.app);
-    options_.replication_target =
+  if (options.replication_target <= 0) {
+    auto policy = manager->GetFolderPolicy(name.app);
+    options.replication_target =
         policy.ok() ? policy.value().replication_target : 1;
   }
+  // FsCH at the transfer chunk size is the default boundary heuristic; an
+  // injected chunker (e.g. CbCH) replaces it wholesale.
+  if (!options.chunker) {
+    options.chunker = std::make_shared<FixedSizeChunker>(options.chunk_size);
+  }
+  return options;
 }
+
+}  // namespace
+
+WriteSession::WriteSession(MetadataManager* manager, BenefactorAccess* access,
+                           CheckpointName name, ClientOptions options)
+    : options_(ResolveOptions(manager, name, std::move(options))),
+      planner_(options_.chunker),
+      placement_(std::make_unique<RoundRobinPlacement>()),
+      coordinator_(manager, access, std::move(name), options_, &stats_),
+      uploader_(access, placement_.get(), &coordinator_, options_, &stats_) {}
 
 WriteSession::~WriteSession() {
   if (!closed_ && !aborted_) Abort();
 }
 
-Status WriteSession::EnsureReservation(std::uint64_t upcoming) {
-  if (!have_reservation_) {
-    STDCHK_ASSIGN_OR_RETURN(
-        reservation_,
-        manager_->ReserveStripe(options_.stripe_width,
-                                std::max<std::uint64_t>(
-                                    upcoming, options_.reservation_extent)));
-    have_reservation_ = true;
-    reserved_remaining_ = reservation_.reserved_bytes;
-    return OkStatus();
+Status WriteSession::StageSealedChunks(bool final) {
+  std::vector<StagedChunk> chunks = planner_.Drain(final);
+  if (chunks.empty()) return OkStatus();
+  stats_.chunks_total += chunks.size();
+
+  // One compare-by-hash round trip covers the whole drain. Best-effort:
+  // nothing between Drain() and Stage() may fail, or sealed chunks would
+  // be lost from the stream.
+  std::vector<std::vector<NodeId>> reuse;
+  if (options_.incremental_fsch) {
+    std::vector<ChunkId> ids;
+    ids.reserve(chunks.size());
+    for (const StagedChunk& chunk : chunks) ids.push_back(chunk.id);
+    reuse = coordinator_.LocateReusable(ids);
   }
-  if (upcoming > reserved_remaining_) {
-    // Incremental space allocation: extend the eager reservation (§IV.A).
-    std::uint64_t extent =
-        std::max<std::uint64_t>(upcoming, options_.reservation_extent);
-    STDCHK_RETURN_IF_ERROR(manager_->ExtendReservation(reservation_.id, extent));
-    reserved_remaining_ += extent;
+
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    StagedChunk& chunk = chunks[i];
+    if (!reuse.empty() && !reuse[i].empty()) {
+      coordinator_.ReuseExisting(
+          chunk.id, static_cast<std::uint32_t>(chunk.bytes.size()),
+          std::move(reuse[i]));
+      continue;
+    }
+    uploader_.Stage(std::move(chunk));
   }
   return OkStatus();
+}
+
+Status WriteSession::FlushPending() {
+  if (uploader_.pending_chunks() == 0) return OkStatus();
+  ++stats_.flushes;
+  return uploader_.Flush();
 }
 
 Status WriteSession::Write(ByteSpan data) {
   if (closed_ || aborted_) {
     return FailedPreconditionError("write on closed session");
   }
-  Append(buffer_, data);
+  planner_.Append(data);
   stats_.bytes_written += data.size();
+  stats_.max_buffered_bytes =
+      std::max<std::uint64_t>(stats_.max_buffered_bytes,
+                              planner_.buffered_bytes());
 
   switch (options_.protocol) {
     case WriteProtocol::kCompleteLocal:
-      // Everything spills locally; pushed at close().
+      // Everything spills to local storage; pushed at Close().
+      stats_.bytes_spilled_local += data.size();
       return OkStatus();
     case WriteProtocol::kIncremental:
-      if (buffer_.size() >= options_.increment_size) {
-        return FlushBufferedChunks(/*final=*/false);
+      // Increments land in local temp files; each completed temp file is
+      // pushed (in one batched drain) while the app writes the next.
+      stats_.bytes_spilled_local += data.size();
+      if (planner_.buffered_bytes() >= options_.increment_size) {
+        STDCHK_RETURN_IF_ERROR(StageSealedChunks(/*final=*/false));
+        return FlushPending();
       }
       return OkStatus();
     case WriteProtocol::kSlidingWindow:
-      if (buffer_.size() >= options_.chunk_size) {
-        return FlushBufferedChunks(/*final=*/false);
+      // No local I/O at all: every sealed chunk leaves the moment the
+      // window holds one.
+      if (planner_.buffered_bytes() >= options_.chunk_size) {
+        STDCHK_RETURN_IF_ERROR(StageSealedChunks(/*final=*/false));
+        return FlushPending();
       }
       return OkStatus();
   }
   return InternalError("unknown write protocol");
 }
 
-Status WriteSession::FlushBufferedChunks(bool final) {
-  std::size_t pos = 0;
-  while (buffer_.size() - pos >= options_.chunk_size ||
-         (final && pos < buffer_.size())) {
-    std::size_t len = std::min(options_.chunk_size, buffer_.size() - pos);
-    STDCHK_RETURN_IF_ERROR(
-        UploadChunk(ByteSpan(buffer_.data() + pos, len)));
-    pos += len;
-  }
-  buffer_.erase(buffer_.begin(),
-                buffer_.begin() + static_cast<std::ptrdiff_t>(pos));
-  return OkStatus();
-}
-
-Status WriteSession::UploadChunk(ByteSpan chunk_bytes) {
-  ChunkId id = ChunkId::For(chunk_bytes);
-  ++stats_.chunks_total;
-
-  // Incremental checkpointing: skip chunks the system already stores.
-  if (options_.incremental_fsch) {
-    auto known = manager_->FilterKnownChunks({id});
-    if (known.ok() && known.value()[0]) {
-      STDCHK_ASSIGN_OR_RETURN(auto located, manager_->LocateChunks({id}));
-      if (!located[0].empty()) {
-        ChunkLocation loc;
-        loc.id = id;
-        loc.file_offset = file_offset_;
-        loc.size = static_cast<std::uint32_t>(chunk_bytes.size());
-        loc.replicas = located[0];
-        map_.chunks.push_back(std::move(loc));
-        file_offset_ += chunk_bytes.size();
-        ++stats_.chunks_deduplicated;
-        return OkStatus();
-      }
-    }
-  }
-
-  STDCHK_RETURN_IF_ERROR(EnsureReservation(chunk_bytes.size()));
-
-  const int replicas_needed =
-      options_.semantics == WriteSemantics::kPessimistic
-          ? std::max(1, options_.replication_target)
-          : 1;
-
-  ChunkLocation loc;
-  loc.id = id;
-  loc.file_offset = file_offset_;
-  loc.size = static_cast<std::uint32_t>(chunk_bytes.size());
-
-  // Round-robin start, then walk the stripe; replace dead stripe members
-  // with fresh benefactors from the manager as needed.
-  std::size_t attempts = 0;
-  std::size_t cursor = rr_next_;
-  while (static_cast<int>(loc.replicas.size()) < replicas_needed &&
-         attempts < reservation_.stripe.size() * 2 + 4) {
-    NodeId node = reservation_.stripe[cursor % reservation_.stripe.size()];
-    cursor++;
-    attempts++;
-    if (std::find(loc.replicas.begin(), loc.replicas.end(), node) !=
-        loc.replicas.end()) {
-      continue;  // already holds this chunk
-    }
-    Status put = access_->PutChunk(node, id, chunk_bytes);
-    if (put.ok()) {
-      loc.replicas.push_back(node);
-      stats_.bytes_transferred += chunk_bytes.size();
-      ++stats_.replica_puts;
-      continue;
-    }
-    // Stripe member failed: ask the manager for a replacement donor and
-    // patch the stripe so subsequent chunks avoid the dead node.
-    STDCHK_LOG(kDebug, "client") << "put to node " << node
-                                 << " failed: " << put.ToString();
-    auto replacement = manager_->ReserveStripe(1, options_.reservation_extent);
-    if (replacement.ok()) {
-      NodeId fresh = replacement.value().stripe[0];
-      bool already_member =
-          std::find(reservation_.stripe.begin(), reservation_.stripe.end(),
-                    fresh) != reservation_.stripe.end();
-      std::replace(reservation_.stripe.begin(), reservation_.stripe.end(),
-                   node, fresh);
-      (void)manager_->ReleaseReservation(replacement.value().id);
-      if (already_member) {
-        // No distinct replacement exists; keep walking the stripe.
-        continue;
-      }
-    }
-  }
-
-  if (static_cast<int>(loc.replicas.size()) < replicas_needed) {
-    if (loc.replicas.empty()) {
-      return UnavailableError("could not store chunk on any benefactor");
-    }
-    if (options_.semantics == WriteSemantics::kPessimistic) {
-      return UnavailableError(
-          "pessimistic write could not reach replication target " +
-          std::to_string(replicas_needed));
-    }
-  }
-
-  rr_next_ = (rr_next_ + 1) % reservation_.stripe.size();
-  reserved_remaining_ = reserved_remaining_ > chunk_bytes.size()
-                            ? reserved_remaining_ - chunk_bytes.size()
-                            : 0;
-  file_offset_ += chunk_bytes.size();
-  map_.chunks.push_back(std::move(loc));
-  return OkStatus();
-}
-
 Result<CloseOutcome> WriteSession::Close() {
   if (closed_) return FailedPreconditionError("session already closed");
   if (aborted_) return FailedPreconditionError("session aborted");
-  STDCHK_RETURN_IF_ERROR(FlushBufferedChunks(/*final=*/true));
+  STDCHK_RETURN_IF_ERROR(StageSealedChunks(/*final=*/true));
+  STDCHK_RETURN_IF_ERROR(FlushPending());
   closed_ = true;
-
-  VersionRecord record;
-  record.name = name_;
-  record.chunk_map = map_;
-  record.size = file_offset_;
-  record.replication_target = options_.replication_target;
-
-  Status commit = manager_->CommitVersion(
-      have_reservation_ ? reservation_.id : 0, record);
-  if (commit.ok()) return CloseOutcome::kCommitted;
-
-  if (commit.code() == StatusCode::kUnavailable) {
-    // Manager down: stash the final chunk map on the write stripe so the
-    // benefactors can recover the version when the manager returns (§IV.A).
-    STDCHK_RETURN_IF_ERROR(StashOnStripe(record));
-    return CloseOutcome::kStashedForRecovery;
-  }
-  // Terminal commit failure (e.g. the version was committed by another
-  // producer): the session is over — release the reservation so GC can
-  // reclaim the orphaned chunks promptly.
-  if (have_reservation_) {
-    (void)manager_->ReleaseReservation(reservation_.id);
-    have_reservation_ = false;
-  }
-  return commit;
-}
-
-Status WriteSession::StashOnStripe(const VersionRecord& record) {
-  if (!have_reservation_) {
-    return FailedPreconditionError("no stripe to stash on (empty write)");
-  }
-  std::size_t stashed = 0;
-  for (NodeId node : reservation_.stripe) {
-    if (access_->StashChunkMap(node, record,
-                               static_cast<int>(reservation_.stripe.size()))
-            .ok()) {
-      ++stashed;
-    }
-  }
-  if (stashed == 0) {
-    return UnavailableError("could not stash chunk map on any benefactor");
-  }
-  return OkStatus();
+  return coordinator_.Commit();
 }
 
 void WriteSession::Abort() {
   aborted_ = true;
-  if (have_reservation_) {
-    (void)manager_->ReleaseReservation(reservation_.id);
-    have_reservation_ = false;
-  }
+  coordinator_.ReleaseReservation();
 }
 
 }  // namespace stdchk

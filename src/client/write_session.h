@@ -1,38 +1,36 @@
 // One open-for-write file: the client proxy's side of session semantics.
 //
-// The application streams bytes in with Write(); Close() pushes whatever
-// remains, then commits the chunk map to the manager in one atomic call —
-// until that commit no reader can observe the file (paper §IV.A, session
-// semantics). If the manager is down at commit time, the session stashes
-// the final chunk map on the stripe's benefactors so the manager-recovery
-// protocol can commit it later.
+// WriteSession is a thin facade over the staged write engine:
+//
+//   ChunkPlanner       buffering + chunk-boundary decisions (any Chunker)
+//   PlacementPolicy    which stripe members receive each chunk's replicas
+//   ChunkUploader      per-benefactor queues, batched multi-chunk PUTs
+//   CommitCoordinator  reservation growth, dedup queries, atomic commit,
+//                      stash-for-recovery when the manager is down
+//
+// The application streams bytes in with Write(); the configured protocol
+// (§IV.B) decides when sealed chunks leave the client: SW pushes as
+// produced, IW flushes per completed increment, CLW spills locally and
+// drains everything at Close(). All three commit identical chunk maps —
+// Close() pushes whatever remains, then commits atomically; until that
+// commit no reader can observe the file (paper §IV.A, session semantics).
 #pragma once
 
 #include <cstdint>
 #include <memory>
-#include <vector>
 
 #include "client/benefactor_access.h"
+#include "client/chunk_planner.h"
+#include "client/chunk_uploader.h"
 #include "client/client_options.h"
+#include "client/commit_coordinator.h"
+#include "client/placement.h"
+#include "client/write_stats.h"
 #include "common/status.h"
 #include "manager/metadata_manager.h"
 #include "manager/types.h"
 
 namespace stdchk {
-
-// What Close() achieved.
-enum class CloseOutcome {
-  kCommitted,        // chunk map committed at the manager
-  kStashedForRecovery,  // manager down; map stashed on benefactors
-};
-
-struct WriteStats {
-  std::uint64_t bytes_written = 0;     // application bytes accepted
-  std::uint64_t bytes_transferred = 0; // bytes actually sent to benefactors
-  std::uint64_t chunks_total = 0;
-  std::uint64_t chunks_deduplicated = 0;
-  std::uint64_t replica_puts = 0;      // total chunk-replica transfers
-};
 
 class WriteSession {
  public:
@@ -56,34 +54,30 @@ class WriteSession {
   const WriteStats& stats() const { return stats_; }
   bool closed() const { return closed_; }
 
+  // Introspection on the assembled chunk map (committed only after a
+  // successful Close): the map itself, which slots were satisfied by
+  // compare-by-hash reuse, and the file size so far.
+  const ChunkMap& chunk_map() const { return coordinator_.map(); }
+  const std::vector<bool>& chunk_reused() const {
+    return coordinator_.slot_reused();
+  }
+  std::uint64_t file_size() const { return coordinator_.file_size(); }
+
  private:
-  // Ensures a stripe reservation exists and covers `upcoming` more bytes.
-  Status EnsureReservation(std::uint64_t upcoming);
+  // Seals what the planner can release, filters chunks the system already
+  // stores (compare-by-hash dedup), and stages the rest for upload.
+  Status StageSealedChunks(bool final);
+  // Drains the uploader if anything is pending; one network drain point.
+  Status FlushPending();
 
-  // Sends [buffer_ start, complete chunks] to benefactors; `final` flushes
-  // the tail partial chunk too.
-  Status FlushBufferedChunks(bool final);
-
-  // Uploads one chunk to `replicas_needed` distinct stripe nodes, with
-  // failover across the stripe. Appends the committed location.
-  Status UploadChunk(ByteSpan chunk_bytes);
-
-  Status StashOnStripe(const VersionRecord& record);
-
-  MetadataManager* manager_;
-  BenefactorAccess* access_;
-  CheckpointName name_;
   ClientOptions options_;
-
-  WriteReservation reservation_;
-  bool have_reservation_ = false;
-  std::uint64_t reserved_remaining_ = 0;
-
-  Bytes buffer_;              // data not yet pushed (spill / window)
-  std::uint64_t file_offset_ = 0;
-  std::size_t rr_next_ = 0;   // round-robin cursor within the stripe
-  ChunkMap map_;
   WriteStats stats_;
+
+  ChunkPlanner planner_;
+  std::unique_ptr<PlacementPolicy> placement_;
+  CommitCoordinator coordinator_;
+  ChunkUploader uploader_;
+
   bool closed_ = false;
   bool aborted_ = false;
 };

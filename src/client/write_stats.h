@@ -1,0 +1,25 @@
+// Per-session write accounting, shared by every layer of the staged write
+// engine. Readers use it to tell the three §IV.B protocols apart: they
+// commit identical chunk maps but move the same bytes at different times.
+#pragma once
+
+#include <cstdint>
+
+namespace stdchk {
+
+struct WriteStats {
+  std::uint64_t bytes_written = 0;     // application bytes accepted
+  std::uint64_t bytes_transferred = 0; // bytes actually sent to benefactors
+  std::uint64_t chunks_total = 0;
+  std::uint64_t chunks_deduplicated = 0;
+  std::uint64_t bytes_deduplicated = 0;  // referenced, not re-transferred
+  std::uint64_t replica_puts = 0;      // total chunk-replica transfers
+
+  // Protocol-shape signals (what distinguishes CLW / IW / SW):
+  std::uint64_t flushes = 0;            // network drain points
+  std::uint64_t batched_puts = 0;       // batch RPCs issued by the uploader
+  std::uint64_t bytes_spilled_local = 0;  // client-side spill (CLW/IW temp)
+  std::uint64_t max_buffered_bytes = 0;   // high-water client buffering
+};
+
+}  // namespace stdchk

@@ -42,6 +42,15 @@ Status LocalTransport::PutChunk(NodeId node, const ChunkId& id,
   return b->PutChunk(id, data);
 }
 
+Status LocalTransport::PutChunkBatch(NodeId node,
+                                     std::span<const ChunkPut> puts) {
+  STDCHK_ASSIGN_OR_RETURN(Benefactor * b, Route(node));
+  // Like PutChunk, the bytes hit the wire whether or not the node admits
+  // them.
+  for (const ChunkPut& put : puts) bytes_moved_ += put.data.size();
+  return b->PutChunkBatch(puts);
+}
+
 Result<Bytes> LocalTransport::GetChunk(NodeId node, const ChunkId& id) {
   STDCHK_ASSIGN_OR_RETURN(Benefactor * b, Route(node));
   Result<Bytes> out = b->GetChunk(id);

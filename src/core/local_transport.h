@@ -33,6 +33,10 @@ class LocalTransport final : public BenefactorAccess {
 
   // ---- BenefactorAccess ------------------------------------------------------
   Status PutChunk(NodeId node, const ChunkId& id, ByteSpan data) override;
+  // True single-RPC batch: one route (one fault-injection roll, one
+  // rpc_count tick) carries every chunk, which is what makes the client's
+  // per-benefactor upload queues pay off.
+  Status PutChunkBatch(NodeId node, std::span<const ChunkPut> puts) override;
   Result<Bytes> GetChunk(NodeId node, const ChunkId& id) override;
   Status StashChunkMap(NodeId node, const VersionRecord& record,
                        int stripe_width) override;

@@ -137,6 +137,29 @@ Status MetadataManager::ExtendReservation(ReservationId id,
   return OkStatus();
 }
 
+Result<NodeId> MetadataManager::ReplaceReservationNode(ReservationId id,
+                                                       NodeId dead) {
+  std::lock_guard<std::mutex> lock(mu_);
+  STDCHK_RETURN_IF_ERROR(CheckUp());
+  auto it = reservations_.find(id);
+  if (it == reservations_.end()) return NotFoundError("unknown reservation");
+  Reservation& res = it->second;
+  auto slot = std::find(res.stripe.begin(), res.stripe.end(), dead);
+  if (slot == res.stripe.end()) {
+    return NotFoundError("node is not a member of the reservation stripe");
+  }
+  STDCHK_ASSIGN_OR_RETURN(std::vector<NodeId> fresh,
+                          registry_.SelectStripe(1, res.stripe));
+  // Hand the dead member's share of the eager reservation to the
+  // replacement so the stripe's accounted capacity is unchanged.
+  std::uint64_t per_node = res.bytes / res.stripe.size() + 1;
+  registry_.ReleaseReserved(dead, per_node);
+  registry_.AddReserved(fresh[0], per_node);
+  *slot = fresh[0];
+  res.last_touch = clock_->NowUs();
+  return fresh[0];
+}
+
 void MetadataManager::ReleaseReservationLocked(
     std::map<ReservationId, Reservation>::iterator it) {
   std::uint64_t per_node = it->second.bytes / it->second.stripe.size() + 1;

@@ -75,6 +75,13 @@ class MetadataManager {
   Status ExtendReservation(ReservationId id, std::uint64_t additional_bytes);
   Status ReleaseReservation(ReservationId id);
 
+  // Stripe failover: the client observed `dead` failing its puts. Swaps it
+  // for a fresh donor inside the reservation, moving the dead node's
+  // reserved-byte accounting to the replacement, and returns the
+  // replacement's id. Prefers donors outside the current stripe; fails
+  // Unavailable when no distinct replacement exists.
+  Result<NodeId> ReplaceReservationNode(ReservationId id, NodeId dead);
+
   // Atomic commit of a version's chunk map — the session-semantics commit
   // point. Releases the reservation (id 0 = no reservation).
   Status CommitVersion(ReservationId id, const VersionRecord& record);

@@ -192,8 +192,8 @@ void WritePipeline::SendChunk(std::size_t i, std::uint64_t bytes,
     // replication, which never touches the client NIC (§IV.A).
     const int client_replicas = config_.pessimistic ? config_.replicas : 1;
     for (int r = 0; r < client_replicas; ++r) {
-      int target = config_.stripe[(next_stripe_ + static_cast<std::size_t>(r)) %
-                                  config_.stripe.size()];
+      int target = stripe_cursor_.Peek(config_.stripe,
+                                       static_cast<std::size_t>(r));
       client_->nic->Transfer(
           static_cast<double>(bytes), [this, i, bytes, r, target] {
             bytes_transferred_ += bytes;
@@ -230,7 +230,7 @@ void WritePipeline::SendChunk(std::size_t i, std::uint64_t bytes,
                 });
           });
     }
-    next_stripe_ = (next_stripe_ + 1) % config_.stripe.size();
+    stripe_cursor_.Advance(config_.stripe.size());
   };
 
   if (from_disk) {
@@ -251,9 +251,8 @@ void WritePipeline::StartBackgroundReplicas(std::size_t i,
     int target = -1;
     // Next stripe members after the source, skipping the source itself.
     for (std::size_t probe = 0; probe < config_.stripe.size(); ++probe) {
-      int candidate = config_.stripe[(next_stripe_ + static_cast<std::size_t>(r) +
-                                      probe) %
-                                     config_.stripe.size()];
+      int candidate = stripe_cursor_.Peek(
+          config_.stripe, static_cast<std::size_t>(r) + probe);
       if (candidate != source) {
         target = candidate;
         break;

@@ -29,6 +29,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/striping.h"
 #include "perf/testbed_model.h"
 #include "sim/bounded_buffer.h"
 
@@ -110,7 +111,8 @@ class WritePipeline {
   std::unique_ptr<sim::BoundedBuffer> buffer_;
 
   std::size_t next_produce_ = 0;
-  std::size_t next_stripe_ = 0;
+  // Same striping discipline as the functional client's placement layer.
+  RoundRobinCursor stripe_cursor_;
   std::deque<std::pair<std::size_t, std::uint64_t>> iw_pending_;
   std::uint64_t produced_bytes_ = 0;
 

@@ -30,6 +30,14 @@ TEST_F(CbchWriteTest, FirstVersionUploadsEverything) {
   ASSERT_TRUE(plan.ok()) << plan.status();
   EXPECT_EQ(plan->total_bytes, image.size());
   EXPECT_EQ(plan->novel_bytes, image.size());
+  ASSERT_FALSE(plan->chunks.empty());
+  std::uint64_t offset = 0;
+  for (const PlannedChunk& pc : plan->chunks) {
+    EXPECT_TRUE(pc.novel);
+    EXPECT_EQ(pc.span.offset, offset);
+    offset += pc.span.size;
+  }
+  EXPECT_EQ(offset, image.size());
 
   auto read_back = cluster_->client().ReadFile(Name(1));
   ASSERT_TRUE(read_back.ok());
@@ -51,6 +59,10 @@ TEST_F(CbchWriteTest, ShiftedVersionTransfersOnlyTheInsertion) {
   ASSERT_TRUE(plan.ok());
   EXPECT_GT(plan->dedup_ratio(), 0.9);  // nearly everything reused
   EXPECT_LT(plan->novel_bytes, 20'000u);
+  // The per-chunk plan marks the reused spans.
+  std::size_t reused_chunks = 0;
+  for (const PlannedChunk& pc : plan->chunks) reused_chunks += !pc.novel;
+  EXPECT_GT(reused_chunks, plan->chunks.size() / 2);
 
   auto read_back = cluster_->client().ReadFile(Name(2));
   ASSERT_TRUE(read_back.ok());
