@@ -84,6 +84,18 @@ Result<Bytes> Benefactor::GetChunk(const ChunkId& id) const {
   return data;
 }
 
+Result<std::vector<Bytes>> Benefactor::GetChunkBatch(
+    std::span<const ChunkId> ids) const {
+  STDCHK_RETURN_IF_ERROR(CheckOnline());
+  std::vector<Bytes> out;
+  out.reserve(ids.size());
+  for (const ChunkId& id : ids) {
+    STDCHK_ASSIGN_OR_RETURN(Bytes data, GetChunk(id));
+    out.push_back(std::move(data));
+  }
+  return out;
+}
+
 bool Benefactor::HasChunk(const ChunkId& id) const {
   return online_ && store_->Contains(id);
 }

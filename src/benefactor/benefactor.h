@@ -65,6 +65,12 @@ class Benefactor {
   // a tampering or bit-flipping donor is detected (§IV.C).
   Result<Bytes> GetChunk(const ChunkId& id) const;
 
+  // Batched read path, all-or-nothing (mirror of PutChunkBatch): one RPC
+  // returns every requested chunk, each integrity-verified, or fails
+  // wholesale — the client's read engine then fans the chunks back out to
+  // other replicas individually.
+  Result<std::vector<Bytes>> GetChunkBatch(std::span<const ChunkId> ids) const;
+
   bool HasChunk(const ChunkId& id) const;
   std::uint64_t BytesUsed() const { return store_->BytesUsed(); }
   std::uint64_t capacity() const { return capacity_bytes_; }

@@ -1,16 +1,27 @@
-// Transport abstraction the client uses to reach benefactors by node id.
+// Legacy synchronous transport facade, kept as a migration shim.
 //
-// In this repository the "network" between client and donors is an
-// in-process call through this interface; core/LocalTransport implements it
-// over Benefactor objects and injects failures for tests. Data transfers
+// The system's real client↔benefactor boundary is the asynchronous
+// submission/completion API in client/transport.h (Transport::Submit plus
+// Wait/WaitAny/Poll); core/LocalTransport implements it over Benefactor
+// objects with fault injection and modeled link timing. Data transfers
 // never pass through the metadata manager (paper §IV.A: "the actual
 // transfer of data chunks occurs directly between the storage nodes and the
 // client").
+//
+// Migration path for code still typed against BenefactorAccess*:
+//   1. Wrap any Transport in SyncBenefactorAccess (below) — call sites keep
+//      compiling, each call becomes one Submit + Wait.
+//   2. When a call site needs overlap (multiple RPCs in flight), move it to
+//      Transport directly, as ReadSession and ChunkUploader did.
+// New code should depend on Transport; this interface only remains so fakes
+// and out-of-tree callers can migrate incrementally.
 #pragma once
 
 #include <span>
+#include <vector>
 
 #include "chunk/chunk.h"
+#include "client/transport.h"
 #include "common/status.h"
 #include "manager/types.h"
 
@@ -36,10 +47,65 @@ class BenefactorAccess {
 
   virtual Result<Bytes> GetChunk(NodeId node, const ChunkId& id) = 0;
 
+  // Fetches a batch of chunks from one node, all-or-nothing (mirror of
+  // PutChunkBatch): transports that support it spend a single RPC; the
+  // default loops over GetChunk and fails wholesale on the first error.
+  virtual Result<std::vector<Bytes>> GetChunkBatch(
+      NodeId node, std::span<const ChunkId> ids) {
+    std::vector<Bytes> out;
+    out.reserve(ids.size());
+    for (const ChunkId& id : ids) {
+      STDCHK_ASSIGN_OR_RETURN(Bytes data, GetChunk(node, id));
+      out.push_back(std::move(data));
+    }
+    return out;
+  }
+
   // Client-side leg of the manager-recovery protocol: stash the final chunk
   // map on a write-stripe benefactor when the manager is unreachable.
   virtual Status StashChunkMap(NodeId node, const VersionRecord& record,
                                int stripe_width) = 0;
+
+  // Benefactor-to-benefactor chunk copy (replication commands, §IV.A
+  // shadow-map copies). The default bounces the bytes through the caller.
+  virtual Status CopyChunk(const ChunkId& id, NodeId source, NodeId target) {
+    STDCHK_ASSIGN_OR_RETURN(Bytes data, GetChunk(source, id));
+    return PutChunk(target, id, data);
+  }
+};
+
+// Adapter presenting an asynchronous Transport through the legacy
+// synchronous interface: every call is one Submit + Wait, so ops from one
+// SyncBenefactorAccess never overlap (by construction — that is the
+// contract legacy call sites were written against).
+class SyncBenefactorAccess final : public BenefactorAccess {
+ public:
+  explicit SyncBenefactorAccess(Transport* transport)
+      : transport_(transport) {}
+
+  Status PutChunk(NodeId node, const ChunkId& id, ByteSpan data) override {
+    return transport_->PutChunk(node, id, data);
+  }
+  Status PutChunkBatch(NodeId node, std::span<const ChunkPut> puts) override {
+    return transport_->PutChunkBatch(node, puts);
+  }
+  Result<Bytes> GetChunk(NodeId node, const ChunkId& id) override {
+    return transport_->GetChunk(node, id);
+  }
+  Result<std::vector<Bytes>> GetChunkBatch(
+      NodeId node, std::span<const ChunkId> ids) override {
+    return transport_->GetChunkBatch(node, ids);
+  }
+  Status StashChunkMap(NodeId node, const VersionRecord& record,
+                       int stripe_width) override {
+    return transport_->StashChunkMap(node, record, stripe_width);
+  }
+  Status CopyChunk(const ChunkId& id, NodeId source, NodeId target) override {
+    return transport_->CopyChunk(id, source, target);
+  }
+
+ private:
+  Transport* transport_;
 };
 
 }  // namespace stdchk

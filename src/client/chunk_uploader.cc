@@ -2,17 +2,18 @@
 
 #include <algorithm>
 #include <map>
+#include <set>
 #include <utility>
 
 #include "common/log.h"
 
 namespace stdchk {
 
-ChunkUploader::ChunkUploader(BenefactorAccess* access,
+ChunkUploader::ChunkUploader(Transport* transport,
                              PlacementPolicy* placement,
                              CommitCoordinator* coordinator,
                              const ClientOptions& options, WriteStats* stats)
-    : access_(access),
+    : transport_(transport),
       placement_(placement),
       coordinator_(coordinator),
       options_(options),
@@ -59,7 +60,9 @@ Status ChunkUploader::Flush() {
   }
 
   // Drain rounds: each round assigns every still-needy chunk its next
-  // placement candidate, then issues one batched PUT per target node.
+  // placement candidate, then puts one (or more, above max_batch_chunks)
+  // batched PUT per target node in flight — all nodes concurrently — and
+  // harvests the completions.
   while (true) {
     std::map<NodeId, std::vector<Pending*>> queues;
     for (Tracked& t : tracked) {
@@ -82,52 +85,73 @@ Status ChunkUploader::Flush() {
     }
     if (queues.empty()) break;
 
+    // Submit the whole round before waiting on any of it.
+    struct InflightBatch {
+      NodeId node;
+      std::vector<Pending*> items;
+    };
+    std::map<OpHandle, InflightBatch> inflight;
     for (auto& [node, items] : queues) {
       std::size_t batch_limit =
           options_.max_batch_chunks == 0 ? items.size()
                                          : options_.max_batch_chunks;
-      bool node_failed = false;
-      for (std::size_t begin = 0; begin < items.size() && !node_failed;
-           begin += batch_limit) {
+      for (std::size_t begin = 0; begin < items.size(); begin += batch_limit) {
         std::size_t end = std::min(items.size(), begin + batch_limit);
         std::vector<ChunkPut> batch;
         batch.reserve(end - begin);
         for (std::size_t i = begin; i < end; ++i) {
           batch.push_back(ChunkPut{items[i]->chunk.id, items[i]->chunk.bytes});
         }
-        Status put = access_->PutChunkBatch(node, batch);
-        if (put.ok()) {
-          ++stats_->batched_puts;
-          for (std::size_t i = begin; i < end; ++i) {
-            items[i]->replicas.push_back(node);
-            stats_->bytes_transferred += items[i]->chunk.bytes.size();
-            ++stats_->replica_puts;
-          }
-          continue;
+        OpHandle h = transport_->Submit(ChunkOp::PutBatch(node, std::move(batch)));
+        inflight.emplace(
+            h, InflightBatch{node, {items.begin() + static_cast<std::ptrdiff_t>(begin),
+                                    items.begin() + static_cast<std::ptrdiff_t>(end)}});
+      }
+    }
+    stats_->inflight_put_peak =
+        std::max<std::uint64_t>(stats_->inflight_put_peak, inflight.size());
+
+    std::set<NodeId> replaced_this_round;
+    while (!inflight.empty()) {
+      std::vector<OpHandle> handles;
+      handles.reserve(inflight.size());
+      for (const auto& [h, b] : inflight) handles.push_back(h);
+      STDCHK_ASSIGN_OR_RETURN(OpCompletion c, transport_->WaitAny(handles));
+      auto it = inflight.find(c.handle);
+      InflightBatch batch = std::move(it->second);
+      inflight.erase(it);
+
+      if (c.status.ok()) {
+        ++stats_->batched_puts;
+        for (Pending* p : batch.items) {
+          p->replicas.push_back(batch.node);
+          stats_->bytes_transferred += p->chunk.bytes.size();
+          ++stats_->replica_puts;
         }
-        // The node rejected the batch (offline, unreachable, full): swap it
-        // out of the stripe and patch *every* still-needy chunk's walk in
-        // place — walks were snapshotted from the pre-failure stripe, so
-        // the fresh donor must take over the dead node's walk positions
-        // (and chunks outside this batch must see it too). Without a
-        // replacement, drop the dead node so walks stop burning failover
-        // budget on it.
-        node_failed = true;
-        STDCHK_LOG(kDebug, "client")
-            << "batch put of " << batch.size() << " chunks to node " << node
-            << " failed: " << put.ToString();
-        auto fresh = coordinator_->ReplaceStripeMember(node);
-        for (Tracked& t : tracked) {
-          Pending& p = *t.p;
-          if (static_cast<int>(p.replicas.size()) >= needed) continue;
-          if (fresh.ok()) {
-            std::replace(p.candidates.begin(), p.candidates.end(), node,
-                         fresh.value());
-          } else {
-            p.candidates.erase(std::remove(p.candidates.begin(),
-                                           p.candidates.end(), node),
-                               p.candidates.end());
-          }
+        continue;
+      }
+      // The node rejected the batch (offline, unreachable, full): swap it
+      // out of the stripe and patch *every* pending chunk's walk in place —
+      // walks were snapshotted from the pre-failure stripe, so the fresh
+      // donor must take over the dead node's walk positions (and chunks
+      // outside this batch must see it too). Without a replacement, drop
+      // the dead node so walks stop burning failover budget on it. Later
+      // completions from the same node this round fail consistently and
+      // skip the (already done) replacement.
+      STDCHK_LOG(kDebug, "client")
+          << "batch put of " << batch.items.size() << " chunks to node "
+          << batch.node << " failed: " << c.status.ToString();
+      if (!replaced_this_round.insert(batch.node).second) continue;
+      auto fresh = coordinator_->ReplaceStripeMember(batch.node);
+      for (Tracked& t : tracked) {
+        Pending& p = *t.p;
+        if (fresh.ok()) {
+          std::replace(p.candidates.begin(), p.candidates.end(), batch.node,
+                       fresh.value());
+        } else {
+          p.candidates.erase(std::remove(p.candidates.begin(),
+                                         p.candidates.end(), batch.node),
+                             p.candidates.end());
         }
       }
     }

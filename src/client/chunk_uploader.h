@@ -1,24 +1,26 @@
 // Layer 3 of the staged write engine: moving sealed chunks to benefactors.
 //
 // Staged chunks accumulate in an ordered pending set; Flush() drains them
-// through per-benefactor queues as batched multi-chunk PUTs (one RPC per
-// node per round instead of one per chunk). The three §IV.B protocols
-// differ only in when they call Flush(): SW after every sealed chunk, IW
-// once per completed increment, CLW once at close. Failover re-routes a
-// rejected batch wholesale: the dead stripe member is swapped for a fresh
-// donor (CommitCoordinator::ReplaceStripeMember) and the affected chunks
-// walk on to their next placement candidates.
+// through per-benefactor queues as batched multi-chunk PUTs, submitted
+// through the async transport so every target node (and every batch slice)
+// is in flight simultaneously — the drain's wall time is the slowest link,
+// not the sum of links. The three §IV.B protocols differ only in when they
+// call Flush(): SW after every sealed chunk, IW once per completed
+// increment, CLW once at close. Failover re-routes a rejected batch
+// wholesale: the dead stripe member is swapped for a fresh donor
+// (CommitCoordinator::ReplaceStripeMember) and the affected chunks walk on
+// to their next placement candidates.
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <vector>
 
-#include "client/benefactor_access.h"
 #include "client/chunk_planner.h"
 #include "client/client_options.h"
 #include "client/commit_coordinator.h"
 #include "client/placement.h"
+#include "client/transport.h"
 #include "client/write_stats.h"
 #include "common/status.h"
 
@@ -26,7 +28,7 @@ namespace stdchk {
 
 class ChunkUploader {
  public:
-  ChunkUploader(BenefactorAccess* access, PlacementPolicy* placement,
+  ChunkUploader(Transport* transport, PlacementPolicy* placement,
                 CommitCoordinator* coordinator, const ClientOptions& options,
                 WriteStats* stats);
 
@@ -53,7 +55,7 @@ class ChunkUploader {
 
   int replicas_needed() const;
 
-  BenefactorAccess* access_;
+  Transport* transport_;
   PlacementPolicy* placement_;
   CommitCoordinator* coordinator_;
   const ClientOptions& options_;

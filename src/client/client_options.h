@@ -53,8 +53,17 @@ struct ClientOptions {
   // allocation).
   std::size_t reservation_extent = 256_MiB;
 
-  // Read path: chunks prefetched ahead of the reader's position.
+  // Read path: chunks prefetched ahead of the reader's position. The read
+  // engine keeps up to read_ahead_chunks + 1 chunk fetches in flight
+  // (demand chunk + read-ahead window), overlapped across benefactors.
   int read_ahead_chunks = 2;
+
+  // Byte budget for the read-ahead cache. Chunks already consumed (or no
+  // longer in the active window) are evicted oldest-first once the cache
+  // exceeds this; chunks the current window still needs are never evicted,
+  // so a budget smaller than the window degrades to window-sized caching
+  // rather than thrashing. 0 = unbounded.
+  std::size_t read_cache_budget_bytes = 64_MiB;
 };
 
 }  // namespace stdchk

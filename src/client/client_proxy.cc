@@ -13,7 +13,7 @@ Result<std::unique_ptr<WriteSession>> ClientProxy::CreateFileWith(
     return AlreadyExistsError("checkpoint image " + name.ToString() +
                               " already exists");
   }
-  return std::make_unique<WriteSession>(manager_, access_, name, options);
+  return std::make_unique<WriteSession>(manager_, transport_, name, options);
 }
 
 Result<CloseOutcome> ClientProxy::WriteFile(const CheckpointName& name,
@@ -62,14 +62,14 @@ Result<UploadPlan> ClientProxy::WriteFileDeduped(const CheckpointName& name,
 Result<std::unique_ptr<ReadSession>> ClientProxy::OpenFile(
     const CheckpointName& name) {
   STDCHK_ASSIGN_OR_RETURN(VersionRecord record, manager_->GetVersion(name));
-  return std::make_unique<ReadSession>(access_, std::move(record), options_);
+  return std::make_unique<ReadSession>(transport_, std::move(record), options_);
 }
 
 Result<std::unique_ptr<ReadSession>> ClientProxy::OpenLatest(
     const std::string& app, const std::string& node) {
   STDCHK_ASSIGN_OR_RETURN(VersionRecord record,
                           manager_->GetLatest(app, node));
-  return std::make_unique<ReadSession>(access_, std::move(record), options_);
+  return std::make_unique<ReadSession>(transport_, std::move(record), options_);
 }
 
 Result<Bytes> ClientProxy::ReadFile(const CheckpointName& name) {

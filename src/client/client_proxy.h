@@ -7,7 +7,7 @@
 #include <string>
 
 #include "chkpt/upload_plan.h"
-#include "client/benefactor_access.h"
+#include "client/transport.h"
 #include "client/client_options.h"
 #include "client/read_session.h"
 #include "client/write_session.h"
@@ -18,9 +18,9 @@ namespace stdchk {
 
 class ClientProxy {
  public:
-  ClientProxy(MetadataManager* manager, BenefactorAccess* access,
+  ClientProxy(MetadataManager* manager, Transport* transport,
               ClientOptions options = {})
-      : manager_(manager), access_(access), options_(options) {}
+      : manager_(manager), transport_(transport), options_(options) {}
 
   const ClientOptions& options() const { return options_; }
   void set_options(const ClientOptions& options) { options_ = options; }
@@ -62,7 +62,7 @@ class ClientProxy {
 
  private:
   MetadataManager* manager_;
-  BenefactorAccess* access_;
+  Transport* transport_;
   ClientOptions options_;
 };
 

@@ -6,12 +6,12 @@
 namespace stdchk {
 
 CommitCoordinator::CommitCoordinator(MetadataManager* manager,
-                                     BenefactorAccess* access,
+                                     Transport* transport,
                                      CheckpointName name,
                                      const ClientOptions& options,
                                      WriteStats* stats)
     : manager_(manager),
-      access_(access),
+      transport_(transport),
       name_(std::move(name)),
       options_(options),
       stats_(stats) {}
@@ -135,7 +135,7 @@ Status CommitCoordinator::StashOnStripe(const VersionRecord& record) {
   }
   std::size_t stashed = 0;
   for (NodeId node : reservation_.stripe) {
-    if (access_->StashChunkMap(node, record,
+    if (transport_->StashChunkMap(node, record,
                                static_cast<int>(reservation_.stripe.size()))
             .ok()) {
       ++stashed;

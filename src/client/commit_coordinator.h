@@ -11,7 +11,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "client/benefactor_access.h"
+#include "client/transport.h"
 #include "client/client_options.h"
 #include "client/write_stats.h"
 #include "common/status.h"
@@ -28,7 +28,7 @@ enum class CloseOutcome {
 
 class CommitCoordinator {
  public:
-  CommitCoordinator(MetadataManager* manager, BenefactorAccess* access,
+  CommitCoordinator(MetadataManager* manager, Transport* transport,
                     CheckpointName name, const ClientOptions& options,
                     WriteStats* stats);
 
@@ -79,7 +79,7 @@ class CommitCoordinator {
   Status StashOnStripe(const VersionRecord& record);
 
   MetadataManager* manager_;
-  BenefactorAccess* access_;
+  Transport* transport_;
   CheckpointName name_;
   const ClientOptions& options_;
   WriteStats* stats_;

@@ -2,60 +2,225 @@
 
 #include <algorithm>
 #include <cstring>
+#include <utility>
 
 namespace stdchk {
 
-ReadSession::ReadSession(BenefactorAccess* access, VersionRecord record,
+ReadSession::ReadSession(Transport* transport, VersionRecord record,
                          ClientOptions options)
-    : access_(access), record_(std::move(record)), options_(options) {}
+    : transport_(transport),
+      record_(std::move(record)),
+      options_(options) {}
 
-Status ReadSession::Prefetch(std::size_t index) {
-  for (const CachedChunk& c : cache_) {
-    if (c.index == index) return OkStatus();
+ReadSession::~ReadSession() {
+  // Drop replies for anything still in flight so the transport does not
+  // accumulate undeliverable completions.
+  for (const auto& [handle, fetch] : inflight_) {
+    (void)transport_->Cancel(handle);
   }
+}
+
+std::size_t ReadSession::WindowEnd(std::size_t demand) const {
+  std::size_t ahead =
+      static_cast<std::size_t>(std::max(0, options_.read_ahead_chunks));
+  return std::min(record_.chunk_map.chunks.size() - 1, demand + ahead);
+}
+
+std::size_t ReadSession::MaxInflight() const {
+  return static_cast<std::size_t>(std::max(0, options_.read_ahead_chunks)) + 1;
+}
+
+Result<NodeId> ReadSession::PickReplica(std::size_t index) {
   const ChunkLocation& loc = record_.chunk_map.chunks[index];
   if (loc.replicas.empty()) {
     return DataLossError("chunk " + loc.id.ToHex() + " has no replicas");
   }
-  // Rotate the starting replica across fetches so load spreads over the
+  auto failed_it = failed_replicas_.find(index);
+  auto failed = [&](NodeId n) {
+    return failed_it != failed_replicas_.end() && failed_it->second.contains(n);
+  };
+  // Rotate the starting replica across picks so load spreads over the
   // stripe (round-robin read striping, as in FreeLoader).
-  Status last = UnavailableError("no replica reachable");
-  for (std::size_t i = 0; i < loc.replicas.size(); ++i) {
-    NodeId node = loc.replicas[(rr_replica_ + i) % loc.replicas.size()];
-    Result<Bytes> data = access_->GetChunk(node, loc.id);
-    if (data.ok()) {
-      cache_.push_back(CachedChunk{index, std::move(data).value()});
-      ++chunks_fetched_;
-      // Bound the cache: current chunk + read-ahead window.
-      std::size_t limit =
-          static_cast<std::size_t>(std::max(1, options_.read_ahead_chunks)) + 1;
-      while (cache_.size() > limit) cache_.pop_front();
-      rr_replica_ = (rr_replica_ + 1) % loc.replicas.size();
-      return OkStatus();
+  std::size_t start = rr_replica_++ % loc.replicas.size();
+  NodeId dead_fallback = kInvalidNode;
+  for (std::size_t k = 0; k < loc.replicas.size(); ++k) {
+    NodeId n = loc.replicas[(start + k) % loc.replicas.size()];
+    if (failed(n)) continue;
+    if (dead_nodes_.contains(n)) {
+      // Observed dead this session: do not pay a doomed RPC while a live
+      // candidate exists.
+      ++stats_.dead_replica_skips;
+      if (dead_fallback == kInvalidNode) dead_fallback = n;
+      continue;
     }
-    last = data.status();
+    return n;
   }
-  return last;
+  // No live candidate left. A node marked dead may have been a transient
+  // drop — retry one before giving up on the chunk.
+  if (dead_fallback != kInvalidNode) return dead_fallback;
+  // Every replica has failed for this chunk. Failures can be transient
+  // (a dropped RPC), so clear the per-chunk blacklist and sweep the
+  // replicas again — bounded by a failover budget mirroring the
+  // uploader's, after which the chunk is genuinely unreadable.
+  if (fetch_attempts_[index] < 2 * loc.replicas.size()) {
+    if (failed_it != failed_replicas_.end()) failed_it->second.clear();
+    return loc.replicas[start];
+  }
+  return UnavailableError("no replica of chunk " + loc.id.ToHex() +
+                          " reachable");
+}
+
+Status ReadSession::PumpWindow(std::size_t demand) {
+  const auto& chunks = record_.chunk_map.chunks;
+  if (chunks.empty()) return OkStatus();
+  std::size_t window_end = WindowEnd(demand);
+  std::size_t max_inflight = MaxInflight();
+
+  std::map<NodeId, std::vector<std::size_t>> queues;
+  for (std::size_t i = demand; i <= window_end; ++i) {
+    if (inflight_chunks_.size() >= max_inflight) break;
+    if (cache_index_.contains(i) || inflight_chunks_.contains(i)) continue;
+    Result<NodeId> pick = PickReplica(i);
+    if (!pick.ok()) {
+      // Read-ahead misses stay soft; only the demand chunk is fatal.
+      if (i == demand) return pick.status();
+      continue;
+    }
+    queues[pick.value()].push_back(i);
+    inflight_chunks_.insert(i);
+  }
+
+  for (auto& [node, indices] : queues) {
+    // Chunks flagged for solo retry (after a batch rejection) go out as
+    // individual GETs so failures are attributed precisely; the rest of a
+    // node's window share one batch GET.
+    std::vector<std::size_t> batchable;
+    for (std::size_t i : indices) {
+      if (singles_only_.contains(i)) {
+        OpHandle h =
+            transport_->Submit(ChunkOp::Get(node, chunks[i].id));
+        inflight_.emplace(h, Fetch{{i}, node});
+        ++stats_.single_gets;
+      } else {
+        batchable.push_back(i);
+      }
+    }
+    if (batchable.size() == 1) {
+      OpHandle h =
+          transport_->Submit(ChunkOp::Get(node, chunks[batchable[0]].id));
+      inflight_.emplace(h, Fetch{std::move(batchable), node});
+      ++stats_.single_gets;
+    } else if (batchable.size() > 1) {
+      std::vector<ChunkId> ids;
+      ids.reserve(batchable.size());
+      for (std::size_t i : batchable) ids.push_back(chunks[i].id);
+      OpHandle h = transport_->Submit(ChunkOp::GetBatch(node, std::move(ids)));
+      inflight_.emplace(h, Fetch{std::move(batchable), node});
+      ++stats_.batch_gets;
+    }
+  }
+  stats_.inflight_peak = std::max(stats_.inflight_peak,
+                                  inflight_chunks_.size());
+  return OkStatus();
+}
+
+Status ReadSession::HarvestOne(std::size_t demand) {
+  std::vector<OpHandle> handles;
+  handles.reserve(inflight_.size());
+  for (const auto& [h, fetch] : inflight_) handles.push_back(h);
+  STDCHK_ASSIGN_OR_RETURN(OpCompletion c, transport_->WaitAny(handles));
+  auto it = inflight_.find(c.handle);
+  Fetch fetch = std::move(it->second);
+  inflight_.erase(it);
+  for (std::size_t i : fetch.indices) inflight_chunks_.erase(i);
+
+  if (c.status.ok()) {
+    // The node answered: rehabilitate it if a drop had marked it dead, and
+    // let its chunks batch again — both marks describe transient states.
+    dead_nodes_.erase(fetch.node);
+    if (fetch.indices.size() == 1) {
+      singles_only_.erase(fetch.indices[0]);
+      Insert(fetch.indices[0], std::move(c.data));
+    } else {
+      for (std::size_t j = 0; j < fetch.indices.size(); ++j) {
+        Insert(fetch.indices[j], std::move(c.batch[j]));
+      }
+    }
+    stats_.chunks_fetched += fetch.indices.size();
+    EvictToBudget(demand);
+    return OkStatus();
+  }
+
+  stats_.failovers += fetch.indices.size();
+  for (std::size_t i : fetch.indices) ++fetch_attempts_[i];
+  if (c.status.code() == StatusCode::kUnavailable) {
+    // Node-level failure: remember the node so later picks skip it, and
+    // walk every affected chunk on to its next replica.
+    dead_nodes_.insert(fetch.node);
+    for (std::size_t i : fetch.indices) failed_replicas_[i].insert(fetch.node);
+  } else if (fetch.indices.size() > 1) {
+    // A batch rejected wholesale for a chunk-level reason (one chunk
+    // missing or corrupt) says nothing about the other chunks on this
+    // node: retry each alone so the bad chunk is pinpointed.
+    for (std::size_t i : fetch.indices) singles_only_.insert(i);
+  } else {
+    failed_replicas_[fetch.indices[0]].insert(fetch.node);
+  }
+  return OkStatus();
 }
 
 Result<const Bytes*> ReadSession::ChunkData(std::size_t index) {
-  STDCHK_RETURN_IF_ERROR(Prefetch(index));
-  // Issue read-ahead for the following chunks (synchronous analogue of the
-  // FUSE layer's read-ahead: they land in the cache for the next calls).
-  for (int ahead = 1; ahead <= options_.read_ahead_chunks; ++ahead) {
-    std::size_t next = index + static_cast<std::size_t>(ahead);
-    if (next >= record_.chunk_map.chunks.size()) break;
-    (void)Prefetch(next);
+  while (true) {
+    if (auto it = cache_index_.find(index); it != cache_index_.end()) {
+      return &it->second->data;
+    }
+    STDCHK_RETURN_IF_ERROR(PumpWindow(index));
+    if (auto it = cache_index_.find(index); it != cache_index_.end()) {
+      return &it->second->data;
+    }
+    if (inflight_.empty()) {
+      return InternalError("read engine stalled with no fetch in flight");
+    }
+    STDCHK_RETURN_IF_ERROR(HarvestOne(index));
   }
-  for (const CachedChunk& c : cache_) {
-    if (c.index == index) return &c.data;
+}
+
+void ReadSession::Insert(std::size_t index, Bytes data) {
+  if (cache_index_.contains(index)) return;
+  cache_bytes_ += data.size();
+  stats_.cache_bytes_peak = std::max<std::uint64_t>(stats_.cache_bytes_peak,
+                                                    cache_bytes_);
+  cache_.push_back(Cached{index, std::move(data)});
+  cache_index_[index] = std::prev(cache_.end());
+}
+
+void ReadSession::EvictToBudget(std::size_t demand) {
+  if (options_.read_cache_budget_bytes == 0) return;
+  std::size_t window_end = WindowEnd(demand);
+  auto it = cache_.begin();
+  while (cache_bytes_ > options_.read_cache_budget_bytes &&
+         it != cache_.end()) {
+    // Never evict what the active window still needs — a budget below the
+    // window size degrades to window-sized caching, not livelock.
+    if (it->index >= demand && it->index <= window_end) {
+      ++it;
+      continue;
+    }
+    cache_bytes_ -= it->data.size();
+    cache_index_.erase(it->index);
+    it = cache_.erase(it);
+    ++stats_.cache_evictions;
   }
-  return InternalError("prefetched chunk evicted before use");
 }
 
 Result<std::size_t> ReadSession::ReadAt(std::uint64_t offset,
                                         MutableByteSpan out) {
   if (offset >= record_.size || out.empty()) return std::size_t{0};
+
+  // The failover budget bounds retries within one call; a fresh call gets
+  // a fresh budget (links heal, nodes restart), like the pre-pipelined
+  // reader whose every attempt re-swept the replica set.
+  fetch_attempts_.clear();
 
   std::size_t written = 0;
   const auto& chunks = record_.chunk_map.chunks;
@@ -76,15 +241,9 @@ Result<std::size_t> ReadSession::ReadAt(std::uint64_t offset,
     if (pos < c.file_offset) break;  // hole (should not happen)
     if (pos >= c.file_offset + c.size) continue;
 
-    bool was_cached = false;
-    for (const CachedChunk& cc : cache_) {
-      if (cc.index == i) {
-        was_cached = true;
-        break;
-      }
-    }
+    bool was_cached = cache_index_.contains(i);
     STDCHK_ASSIGN_OR_RETURN(const Bytes* data, ChunkData(i));
-    if (was_cached) ++cache_hits_;
+    if (was_cached) ++stats_.cache_hits;
 
     std::uint64_t chunk_off = pos - c.file_offset;
     std::size_t n = static_cast<std::size_t>(

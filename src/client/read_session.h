@@ -1,54 +1,116 @@
-// Read path: chunk-map lookup at the manager, then direct chunk fetches
-// from benefactors with replica failover and simple read-ahead (paper
-// §IV.E: "improves read performance through read-ahead and high volume
-// caching"). Reads matter for timely job restarts (§III.B).
+// Pipelined read engine: chunk-map lookup at the manager, then overlapped
+// chunk fetches from benefactors through the async transport (paper §IV.E:
+// "improves read performance through read-ahead and high volume caching").
+// Reads matter for timely job restarts (§III.B).
+//
+// The engine keeps a bounded window of chunk fetches in flight — the demand
+// chunk plus ClientOptions::read_ahead_chunks of read-ahead — overlapping
+// transfers across distinct benefactors. Chunks of the window that land on
+// the same replica are coalesced into one GetChunkBatch RPC. Replica
+// selection round-robins over each chunk's replica set, skips nodes already
+// observed dead this session before paying a failed RPC (retrying them only
+// as a last resort), and fails over per chunk. The read-ahead cache is
+// bounded by ClientOptions::read_cache_budget_bytes; evictions show up in
+// ReadStats.
 #pragma once
 
 #include <cstdint>
-#include <deque>
-#include <memory>
+#include <list>
+#include <map>
+#include <set>
+#include <vector>
 
-#include "client/benefactor_access.h"
 #include "client/client_options.h"
+#include "client/transport.h"
 #include "common/status.h"
 #include "manager/metadata_manager.h"
 
 namespace stdchk {
 
+// Per-session read accounting.
+struct ReadStats {
+  std::uint64_t chunks_fetched = 0;  // chunk payloads received
+  std::uint64_t cache_hits = 0;      // demand chunk already cached at ReadAt
+  std::uint64_t cache_evictions = 0;
+  std::uint64_t cache_bytes_peak = 0;
+  std::uint64_t single_gets = 0;  // GetChunk ops issued
+  std::uint64_t batch_gets = 0;   // GetChunkBatch ops issued
+  std::uint64_t failovers = 0;    // chunk fetches retried after a failure
+  std::uint64_t dead_replica_skips = 0;  // replicas skipped as observed-dead
+  std::size_t inflight_peak = 0;  // engine's overlap high watermark (chunks)
+};
+
 class ReadSession {
  public:
-  ReadSession(BenefactorAccess* access, VersionRecord record,
+  ReadSession(Transport* transport, VersionRecord record,
               ClientOptions options);
+  ~ReadSession();
+
+  ReadSession(const ReadSession&) = delete;
+  ReadSession& operator=(const ReadSession&) = delete;
 
   std::uint64_t size() const { return record_.size; }
 
   // Reads up to `out.size()` bytes at `offset`; returns bytes read (0 at
-  // EOF). Sequential callers benefit from read-ahead caching.
+  // EOF). Sequential callers get the full pipelined window.
   Result<std::size_t> ReadAt(std::uint64_t offset, MutableByteSpan out);
 
   // Convenience: the whole file.
   Result<Bytes> ReadAll();
 
-  std::uint64_t chunks_fetched() const { return chunks_fetched_; }
-  std::uint64_t cache_hits() const { return cache_hits_; }
+  const ReadStats& stats() const { return stats_; }
+  std::uint64_t chunks_fetched() const { return stats_.chunks_fetched; }
+  std::uint64_t cache_hits() const { return stats_.cache_hits; }
 
  private:
-  // Fetches chunk `index` (with replica failover) into the cache.
-  Status Prefetch(std::size_t index);
-  Result<const Bytes*> ChunkData(std::size_t index);
-
-  BenefactorAccess* access_;
-  VersionRecord record_;
-  ClientOptions options_;
-
-  struct CachedChunk {
+  struct Cached {
     std::size_t index;
     Bytes data;
   };
-  std::deque<CachedChunk> cache_;
+  // One in-flight transport op and the window chunks riding on it.
+  struct Fetch {
+    std::vector<std::size_t> indices;
+    NodeId node = kInvalidNode;
+  };
+
+  std::size_t WindowEnd(std::size_t demand) const;
+  std::size_t MaxInflight() const;
+  // Selects a replica for chunk `index`: round-robin over its replica set,
+  // skipping replicas that already failed for this chunk and nodes observed
+  // dead this session (dead nodes are retried only when no live candidate
+  // remains — a drop may have been transient, so exhausted blacklists are
+  // cleared and re-swept under a bounded per-chunk failover budget).
+  Result<NodeId> PickReplica(std::size_t index);
+  // Fills the in-flight window for demand position `demand`, coalescing
+  // same-replica chunks into batch GETs. Errors only if the demand chunk
+  // itself has no fetchable replica; read-ahead failures stay soft.
+  Status PumpWindow(std::size_t demand);
+  // Delivers one completion: caches payloads, or records the failure and
+  // releases its chunks for failover resubmission.
+  Status HarvestOne(std::size_t demand);
+  // Blocks until chunk `index` is cached (pumping + harvesting the window).
+  Result<const Bytes*> ChunkData(std::size_t index);
+
+  void Insert(std::size_t index, Bytes data);
+  void EvictToBudget(std::size_t demand);
+
+  Transport* transport_;
+  VersionRecord record_;
+  ClientOptions options_;
+  ReadStats stats_;
+
+  std::list<Cached> cache_;  // insertion order = eviction order
+  std::map<std::size_t, std::list<Cached>::iterator> cache_index_;
+  std::uint64_t cache_bytes_ = 0;
+
+  std::map<OpHandle, Fetch> inflight_;
+  std::set<std::size_t> inflight_chunks_;
+
+  std::set<NodeId> dead_nodes_;  // nodes observed unreachable this session
+  std::map<std::size_t, std::set<NodeId>> failed_replicas_;  // per chunk
+  std::map<std::size_t, std::size_t> fetch_attempts_;  // failed, per ReadAt
+  std::set<std::size_t> singles_only_;  // retry alone after a batch rejection
   std::size_t rr_replica_ = 0;
-  std::uint64_t chunks_fetched_ = 0;
-  std::uint64_t cache_hits_ = 0;
 };
 
 }  // namespace stdchk

@@ -1,0 +1,100 @@
+#include "client/transport.h"
+
+#include <utility>
+
+namespace stdchk {
+
+ChunkOp ChunkOp::Put(NodeId node, const ChunkId& id, ByteSpan data) {
+  ChunkOp op;
+  op.type = ChunkOpType::kPutChunk;
+  op.node = node;
+  op.id = id;
+  op.data = data;
+  return op;
+}
+
+ChunkOp ChunkOp::PutBatch(NodeId node, std::vector<ChunkPut> puts) {
+  ChunkOp op;
+  op.type = ChunkOpType::kPutChunkBatch;
+  op.node = node;
+  op.puts = std::move(puts);
+  return op;
+}
+
+ChunkOp ChunkOp::Get(NodeId node, const ChunkId& id) {
+  ChunkOp op;
+  op.type = ChunkOpType::kGetChunk;
+  op.node = node;
+  op.id = id;
+  return op;
+}
+
+ChunkOp ChunkOp::GetBatch(NodeId node, std::vector<ChunkId> ids) {
+  ChunkOp op;
+  op.type = ChunkOpType::kGetChunkBatch;
+  op.node = node;
+  op.ids = std::move(ids);
+  return op;
+}
+
+ChunkOp ChunkOp::Stash(NodeId node, VersionRecord record, int stripe_width) {
+  ChunkOp op;
+  op.type = ChunkOpType::kStashChunkMap;
+  op.node = node;
+  op.record = std::move(record);
+  op.stripe_width = stripe_width;
+  return op;
+}
+
+ChunkOp ChunkOp::Copy(const ChunkId& id, NodeId source, NodeId target) {
+  ChunkOp op;
+  op.type = ChunkOpType::kCopyChunk;
+  op.node = source;
+  op.target = target;
+  op.id = id;
+  return op;
+}
+
+Status Transport::PutChunk(NodeId node, const ChunkId& id, ByteSpan data) {
+  OpHandle h = Submit(ChunkOp::Put(node, id, data));
+  STDCHK_ASSIGN_OR_RETURN(OpCompletion c, Wait(h));
+  return c.status;
+}
+
+Status Transport::PutChunkBatch(NodeId node, std::span<const ChunkPut> puts) {
+  OpHandle h = Submit(
+      ChunkOp::PutBatch(node, std::vector<ChunkPut>(puts.begin(), puts.end())));
+  STDCHK_ASSIGN_OR_RETURN(OpCompletion c, Wait(h));
+  return c.status;
+}
+
+Result<Bytes> Transport::GetChunk(NodeId node, const ChunkId& id) {
+  OpHandle h = Submit(ChunkOp::Get(node, id));
+  STDCHK_ASSIGN_OR_RETURN(OpCompletion c, Wait(h));
+  if (!c.status.ok()) return c.status;
+  return std::move(c.data);
+}
+
+Result<std::vector<Bytes>> Transport::GetChunkBatch(
+    NodeId node, std::span<const ChunkId> ids) {
+  OpHandle h = Submit(
+      ChunkOp::GetBatch(node, std::vector<ChunkId>(ids.begin(), ids.end())));
+  STDCHK_ASSIGN_OR_RETURN(OpCompletion c, Wait(h));
+  if (!c.status.ok()) return c.status;
+  return std::move(c.batch);
+}
+
+Status Transport::StashChunkMap(NodeId node, const VersionRecord& record,
+                                int stripe_width) {
+  OpHandle h = Submit(ChunkOp::Stash(node, record, stripe_width));
+  STDCHK_ASSIGN_OR_RETURN(OpCompletion c, Wait(h));
+  return c.status;
+}
+
+Status Transport::CopyChunk(const ChunkId& id, NodeId source, NodeId target) {
+  OpHandle h = Submit(ChunkOp::Copy(id, source, target));
+  STDCHK_ASSIGN_OR_RETURN(OpCompletion c, Wait(h));
+  return c.status;
+}
+
+}  // namespace stdchk

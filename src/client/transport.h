@@ -1,0 +1,118 @@
+// The asynchronous chunk-transport API between the client and benefactor
+// nodes (paper §IV.A: data moves directly between storage nodes and the
+// client, never through the manager; §IV.E: the client overlaps chunk
+// transfers across benefactors).
+//
+// This is a submission/completion interface in the async-I/O-engine idiom:
+// callers Submit() chunk ops and later harvest per-op completions (Status +
+// payload) with Wait()/WaitAny()/Poll(). Ops to distinct nodes overlap;
+// each node's access link serializes its own ops — which is exactly what
+// makes the pipelined read engine and the uploader's concurrent batch PUTs
+// pay off. Implementations model time on the sim clock (sim/LinkModel), so
+// the same functional code path reproduces paper-figure timing.
+//
+// Synchronous callers have two options:
+//   - the non-virtual convenience wrappers below (Submit + Wait per call);
+//   - the SyncBenefactorAccess adapter (client/benefactor_access.h), which
+//     presents this engine through the legacy BenefactorAccess interface.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "chunk/chunk.h"
+#include "common/status.h"
+#include "manager/types.h"
+
+namespace stdchk {
+
+enum class ChunkOpType {
+  kPutChunk,
+  kPutChunkBatch,
+  kGetChunk,
+  kGetChunkBatch,
+  kStashChunkMap,
+  kCopyChunk,
+};
+
+// One submission. Build via the factory helpers; `data` and the spans
+// inside `puts` are borrowed from the caller and must stay alive until the
+// op's completion is delivered (or cancelled).
+struct ChunkOp {
+  ChunkOpType type = ChunkOpType::kGetChunk;
+  NodeId node = kInvalidNode;    // target node (source node for kCopyChunk)
+  NodeId target = kInvalidNode;  // kCopyChunk destination
+  ChunkId id{};                  // kPutChunk / kGetChunk / kCopyChunk
+  ByteSpan data{};               // kPutChunk payload
+  std::vector<ChunkPut> puts;    // kPutChunkBatch payload
+  std::vector<ChunkId> ids;      // kGetChunkBatch request
+  VersionRecord record;          // kStashChunkMap (owned copy)
+  int stripe_width = 0;          // kStashChunkMap
+
+  static ChunkOp Put(NodeId node, const ChunkId& id, ByteSpan data);
+  static ChunkOp PutBatch(NodeId node, std::vector<ChunkPut> puts);
+  static ChunkOp Get(NodeId node, const ChunkId& id);
+  static ChunkOp GetBatch(NodeId node, std::vector<ChunkId> ids);
+  static ChunkOp Stash(NodeId node, VersionRecord record, int stripe_width);
+  static ChunkOp Copy(const ChunkId& id, NodeId source, NodeId target);
+};
+
+// Ticket for an in-flight op. Valid until its completion is delivered by
+// Wait/WaitAny/Poll or the op is cancelled.
+using OpHandle = std::uint64_t;
+inline constexpr OpHandle kInvalidOpHandle = 0;
+
+// Terminal state of one op.
+struct OpCompletion {
+  OpHandle handle = kInvalidOpHandle;
+  ChunkOpType type = ChunkOpType::kGetChunk;
+  NodeId node = kInvalidNode;
+  Status status;             // per-op outcome
+  Bytes data;                // kGetChunk payload
+  std::vector<Bytes> batch;  // kGetChunkBatch payload (parallel to op.ids)
+};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  // Submits `op` for execution; never blocks. Validation failures (unknown
+  // node, unreachable link) surface in the op's completion, not here.
+  virtual OpHandle Submit(ChunkOp op) = 0;
+
+  // Blocks (advancing modeled time) until `handle` completes, and delivers
+  // its completion. A handle can be waited on exactly once.
+  virtual Result<OpCompletion> Wait(OpHandle handle) = 0;
+
+  // Blocks until the earliest-finishing op among `handles` completes.
+  // Handles already delivered or cancelled are an error — the caller's
+  // in-flight set must be accurate.
+  virtual Result<OpCompletion> WaitAny(std::span<const OpHandle> handles) = 0;
+
+  // Delivers a completion among `handles` that is already finished at the
+  // current modeled time, without advancing the clock. Empty if none.
+  virtual std::optional<OpCompletion> Poll(
+      std::span<const OpHandle> handles) = 0;
+
+  // Drops an undelivered op's completion. Returns false if the handle is
+  // unknown or already delivered. Like a real network, cancellation only
+  // discards the reply — the remote side effect may already have happened.
+  virtual bool Cancel(OpHandle handle) = 0;
+
+  // Ops submitted but not yet delivered/cancelled.
+  virtual std::size_t InFlight() const = 0;
+
+  // ---- Synchronous conveniences (Submit + Wait per call) -------------------
+  Status PutChunk(NodeId node, const ChunkId& id, ByteSpan data);
+  Status PutChunkBatch(NodeId node, std::span<const ChunkPut> puts);
+  Result<Bytes> GetChunk(NodeId node, const ChunkId& id);
+  Result<std::vector<Bytes>> GetChunkBatch(NodeId node,
+                                           std::span<const ChunkId> ids);
+  Status StashChunkMap(NodeId node, const VersionRecord& record,
+                       int stripe_width);
+  Status CopyChunk(const ChunkId& id, NodeId source, NodeId target);
+};
+
+}  // namespace stdchk

@@ -27,13 +27,13 @@ ClientOptions ResolveOptions(MetadataManager* manager,
 
 }  // namespace
 
-WriteSession::WriteSession(MetadataManager* manager, BenefactorAccess* access,
+WriteSession::WriteSession(MetadataManager* manager, Transport* transport,
                            CheckpointName name, ClientOptions options)
     : options_(ResolveOptions(manager, name, std::move(options))),
       planner_(options_.chunker),
       placement_(std::make_unique<RoundRobinPlacement>()),
-      coordinator_(manager, access, std::move(name), options_, &stats_),
-      uploader_(access, placement_.get(), &coordinator_, options_, &stats_) {}
+      coordinator_(manager, transport, std::move(name), options_, &stats_),
+      uploader_(transport, placement_.get(), &coordinator_, options_, &stats_) {}
 
 WriteSession::~WriteSession() {
   if (!closed_ && !aborted_) Abort();

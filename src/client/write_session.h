@@ -19,7 +19,7 @@
 #include <cstdint>
 #include <memory>
 
-#include "client/benefactor_access.h"
+#include "client/transport.h"
 #include "client/chunk_planner.h"
 #include "client/chunk_uploader.h"
 #include "client/client_options.h"
@@ -34,7 +34,7 @@ namespace stdchk {
 
 class WriteSession {
  public:
-  WriteSession(MetadataManager* manager, BenefactorAccess* access,
+  WriteSession(MetadataManager* manager, Transport* transport,
                CheckpointName name, ClientOptions options);
   ~WriteSession();
 

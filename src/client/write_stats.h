@@ -20,6 +20,7 @@ struct WriteStats {
   std::uint64_t batched_puts = 0;       // batch RPCs issued by the uploader
   std::uint64_t bytes_spilled_local = 0;  // client-side spill (CLW/IW temp)
   std::uint64_t max_buffered_bytes = 0;   // high-water client buffering
+  std::uint64_t inflight_put_peak = 0;  // concurrent batch PUTs in flight
 };
 
 }  // namespace stdchk

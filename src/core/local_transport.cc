@@ -1,12 +1,17 @@
 #include "core/local_transport.h"
 
+#include <algorithm>
+#include <utility>
+
 namespace stdchk {
 
 void LocalTransport::AddEndpoint(Benefactor* benefactor) {
+  std::lock_guard<std::mutex> lock(mu_);
   endpoints_[benefactor->id()] = benefactor;
 }
 
 void LocalTransport::SetUnreachable(NodeId node, bool unreachable) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (unreachable) {
     unreachable_.insert(node);
   } else {
@@ -15,10 +20,51 @@ void LocalTransport::SetUnreachable(NodeId node, bool unreachable) {
 }
 
 void LocalTransport::SetLossRate(NodeId node, double p) {
+  std::lock_guard<std::mutex> lock(mu_);
   loss_rate_[node] = p;
 }
 
-Result<Benefactor*> LocalTransport::Route(NodeId node) {
+void LocalTransport::SetDefaultLinkModel(sim::LinkModel model) {
+  std::lock_guard<std::mutex> lock(mu_);
+  default_link_ = model;
+}
+
+void LocalTransport::SetLinkModel(NodeId node, sim::LinkModel model) {
+  std::lock_guard<std::mutex> lock(mu_);
+  links_[node] = model;
+}
+
+SimTime LocalTransport::now() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return now_;
+}
+
+std::uint64_t LocalTransport::rpc_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rpc_count_;
+}
+
+std::uint64_t LocalTransport::bytes_moved() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_moved_;
+}
+
+std::size_t LocalTransport::inflight_peak() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return inflight_peak_;
+}
+
+void LocalTransport::ResetInflightPeak() {
+  std::lock_guard<std::mutex> lock(mu_);
+  inflight_peak_ = pending_.size();
+}
+
+std::size_t LocalTransport::InFlight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_.size();
+}
+
+Result<Benefactor*> LocalTransport::RouteLocked(NodeId node) {
   ++rpc_count_;
   auto it = endpoints_.find(node);
   if (it == endpoints_.end()) {
@@ -35,39 +81,204 @@ Result<Benefactor*> LocalTransport::Route(NodeId node) {
   return it->second;
 }
 
-Status LocalTransport::PutChunk(NodeId node, const ChunkId& id,
-                                ByteSpan data) {
-  STDCHK_ASSIGN_OR_RETURN(Benefactor * b, Route(node));
-  bytes_moved_ += data.size();
-  return b->PutChunk(id, data);
+const sim::LinkModel& LocalTransport::LinkLocked(NodeId node) const {
+  auto it = links_.find(node);
+  return it != links_.end() ? it->second : default_link_;
 }
 
-Status LocalTransport::PutChunkBatch(NodeId node,
-                                     std::span<const ChunkPut> puts) {
-  STDCHK_ASSIGN_OR_RETURN(Benefactor * b, Route(node));
-  // Like PutChunk, the bytes hit the wire whether or not the node admits
-  // them.
-  for (const ChunkPut& put : puts) bytes_moved_ += put.data.size();
-  return b->PutChunkBatch(puts);
+std::uint64_t LocalTransport::ExecuteLocked(const ChunkOp& op,
+                                            OpCompletion& out) {
+  switch (op.type) {
+    case ChunkOpType::kPutChunk: {
+      Result<Benefactor*> routed = RouteLocked(op.node);
+      if (!routed.ok()) {
+        out.status = routed.status();
+        return 0;
+      }
+      // The bytes hit the wire whether or not the node admits them.
+      bytes_moved_ += op.data.size();
+      out.status = routed.value()->PutChunk(op.id, op.data);
+      return op.data.size();
+    }
+    case ChunkOpType::kPutChunkBatch: {
+      Result<Benefactor*> routed = RouteLocked(op.node);
+      if (!routed.ok()) {
+        out.status = routed.status();
+        return 0;
+      }
+      std::uint64_t total = 0;
+      for (const ChunkPut& put : op.puts) total += put.data.size();
+      bytes_moved_ += total;
+      out.status = routed.value()->PutChunkBatch(op.puts);
+      return total;
+    }
+    case ChunkOpType::kGetChunk: {
+      Result<Benefactor*> routed = RouteLocked(op.node);
+      if (!routed.ok()) {
+        out.status = routed.status();
+        return 0;
+      }
+      Result<Bytes> got = routed.value()->GetChunk(op.id);
+      if (!got.ok()) {
+        out.status = got.status();
+        return 0;
+      }
+      out.data = std::move(got).value();
+      bytes_moved_ += out.data.size();
+      return out.data.size();
+    }
+    case ChunkOpType::kGetChunkBatch: {
+      Result<Benefactor*> routed = RouteLocked(op.node);
+      if (!routed.ok()) {
+        out.status = routed.status();
+        return 0;
+      }
+      Result<std::vector<Bytes>> got = routed.value()->GetChunkBatch(op.ids);
+      if (!got.ok()) {
+        out.status = got.status();
+        return 0;
+      }
+      out.batch = std::move(got).value();
+      std::uint64_t total = 0;
+      for (const Bytes& b : out.batch) total += b.size();
+      bytes_moved_ += total;
+      return total;
+    }
+    case ChunkOpType::kStashChunkMap: {
+      Result<Benefactor*> routed = RouteLocked(op.node);
+      if (!routed.ok()) {
+        out.status = routed.status();
+        return 0;
+      }
+      out.status = routed.value()->StashChunkMap(op.record, op.stripe_width);
+      return 0;
+    }
+    case ChunkOpType::kCopyChunk: {
+      Result<Benefactor*> src = RouteLocked(op.node);
+      if (!src.ok()) {
+        out.status = src.status();
+        return 0;
+      }
+      Result<Bytes> got = src.value()->GetChunk(op.id);
+      if (!got.ok()) {
+        out.status = got.status();
+        return 0;
+      }
+      bytes_moved_ += got.value().size();
+      Result<Benefactor*> dst = RouteLocked(op.target);
+      if (!dst.ok()) {
+        out.status = dst.status();
+        return got.value().size();
+      }
+      bytes_moved_ += got.value().size();
+      out.status = dst.value()->PutChunk(op.id, got.value());
+      return got.value().size();
+    }
+  }
+  out.status = InternalError("unknown chunk op type");
+  return 0;
 }
 
-Result<Bytes> LocalTransport::GetChunk(NodeId node, const ChunkId& id) {
-  STDCHK_ASSIGN_OR_RETURN(Benefactor * b, Route(node));
-  Result<Bytes> out = b->GetChunk(id);
-  if (out.ok()) bytes_moved_ += out.value().size();
-  return out;
+OpHandle LocalTransport::Submit(ChunkOp op) {
+  std::lock_guard<std::mutex> lock(mu_);
+  OpHandle handle = next_handle_++;
+  Pending p;
+  p.completion.handle = handle;
+  p.completion.type = op.type;
+  p.completion.node = op.node;
+  // Eager execution keeps the run deterministic; delivery time follows the
+  // modeled links below.
+  std::uint64_t bytes = ExecuteLocked(op, p.completion);
+  if (op.type == ChunkOpType::kCopyChunk) {
+    // A copy occupies the source link, then the destination link.
+    SimTime leg1 = std::max(now_, link_busy_until_[op.node]) +
+                   LinkLocked(op.node).OpDuration(bytes);
+    link_busy_until_[op.node] = leg1;
+    SimTime leg2 = std::max(leg1, link_busy_until_[op.target]) +
+                   LinkLocked(op.target).OpDuration(bytes);
+    link_busy_until_[op.target] = leg2;
+    p.ready_at = leg2;
+  } else {
+    SimTime done = std::max(now_, link_busy_until_[op.node]) +
+                   LinkLocked(op.node).OpDuration(bytes);
+    link_busy_until_[op.node] = done;
+    p.ready_at = done;
+  }
+  pending_.emplace(handle, std::move(p));
+  inflight_peak_ = std::max(inflight_peak_, pending_.size());
+  return handle;
 }
 
-Status LocalTransport::StashChunkMap(NodeId node, const VersionRecord& record,
-                                     int stripe_width) {
-  STDCHK_ASSIGN_OR_RETURN(Benefactor * b, Route(node));
-  return b->StashChunkMap(record, stripe_width);
+LocalTransport::Pending LocalTransport::TakeLocked(
+    std::map<OpHandle, Pending>::iterator it) {
+  Pending p = std::move(it->second);
+  pending_.erase(it);
+  return p;
 }
 
-Status LocalTransport::CopyChunk(const ChunkId& id, NodeId source,
-                                 NodeId target) {
-  STDCHK_ASSIGN_OR_RETURN(Bytes data, GetChunk(source, id));
-  return PutChunk(target, id, data);
+Result<OpCompletion> LocalTransport::Wait(OpHandle handle) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = pending_.find(handle);
+  if (it == pending_.end()) {
+    return NotFoundError("wait on unknown or already-delivered op handle " +
+                         std::to_string(handle));
+  }
+  Pending p = TakeLocked(it);
+  now_ = std::max(now_, p.ready_at);
+  return std::move(p.completion);
+}
+
+std::map<OpHandle, LocalTransport::Pending>::iterator
+LocalTransport::FindEarliestLocked(std::span<const OpHandle> handles,
+                                   bool only_ready) {
+  auto best = pending_.end();
+  for (OpHandle h : handles) {
+    auto it = pending_.find(h);
+    if (it == pending_.end()) continue;
+    if (only_ready && it->second.ready_at > now_) continue;
+    // Earliest modeled finish wins; submission order breaks ties.
+    if (best == pending_.end() ||
+        it->second.ready_at < best->second.ready_at ||
+        (it->second.ready_at == best->second.ready_at &&
+         it->first < best->first)) {
+      best = it;
+    }
+  }
+  return best;
+}
+
+Result<OpCompletion> LocalTransport::WaitAny(
+    std::span<const OpHandle> handles) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (handles.empty()) {
+    return InvalidArgumentError("WaitAny on an empty handle set");
+  }
+  for (OpHandle h : handles) {
+    if (!pending_.contains(h)) {
+      return NotFoundError(
+          "WaitAny includes an unknown or already-delivered op handle " +
+          std::to_string(h));
+    }
+  }
+  Pending p = TakeLocked(FindEarliestLocked(handles, /*only_ready=*/false));
+  now_ = std::max(now_, p.ready_at);
+  return std::move(p.completion);
+}
+
+std::optional<OpCompletion> LocalTransport::Poll(
+    std::span<const OpHandle> handles) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto best = FindEarliestLocked(handles, /*only_ready=*/true);
+  if (best == pending_.end()) return std::nullopt;
+  return TakeLocked(best).completion;
+}
+
+bool LocalTransport::Cancel(OpHandle handle) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = pending_.find(handle);
+  if (it == pending_.end()) return false;
+  pending_.erase(it);
+  return true;
 }
 
 }  // namespace stdchk

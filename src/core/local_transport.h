@@ -1,19 +1,38 @@
-// In-process transport between clients and benefactors, with fault
-// injection. This is the functional stand-in for the desktop grid's LAN:
-// calls are synchronous, but nodes can be made unreachable or lossy to
-// exercise every failure path the paper describes.
+// In-process implementation of the asynchronous chunk transport
+// (client/transport.h) between clients and benefactors, with fault
+// injection and modeled link timing.
+//
+// This is the functional stand-in for the desktop grid's LAN. Execution is
+// eager — the benefactor side effect happens at Submit(), which keeps runs
+// deterministic — but completion *delivery* follows the modeled clock: each
+// node's access link (sim/LinkModel) serializes its own ops and charges
+// latency + bytes/bandwidth, while ops on distinct nodes overlap. With the
+// default zero-cost links the clock never moves and the transport behaves
+// like the old synchronous one; with per-node models configured from
+// perf/PlatformModel, pipelined callers finish in a fraction of the
+// serial caller's modeled time — the paper-figure benches measure exactly
+// that.
+//
+// Thread-safety: all operations are safe for concurrent use (one mutex
+// guards the engine). Callers only ever wait on their own handles, so
+// concurrent sessions sharing one transport cannot steal each other's
+// completions.
 #pragma once
 
+#include <cstdint>
 #include <map>
+#include <mutex>
 #include <set>
 
 #include "benefactor/benefactor.h"
-#include "client/benefactor_access.h"
+#include "client/transport.h"
 #include "common/rng.h"
+#include "common/sim_time.h"
+#include "sim/link_model.h"
 
 namespace stdchk {
 
-class LocalTransport final : public BenefactorAccess {
+class LocalTransport final : public Transport {
  public:
   LocalTransport() : rng_(0xC0FFEE) {}
 
@@ -28,32 +47,63 @@ class LocalTransport final : public BenefactorAccess {
   // Every data RPC to `node` fails with this probability.
   void SetLossRate(NodeId node, double p);
 
-  std::uint64_t rpc_count() const { return rpc_count_; }
-  std::uint64_t bytes_moved() const { return bytes_moved_; }
+  // ---- Link timing model ---------------------------------------------------
+  // Applies to nodes without an explicit per-node model. The zero default
+  // keeps the modeled clock at 0 (timing-free functional tests).
+  void SetDefaultLinkModel(sim::LinkModel model);
+  void SetLinkModel(NodeId node, sim::LinkModel model);
+  // Modeled time: advanced by Wait/WaitAny as completions are harvested.
+  SimTime now() const;
 
-  // ---- BenefactorAccess ------------------------------------------------------
-  Status PutChunk(NodeId node, const ChunkId& id, ByteSpan data) override;
-  // True single-RPC batch: one route (one fault-injection roll, one
-  // rpc_count tick) carries every chunk, which is what makes the client's
-  // per-benefactor upload queues pay off.
-  Status PutChunkBatch(NodeId node, std::span<const ChunkPut> puts) override;
-  Result<Bytes> GetChunk(NodeId node, const ChunkId& id) override;
-  Status StashChunkMap(NodeId node, const VersionRecord& record,
-                       int stripe_width) override;
+  // ---- Traffic accounting --------------------------------------------------
+  std::uint64_t rpc_count() const;
+  std::uint64_t bytes_moved() const;
+  // Highest number of simultaneously in-flight ops observed — the witness
+  // that a caller actually overlapped its RPCs.
+  std::size_t inflight_peak() const;
+  void ResetInflightPeak();
 
-  // Direct benefactor-to-benefactor copy, used to execute replication
-  // commands (the shadow-map copy of §IV.A).
-  Status CopyChunk(const ChunkId& id, NodeId source, NodeId target);
+  // ---- Transport -----------------------------------------------------------
+  OpHandle Submit(ChunkOp op) override;
+  Result<OpCompletion> Wait(OpHandle handle) override;
+  Result<OpCompletion> WaitAny(std::span<const OpHandle> handles) override;
+  std::optional<OpCompletion> Poll(std::span<const OpHandle> handles) override;
+  bool Cancel(OpHandle handle) override;
+  std::size_t InFlight() const override;
 
  private:
-  Result<Benefactor*> Route(NodeId node);
+  struct Pending {
+    OpCompletion completion;
+    SimTime ready_at = 0;  // modeled delivery time
+  };
 
+  Result<Benefactor*> RouteLocked(NodeId node);
+  const sim::LinkModel& LinkLocked(NodeId node) const;
+  // Earliest-finishing pending op among `handles` (submission order breaks
+  // ties); unknown handles are skipped. `only_ready` restricts the search
+  // to ops already finished at the modeled clock. end() if none qualify.
+  std::map<OpHandle, Pending>::iterator FindEarliestLocked(
+      std::span<const OpHandle> handles, bool only_ready);
+  // Executes `op` against the routed benefactor and fills `out.status` /
+  // payload; returns the payload bytes that occupied the wire.
+  std::uint64_t ExecuteLocked(const ChunkOp& op, OpCompletion& out);
+  Pending TakeLocked(std::map<OpHandle, Pending>::iterator it);
+
+  mutable std::mutex mu_;
   std::map<NodeId, Benefactor*> endpoints_;
   std::set<NodeId> unreachable_;
   std::map<NodeId, double> loss_rate_;
+  std::map<NodeId, sim::LinkModel> links_;
+  sim::LinkModel default_link_{};
+  std::map<NodeId, SimTime> link_busy_until_;
   Rng rng_;
+
+  SimTime now_ = 0;
+  OpHandle next_handle_ = 1;
+  std::map<OpHandle, Pending> pending_;
   std::uint64_t rpc_count_ = 0;
   std::uint64_t bytes_moved_ = 0;
+  std::size_t inflight_peak_ = 0;
 };
 
 }  // namespace stdchk

@@ -9,10 +9,12 @@
 // with the same component figures reproduces their shape.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 
 #include "common/bytes.h"
 #include "common/sim_time.h"
+#include "sim/link_model.h"
 
 namespace stdchk::perf {
 
@@ -65,6 +67,17 @@ struct PlatformModel {
 
 // The 28-node LAN testbed of §V: dual-Xeon desktops, GigE, SCSI disks.
 inline PlatformModel PaperLanTestbed() { return PlatformModel{}; }
+
+// One benefactor's access link as seen by the functional transport
+// (core/LocalTransport::SetLinkModel): per-chunk RPC setup latency plus the
+// node's bottleneck rate (NIC or receiving disk, whichever is slower).
+// This is how the paper-figure benches run the functional pipelines at
+// modeled LAN speed.
+inline sim::LinkModel BenefactorLink(const PlatformModel& p) {
+  return sim::LinkModel{
+      p.per_chunk_net_overhead,
+      std::min(p.benefactor_nic_mbps, p.benefactor_disk_mbps)};
+}
 
 // The 10 Gbps testbed of §V.D: one 10 GbE client, four 1 GbE benefactors
 // with SATA disks.

@@ -1,0 +1,34 @@
+// Per-node access-link timing model, promoted out of the DES so the
+// functional transport (core/LocalTransport) can run against modeled LAN
+// speeds: each node's link serializes its transfers and charges a fixed
+// per-op setup latency plus bytes/bandwidth. The perf models and the
+// transport share this vocabulary, so paper-figure benches and functional
+// pipelines see the same arithmetic.
+#pragma once
+
+#include <cstdint>
+
+#include "common/sim_time.h"
+
+namespace stdchk::sim {
+
+struct LinkModel {
+  // Fixed per-op cost (RPC setup, request propagation).
+  SimTime latency = 0;
+  // Payload rate of the link; 0 models an infinitely fast link (the
+  // functional default, which keeps unit tests timing-free).
+  double bandwidth_mbps = 0.0;
+
+  constexpr SimTime TransferDuration(std::uint64_t bytes) const {
+    return bandwidth_mbps > 0.0
+               ? TransferTime(static_cast<double>(bytes), bandwidth_mbps)
+               : 0;
+  }
+
+  // Total busy time one op of `bytes` payload occupies the link.
+  constexpr SimTime OpDuration(std::uint64_t bytes) const {
+    return latency + TransferDuration(bytes);
+  }
+};
+
+}  // namespace stdchk::sim

@@ -1,0 +1,287 @@
+// The asynchronous transport core: submission/completion semantics, modeled
+// link timing, cancellation, the in-flight watermark, batch ops, and the
+// SyncBenefactorAccess migration adapter.
+#include "client/transport.h"
+
+#include <gtest/gtest.h>
+
+#include "client/benefactor_access.h"
+#include "core/local_transport.h"
+#include "manager/virtual_clock.h"
+
+namespace stdchk {
+namespace {
+
+Bytes Payload(const std::string& s) { return ToBytes(s); }
+
+class TransportTest : public ::testing::Test {
+ protected:
+  TransportTest() : manager_(&clock_) {
+    for (int i = 0; i < 3; ++i) {
+      auto b = std::make_unique<Benefactor>("d" + std::to_string(i),
+                                            MakeMemoryChunkStore(), 1_GiB);
+      EXPECT_TRUE(b->JoinPool(manager_).ok());
+      transport_.AddEndpoint(b.get());
+      benefactors_.push_back(std::move(b));
+    }
+  }
+
+  NodeId node(int i) const { return benefactors_[std::size_t(i)]->id(); }
+
+  // Stores `data` on node `i` synchronously.
+  ChunkId Store(int i, const Bytes& data) {
+    ChunkId id = ChunkId::For(data);
+    EXPECT_TRUE(transport_.PutChunk(node(i), id, data).ok());
+    return id;
+  }
+
+  VirtualClock clock_;
+  MetadataManager manager_;
+  LocalTransport transport_;
+  std::vector<std::unique_ptr<Benefactor>> benefactors_;
+};
+
+TEST_F(TransportTest, SubmitWaitDeliversStatusAndPayload) {
+  Bytes data = Payload("async chunk");
+  ChunkId id = ChunkId::For(data);
+  OpHandle put = transport_.Submit(ChunkOp::Put(node(0), id, data));
+  auto put_done = transport_.Wait(put);
+  ASSERT_TRUE(put_done.ok());
+  EXPECT_TRUE(put_done.value().status.ok());
+  EXPECT_EQ(put_done.value().type, ChunkOpType::kPutChunk);
+
+  OpHandle get = transport_.Submit(ChunkOp::Get(node(0), id));
+  auto get_done = transport_.Wait(get);
+  ASSERT_TRUE(get_done.ok());
+  ASSERT_TRUE(get_done.value().status.ok());
+  EXPECT_EQ(get_done.value().data, data);
+  EXPECT_EQ(transport_.InFlight(), 0u);
+}
+
+TEST_F(TransportTest, PerOpStatusSurfacesInCompletionNotSubmit) {
+  Bytes data = Payload("x");
+  // Unknown node: Submit still hands out a handle; the failure is the op's.
+  OpHandle h = transport_.Submit(ChunkOp::Put(777, ChunkId::For(data), data));
+  ASSERT_NE(h, kInvalidOpHandle);
+  auto done = transport_.Wait(h);
+  ASSERT_TRUE(done.ok());
+  EXPECT_EQ(done.value().status.code(), StatusCode::kUnavailable);
+}
+
+TEST_F(TransportTest, WaitAnyReturnsEarliestModeledCompletion) {
+  transport_.SetLinkModel(node(0), sim::LinkModel{Milliseconds(10), 0.0});
+  transport_.SetLinkModel(node(1), sim::LinkModel{Milliseconds(1), 0.0});
+  ChunkId slow = Store(0, Payload("slow"));
+  ChunkId fast = Store(1, Payload("fast"));
+  SimTime t0 = transport_.now();
+
+  OpHandle h_slow = transport_.Submit(ChunkOp::Get(node(0), slow));
+  OpHandle h_fast = transport_.Submit(ChunkOp::Get(node(1), fast));
+  std::vector<OpHandle> handles{h_slow, h_fast};
+
+  auto first = transport_.WaitAny(handles);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first.value().handle, h_fast);  // 1 ms link beats 10 ms link
+  EXPECT_EQ(transport_.now() - t0, Milliseconds(1));
+
+  auto second = transport_.WaitAny(std::vector<OpHandle>{h_slow});
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second.value().handle, h_slow);
+  EXPECT_EQ(transport_.now() - t0, Milliseconds(10));
+}
+
+TEST_F(TransportTest, SameNodeSerializesDistinctNodesOverlap) {
+  for (int i = 0; i < 2; ++i) {
+    transport_.SetLinkModel(node(i), sim::LinkModel{Milliseconds(5), 0.0});
+  }
+  ChunkId a = Store(0, Payload("a"));
+  ChunkId b = Store(1, Payload("b"));
+  SimTime t0 = transport_.now();
+
+  // Two ops on one link: the second queues behind the first.
+  OpHandle h1 = transport_.Submit(ChunkOp::Get(node(0), a));
+  OpHandle h2 = transport_.Submit(ChunkOp::Get(node(0), a));
+  ASSERT_TRUE(transport_.Wait(h1).ok());
+  ASSERT_TRUE(transport_.Wait(h2).ok());
+  EXPECT_EQ(transport_.now() - t0, Milliseconds(10));
+
+  // Two ops on distinct links: both done after one latency.
+  SimTime t1 = transport_.now();
+  OpHandle h3 = transport_.Submit(ChunkOp::Get(node(0), a));
+  OpHandle h4 = transport_.Submit(ChunkOp::Get(node(1), b));
+  ASSERT_TRUE(transport_.Wait(h3).ok());
+  ASSERT_TRUE(transport_.Wait(h4).ok());
+  EXPECT_EQ(transport_.now() - t1, Milliseconds(5));
+}
+
+TEST_F(TransportTest, BandwidthChargesTransferTime) {
+  // 1 MiB at 1 MB/s = 1 s on the wire.
+  transport_.SetLinkModel(node(0), sim::LinkModel{0, 1.0});
+  Bytes data(1_MiB, 0x5A);
+  ChunkId id = ChunkId::For(data);
+  SimTime t0 = transport_.now();
+  ASSERT_TRUE(transport_.PutChunk(node(0), id, data).ok());
+  EXPECT_EQ(transport_.now() - t0, Seconds(1.0));
+}
+
+TEST_F(TransportTest, PollDeliversOnlyReadyCompletions) {
+  transport_.SetLinkModel(node(0), sim::LinkModel{Milliseconds(3), 0.0});
+  ChunkId id = Store(1, Payload("ready"));  // node 1 keeps the zero default
+
+  OpHandle fast = transport_.Submit(ChunkOp::Get(node(1), id));
+  OpHandle slow = transport_.Submit(ChunkOp::Get(node(0), id));
+  std::vector<OpHandle> handles{fast, slow};
+
+  // The zero-latency op is ready at the current clock; the modeled one not.
+  auto ready = transport_.Poll(handles);
+  ASSERT_TRUE(ready.has_value());
+  EXPECT_EQ(ready->handle, fast);
+  EXPECT_FALSE(transport_.Poll(handles).has_value());  // slow not ready
+  ASSERT_TRUE(transport_.Wait(slow).ok());             // advances the clock
+}
+
+TEST_F(TransportTest, CancelDropsTheReply) {
+  ChunkId id = Store(0, Payload("cancelled"));
+  OpHandle h = transport_.Submit(ChunkOp::Get(node(0), id));
+  EXPECT_EQ(transport_.InFlight(), 1u);
+  EXPECT_TRUE(transport_.Cancel(h));
+  EXPECT_EQ(transport_.InFlight(), 0u);
+  EXPECT_FALSE(transport_.Cancel(h));  // already gone
+  // The handle is no longer waitable.
+  EXPECT_EQ(transport_.Wait(h).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(transport_.WaitAny(std::vector<OpHandle>{h}).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(TransportTest, InflightPeakWitnessesOverlap) {
+  ChunkId a = Store(0, Payload("a"));
+  ChunkId b = Store(1, Payload("b"));
+  ChunkId c = Store(2, Payload("c"));
+  transport_.ResetInflightPeak();
+  EXPECT_EQ(transport_.inflight_peak(), 0u);
+
+  std::vector<OpHandle> handles;
+  handles.push_back(transport_.Submit(ChunkOp::Get(node(0), a)));
+  handles.push_back(transport_.Submit(ChunkOp::Get(node(1), b)));
+  handles.push_back(transport_.Submit(ChunkOp::Get(node(2), c)));
+  EXPECT_EQ(transport_.inflight_peak(), 3u);
+  for (OpHandle h : handles) ASSERT_TRUE(transport_.Wait(h).ok());
+  EXPECT_EQ(transport_.inflight_peak(), 3u);  // peak survives delivery
+}
+
+TEST_F(TransportTest, GetChunkBatchIsOneRpc) {
+  Bytes d0 = Payload("batch zero"), d1 = Payload("batch one"),
+        d2 = Payload("batch two");
+  ChunkId i0 = Store(0, d0), i1 = Store(0, d1), i2 = Store(0, d2);
+
+  std::uint64_t rpcs_before = transport_.rpc_count();
+  std::vector<ChunkId> ids{i0, i1, i2};
+  auto got = transport_.GetChunkBatch(node(0), ids);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(transport_.rpc_count(), rpcs_before + 1);
+  ASSERT_EQ(got.value().size(), 3u);
+  EXPECT_EQ(got.value()[0], d0);
+  EXPECT_EQ(got.value()[1], d1);
+  EXPECT_EQ(got.value()[2], d2);
+}
+
+TEST_F(TransportTest, GetChunkBatchIsAllOrNothing) {
+  ChunkId present = Store(0, Payload("present"));
+  ChunkId missing = ChunkId::For(Payload("missing"));
+  std::vector<ChunkId> ids{present, missing};
+  auto got = transport_.GetChunkBatch(node(0), ids);
+  EXPECT_FALSE(got.ok());
+}
+
+TEST_F(TransportTest, StashAndCopyOps) {
+  VersionRecord record;
+  record.name = CheckpointName{"a", "n", 1};
+  OpHandle h = transport_.Submit(ChunkOp::Stash(node(0), record, 2));
+  auto done = transport_.Wait(h);
+  ASSERT_TRUE(done.ok());
+  EXPECT_TRUE(done.value().status.ok());
+  EXPECT_EQ(benefactors_[0]->stashed_count(), 1u);
+
+  Bytes data = Payload("replicate me");
+  ChunkId id = Store(0, data);
+  OpHandle copy = transport_.Submit(ChunkOp::Copy(id, node(0), node(1)));
+  auto copied = transport_.Wait(copy);
+  ASSERT_TRUE(copied.ok());
+  EXPECT_TRUE(copied.value().status.ok());
+  EXPECT_TRUE(benefactors_[1]->HasChunk(id));
+}
+
+// ---- SyncBenefactorAccess: the legacy-facade migration adapter -------------
+
+TEST_F(TransportTest, SyncAdapterRoundTrips) {
+  SyncBenefactorAccess access(&transport_);
+  Bytes data = Payload("via adapter");
+  ChunkId id = ChunkId::For(data);
+  ASSERT_TRUE(access.PutChunk(node(0), id, data).ok());
+  auto got = access.GetChunk(node(0), id);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value(), data);
+
+  std::vector<ChunkId> ids{id};
+  auto batch = access.GetChunkBatch(node(0), ids);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(batch.value()[0], data);
+
+  ASSERT_TRUE(access.CopyChunk(id, node(0), node(2)).ok());
+  EXPECT_TRUE(benefactors_[2]->HasChunk(id));
+  // Each sync call fully drains its op: nothing left in flight.
+  EXPECT_EQ(transport_.InFlight(), 0u);
+}
+
+// Minimal legacy implementation: only the pure-virtual surface. The batch
+// and copy defaults must compose it correctly.
+class LoopbackAccess final : public BenefactorAccess {
+ public:
+  Status PutChunk(NodeId node, const ChunkId& id, ByteSpan data) override {
+    ++puts;
+    stored[node][id] = Bytes(data.begin(), data.end());
+    return OkStatus();
+  }
+  Result<Bytes> GetChunk(NodeId node, const ChunkId& id) override {
+    ++gets;
+    auto& chunks = stored[node];
+    auto it = chunks.find(id);
+    if (it == chunks.end()) return NotFoundError("no such chunk");
+    return it->second;
+  }
+  Status StashChunkMap(NodeId, const VersionRecord&, int) override {
+    return OkStatus();
+  }
+
+  std::map<NodeId, std::map<ChunkId, Bytes>> stored;
+  int puts = 0;
+  int gets = 0;
+};
+
+TEST(BenefactorAccessDefaults, BatchAndCopyLoopOverSingleOps) {
+  LoopbackAccess access;
+  Bytes d0 = Payload("one"), d1 = Payload("two");
+  ChunkId i0 = ChunkId::For(d0), i1 = ChunkId::For(d1);
+
+  std::vector<ChunkPut> puts{{i0, d0}, {i1, d1}};
+  ASSERT_TRUE(access.PutChunkBatch(7, puts).ok());
+  EXPECT_EQ(access.puts, 2);  // looped
+
+  std::vector<ChunkId> ids{i0, i1};
+  auto got = access.GetChunkBatch(7, ids);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(access.gets, 2);  // looped
+  EXPECT_EQ(got.value()[0], d0);
+  EXPECT_EQ(got.value()[1], d1);
+
+  // Default copy bounces through the caller: one get + one put.
+  ASSERT_TRUE(access.CopyChunk(i0, 7, 9).ok());
+  EXPECT_EQ(access.stored[9][i0], d0);
+
+  // All-or-nothing on a missing chunk.
+  std::vector<ChunkId> with_missing{i0, ChunkId::For(Payload("missing"))};
+  EXPECT_FALSE(access.GetChunkBatch(7, with_missing).ok());
+}
+
+}  // namespace
+}  // namespace stdchk
