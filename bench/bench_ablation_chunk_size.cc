@@ -24,6 +24,11 @@ int main() {
     WriteResult r = RunSingleWrite(platform, 4, config);
     bench::PrintRow("%-12zu %10.1f %10.1f", chunk >> 10, r.oab_mbps,
                     r.asb_mbps);
+    bench::JsonLine("bench_ablation_chunk_size")
+        .Int("chunk_kib", static_cast<std::uint64_t>(chunk >> 10))
+        .Num("oab_mb_s", r.oab_mbps)
+        .Num("asb_mb_s", r.asb_mbps)
+        .Emit();
   }
   bench::PrintRow("(chunk column in KiB)");
 

@@ -76,6 +76,11 @@ int main() {
                     ("replication r=" + std::to_string(r)).c_str(),
                     static_cast<double>(r), r - 1, "-", res.oab_mbps,
                     static_cast<double>(res.bytes_transferred) / (1 << 30));
+    bench::JsonLine("bench_ablation_erasure")
+        .Str("scheme", "replication r=" + std::to_string(r))
+        .Num("oab_mb_s", res.oab_mbps)
+        .Num("overhead_x", static_cast<double>(r))
+        .Emit();
   }
 
   // Reed-Solomon (k, m): parity overhead (k+m)/k, tolerates m losses,
@@ -108,6 +113,13 @@ int main() {
                         .c_str(),
                     overhead, g.m, encode, oab,
                     static_cast<double>(config.file_bytes) / (1 << 30));
+    bench::JsonLine("bench_ablation_erasure")
+        .Str("scheme",
+             "RS(k=" + std::to_string(g.k) + ",m=" + std::to_string(g.m) + ")")
+        .Num("oab_mb_s", oab)
+        .Num("encode_mb_s", encode)
+        .Num("overhead_x", overhead)
+        .Emit();
   }
 
   bench::PrintRow("");

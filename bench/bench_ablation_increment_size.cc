@@ -30,6 +30,11 @@ int main() {
     std::string label = std::to_string(increment >> 20) + " MB";
     bench::PrintRow("%-14s %10.1f %10.1f", label.c_str(), r.oab_mbps,
                     r.asb_mbps);
+    bench::JsonLine("bench_ablation_increment_size")
+        .Int("increment_mib", static_cast<std::uint64_t>(increment >> 20))
+        .Num("oab_mb_s", r.oab_mbps)
+        .Num("asb_mb_s", r.asb_mbps)
+        .Emit();
   }
 
   bench::PrintRow("");

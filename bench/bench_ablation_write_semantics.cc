@@ -30,6 +30,13 @@ int main() {
                       pessimistic ? "pessimistic" : "optimistic", r.oab_mbps,
                       r.asb_mbps, r.close_seconds,
                       static_cast<double>(r.bytes_transferred) / (1 << 30));
+      bench::JsonLine("bench_ablation_write_semantics")
+          .Int("replicas", static_cast<std::uint64_t>(replicas))
+          .Str("semantics", pessimistic ? "pessimistic" : "optimistic")
+          .Num("oab_mb_s", r.oab_mbps)
+          .Num("asb_mb_s", r.asb_mbps)
+          .Num("modeled_close_s", r.close_seconds)
+          .Emit();
     }
   }
 

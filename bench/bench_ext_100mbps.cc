@@ -27,6 +27,11 @@ int main() {
     for (int s = 0; s < width; ++s) config.stripe.push_back(s);
     WriteResult r = RunSingleWrite(platform, width, config);
     bench::PrintRow("%-8d %10.1f %10.1f", width, r.oab_mbps, r.asb_mbps);
+    bench::JsonLine("bench_ext_100mbps")
+        .Int("stripe", static_cast<std::uint64_t>(width))
+        .Num("oab_mb_s", r.oab_mbps)
+        .Num("asb_mb_s", r.asb_mbps)
+        .Emit();
   }
 
   bench::PrintRow("");

@@ -69,6 +69,12 @@ int main() {
     double ra2 = RestartReadMBps(platform, width, file, 1_MiB, 2);
     double ra8 = RestartReadMBps(platform, width, file, 1_MiB, 8);
     bench::PrintRow("%-10d %14.1f %14.1f %14.1f", width, ra0, ra2, ra8);
+    bench::JsonLine("bench_ext_read_restart")
+        .Int("stripe", static_cast<std::uint64_t>(width))
+        .Num("read_mb_s_ra0", ra0)
+        .Num("read_mb_s_ra2", ra2)
+        .Num("read_mb_s_ra8", ra8)
+        .Emit();
   }
 
   bench::PrintRow("");

@@ -67,12 +67,23 @@ int main() {
     bench::PrintRow("%-18s %15.1f%% %17.1f%%", tech.name,
                     raw.AverageSimilarity() * 100.0,
                     canon.AverageSimilarity() * 100.0);
+    bench::JsonLine("bench_ext_xen_canonical")
+        .Str("technique", tech.name)
+        .Num("raw_similarity_pct", raw.AverageSimilarity() * 100.0)
+        .Num("canonical_similarity_pct", canon.AverageSimilarity() * 100.0)
+        .Emit();
   }
 
   bench::PrintRow("");
+  double canon_mb_s =
+      static_cast<double>(canon_bytes) / 1048576.0 / canon_seconds;
   bench::PrintRow("canonicalization throughput: %.0f MB/s (sort by pfn + strip "
                   "volatile headers)",
-                  static_cast<double>(canon_bytes) / 1048576.0 / canon_seconds);
+                  canon_mb_s);
+  bench::JsonLine("bench_ext_xen_canonical")
+      .Str("technique", "summary")
+      .Num("canonicalization_mb_s", canon_mb_s)
+      .Emit();
   bench::PrintNote(
       "shape to check: raw Xen images defeat every heuristic (the paper's "
       "near-zero column); pfn-sorted, header-stripped images recover "

@@ -39,6 +39,13 @@ int main() {
     WriteResult sw = run(ProtocolModel::kSW, width);
     bench::PrintRow("%-8d %10.1f %10.1f %10.1f %10.1f %10.1f %10.1f", width,
                     clw.oab_mbps, iw.oab_mbps, sw.oab_mbps, fuse, local, nfs);
+    bench::JsonLine("bench_fig2_oab")
+        .Int("stripe", static_cast<std::uint64_t>(width))
+        .Num("clw_oab_mb_s", clw.oab_mbps)
+        .Num("iw_oab_mb_s", iw.oab_mbps)
+        .Num("sw_oab_mb_s", sw.oab_mbps)
+        .Num("sw_modeled_close_s", sw.close_seconds)
+        .Emit();
   }
 
   bench::PrintRow("");

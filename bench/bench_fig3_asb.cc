@@ -37,6 +37,13 @@ int main() {
     WriteResult sw = run(ProtocolModel::kSW, width);
     bench::PrintRow("%-8d %10.1f %10.1f %10.1f %10.1f %10.1f %10.1f", width,
                     clw.asb_mbps, iw.asb_mbps, sw.asb_mbps, fuse, local, nfs);
+    bench::JsonLine("bench_fig3_asb")
+        .Int("stripe", static_cast<std::uint64_t>(width))
+        .Num("clw_asb_mb_s", clw.asb_mbps)
+        .Num("iw_asb_mb_s", iw.asb_mbps)
+        .Num("sw_asb_mb_s", sw.asb_mbps)
+        .Num("sw_modeled_stored_s", sw.stored_seconds)
+        .Emit();
   }
 
   bench::PrintRow("");

@@ -30,6 +30,11 @@ int main() {
     }
     bench::PrintRow("%-8d %10.1f %10.1f %10.1f %10.1f %10.1f", width,
                     values[0], values[1], values[2], values[3], values[4]);
+    bench::JsonLine("bench_fig4_sw_oab_buffers")
+        .Int("stripe", static_cast<std::uint64_t>(width))
+        .Num("oab_mb_s_32mb", values[0])
+        .Num("oab_mb_s_512mb", values[4])
+        .Emit();
   }
 
   bench::PrintRow("");

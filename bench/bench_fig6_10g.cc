@@ -31,6 +31,11 @@ int main() {
   bench::PrintRow("");
   bench::PrintRow("at stripe 4: OAB %.0f (paper: ~325), ASB %.0f (paper: ~225)",
                   last_oab, last_asb);
+  bench::JsonLine("bench_fig6_10g")
+      .Int("stripe", 4)
+      .Num("oab_mb_s", last_oab)
+      .Num("asb_mb_s", last_asb)
+      .Emit();
   bench::PrintNote(
       "paper shape: the 10 GbE client is never the bottleneck, so both "
       "curves keep climbing with every added benefactor — stdchk aggregates "

@@ -78,6 +78,10 @@ int main() {
                   reduction * 100.0);
   bench::PrintRow("FsCH hashing throughput (real, this machine): %.0f MB/s",
                   hash_mbps);
+  bench::JsonLine("bench_fig7_sw_fsch")
+      .Num("fsch_reduction_pct", reduction * 100.0)
+      .Num("hash_mb_s", hash_mbps)
+      .Emit();
   bench::PrintNote(
       "paper shape: FsCH slightly lowers OAB when the buffer swallows the "
       "whole image (throughput becomes hash/memcopy-bound) but repays with "

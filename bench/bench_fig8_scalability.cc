@@ -34,5 +34,10 @@ int main() {
   bench::PrintNote(
       "shape to check: ramp-up as staggered clients join, then a plateau "
       "pinned at the fabric limit rather than scaling with client count.");
+  bench::JsonLine("bench_fig8_scalability")
+      .Num("peak_mb_s", r.peak_mbps)
+      .Num("sustained_mb_s", r.sustained_mbps)
+      .Num("modeled_total_s", r.total_seconds)
+      .Emit();
   return 0;
 }

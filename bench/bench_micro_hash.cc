@@ -1,8 +1,10 @@
 // Micro-benchmarks (google-benchmark) for the hashing primitives that set
-// the similarity heuristics' throughput ceilings: SHA-1 (chunk naming),
-// FNV-1a (window hashing), the rolling hash, and the full chunkers.
+// the similarity heuristics' throughput ceilings: SHA-1 (chunk naming,
+// portable vs hardware-accelerated), FNV-1a (window hashing), the rolling
+// hash, and the full chunkers.
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
 #include "chkpt/chunker.h"
 #include "common/hash.h"
 #include "common/rng.h"
@@ -25,6 +27,25 @@ void BM_Sha1(benchmark::State& state) {
                           state.range(0));
 }
 BENCHMARK(BM_Sha1)->Arg(4096)->Arg(1 << 20);
+
+// The two block compressors head to head (kShaNi falls back to portable on
+// CPUs without SHA extensions, collapsing the comparison to a no-op).
+void BM_Sha1Impl(benchmark::State& state) {
+  Bytes data = MakeInput(1 << 20);
+  static constexpr Sha1Impl kImpls[] = {Sha1Impl::kReference,
+                                        Sha1Impl::kPortable, Sha1Impl::kShaNi};
+  Sha1ForceImpl(kImpls[state.range(0)]);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha1(data));
+  }
+  Sha1ForceImpl(Sha1Impl::kAuto);
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(data.size()));
+}
+BENCHMARK(BM_Sha1Impl)
+    ->Arg(0)   // textbook reference (the pre-optimization compressor)
+    ->Arg(1)   // portable (unrolled scalar)
+    ->Arg(2);  // hardware SHA extensions when available
 
 void BM_Fnv1a(benchmark::State& state) {
   Bytes data = MakeInput(static_cast<std::size_t>(state.range(0)));
@@ -103,7 +124,61 @@ BENCHMARK(BM_CbchOverlap)
     ->Arg(0)   // rolling-hash scan
     ->Arg(1);  // paper-style per-window recompute
 
+// The streaming scanner the write path drives (ChunkPlanner::Append), fed
+// in write-sized pieces — the number the end-to-end CbCH write rides on.
+void BM_CbchScannerStreaming(benchmark::State& state) {
+  Bytes data = MakeInput(8 << 20);
+  CbchParams params;
+  params.window_m = 20;
+  params.boundary_bits_k = 14;
+  params.advance_p = 1;
+  params.min_chunk = static_cast<std::uint32_t>(state.range(0));
+  ContentBasedChunker chunker(params);
+  constexpr std::size_t kPiece = 256 << 10;
+  for (auto _ : state) {
+    auto scanner = chunker.MakeScanner();
+    std::vector<std::uint64_t> ends;
+    for (std::size_t pos = 0; pos < data.size(); pos += kPiece) {
+      scanner->Feed(ByteSpan(data.data() + pos,
+                             std::min(kPiece, data.size() - pos)),
+                    ends);
+    }
+    scanner->Finish(ends);
+    benchmark::DoNotOptimize(ends);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(data.size()));
+}
+BENCHMARK(BM_CbchScannerStreaming)
+    ->Arg(0)     // no minimum: every position hashed
+    ->Arg(4096); // min-chunk skip-ahead active
+
+class JsonLineReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      double bytes_per_second = 0;
+      auto it = run.counters.find("bytes_per_second");
+      if (it != run.counters.end()) bytes_per_second = it->second;
+      bench::JsonLine("bench_micro_hash")
+          .Str("case", run.benchmark_name())
+          .Num("mb_s", bytes_per_second / (1024.0 * 1024.0))
+          .Num("real_time_ns", run.GetAdjustedRealTime())
+          .Emit();
+    }
+  }
+};
+
 }  // namespace
 }  // namespace stdchk
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  stdchk::JsonLineReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}

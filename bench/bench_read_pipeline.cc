@@ -83,6 +83,14 @@ int main() {
     bench::PrintRow("%-10d %12.1f %12.1f %12.1f %12.1f %10s", width,
                     serial.mbps, w2.mbps, w4.mbps, w8.mbps,
                     identical ? "yes" : "NO");
+    bench::JsonLine("bench_read_pipeline")
+        .Int("stripe", static_cast<std::uint64_t>(width))
+        .Num("serial_mb_s", serial.mbps)
+        .Num("window2_mb_s", w2.mbps)
+        .Num("window4_mb_s", w4.mbps)
+        .Num("window8_mb_s", w8.mbps)
+        .Int("identical", identical ? 1 : 0)
+        .Emit();
   }
 
   bench::PrintRow("");

@@ -29,5 +29,11 @@ int main() {
                   overhead);
   bench::PrintRow("modeled FUSE context switch: %.0f us/call (paper: ~32 us)",
                   ToSeconds(platform.fuse_per_call) * 1e6);
+  bench::JsonLine("bench_table1_fuse_overhead")
+      .Num("local_modeled_s", local)
+      .Num("fuse_modeled_s", fuse)
+      .Num("fuse_null_modeled_s", null)
+      .Num("fuse_overhead_pct", overhead)
+      .Emit();
   return 0;
 }

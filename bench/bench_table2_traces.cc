@@ -52,6 +52,11 @@ int main() {
         1024.0;
     bench::PrintRow("%-18s %12.1f %11.1f KB", row.name,
                     total / n / 1048576.0, growth);
+    bench::JsonLine("bench_table2_traces")
+        .Str("generator", row.name)
+        .Num("avg_image_mb", total / n / 1048576.0)
+        .Num("growth_kb_per_step", growth)
+        .Emit();
   }
 
   bench::PrintRow("");

@@ -117,13 +117,20 @@ int main() {
                   "BMS-app(1min)", "BLCR(5min)", "BLCR(15min)", "Xen");
   for (const Technique& tech : techniques) {
     char cells[4][64];
+    bench::JsonLine json("bench_table3_similarity");
+    json.Str("technique", tech.label);
+    static const char* kTraceKeys[] = {"bms", "blcr5", "blcr15", "xen"};
     for (std::size_t t = 0; t < traces.size(); ++t) {
       TechResult r = RunTechnique(traces[t], *tech.chunker, tech.slow);
       std::snprintf(cells[t], sizeof(cells[t]), "%5.1f%% [%7.1f]",
                     r.similarity_pct, r.throughput_mbps);
+      json.Num(std::string(kTraceKeys[t]) + "_similarity_pct",
+               r.similarity_pct);
+      json.Num(std::string(kTraceKeys[t]) + "_mb_s", r.throughput_mbps);
     }
     bench::PrintRow("%-30s %-22s %-22s %-22s %-22s", tech.label.c_str(),
                     cells[0], cells[1], cells[2], cells[3]);
+    json.Emit();
   }
 
   bench::PrintSection("paper values (similarity % [MB/s])");

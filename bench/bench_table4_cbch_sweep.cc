@@ -64,6 +64,12 @@ int main() {
     bench::PrintRow("%-4s %-18s %9.1f %9.1f %9.1f %9.1f %9.1f", "",
                     "avg max (KB)", mx[0], mx[1], mx[2], mx[3], mx[4]);
     bench::PrintRow("");
+    bench::JsonLine("bench_table4_cbch_sweep")
+        .Int("k", static_cast<std::uint64_t>(k))
+        .Num("similarity_pct_m20", sim[0])
+        .Num("throughput_mb_s_m20", thr[0])
+        .Num("avg_chunk_kb_m20", avg[0])
+        .Emit();
   }
 
   bench::PrintNote(

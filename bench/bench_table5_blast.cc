@@ -46,6 +46,12 @@ int main() {
   bench::PrintRow("");
   bench::PrintRow("avg FsCH dedup ratio measured from the trace: %.0f%%",
                   r.avg_dedup_ratio * 100.0);
+  bench::JsonLine("bench_table5_blast")
+      .Num("local_total_modeled_s", r.local_total_s)
+      .Num("stdchk_total_modeled_s", r.stdchk_total_s)
+      .Num("ckpt_improvement_pct", r.ckpt_improvement() * 100.0)
+      .Num("data_reduction_pct", r.data_reduction() * 100.0)
+      .Emit();
   bench::PrintNote(
       "shape to check: checkpointing itself gets markedly faster and the "
       "stored/transferred data shrinks by more than half, while total "

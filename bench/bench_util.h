@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdarg>
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -33,5 +34,50 @@ inline void PrintRow(const char* fmt, ...) {
 inline void PrintNote(const std::string& note) {
   std::printf("note: %s\n", note.c_str());
 }
+
+// Machine-readable result line. Every bench binary emits at least one —
+// prefixed "BENCHJSON " on its own stdout line — so scripts/bench.sh can
+// collect the fleet's numbers into BENCH_RESULTS.json and the perf
+// trajectory is tracked across PRs. Keys are flat; `bench` names the
+// binary, the rest are metric fields (MB/s, modeled seconds, counts).
+class JsonLine {
+ public:
+  explicit JsonLine(const std::string& bench) {
+    body_ = "{\"bench\":\"" + Escape(bench) + "\"";
+  }
+
+  JsonLine& Str(const std::string& key, const std::string& value) {
+    body_ += ",\"" + Escape(key) + "\":\"" + Escape(value) + "\"";
+    return *this;
+  }
+
+  JsonLine& Num(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    body_ += ",\"" + Escape(key) + "\":" + buf;
+    return *this;
+  }
+
+  JsonLine& Int(const std::string& key, std::uint64_t value) {
+    body_ += ",\"" + Escape(key) + "\":" + std::to_string(value);
+    return *this;
+  }
+
+  void Emit() { std::printf("BENCHJSON %s}\n", body_.c_str()); }
+
+ private:
+  static std::string Escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      if (static_cast<unsigned char>(c) < 0x20) continue;
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string body_;
+};
 
 }  // namespace stdchk::bench

@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Runs every bench binary and collects their machine-readable "BENCHJSON"
+# lines into BENCH_RESULTS.json, so the perf trajectory is tracked across
+# PRs. Benches are built in Release (-O3 -DNDEBUG) — wall-clock numbers
+# from debug builds are meaningless.
+#
+# Usage: scripts/bench.sh [output.json]
+#   BENCH_BUILD_DIR  override the build directory (default: build-release)
+#   BENCH_FILTER     only run binaries whose name matches this grep pattern
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "$repo_root"
+
+out="${1:-BENCH_RESULTS.json}"
+build_dir="${BENCH_BUILD_DIR:-build-release}"
+filter="${BENCH_FILTER:-.}"
+jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+echo "== configure + build ($build_dir, Release) =="
+cmake -B "$build_dir" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "$build_dir" -j "$jobs" >/dev/null
+
+lines_file="$(mktemp)"
+trap 'rm -f "$lines_file"' EXIT
+
+status=0
+for bin in "$build_dir"/bench_*; do
+  [ -x "$bin" ] || continue
+  name="$(basename "$bin")"
+  echo "$name" | grep -Eq "$filter" || continue
+  echo "== $name =="
+  # Benches print their human tables to the terminal; only the BENCHJSON
+  # lines are harvested. A failing bench fails the run (bench_datapath
+  # exits nonzero when a zero-copy/integrity invariant breaks).
+  # grep -o (not ^-anchored): google-benchmark's console colors can leave
+  # escape codes at line starts.
+  if ! "$bin" | tee /dev/stderr | grep -o 'BENCHJSON {.*}' | \
+       sed 's/^BENCHJSON //' >> "$lines_file"; then
+    echo "FAILED: $name" >&2
+    status=1
+  fi
+done
+
+{
+  echo '{'
+  echo "  \"generated_by\": \"scripts/bench.sh\","
+  echo "  \"date\": \"$(date -u +%Y-%m-%dT%H:%M:%SZ)\","
+  echo '  "results": ['
+  sed '$!s/$/,/; s/^/    /' "$lines_file"
+  echo '  ]'
+  echo '}'
+} > "$out"
+
+count="$(wc -l < "$lines_file")"
+echo
+echo "wrote $out ($count results)"
+exit "$status"

@@ -34,16 +34,16 @@ std::uint64_t Benefactor::FreeBytes() const {
   return used >= capacity_bytes_ ? 0 : capacity_bytes_ - used;
 }
 
-Status Benefactor::PutChunk(const ChunkId& id, ByteSpan data) {
+Status Benefactor::PutChunk(const ChunkId& id, BufferSlice data) {
   STDCHK_RETURN_IF_ERROR(CheckOnline());
-  if (ChunkId::For(data) != id) {
+  if (ChunkId::For(data.span()) != id) {
     return DataLossError("chunk content does not match its address " +
                          id.ToHex());
   }
   if (!store_->Contains(id) && store_->BytesUsed() + data.size() > capacity_bytes_) {
     return ResourceExhaustedError("benefactor " + host_ + " is full");
   }
-  return store_->Put(id, data);
+  return store_->Put(id, std::move(data));
 }
 
 Status Benefactor::PutChunkBatch(std::span<const ChunkPut> puts) {
@@ -55,7 +55,7 @@ Status Benefactor::PutChunkBatch(std::span<const ChunkPut> puts) {
   std::uint64_t new_bytes = 0;
   std::set<ChunkId> counted;
   for (const ChunkPut& put : puts) {
-    if (ChunkId::For(put.data) != put.id) {
+    if (ChunkId::For(put.data.span()) != put.id) {
       return DataLossError("chunk content does not match its address " +
                            put.id.ToHex());
     }
@@ -74,23 +74,23 @@ Status Benefactor::PutChunkBatch(std::span<const ChunkPut> puts) {
   return OkStatus();
 }
 
-Result<Bytes> Benefactor::GetChunk(const ChunkId& id) const {
+Result<BufferSlice> Benefactor::GetChunk(const ChunkId& id) const {
   STDCHK_RETURN_IF_ERROR(CheckOnline());
-  STDCHK_ASSIGN_OR_RETURN(Bytes data, store_->Get(id));
-  if (ChunkId::For(data) != id) {
+  STDCHK_ASSIGN_OR_RETURN(BufferSlice data, store_->Get(id));
+  if (ChunkId::For(data.span()) != id) {
     return DataLossError("stored chunk " + id.ToHex() +
                          " failed integrity verification");
   }
   return data;
 }
 
-Result<std::vector<Bytes>> Benefactor::GetChunkBatch(
+Result<std::vector<BufferSlice>> Benefactor::GetChunkBatch(
     std::span<const ChunkId> ids) const {
   STDCHK_RETURN_IF_ERROR(CheckOnline());
-  std::vector<Bytes> out;
+  std::vector<BufferSlice> out;
   out.reserve(ids.size());
   for (const ChunkId& id : ids) {
-    STDCHK_ASSIGN_OR_RETURN(Bytes data, GetChunk(id));
+    STDCHK_ASSIGN_OR_RETURN(BufferSlice data, GetChunk(id));
     out.push_back(std::move(data));
   }
   return out;

@@ -50,8 +50,14 @@ class Benefactor {
 
   // ---- Data path (invoked by clients / replication) -----------------------
   // Verifies that `data` hashes to `id` before storing — content
-  // addressability doubles as an integrity check (§IV.C).
-  Status PutChunk(const ChunkId& id, ByteSpan data);
+  // addressability doubles as an integrity check (§IV.C). The slice is
+  // handed to the store as-is: a memory-backed donor aliases the sender's
+  // buffer, never copies it.
+  Status PutChunk(const ChunkId& id, BufferSlice data);
+  // Borrowed-bytes convenience (tests, tools): copies once, then as above.
+  Status PutChunk(const ChunkId& id, ByteSpan data) {
+    return PutChunk(id, BufferSlice::Copy(data));
+  }
 
   // Batched data path: one RPC admits many chunks. Integrity and capacity
   // are verified for the whole batch before any chunk lands, so a batch
@@ -62,14 +68,16 @@ class Benefactor {
   Status PutChunkBatch(std::span<const ChunkPut> puts);
 
   // Verifies stored bytes against the content address before returning, so
-  // a tampering or bit-flipping donor is detected (§IV.C).
-  Result<Bytes> GetChunk(const ChunkId& id) const;
+  // a tampering or bit-flipping donor is detected (§IV.C). The returned
+  // slice shares the store's buffer and outlives Delete/GC of the chunk.
+  Result<BufferSlice> GetChunk(const ChunkId& id) const;
 
   // Batched read path, all-or-nothing (mirror of PutChunkBatch): one RPC
   // returns every requested chunk, each integrity-verified, or fails
   // wholesale — the client's read engine then fans the chunks back out to
   // other replicas individually.
-  Result<std::vector<Bytes>> GetChunkBatch(std::span<const ChunkId> ids) const;
+  Result<std::vector<BufferSlice>> GetChunkBatch(
+      std::span<const ChunkId> ids) const;
 
   bool HasChunk(const ChunkId& id) const;
   std::uint64_t BytesUsed() const { return store_->BytesUsed(); }

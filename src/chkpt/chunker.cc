@@ -7,6 +7,304 @@
 #include "common/rolling_hash.h"
 
 namespace stdchk {
+namespace {
+
+// Buffering adapter: the correctness fallback for chunkers without a
+// native scanner. Re-offers the unsealed suffix to SplitSealed, throttled
+// geometrically — a re-scan only runs once the buffer has doubled since
+// the last one — so total re-hashing stays O(n) no matter how small the
+// Feed pieces are. Sealing may lag by up to one buffer doubling, which
+// SplitSealed semantics permit (delaying a scan never moves a boundary);
+// Finish seals everything regardless. Note the suffix is buffered here in
+// addition to any caller-side buffer (the planner keeps its own) — native
+// scanners avoid that duplication.
+class RescanScanner final : public ChunkScanner {
+ public:
+  explicit RescanScanner(const Chunker* chunker) : chunker_(chunker) {}
+
+  void Feed(ByteSpan data, std::vector<std::uint64_t>& out) override {
+    Append(buffer_, data);
+    consumed_ += data.size();
+    if (buffer_.size() < next_scan_size_) return;
+    Emit(chunker_->SplitSealed(buffer_), out);
+    next_scan_size_ = buffer_.size() * 2;
+  }
+
+  void Finish(std::vector<std::uint64_t>& out) override {
+    if (buffer_.empty()) return;
+    Emit(chunker_->Split(buffer_), out);
+    buffer_.clear();
+  }
+
+  std::uint64_t consumed() const override { return consumed_; }
+
+ private:
+  void Emit(const std::vector<ChunkSpan>& spans,
+            std::vector<std::uint64_t>& out) {
+    if (spans.empty()) return;
+    for (const ChunkSpan& span : spans) {
+      out.push_back(base_ + span.offset + span.size);
+    }
+    std::size_t cut = static_cast<std::size_t>(spans.back().offset) +
+                      spans.back().size;
+    base_ += cut;
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(cut));
+  }
+
+  const Chunker* chunker_;
+  Bytes buffer_;
+  std::uint64_t base_ = 0;
+  std::uint64_t consumed_ = 0;
+  std::size_t next_scan_size_ = 0;
+};
+
+class FixedScanner final : public ChunkScanner {
+ public:
+  explicit FixedScanner(std::size_t chunk_size) : chunk_size_(chunk_size) {}
+
+  void Feed(ByteSpan data, std::vector<std::uint64_t>& out) override {
+    consumed_ += data.size();
+    while (consumed_ - sealed_ >= chunk_size_) {
+      sealed_ += chunk_size_;
+      out.push_back(sealed_);
+    }
+  }
+
+  void Finish(std::vector<std::uint64_t>& out) override {
+    if (consumed_ > sealed_) {
+      sealed_ = consumed_;
+      out.push_back(sealed_);
+    }
+  }
+
+  std::uint64_t consumed() const override { return consumed_; }
+
+ private:
+  std::size_t chunk_size_;
+  std::uint64_t consumed_ = 0;
+  std::uint64_t sealed_ = 0;
+};
+
+std::size_t SkipAfterBoundary(const CbchParams& params) {
+  return params.min_chunk > params.window_m
+             ? params.min_chunk - params.window_m
+             : 0;
+}
+
+// p == 1 with the rolling (non-recompute) hash: the hot CbCH scan. The
+// steady state is a pointer-bumping inner loop — ring update, one
+// multiply-add roll, mix, mask — with no per-byte function calls; after
+// each boundary the scan skips min_chunk-m bytes outright before
+// refilling the window. Windows never straddle boundaries, so streaming
+// feeds reproduce the whole-file scan bit for bit.
+class CbchRollingScanner final : public ChunkScanner {
+ public:
+  explicit CbchRollingScanner(const CbchParams& params)
+      : m_(params.window_m),
+        mask_((1ull << params.boundary_bits_k) - 1),
+        max_chunk_(params.max_chunk),
+        skip_init_(SkipAfterBoundary(params)),
+        ring_(params.window_m),
+        skip_left_(SkipAfterBoundary(params)) {  // min applies to chunk 0 too
+    pow_m_ = 1;
+    for (std::size_t i = 0; i + 1 < m_; ++i) pow_m_ *= RollingHash::kBase;
+  }
+
+  void Feed(ByteSpan data, std::vector<std::uint64_t>& out) override {
+    const std::uint8_t* p = data.data();
+    const std::uint8_t* const end = p + data.size();
+    // Hot state in locals; written back on exit.
+    std::uint64_t h = hash_;
+    std::uint64_t pos = pos_, chunk_start = chunk_start_;
+    std::size_t filled = filled_, rp = ring_pos_, skip = skip_left_;
+    std::uint8_t* const ring = ring_.data();
+
+    while (p < end) {
+      if (skip > 0) {
+        std::size_t take =
+            std::min<std::size_t>(skip, static_cast<std::size_t>(end - p));
+        p += take;
+        pos += take;
+        skip -= take;
+        continue;
+      }
+      if (filled < m_) {
+        while (p < end && filled < m_) {
+          std::uint8_t in = *p++;
+          ring[rp] = in;
+          rp = (rp + 1 == m_) ? 0 : rp + 1;
+          h = h * RollingHash::kBase + in + 1;
+          ++filled;
+          ++pos;
+        }
+        if (filled < m_) break;
+        if ((Mix64(h) & mask_) == 0 ||
+            (max_chunk_ != 0 && pos - chunk_start >= max_chunk_)) {
+          out.push_back(pos);
+          chunk_start = pos;
+          h = 0;
+          filled = 0;
+          rp = 0;
+          skip = skip_init_;
+        }
+        continue;
+      }
+      // Steady state: full window sliding one byte per step.
+      while (p < end) {
+        const std::uint8_t in = *p++;
+        const std::uint8_t old = ring[rp];
+        ring[rp] = in;
+        rp = (rp + 1 == m_) ? 0 : rp + 1;
+        h = (h - (old + 1) * pow_m_) * RollingHash::kBase + in + 1;
+        ++pos;
+        if ((Mix64(h) & mask_) == 0 ||
+            (max_chunk_ != 0 && pos - chunk_start >= max_chunk_)) {
+          out.push_back(pos);
+          chunk_start = pos;
+          h = 0;
+          filled = 0;
+          rp = 0;
+          skip = skip_init_;
+          break;
+        }
+      }
+    }
+
+    hash_ = h;
+    pos_ = pos;
+    chunk_start_ = chunk_start;
+    filled_ = filled;
+    ring_pos_ = rp;
+    skip_left_ = skip;
+  }
+
+  void Finish(std::vector<std::uint64_t>& out) override {
+    if (pos_ > chunk_start_) {
+      out.push_back(pos_);
+      chunk_start_ = pos_;
+    }
+  }
+
+  std::uint64_t consumed() const override { return pos_; }
+
+ private:
+  const std::size_t m_;
+  const std::uint64_t mask_;
+  const std::uint64_t max_chunk_;
+  const std::size_t skip_init_;
+  std::uint64_t pow_m_;
+
+  Bytes ring_;           // last m bytes of the current window
+  std::size_t ring_pos_ = 0;
+  std::size_t filled_ = 0;
+  std::uint64_t hash_ = 0;
+  std::uint64_t pos_ = 0;          // stream bytes consumed
+  std::uint64_t chunk_start_ = 0;  // start of the open chunk
+  std::size_t skip_left_;          // min-chunk skip-ahead remaining
+};
+
+// Hopping windows (p > 1) and the paper-faithful recompute mode (a full
+// window hash — SHA-1 or FNV — at every inspected position). Windows may
+// straddle Feed edges; a carry of at most m-1 stream bytes stitches them.
+class CbchHopScanner final : public ChunkScanner {
+ public:
+  explicit CbchHopScanner(const CbchParams& params)
+      : params_(params),
+        m_(params.window_m),
+        advance_(params.advance_p),
+        mask_((1ull << params.boundary_bits_k) - 1),
+        skip_init_(SkipAfterBoundary(params)),
+        next_window_(SkipAfterBoundary(params)) {}  // min applies to chunk 0
+
+  void Feed(ByteSpan data, std::vector<std::uint64_t>& out) override {
+    const std::uint64_t data_start = pos_;
+    pos_ += data.size();
+
+    // Windows straddling the carry/data border are stitched into `tmp`.
+    Bytes tmp;
+    while (next_window_ + m_ <= pos_) {
+      std::uint64_t h;
+      if (next_window_ >= data_start) {
+        h = WindowHash(data.subspan(
+            static_cast<std::size_t>(next_window_ - data_start), m_));
+      } else {
+        std::size_t from_carry =
+            static_cast<std::size_t>(data_start - next_window_);
+        std::size_t carry_off = carry_.size() - from_carry;
+        tmp.assign(carry_.begin() + static_cast<std::ptrdiff_t>(carry_off),
+                   carry_.end());
+        tmp.insert(tmp.end(), data.begin(),
+                   data.begin() + static_cast<std::ptrdiff_t>(m_ - from_carry));
+        h = WindowHash(tmp);
+      }
+      std::uint64_t window_end = next_window_ + m_;
+      bool boundary = (Mix64(h) & mask_) == 0;
+      bool forced = params_.max_chunk != 0 &&
+                    window_end - chunk_start_ >= params_.max_chunk;
+      if (boundary || forced) {
+        out.push_back(window_end);
+        chunk_start_ = window_end;
+        next_window_ = window_end + skip_init_;
+      } else {
+        next_window_ += advance_;
+      }
+    }
+
+    // Keep the stream bytes the next window still needs (< m of them).
+    if (next_window_ >= data_start) {
+      std::size_t keep_from =
+          static_cast<std::size_t>(next_window_ - data_start);
+      keep_from = std::min(keep_from, data.size());
+      carry_.assign(data.begin() + static_cast<std::ptrdiff_t>(keep_from),
+                    data.end());
+    } else {
+      Append(carry_, data);
+    }
+  }
+
+  void Finish(std::vector<std::uint64_t>& out) override {
+    if (pos_ > chunk_start_) {
+      out.push_back(pos_);
+      chunk_start_ = pos_;
+    }
+  }
+
+  std::uint64_t consumed() const override { return pos_; }
+
+ private:
+  std::uint64_t WindowHash(ByteSpan window) const {
+    return params_.recompute_per_window ? Sha1(window).Prefix64()
+                                        : Fnv1a64(window);
+  }
+
+  const CbchParams params_;
+  const std::size_t m_;
+  const std::size_t advance_;
+  const std::uint64_t mask_;
+  const std::size_t skip_init_;
+
+  Bytes carry_;  // stream bytes [next_window_, pos_) not yet scanned past
+  std::uint64_t pos_ = 0;
+  std::uint64_t next_window_;  // absolute start of the next window
+  std::uint64_t chunk_start_ = 0;
+};
+
+std::vector<ChunkSpan> SpansFromEnds(std::uint64_t total,
+                                     const std::vector<std::uint64_t>& ends) {
+  std::vector<ChunkSpan> out;
+  out.reserve(ends.size());
+  std::uint64_t start = 0;
+  for (std::uint64_t end : ends) {
+    out.push_back(ChunkSpan{start, static_cast<std::uint32_t>(end - start)});
+    start = end;
+  }
+  assert(start == total);
+  (void)total;
+  return out;
+}
+
+}  // namespace
 
 std::vector<ChunkSpan> Chunker::SplitSealed(ByteSpan data) const {
   std::vector<ChunkSpan> spans = Split(data);
@@ -14,6 +312,10 @@ std::vector<ChunkSpan> Chunker::SplitSealed(ByteSpan data) const {
   // a content-determined boundary, so it may still grow.
   if (!spans.empty()) spans.pop_back();
   return spans;
+}
+
+std::unique_ptr<ChunkScanner> Chunker::MakeScanner() const {
+  return std::make_unique<RescanScanner>(this);
 }
 
 FixedSizeChunker::FixedSizeChunker(std::size_t chunk_size)
@@ -40,6 +342,10 @@ std::vector<ChunkSpan> FixedSizeChunker::SplitSealed(ByteSpan data) const {
   return spans;
 }
 
+std::unique_ptr<ChunkScanner> FixedSizeChunker::MakeScanner() const {
+  return std::make_unique<FixedScanner>(chunk_size_);
+}
+
 std::string FixedSizeChunker::name() const {
   return "FsCH(" + std::to_string(chunk_size_) + ")";
 }
@@ -51,132 +357,33 @@ ContentBasedChunker::ContentBasedChunker(CbchParams params)
   assert(params_.boundary_bits_k > 0 && params_.boundary_bits_k < 64);
 }
 
+// The scanner is the single source of truth for boundary placement: the
+// whole-file split simply streams the image through a fresh scanner, so
+// streaming (planner) and one-shot scans agree by construction.
 std::vector<ChunkSpan> ContentBasedChunker::Split(ByteSpan data) const {
   if (data.empty()) return {};
-  if (data.size() <= params_.window_m) {
-    return {ChunkSpan{0, static_cast<std::uint32_t>(data.size())}};
-  }
-  return params_.overlap() ? SplitOverlap(data) : SplitNoOverlap(data);
+  std::unique_ptr<ChunkScanner> scanner = MakeScanner();
+  std::vector<std::uint64_t> ends;
+  scanner->Feed(data, ends);
+  scanner->Finish(ends);
+  return SpansFromEnds(data.size(), ends);
 }
 
-// p == 1: the window slides one byte at a time; the rolling hash updates in
-// O(1) per position. Every offset is inspected, so boundary placement is
-// maximally content-sensitive — and the whole file is effectively hashed
-// once per byte of window, which is why the paper measures ~1 MB/s here.
-//
-// The window restarts after every declared boundary (as SplitNoOverlap
-// already does): windows never straddle chunk boundaries, so a scan that
-// resumes at the last boundary — the streaming ChunkPlanner's sealed-drain
-// discipline — reproduces the whole-file scan bit for bit.
-std::vector<ChunkSpan> ContentBasedChunker::SplitOverlap(ByteSpan data) const {
-  if (params_.recompute_per_window) return SplitOverlapRecompute(data);
-  std::vector<ChunkSpan> out;
-  const std::size_t m = params_.window_m;
-  RollingHash hash(m);
-
-  std::uint64_t chunk_start = 0;
-  std::size_t pos = 0;  // the window covers [pos, pos+m)
-  for (std::size_t i = 0; i < m; ++i) hash.Push(data[i]);
-  for (;;) {
-    std::uint64_t window_end = pos + m;
-    bool boundary = hash.IsBoundary(params_.boundary_bits_k);
-    bool forced = params_.max_chunk != 0 &&
-                  window_end - chunk_start >= params_.max_chunk;
-    if (boundary || forced) {
-      out.push_back(ChunkSpan{
-          chunk_start, static_cast<std::uint32_t>(window_end - chunk_start)});
-      chunk_start = window_end;
-      if (window_end + m > data.size()) break;
-      hash.Reset();
-      for (std::size_t i = 0; i < m; ++i) hash.Push(data[window_end + i]);
-      pos = window_end;
-      continue;
-    }
-    if (pos + m >= data.size()) break;
-    hash.Roll(data[pos], data[pos + m]);
-    ++pos;
+std::unique_ptr<ChunkScanner> ContentBasedChunker::MakeScanner() const {
+  if (params_.overlap() && !params_.recompute_per_window) {
+    return std::make_unique<CbchRollingScanner>(params_);
   }
-  if (chunk_start < data.size()) {
-    out.push_back(ChunkSpan{
-        chunk_start, static_cast<std::uint32_t>(data.size() - chunk_start)});
-  }
-  return out;
-}
-
-// Paper-faithful overlap scan: every position hashes its whole window from
-// scratch, costing ~m hash-bytes per input byte. This is what limits the
-// paper's overlap CbCH to ~1 MB/s. Restarts at each boundary, like
-// SplitOverlap, so streaming scans agree with whole-file scans.
-std::vector<ChunkSpan> ContentBasedChunker::SplitOverlapRecompute(
-    ByteSpan data) const {
-  std::vector<ChunkSpan> out;
-  const std::size_t m = params_.window_m;
-  const std::uint64_t mask = (1ull << params_.boundary_bits_k) - 1;
-
-  std::uint64_t chunk_start = 0;
-  std::size_t pos = 0;
-  while (pos + m <= data.size()) {
-    std::uint64_t h = Sha1(data.subspan(pos, m)).Prefix64();
-    std::uint64_t window_end = pos + m;
-    bool boundary = (Mix64(h) & mask) == 0;
-    bool forced = params_.max_chunk != 0 &&
-                  window_end - chunk_start >= params_.max_chunk;
-    if (boundary || forced) {
-      out.push_back(ChunkSpan{
-          chunk_start, static_cast<std::uint32_t>(window_end - chunk_start)});
-      chunk_start = window_end;
-      pos = window_end;
-    } else {
-      ++pos;
-    }
-  }
-  if (chunk_start < data.size()) {
-    out.push_back(ChunkSpan{
-        chunk_start, static_cast<std::uint32_t>(data.size() - chunk_start)});
-  }
-  return out;
-}
-
-// p == m (or any p > 1): the window hops, hashing each position from
-// scratch. Cheaper by ~p but boundaries land only on p-aligned offsets
-// relative to the scan start, costing some similarity.
-std::vector<ChunkSpan> ContentBasedChunker::SplitNoOverlap(
-    ByteSpan data) const {
-  std::vector<ChunkSpan> out;
-  const std::size_t m = params_.window_m;
-  const std::size_t p = params_.advance_p;
-
-  std::uint64_t chunk_start = 0;
-  std::size_t pos = 0;
-  while (pos + m <= data.size()) {
-    std::uint64_t h = params_.recompute_per_window
-                          ? Sha1(data.subspan(pos, m)).Prefix64()
-                          : Fnv1a64(data.subspan(pos, m));
-    std::uint64_t window_end = pos + m;
-    const std::uint64_t mask = (1ull << params_.boundary_bits_k) - 1;
-    bool boundary = (Mix64(h) & mask) == 0;
-    bool forced = params_.max_chunk != 0 &&
-                  window_end - chunk_start >= params_.max_chunk;
-    if (boundary || forced) {
-      out.push_back(ChunkSpan{
-          chunk_start, static_cast<std::uint32_t>(window_end - chunk_start)});
-      chunk_start = window_end;
-      pos = window_end;
-    } else {
-      pos += p;
-    }
-  }
-  if (chunk_start < data.size()) {
-    out.push_back(ChunkSpan{
-        chunk_start, static_cast<std::uint32_t>(data.size() - chunk_start)});
-  }
-  return out;
+  return std::make_unique<CbchHopScanner>(params_);
 }
 
 std::string ContentBasedChunker::name() const {
-  return "CbCH(m=" + std::to_string(params_.window_m) +
-         ",k=" + std::to_string(params_.boundary_bits_k) +
-         ",p=" + std::to_string(params_.advance_p) + ")";
+  std::string out = "CbCH(m=" + std::to_string(params_.window_m) +
+                    ",k=" + std::to_string(params_.boundary_bits_k) +
+                    ",p=" + std::to_string(params_.advance_p);
+  if (params_.min_chunk > 0) {
+    out += ",min=" + std::to_string(params_.min_chunk);
+  }
+  return out + ")";
 }
 
 ChunkSizeStats ComputeChunkSizeStats(const std::vector<ChunkSpan>& spans) {

@@ -33,6 +33,29 @@ struct ChunkSpan {
   bool operator==(const ChunkSpan&) const = default;
 };
 
+// Stateful streaming boundary detector. Feed() consumes the next bytes of
+// the stream and reports every newly *sealed* boundary — final no matter
+// what is appended later — so a caller that streams data in arbitrary
+// pieces sees exactly the boundary sequence of a whole-file scan, without
+// ever re-scanning bytes it already offered (the planner's old
+// re-offer-the-suffix discipline cost O(n·drains) for CbCH). Finish()
+// seals the tail at end-of-stream; the scanner is spent afterwards.
+class ChunkScanner {
+ public:
+  virtual ~ChunkScanner() = default;
+
+  // Consumes `data`; appends the absolute stream offset of each newly
+  // sealed boundary (the chunk's exclusive end) to `out`, ascending.
+  virtual void Feed(ByteSpan data, std::vector<std::uint64_t>& out) = 0;
+
+  // End of stream: appends the remaining tail boundaries (if any bytes
+  // lie beyond the last sealed boundary). Terminal.
+  virtual void Finish(std::vector<std::uint64_t>& out) = 0;
+
+  // Total stream bytes consumed so far.
+  virtual std::uint64_t consumed() const = 0;
+};
+
 class Chunker {
  public:
   virtual ~Chunker() = default;
@@ -40,14 +63,22 @@ class Chunker {
   // Splits `data` into contiguous spans covering [0, data.size()) exactly.
   virtual std::vector<ChunkSpan> Split(ByteSpan data) const = 0;
 
-  // Streaming support (client/ChunkPlanner): returns the prefix of
-  // Split(data) whose boundaries are *sealed* — final no matter how much
-  // data is appended after `data`. The caller keeps the uncovered suffix
-  // buffered and re-offers it with more bytes later. The default withholds
-  // the trailing span, whose end is the buffer end rather than a
-  // content-determined boundary; chunkers that can prove the tail final
-  // (e.g. a full fixed-size chunk) may override.
+  // Streaming support: returns the prefix of Split(data) whose boundaries
+  // are *sealed* — final no matter how much data is appended after `data`.
+  // The caller keeps the uncovered suffix buffered and re-offers it with
+  // more bytes later. The default withholds the trailing span, whose end
+  // is the buffer end rather than a content-determined boundary; chunkers
+  // that can prove the tail final (e.g. a full fixed-size chunk) may
+  // override. Prefer MakeScanner(), which never re-scans.
   virtual std::vector<ChunkSpan> SplitSealed(ByteSpan data) const;
+
+  // Creates a streaming scanner equivalent to this chunker: feeding it a
+  // stream in any piece sizes, then Finish(), yields the boundary ends of
+  // Split(whole stream). The scanner must not outlive the chunker. The
+  // base implementation is a buffering adapter over SplitSealed/Split
+  // (correct for any chunker, but re-scans); FsCH and CbCH provide O(1)-
+  // state native scanners.
+  virtual std::unique_ptr<ChunkScanner> MakeScanner() const;
 
   virtual std::string name() const = 0;
 };
@@ -61,6 +92,7 @@ class FixedSizeChunker final : public Chunker {
   // A trailing span of exactly chunk_size is sealed: appended data starts
   // the next chunk.
   std::vector<ChunkSpan> SplitSealed(ByteSpan data) const override;
+  std::unique_ptr<ChunkScanner> MakeScanner() const override;
   std::string name() const override;
   std::size_t chunk_size() const { return chunk_size_; }
 
@@ -76,6 +108,12 @@ struct CbchParams {
   // 0 disables. The paper's tables report multi-MB max chunks, so the
   // default is generous.
   std::uint32_t max_chunk = 16u << 20;
+  // Lower bound on chunk size: after each boundary the scan skips ahead so
+  // no boundary can land before chunk_start + min_chunk, saving the hash
+  // work on the skipped bytes (LBFS-style low-bound). Values <= window_m
+  // (including the 0 default) change nothing — the window itself already
+  // enforces a min of window_m.
+  std::uint32_t min_chunk = 0;
 
   // Paper-faithful cost model: compute a cryptographic (SHA-1) hash of the
   // m-byte window from scratch at each position. The paper's measured
@@ -96,14 +134,11 @@ class ContentBasedChunker final : public Chunker {
   explicit ContentBasedChunker(CbchParams params);
 
   std::vector<ChunkSpan> Split(ByteSpan data) const override;
+  std::unique_ptr<ChunkScanner> MakeScanner() const override;
   std::string name() const override;
   const CbchParams& params() const { return params_; }
 
  private:
-  std::vector<ChunkSpan> SplitOverlap(ByteSpan data) const;
-  std::vector<ChunkSpan> SplitOverlapRecompute(ByteSpan data) const;
-  std::vector<ChunkSpan> SplitNoOverlap(ByteSpan data) const;
-
   CbchParams params_;
 };
 

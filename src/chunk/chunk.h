@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "common/buffer.h"
 #include "common/bytes.h"
 #include "common/hash.h"
 
@@ -46,11 +47,12 @@ struct ChunkLocation {
 };
 
 // One element of a batched multi-chunk store request (the write engine
-// coalesces per-benefactor puts into one RPC). `data` is a view into the
-// sender's staging buffers and must outlive the call.
+// coalesces per-benefactor puts into one RPC). `data` shares the sender's
+// staging buffers — receivers may alias it (zero-copy) or hold it past the
+// call; the refcount keeps the backing alive.
 struct ChunkPut {
   ChunkId id;
-  ByteSpan data;
+  BufferSlice data;
 };
 
 // The chunk map of one file version: ordered chunk locations covering

@@ -11,17 +11,29 @@
 namespace stdchk {
 
 // Abstract chunk store. Implementations must be safe for concurrent use.
+//
+// Payload ownership: Put hands the store a shared slice — the memory store
+// aliases it outright (zero-copy insertion); the disk store writes it out.
+// Get returns a shared slice into the store's holdings; it remains valid
+// after the chunk is Delete()d or GC'd (the refcount keeps the backing
+// buffer alive until the last reader drops it).
 class ChunkStore {
  public:
   virtual ~ChunkStore() = default;
 
   // Stores `data` under `id`. Idempotent: re-putting an existing chunk is OK
   // (content addressing guarantees the bytes are identical).
-  virtual Status Put(const ChunkId& id, ByteSpan data) = 0;
+  virtual Status Put(const ChunkId& id, BufferSlice data) = 0;
 
-  virtual Result<Bytes> Get(const ChunkId& id) const = 0;
+  virtual Result<BufferSlice> Get(const ChunkId& id) const = 0;
 
   virtual bool Contains(const ChunkId& id) const = 0;
+
+  // Convenience for borrowed bytes (tests, tools): copies into an owned
+  // slice first. The hot path passes slices and never copies.
+  Status Put(const ChunkId& id, ByteSpan data) {
+    return Put(id, BufferSlice::Copy(data));
+  }
 
   virtual Status Delete(const ChunkId& id) = 0;
 

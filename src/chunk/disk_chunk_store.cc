@@ -35,7 +35,10 @@ class DiskChunkStore final : public ChunkStore {
     return OkStatus();
   }
 
-  Status Put(const ChunkId& id, ByteSpan data) override {
+  using ChunkStore::Put;
+
+  // Streams the slice to disk; no in-memory duplication.
+  Status Put(const ChunkId& id, BufferSlice data) override {
     std::lock_guard<std::mutex> lock(mu_);
     if (index_.contains(id)) return OkStatus();
     fs::path path = PathFor(id);
@@ -60,7 +63,9 @@ class DiskChunkStore final : public ChunkStore {
     return OkStatus();
   }
 
-  Result<Bytes> Get(const ChunkId& id) const override {
+  // Materializes the chunk once off disk into a fresh shared buffer; every
+  // consumer downstream aliases that buffer.
+  Result<BufferSlice> Get(const ChunkId& id) const override {
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (!index_.contains(id)) {
@@ -71,7 +76,8 @@ class DiskChunkStore final : public ChunkStore {
     if (!in) return InternalError("open for read: " + id.ToHex());
     Bytes data((std::istreambuf_iterator<char>(in)),
                std::istreambuf_iterator<char>());
-    return data;
+    copy_stats::RecordMaterialize(data.size());
+    return BufferSlice(BufferRef::Take(std::move(data)));
   }
 
   bool Contains(const ChunkId& id) const override {

@@ -8,14 +8,20 @@ namespace {
 
 class MemoryChunkStore final : public ChunkStore {
  public:
-  Status Put(const ChunkId& id, ByteSpan data) override {
+  using ChunkStore::Put;
+
+  // Aliases the caller's slice — zero-copy insertion. The backing buffer
+  // (often a whole planner drain generation) stays alive while any of its
+  // chunks is stored or any reader still holds a slice.
+  Status Put(const ChunkId& id, BufferSlice data) override {
     std::lock_guard<std::mutex> lock(mu_);
-    auto [it, inserted] = chunks_.try_emplace(id, Bytes(data.begin(), data.end()));
-    if (inserted) bytes_used_ += data.size();
+    auto [it, inserted] = chunks_.try_emplace(id, std::move(data));
+    if (inserted) bytes_used_ += it->second.size();
     return OkStatus();
   }
 
-  Result<Bytes> Get(const ChunkId& id) const override {
+  // Shares the stored slice; concurrent readers alias one buffer.
+  Result<BufferSlice> Get(const ChunkId& id) const override {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = chunks_.find(id);
     if (it == chunks_.end()) {
@@ -60,7 +66,7 @@ class MemoryChunkStore final : public ChunkStore {
 
  private:
   mutable std::mutex mu_;
-  std::unordered_map<ChunkId, Bytes, ChunkIdHash> chunks_;
+  std::unordered_map<ChunkId, BufferSlice, ChunkIdHash> chunks_;
   std::uint64_t bytes_used_ = 0;
 };
 

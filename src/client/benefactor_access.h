@@ -40,7 +40,7 @@ class BenefactorAccess {
   // addressed and GC reclaims them if never committed).
   virtual Status PutChunkBatch(NodeId node, std::span<const ChunkPut> puts) {
     for (const ChunkPut& put : puts) {
-      STDCHK_RETURN_IF_ERROR(PutChunk(node, put.id, put.data));
+      STDCHK_RETURN_IF_ERROR(PutChunk(node, put.id, put.data.span()));
     }
     return OkStatus();
   }
@@ -90,11 +90,19 @@ class SyncBenefactorAccess final : public BenefactorAccess {
     return transport_->PutChunkBatch(node, puts);
   }
   Result<Bytes> GetChunk(NodeId node, const ChunkId& id) override {
-    return transport_->GetChunk(node, id);
+    // Legacy interface traffics in owning vectors; the conversion is a
+    // (counted) payload copy — one reason to migrate to Transport.
+    STDCHK_ASSIGN_OR_RETURN(BufferSlice slice, transport_->GetChunk(node, id));
+    return slice.ToBytes();
   }
   Result<std::vector<Bytes>> GetChunkBatch(
       NodeId node, std::span<const ChunkId> ids) override {
-    return transport_->GetChunkBatch(node, ids);
+    STDCHK_ASSIGN_OR_RETURN(std::vector<BufferSlice> slices,
+                            transport_->GetChunkBatch(node, ids));
+    std::vector<Bytes> out;
+    out.reserve(slices.size());
+    for (const BufferSlice& slice : slices) out.push_back(slice.ToBytes());
+    return out;
   }
   Status StashChunkMap(NodeId node, const VersionRecord& record,
                        int stripe_width) override {

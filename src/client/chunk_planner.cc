@@ -8,39 +8,41 @@ namespace stdchk {
 ChunkPlanner::ChunkPlanner(std::shared_ptr<const Chunker> chunker)
     : chunker_(std::move(chunker)) {
   assert(chunker_ != nullptr);
+  scanner_ = chunker_->MakeScanner();
 }
 
-void ChunkPlanner::Append(ByteSpan data) { stdchk::Append(buffer_, data); }
+void ChunkPlanner::Append(ByteSpan data) {
+  // Scan before buffering: the scanner sees every byte exactly once.
+  scanner_->Feed(data, sealed_ends_);
+  copy_stats::RecordMaterialize(data.size());
+  stdchk::Append(buffer_, data);
+}
 
 std::vector<StagedChunk> ChunkPlanner::Drain(bool final) {
+  if (final) scanner_->Finish(sealed_ends_);
   std::vector<StagedChunk> out;
-  if (buffer_.empty()) return out;
-  if (!final && buffer_.size() < barren_floor_) return out;
+  if (sealed_ends_.empty()) return out;
 
-  // Scans always restart at the last sealed boundary, which is itself
-  // content-determined — so for content-based chunkers the boundary
-  // sequence depends only on the bytes, never on drain timing.
-  std::vector<ChunkSpan> spans =
-      final ? chunker_->Split(buffer_) : chunker_->SplitSealed(buffer_);
-  if (spans.empty()) {
-    barren_floor_ = buffer_.size() * 2;
-    return out;
+  // Freeze the current buffer generation: sealed chunks become ref-counted
+  // slices into it (zero-copy; the slices hold it alive), and only the
+  // unsealed tail moves back into the working buffer.
+  std::size_t consumed =
+      static_cast<std::size_t>(sealed_ends_.back() - buffer_start_);
+  Bytes tail(buffer_.begin() + static_cast<std::ptrdiff_t>(consumed),
+             buffer_.end());
+  BufferRef backing = BufferRef::Take(std::move(buffer_));
+  buffer_ = std::move(tail);
+
+  out.reserve(sealed_ends_.size());
+  std::uint64_t start = buffer_start_;
+  for (std::uint64_t end : sealed_ends_) {
+    BufferSlice slice(backing, static_cast<std::size_t>(start - buffer_start_),
+                      static_cast<std::size_t>(end - start));
+    out.push_back(StagedChunk{ChunkId::For(slice.span()), std::move(slice)});
+    start = end;
   }
-  barren_floor_ = 0;
-
-  // Freeze the current buffer generation: sealed chunks become views into
-  // it (zero-copy; `backing` holds it alive), and only the unsealed tail
-  // moves back into the working buffer.
-  auto backing = std::make_shared<const Bytes>(std::move(buffer_));
-  std::size_t consumed = spans.back().offset + spans.back().size;
-  buffer_.assign(backing->begin() + static_cast<std::ptrdiff_t>(consumed),
-                 backing->end());
-
-  out.reserve(spans.size());
-  for (const ChunkSpan& span : spans) {
-    ByteSpan view(backing->data() + span.offset, span.size);
-    out.push_back(StagedChunk{ChunkId::For(view), view, backing});
-  }
+  buffer_start_ = sealed_ends_.back();
+  sealed_ends_.clear();
   return out;
 }
 

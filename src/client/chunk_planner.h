@@ -4,10 +4,13 @@
 // The planner accepts the application's byte stream and carves it into
 // content-addressed chunks under any Chunker — FsCH for the paper's
 // fixed-size transfer chunks, CbCH for shift-resilient incremental
-// checkpointing (§IV.C). Boundaries are *sealed* incrementally: a chunk is
-// only released once no amount of future data can move its edges, so the
-// chunk map is a pure function of file content, independent of Write()
-// call granularity or of when each protocol drains the buffer.
+// checkpointing (§IV.C). Boundaries are found by the chunker's streaming
+// ChunkScanner as bytes arrive: each byte is scanned exactly once, no
+// matter how often the protocols drain (the old re-offer-the-suffix
+// discipline re-scanned CbCH tails O(n·drains) times). A chunk is only
+// released once no amount of future data can move its edges, so the chunk
+// map is a pure function of file content, independent of Write() call
+// granularity or drain timing.
 #pragma once
 
 #include <cstdint>
@@ -16,26 +19,28 @@
 
 #include "chkpt/chunker.h"
 #include "chunk/chunk.h"
+#include "common/buffer.h"
 #include "common/bytes.h"
 
 namespace stdchk {
 
-// A chunk the planner has sealed: content address plus a view into the
-// drained buffer generation, ready for dedup filtering and upload staging.
-// `backing` keeps the generation alive for as long as any of its chunks is
-// still pending — no per-chunk copies, so a CLW close-drain of a large
-// image stays at ~1x the image in memory.
+// A chunk the planner has sealed: content address plus a ref-counted slice
+// of the drained buffer generation, ready for dedup filtering and upload
+// staging. The slice keeps the generation alive for as long as any of its
+// chunks is still pending — no per-chunk copies, so a CLW close-drain of a
+// large image stays at ~1x the image in memory.
 struct StagedChunk {
   ChunkId id;
-  ByteSpan bytes;
-  std::shared_ptr<const Bytes> backing;
+  BufferSlice data;
 };
 
 class ChunkPlanner {
  public:
   explicit ChunkPlanner(std::shared_ptr<const Chunker> chunker);
 
-  // Buffers more application data (checkpoint images arrive sequentially).
+  // Buffers more application data (checkpoint images arrive sequentially)
+  // and runs the streaming boundary scan over it — the single
+  // materialization point of the write path.
   void Append(ByteSpan data);
 
   // Bytes accepted but not yet drained — the client-side spill/window the
@@ -50,13 +55,11 @@ class ChunkPlanner {
 
  private:
   std::shared_ptr<const Chunker> chunker_;
-  Bytes buffer_;
-  // Rescan throttle: after a non-final drain seals nothing, skip re-running
-  // the chunker until the buffer roughly doubles. Re-scans always start at
-  // the last sealed boundary, so a boundary-free stretch of length L would
-  // otherwise cost O(L^2) hashing across drains; geometric backoff keeps
-  // the total O(L) while only delaying (never moving) seal points.
-  std::size_t barren_floor_ = 0;
+  std::unique_ptr<ChunkScanner> scanner_;
+  Bytes buffer_;                 // bytes from the last drained boundary on
+  std::uint64_t buffer_start_ = 0;  // absolute stream offset of buffer_[0]
+  // Sealed boundaries (absolute stream offsets) not yet drained.
+  std::vector<std::uint64_t> sealed_ends_;
 };
 
 }  // namespace stdchk

@@ -28,8 +28,8 @@ int ChunkUploader::replicas_needed() const {
 void ChunkUploader::Stage(StagedChunk chunk) {
   Pending p;
   p.map_slot = coordinator_->AddSlot(
-      chunk.id, static_cast<std::uint32_t>(chunk.bytes.size()));
-  pending_bytes_ += chunk.bytes.size();
+      chunk.id, static_cast<std::uint32_t>(chunk.data.size()));
+  pending_bytes_ += chunk.data.size();
   p.chunk = std::move(chunk);
   pending_.push_back(std::move(p));
 }
@@ -100,7 +100,7 @@ Status ChunkUploader::Flush() {
         std::vector<ChunkPut> batch;
         batch.reserve(end - begin);
         for (std::size_t i = begin; i < end; ++i) {
-          batch.push_back(ChunkPut{items[i]->chunk.id, items[i]->chunk.bytes});
+          batch.push_back(ChunkPut{items[i]->chunk.id, items[i]->chunk.data});
         }
         OpHandle h = transport_->Submit(ChunkOp::PutBatch(node, std::move(batch)));
         inflight.emplace(
@@ -125,7 +125,7 @@ Status ChunkUploader::Flush() {
         ++stats_->batched_puts;
         for (Pending* p : batch.items) {
           p->replicas.push_back(batch.node);
-          stats_->bytes_transferred += p->chunk.bytes.size();
+          stats_->bytes_transferred += p->chunk.data.size();
           ++stats_->replica_puts;
         }
         continue;
@@ -173,7 +173,7 @@ Status ChunkUploader::Flush() {
     }
   }
   for (Pending& p : pending_) {
-    coordinator_->ConsumeReserved(p.chunk.bytes.size());
+    coordinator_->ConsumeReserved(p.chunk.data.size());
     coordinator_->SetReplicas(p.map_slot, std::move(p.replicas));
   }
   pending_.clear();

@@ -169,7 +169,7 @@ Status ReadSession::HarvestOne(std::size_t demand) {
   return OkStatus();
 }
 
-Result<const Bytes*> ReadSession::ChunkData(std::size_t index) {
+Result<const BufferSlice*> ReadSession::ChunkData(std::size_t index) {
   while (true) {
     if (auto it = cache_index_.find(index); it != cache_index_.end()) {
       return &it->second->data;
@@ -185,7 +185,7 @@ Result<const Bytes*> ReadSession::ChunkData(std::size_t index) {
   }
 }
 
-void ReadSession::Insert(std::size_t index, Bytes data) {
+void ReadSession::Insert(std::size_t index, BufferSlice data) {
   if (cache_index_.contains(index)) return;
   cache_bytes_ += data.size();
   stats_.cache_bytes_peak = std::max<std::uint64_t>(stats_.cache_bytes_peak,
@@ -242,7 +242,7 @@ Result<std::size_t> ReadSession::ReadAt(std::uint64_t offset,
     if (pos >= c.file_offset + c.size) continue;
 
     bool was_cached = cache_index_.contains(i);
-    STDCHK_ASSIGN_OR_RETURN(const Bytes* data, ChunkData(i));
+    STDCHK_ASSIGN_OR_RETURN(const BufferSlice* data, ChunkData(i));
     if (was_cached) ++stats_.cache_hits;
 
     std::uint64_t chunk_off = pos - c.file_offset;

@@ -65,7 +65,7 @@ class ReadSession {
  private:
   struct Cached {
     std::size_t index;
-    Bytes data;
+    BufferSlice data;  // shares the serving node's buffer — never a copy
   };
   // One in-flight transport op and the window chunks riding on it.
   struct Fetch {
@@ -89,9 +89,9 @@ class ReadSession {
   // releases its chunks for failover resubmission.
   Status HarvestOne(std::size_t demand);
   // Blocks until chunk `index` is cached (pumping + harvesting the window).
-  Result<const Bytes*> ChunkData(std::size_t index);
+  Result<const BufferSlice*> ChunkData(std::size_t index);
 
-  void Insert(std::size_t index, Bytes data);
+  void Insert(std::size_t index, BufferSlice data);
   void EvictToBudget(std::size_t demand);
 
   Transport* transport_;

@@ -4,12 +4,12 @@
 
 namespace stdchk {
 
-ChunkOp ChunkOp::Put(NodeId node, const ChunkId& id, ByteSpan data) {
+ChunkOp ChunkOp::Put(NodeId node, const ChunkId& id, BufferSlice data) {
   ChunkOp op;
   op.type = ChunkOpType::kPutChunk;
   op.node = node;
   op.id = id;
-  op.data = data;
+  op.data = std::move(data);
   return op;
 }
 
@@ -55,10 +55,14 @@ ChunkOp ChunkOp::Copy(const ChunkId& id, NodeId source, NodeId target) {
   return op;
 }
 
-Status Transport::PutChunk(NodeId node, const ChunkId& id, ByteSpan data) {
-  OpHandle h = Submit(ChunkOp::Put(node, id, data));
+Status Transport::PutChunk(NodeId node, const ChunkId& id, BufferSlice data) {
+  OpHandle h = Submit(ChunkOp::Put(node, id, std::move(data)));
   STDCHK_ASSIGN_OR_RETURN(OpCompletion c, Wait(h));
   return c.status;
+}
+
+Status Transport::PutChunk(NodeId node, const ChunkId& id, ByteSpan data) {
+  return PutChunk(node, id, BufferSlice::Copy(data));
 }
 
 Status Transport::PutChunkBatch(NodeId node, std::span<const ChunkPut> puts) {
@@ -68,14 +72,14 @@ Status Transport::PutChunkBatch(NodeId node, std::span<const ChunkPut> puts) {
   return c.status;
 }
 
-Result<Bytes> Transport::GetChunk(NodeId node, const ChunkId& id) {
+Result<BufferSlice> Transport::GetChunk(NodeId node, const ChunkId& id) {
   OpHandle h = Submit(ChunkOp::Get(node, id));
   STDCHK_ASSIGN_OR_RETURN(OpCompletion c, Wait(h));
   if (!c.status.ok()) return c.status;
   return std::move(c.data);
 }
 
-Result<std::vector<Bytes>> Transport::GetChunkBatch(
+Result<std::vector<BufferSlice>> Transport::GetChunkBatch(
     NodeId node, std::span<const ChunkId> ids) {
   OpHandle h = Submit(
       ChunkOp::GetBatch(node, std::vector<ChunkId>(ids.begin(), ids.end())));

@@ -37,21 +37,22 @@ enum class ChunkOpType {
   kCopyChunk,
 };
 
-// One submission. Build via the factory helpers; `data` and the spans
-// inside `puts` are borrowed from the caller and must stay alive until the
-// op's completion is delivered (or cancelled).
+// One submission. Build via the factory helpers. Payloads (`data`, the
+// slices inside `puts`) are ref-counted views shared with the caller's
+// staging buffers — submitting an op never copies payload bytes, and the
+// receiving node may alias the same buffers.
 struct ChunkOp {
   ChunkOpType type = ChunkOpType::kGetChunk;
   NodeId node = kInvalidNode;    // target node (source node for kCopyChunk)
   NodeId target = kInvalidNode;  // kCopyChunk destination
   ChunkId id{};                  // kPutChunk / kGetChunk / kCopyChunk
-  ByteSpan data{};               // kPutChunk payload
+  BufferSlice data;              // kPutChunk payload
   std::vector<ChunkPut> puts;    // kPutChunkBatch payload
   std::vector<ChunkId> ids;      // kGetChunkBatch request
   VersionRecord record;          // kStashChunkMap (owned copy)
   int stripe_width = 0;          // kStashChunkMap
 
-  static ChunkOp Put(NodeId node, const ChunkId& id, ByteSpan data);
+  static ChunkOp Put(NodeId node, const ChunkId& id, BufferSlice data);
   static ChunkOp PutBatch(NodeId node, std::vector<ChunkPut> puts);
   static ChunkOp Get(NodeId node, const ChunkId& id);
   static ChunkOp GetBatch(NodeId node, std::vector<ChunkId> ids);
@@ -64,14 +65,16 @@ struct ChunkOp {
 using OpHandle = std::uint64_t;
 inline constexpr OpHandle kInvalidOpHandle = 0;
 
-// Terminal state of one op.
+// Terminal state of one op. GET payloads are ref-counted slices sharing
+// the serving node's buffers — delivery never copies chunk bytes.
 struct OpCompletion {
   OpHandle handle = kInvalidOpHandle;
   ChunkOpType type = ChunkOpType::kGetChunk;
   NodeId node = kInvalidNode;
-  Status status;             // per-op outcome
-  Bytes data;                // kGetChunk payload
-  std::vector<Bytes> batch;  // kGetChunkBatch payload (parallel to op.ids)
+  Status status;                   // per-op outcome
+  BufferSlice data;                // kGetChunk payload
+  std::vector<BufferSlice> batch;  // kGetChunkBatch payload (parallel to
+                                   // op.ids)
 };
 
 class Transport {
@@ -105,11 +108,14 @@ class Transport {
   virtual std::size_t InFlight() const = 0;
 
   // ---- Synchronous conveniences (Submit + Wait per call) -------------------
+  // The ByteSpan PutChunk copies borrowed bytes into an owned slice first;
+  // slice-passing callers pay nothing.
+  Status PutChunk(NodeId node, const ChunkId& id, BufferSlice data);
   Status PutChunk(NodeId node, const ChunkId& id, ByteSpan data);
   Status PutChunkBatch(NodeId node, std::span<const ChunkPut> puts);
-  Result<Bytes> GetChunk(NodeId node, const ChunkId& id);
-  Result<std::vector<Bytes>> GetChunkBatch(NodeId node,
-                                           std::span<const ChunkId> ids);
+  Result<BufferSlice> GetChunk(NodeId node, const ChunkId& id);
+  Result<std::vector<BufferSlice>> GetChunkBatch(NodeId node,
+                                                 std::span<const ChunkId> ids);
   Status StashChunkMap(NodeId node, const VersionRecord& record,
                        int stripe_width);
   Status CopyChunk(const ChunkId& id, NodeId source, NodeId target);

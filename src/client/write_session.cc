@@ -59,7 +59,7 @@ Status WriteSession::StageSealedChunks(bool final) {
     StagedChunk& chunk = chunks[i];
     if (!reuse.empty() && !reuse[i].empty()) {
       coordinator_.ReuseExisting(
-          chunk.id, static_cast<std::uint32_t>(chunk.bytes.size()),
+          chunk.id, static_cast<std::uint32_t>(chunk.data.size()),
           std::move(reuse[i]));
       continue;
     }

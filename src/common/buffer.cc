@@ -1,0 +1,45 @@
+#include "common/buffer.h"
+
+#include <atomic>
+
+namespace stdchk {
+namespace copy_stats {
+namespace {
+
+// Relaxed atomics: counters are read only at quiescent points (bench/test
+// snapshots), never used for synchronization.
+std::atomic<std::uint64_t> g_payload_copies{0};
+std::atomic<std::uint64_t> g_payload_copy_bytes{0};
+std::atomic<std::uint64_t> g_materializations{0};
+std::atomic<std::uint64_t> g_materialized_bytes{0};
+
+}  // namespace
+
+void RecordCopy(std::size_t bytes) {
+  g_payload_copies.fetch_add(1, std::memory_order_relaxed);
+  g_payload_copy_bytes.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+void RecordMaterialize(std::size_t bytes) {
+  g_materializations.fetch_add(1, std::memory_order_relaxed);
+  g_materialized_bytes.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+CopyStatsSnapshot Snapshot() {
+  CopyStatsSnapshot s;
+  s.payload_copies = g_payload_copies.load(std::memory_order_relaxed);
+  s.payload_copy_bytes = g_payload_copy_bytes.load(std::memory_order_relaxed);
+  s.materializations = g_materializations.load(std::memory_order_relaxed);
+  s.materialized_bytes = g_materialized_bytes.load(std::memory_order_relaxed);
+  return s;
+}
+
+void Reset() {
+  g_payload_copies.store(0, std::memory_order_relaxed);
+  g_payload_copy_bytes.store(0, std::memory_order_relaxed);
+  g_materializations.store(0, std::memory_order_relaxed);
+  g_materialized_bytes.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace copy_stats
+}  // namespace stdchk

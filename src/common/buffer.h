@@ -1,0 +1,151 @@
+// Ref-counted immutable payload buffers — the zero-copy chunk data path.
+//
+// A chunk's bytes are materialized once (at ingest: the planner's staging
+// buffer, or a disk-store read) into a BufferRef, and from then on every
+// hop — upload plan, transport op, benefactor store, read-ahead cache —
+// holds a BufferSlice that *aliases* the same backing storage. The backing
+// buffer is freed when the last slice drops; a reader-held slice therefore
+// stays valid even after the originating store deletes or GCs the chunk.
+//
+// Ownership rules (see README "Data path"):
+//   * BufferRef/BufferSlice contents are immutable; sharing is always safe.
+//   * Whoever turns borrowed bytes (ByteSpan) into owned bytes pays for it
+//     exactly once; CopyStats records every such materialization and every
+//     later duplication, so benches can assert the hot path copies nothing.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "common/bytes.h"
+
+namespace stdchk {
+
+// Process-wide payload copy/alloc accounting. `payload_copies` counts
+// duplications of bytes that were already owned (BufferSlice::Copy,
+// BufferSlice::ToBytes); `materializations` counts borrowed/external bytes
+// landing in owned storage for the first time (planner ingest,
+// BufferRef::Materialize). The write-path invariant proved by
+// bench_datapath is payload_copies == 0 between chunker output and
+// memory-store insertion.
+struct CopyStatsSnapshot {
+  std::uint64_t payload_copies = 0;
+  std::uint64_t payload_copy_bytes = 0;
+  std::uint64_t materializations = 0;
+  std::uint64_t materialized_bytes = 0;
+};
+
+namespace copy_stats {
+void RecordCopy(std::size_t bytes);
+void RecordMaterialize(std::size_t bytes);
+CopyStatsSnapshot Snapshot();
+void Reset();
+}  // namespace copy_stats
+
+// Shared ownership of one immutable byte buffer.
+class BufferRef {
+ public:
+  BufferRef() = default;
+
+  // Adopts `data` without copying (the canonical way a staging buffer
+  // becomes shareable).
+  static BufferRef Take(Bytes&& data) {
+    return BufferRef(std::make_shared<const Bytes>(std::move(data)));
+  }
+
+  // Copies borrowed bytes into owned storage; counted as a materialization.
+  static BufferRef Materialize(ByteSpan data) {
+    copy_stats::RecordMaterialize(data.size());
+    return BufferRef(std::make_shared<const Bytes>(data.begin(), data.end()));
+  }
+
+  ByteSpan span() const {
+    return bytes_ ? ByteSpan(bytes_->data(), bytes_->size()) : ByteSpan();
+  }
+  const std::uint8_t* data() const { return bytes_ ? bytes_->data() : nullptr; }
+  std::size_t size() const { return bytes_ ? bytes_->size() : 0; }
+  bool empty() const { return size() == 0; }
+  explicit operator bool() const { return bytes_ != nullptr; }
+
+ private:
+  friend class BufferSlice;
+  explicit BufferRef(std::shared_ptr<const Bytes> bytes)
+      : bytes_(std::move(bytes)) {}
+
+  std::shared_ptr<const Bytes> bytes_;
+};
+
+// A view of [offset, offset+size) within a BufferRef that shares ownership
+// of the backing buffer: copying a slice bumps a refcount, never payload
+// bytes. The empty slice owns nothing.
+class BufferSlice {
+ public:
+  BufferSlice() = default;
+
+  explicit BufferSlice(BufferRef buffer)
+      : owner_(std::move(buffer.bytes_)) {
+    if (owner_) span_ = ByteSpan(owner_->data(), owner_->size());
+  }
+
+  BufferSlice(BufferRef buffer, std::size_t offset, std::size_t size)
+      : owner_(std::move(buffer.bytes_)) {
+    if (owner_) span_ = ByteSpan(owner_->data() + offset, size);
+  }
+
+  // Duplicates already-owned payload bytes; counted as a payload copy.
+  // Boundary adapters (legacy span-based APIs, tests) use this — the hot
+  // path must not.
+  static BufferSlice Copy(ByteSpan data) {
+    copy_stats::RecordCopy(data.size());
+    BufferSlice out;
+    out.owner_ = std::make_shared<const Bytes>(data.begin(), data.end());
+    out.span_ = ByteSpan(out.owner_->data(), out.owner_->size());
+    return out;
+  }
+
+  ByteSpan span() const { return span_; }
+  const std::uint8_t* data() const { return span_.data(); }
+  std::size_t size() const { return span_.size(); }
+  bool empty() const { return span_.empty(); }
+
+  // A sub-view sharing the same backing buffer.
+  BufferSlice Subslice(std::size_t offset, std::size_t size) const {
+    BufferSlice out;
+    out.owner_ = owner_;
+    out.span_ = span_.subspan(offset, size);
+    return out;
+  }
+
+  // Owned vector copy; counted as a payload copy.
+  Bytes ToBytes() const {
+    copy_stats::RecordCopy(span_.size());
+    return Bytes(span_.begin(), span_.end());
+  }
+
+  // True when both slices alias the same backing buffer (test/bench
+  // introspection for share-not-copy assertions).
+  bool SharesBufferWith(const BufferSlice& other) const {
+    return owner_ != nullptr && owner_ == other.owner_;
+  }
+
+ private:
+  std::shared_ptr<const Bytes> owner_;
+  ByteSpan span_;
+};
+
+// Content equality (spans compare element-wise; Bytes converts implicitly).
+inline bool operator==(const BufferSlice& a, const BufferSlice& b) {
+  ByteSpan x = a.span(), y = b.span();
+  return x.size() == y.size() &&
+         (x.size() == 0 || std::memcmp(x.data(), y.data(), x.size()) == 0);
+}
+inline bool operator==(const BufferSlice& a, ByteSpan b) {
+  ByteSpan x = a.span();
+  return x.size() == b.size() &&
+         (x.size() == 0 || std::memcmp(x.data(), b.data(), x.size()) == 0);
+}
+inline bool operator==(ByteSpan a, const BufferSlice& b) { return b == a; }
+
+}  // namespace stdchk

@@ -32,6 +32,8 @@ struct Sha1Digest {
 Sha1Digest Sha1(ByteSpan data);
 
 // Streaming SHA-1 for data that arrives in pieces (e.g. incremental writes).
+// Whole multi-block spans are compressed in place — only sub-block
+// head/tail fragments stage through the 64-byte buffer.
 class Sha1Hasher {
  public:
   Sha1Hasher();
@@ -39,13 +41,27 @@ class Sha1Hasher {
   Sha1Digest Finish();
 
  private:
-  void ProcessBlock(const std::uint8_t* block);
-
   std::array<std::uint32_t, 5> state_;
   std::array<std::uint8_t, 64> buffer_;
   std::size_t buffered_ = 0;
   std::uint64_t total_bytes_ = 0;
 };
+
+// Which block compressor backs Sha1/Sha1Hasher. kAuto picks the fastest
+// the CPU supports (x86 SHA extensions when present, else the unrolled
+// portable compressor). kReference is the straightforward textbook
+// compressor (w[80] expansion, per-byte loads, branchy round loop) kept
+// as the differential-testing oracle and as bench_datapath's faithful
+// pre-optimization baseline.
+enum class Sha1Impl { kAuto, kPortable, kShaNi, kReference };
+
+// The implementation kAuto resolves to right now.
+Sha1Impl Sha1ActiveImpl();
+
+// Forces an implementation (benches compare, tests cross-check). Requesting
+// kShaNi on a CPU without SHA extensions falls back to kPortable; kAuto
+// restores runtime detection.
+void Sha1ForceImpl(Sha1Impl impl);
 
 // FNV-1a 64-bit, for hash tables and cheap fingerprints.
 std::uint64_t Fnv1a64(ByteSpan data);

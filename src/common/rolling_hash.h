@@ -38,9 +38,11 @@ class RollingHash {
   // inputs (e.g. runs of zero bytes) do not degenerate.
   bool IsBoundary(int k_bits) const;
 
- private:
+  // Polynomial base; public so inlined scan loops (chkpt/chunker.cc) can
+  // reproduce this hash exactly without a per-byte function call.
   static constexpr std::uint64_t kBase = 0x100000001b3ull;
 
+ private:
   std::size_t window_;
   std::uint64_t hash_ = 0;
   std::uint64_t base_pow_window_;  // kBase^window, for removing old bytes

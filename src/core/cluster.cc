@@ -28,6 +28,7 @@ Result<NodeId> StdchkCluster::AddBenefactor(std::uint64_t capacity_bytes) {
     STDCHK_ASSIGN_OR_RETURN(
         store, MakeDiskChunkStore(options_.disk_root + "/" + host));
   }
+  if (options_.store_decorator) store = options_.store_decorator(std::move(store));
   auto benefactor = std::make_unique<Benefactor>(host, std::move(store),
                                                  capacity_bytes);
   STDCHK_RETURN_IF_ERROR(benefactor->JoinPool(*manager_));

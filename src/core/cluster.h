@@ -7,6 +7,7 @@
 // wall-clock behaviour wrap Tick() in core/BackgroundDriver.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -27,6 +28,11 @@ struct ClusterOptions {
   // When set, benefactors persist chunks under <dir>/node<i>/ instead of
   // holding them in memory.
   std::string disk_root;
+  // When set, each benefactor's store is passed through this decorator
+  // before use (benches and tests wrap stores to inject copies, faults or
+  // accounting).
+  std::function<std::unique_ptr<ChunkStore>(std::unique_ptr<ChunkStore>)>
+      store_decorator;
 };
 
 class StdchkCluster {

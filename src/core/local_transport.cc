@@ -118,11 +118,13 @@ std::uint64_t LocalTransport::ExecuteLocked(const ChunkOp& op,
         out.status = routed.status();
         return 0;
       }
-      Result<Bytes> got = routed.value()->GetChunk(op.id);
+      Result<BufferSlice> got = routed.value()->GetChunk(op.id);
       if (!got.ok()) {
         out.status = got.status();
         return 0;
       }
+      // The completion aliases the benefactor's stored buffer — the modeled
+      // wire charges the bytes, the process never copies them.
       out.data = std::move(got).value();
       bytes_moved_ += out.data.size();
       return out.data.size();
@@ -133,14 +135,15 @@ std::uint64_t LocalTransport::ExecuteLocked(const ChunkOp& op,
         out.status = routed.status();
         return 0;
       }
-      Result<std::vector<Bytes>> got = routed.value()->GetChunkBatch(op.ids);
+      Result<std::vector<BufferSlice>> got =
+          routed.value()->GetChunkBatch(op.ids);
       if (!got.ok()) {
         out.status = got.status();
         return 0;
       }
       out.batch = std::move(got).value();
       std::uint64_t total = 0;
-      for (const Bytes& b : out.batch) total += b.size();
+      for (const BufferSlice& b : out.batch) total += b.size();
       bytes_moved_ += total;
       return total;
     }
@@ -159,20 +162,22 @@ std::uint64_t LocalTransport::ExecuteLocked(const ChunkOp& op,
         out.status = src.status();
         return 0;
       }
-      Result<Bytes> got = src.value()->GetChunk(op.id);
+      Result<BufferSlice> got = src.value()->GetChunk(op.id);
       if (!got.ok()) {
         out.status = got.status();
         return 0;
       }
-      bytes_moved_ += got.value().size();
+      std::uint64_t size = got.value().size();
+      bytes_moved_ += size;
       Result<Benefactor*> dst = RouteLocked(op.target);
       if (!dst.ok()) {
         out.status = dst.status();
-        return got.value().size();
+        return size;
       }
-      bytes_moved_ += got.value().size();
-      out.status = dst.value()->PutChunk(op.id, got.value());
-      return got.value().size();
+      bytes_moved_ += size;
+      // In-process replication shares the source node's buffer outright.
+      out.status = dst.value()->PutChunk(op.id, std::move(got).value());
+      return size;
     }
   }
   out.status = InternalError("unknown chunk op type");

@@ -234,6 +234,122 @@ TEST(CbchTest, OverlapDetectsMoreOrEqualSimilarityThanNoOverlap) {
   EXPECT_GT(overlap, 0.8);
 }
 
+// ---- Streaming scanners ----------------------------------------------------
+// A scanner fed the stream in arbitrary piece sizes must report exactly the
+// boundaries of the whole-file Split — the invariant the planner's
+// no-rescan drain discipline rests on.
+
+std::vector<std::uint64_t> SplitEnds(const Chunker& chunker, ByteSpan data) {
+  std::vector<std::uint64_t> ends;
+  for (const ChunkSpan& span : chunker.Split(data)) {
+    ends.push_back(span.offset + span.size);
+  }
+  return ends;
+}
+
+std::vector<std::uint64_t> ScanEnds(const Chunker& chunker, ByteSpan data,
+                                    std::uint64_t seed) {
+  Rng rng(seed);
+  auto scanner = chunker.MakeScanner();
+  std::vector<std::uint64_t> ends;
+  std::size_t pos = 0;
+  while (pos < data.size()) {
+    std::size_t n = 1 + rng.Next() % 997;  // irregular feed sizes
+    n = std::min(n, data.size() - pos);
+    scanner->Feed(data.subspan(pos, n), ends);
+    pos += n;
+  }
+  EXPECT_EQ(scanner->consumed(), data.size());
+  scanner->Finish(ends);
+  return ends;
+}
+
+TEST(ChunkScannerTest, FixedSizeStreamingMatchesSplit) {
+  Rng rng(31);
+  Bytes data = rng.RandomBytes(100000 + 123);
+  FixedSizeChunker chunker(4096);
+  EXPECT_EQ(ScanEnds(chunker, data, 1), SplitEnds(chunker, data));
+}
+
+class CbchScannerTest : public ::testing::TestWithParam<CbchParams> {};
+
+TEST_P(CbchScannerTest, StreamingMatchesSplit) {
+  Rng rng(32);
+  Bytes data = rng.RandomBytes(200000);
+  ContentBasedChunker chunker(GetParam());
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    EXPECT_EQ(ScanEnds(chunker, data, seed), SplitEnds(chunker, data))
+        << chunker.name() << " feed seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Params, CbchScannerTest,
+    ::testing::Values(
+        CbchParams{20, 10, 1},                       // rolling overlap
+        CbchParams{20, 10, 20},                      // no-overlap hop
+        CbchParams{32, 9, 8},                        // partial-overlap hop
+        CbchParams{20, 8, 1, /*max_chunk=*/4096},    // forced boundaries
+        CbchParams{20, 10, 1, 16u << 20,
+                   /*min_chunk=*/2048},              // min-chunk skip-ahead
+        CbchParams{20, 12, 1, 16u << 20, 0, true},   // paper-style recompute
+        CbchParams{20, 12, 20, 16u << 20, 0, true}   // recompute, hopping
+        ));
+
+TEST(ChunkScannerTest, ByteAtATimeFeedMatchesSplit) {
+  Rng rng(33);
+  Bytes data = rng.RandomBytes(5000);
+  ContentBasedChunker chunker(CbchParams{8, 6, 1});
+  auto scanner = chunker.MakeScanner();
+  std::vector<std::uint64_t> ends;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    scanner->Feed(ByteSpan(data.data() + i, 1), ends);
+  }
+  scanner->Finish(ends);
+  EXPECT_EQ(ends, SplitEnds(chunker, data));
+}
+
+TEST(ChunkScannerTest, MinChunkEnforcesLowerBound) {
+  Rng rng(34);
+  Bytes data = rng.RandomBytes(300000);
+  CbchParams params{20, 8, 1};
+  params.min_chunk = 1024;
+  ContentBasedChunker chunker(params);
+  auto spans = chunker.Split(data);
+  ASSERT_GT(spans.size(), 1u);
+  for (std::size_t i = 0; i + 1 < spans.size(); ++i) {  // tail may be short
+    EXPECT_GE(spans[i].size, params.min_chunk);
+  }
+}
+
+// A default-constructed (generic) chunker falls back to the rescanning
+// adapter; it must still agree with Split.
+TEST(ChunkScannerTest, FallbackAdapterMatchesSplit) {
+  class EveryOtherByteChunker final : public Chunker {
+   public:
+    std::vector<ChunkSpan> Split(ByteSpan data) const override {
+      // Boundary after every byte whose value is even (content-defined,
+      // deliberately odd): exercises the adapter, not the heuristics.
+      std::vector<ChunkSpan> out;
+      std::uint64_t start = 0;
+      for (std::size_t i = 0; i < data.size(); ++i) {
+        if (data[i] % 2 == 0 || i + 1 == data.size()) {
+          out.push_back(
+              ChunkSpan{start, static_cast<std::uint32_t>(i + 1 - start)});
+          start = i + 1;
+        }
+      }
+      return out;
+    }
+    std::string name() const override { return "every-other"; }
+  };
+
+  Rng rng(35);
+  Bytes data = rng.RandomBytes(512);
+  EveryOtherByteChunker chunker;
+  EXPECT_EQ(ScanEnds(chunker, data, 9), SplitEnds(chunker, data));
+}
+
 TEST(ChunkSizeStatsTest, ComputesMinMaxAvg) {
   std::vector<ChunkSpan> spans{{0, 100}, {100, 300}, {400, 200}};
   ChunkSizeStats stats = ComputeChunkSizeStats(spans);

@@ -63,6 +63,61 @@ INSTANTIATE_TEST_SUITE_P(Sizes, Sha1StreamingTest,
                          ::testing::Values(0, 1, 55, 56, 63, 64, 65, 127, 128,
                                            1000, 4096, 65536, 100001));
 
+// Randomized split points: every partition of the input must hash like the
+// one-shot, exercising the multi-block fast path (whole blocks compressed
+// straight from the caller's span) against the buffered head/tail path.
+TEST(Sha1StreamingRandomizedTest, RandomSplitsMatchOneShot) {
+  Rng rng(12345);
+  for (int round = 0; round < 50; ++round) {
+    std::size_t size = 1 + rng.Next() % 20000;
+    Bytes data = rng.RandomBytes(size);
+    Sha1Digest oneshot = Sha1(data);
+
+    Sha1Hasher hasher;
+    std::size_t pos = 0;
+    while (pos < size) {
+      // Bias toward small pieces so sub-block staging gets hit often, with
+      // occasional multi-block spans for the fast path.
+      std::size_t n = (rng.Next() % 4 == 0) ? 1 + rng.Next() % 700
+                                               : 1 + rng.Next() % 64;
+      n = std::min(n, size - pos);
+      hasher.Update(ByteSpan(data.data() + pos, n));
+      pos += n;
+    }
+    ASSERT_EQ(hasher.Finish(), oneshot) << "round " << round;
+  }
+}
+
+// Every compressor must agree with the textbook reference bit for bit; on
+// CPUs without SHA extensions kShaNi resolves to the portable code and
+// that leg degenerates to a self-check.
+TEST(Sha1ImplTest, AllCompressorsAgreeWithReference) {
+  Rng rng(777);
+  for (std::size_t size : {0u, 1u, 63u, 64u, 65u, 1000u, 100000u}) {
+    Bytes data = rng.RandomBytes(size);
+    Sha1ForceImpl(Sha1Impl::kReference);
+    Sha1Digest reference = Sha1(data);
+    Sha1ForceImpl(Sha1Impl::kPortable);
+    Sha1Digest portable = Sha1(data);
+    Sha1ForceImpl(Sha1Impl::kShaNi);
+    Sha1Digest accelerated = Sha1(data);
+    Sha1ForceImpl(Sha1Impl::kAuto);
+    EXPECT_EQ(portable, reference) << "size " << size;
+    EXPECT_EQ(accelerated, reference) << "size " << size;
+  }
+}
+
+TEST(Sha1ImplTest, ForceAndRestore) {
+  Sha1Impl detected = Sha1ActiveImpl();
+  Sha1ForceImpl(Sha1Impl::kPortable);
+  EXPECT_EQ(Sha1ActiveImpl(), Sha1Impl::kPortable);
+  // Known-answer under the forced portable path.
+  EXPECT_EQ(Sha1(AsBytes(std::string("abc"))).ToHex(),
+            "a9993e364706816aba3e25717850c26c9cd0d89d");
+  Sha1ForceImpl(Sha1Impl::kAuto);
+  EXPECT_EQ(Sha1ActiveImpl(), detected);
+}
+
 TEST(Sha1Test, DigestOrderingAndEquality) {
   Sha1Digest a = Sha1(AsBytes(std::string("a")));
   Sha1Digest b = Sha1(AsBytes(std::string("b")));

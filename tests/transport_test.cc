@@ -44,7 +44,8 @@ class TransportTest : public ::testing::Test {
 TEST_F(TransportTest, SubmitWaitDeliversStatusAndPayload) {
   Bytes data = Payload("async chunk");
   ChunkId id = ChunkId::For(data);
-  OpHandle put = transport_.Submit(ChunkOp::Put(node(0), id, data));
+  OpHandle put =
+      transport_.Submit(ChunkOp::Put(node(0), id, BufferSlice::Copy(data)));
   auto put_done = transport_.Wait(put);
   ASSERT_TRUE(put_done.ok());
   EXPECT_TRUE(put_done.value().status.ok());
@@ -61,7 +62,8 @@ TEST_F(TransportTest, SubmitWaitDeliversStatusAndPayload) {
 TEST_F(TransportTest, PerOpStatusSurfacesInCompletionNotSubmit) {
   Bytes data = Payload("x");
   // Unknown node: Submit still hands out a handle; the failure is the op's.
-  OpHandle h = transport_.Submit(ChunkOp::Put(777, ChunkId::For(data), data));
+  OpHandle h = transport_.Submit(
+      ChunkOp::Put(777, ChunkId::For(data), BufferSlice::Copy(data)));
   ASSERT_NE(h, kInvalidOpHandle);
   auto done = transport_.Wait(h);
   ASSERT_TRUE(done.ok());
@@ -263,7 +265,8 @@ TEST(BenefactorAccessDefaults, BatchAndCopyLoopOverSingleOps) {
   Bytes d0 = Payload("one"), d1 = Payload("two");
   ChunkId i0 = ChunkId::For(d0), i1 = ChunkId::For(d1);
 
-  std::vector<ChunkPut> puts{{i0, d0}, {i1, d1}};
+  std::vector<ChunkPut> puts{{i0, BufferSlice::Copy(d0)},
+                             {i1, BufferSlice::Copy(d1)}};
   ASSERT_TRUE(access.PutChunkBatch(7, puts).ok());
   EXPECT_EQ(access.puts, 2);  // looped
 

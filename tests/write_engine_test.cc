@@ -38,7 +38,7 @@ TEST(ChunkPlannerTest, FixedSizeSealsFullChunksImmediately) {
 
   auto tail = planner.Drain(/*final=*/true);
   ASSERT_EQ(tail.size(), 1u);
-  EXPECT_EQ(tail[0].bytes.size(), 100u);
+  EXPECT_EQ(tail[0].data.size(), 100u);
   EXPECT_EQ(planner.buffered_bytes(), 0u);
 }
 
@@ -50,10 +50,10 @@ TEST(ChunkPlannerTest, ChunkIdsMatchContent) {
   auto chunks = planner.Drain(/*final=*/true);
   std::size_t offset = 0;
   for (const StagedChunk& c : chunks) {
-    EXPECT_EQ(c.id, ChunkId::For(c.bytes));
-    EXPECT_TRUE(std::equal(c.bytes.begin(), c.bytes.end(),
+    EXPECT_EQ(c.id, ChunkId::For(c.data.span()));
+    EXPECT_TRUE(std::equal(c.data.span().begin(), c.data.span().end(),
                            data.begin() + static_cast<std::ptrdiff_t>(offset)));
-    offset += c.bytes.size();
+    offset += c.data.size();
   }
   EXPECT_EQ(offset, data.size());
 }
@@ -126,7 +126,7 @@ class BatchPutTest : public ::testing::Test {
   std::vector<ChunkPut> MakeBatch(const std::vector<Bytes>& payloads) {
     std::vector<ChunkPut> batch;
     for (const Bytes& p : payloads) {
-      batch.push_back(ChunkPut{ChunkId::For(p), p});
+      batch.push_back(ChunkPut{ChunkId::For(p), BufferSlice::Copy(p)});
     }
     return batch;
   }
@@ -172,8 +172,9 @@ TEST_F(BatchPutTest, CorruptChunkPoisonsTheBatch) {
   Bytes good = rng_.RandomBytes(100);
   Bytes evil = rng_.RandomBytes(100);
   std::vector<ChunkPut> batch{
-      ChunkPut{ChunkId::For(good), good},
-      ChunkPut{ChunkId::For(evil), good},  // content does not match address
+      ChunkPut{ChunkId::For(good), BufferSlice::Copy(good)},
+      // content does not match address
+      ChunkPut{ChunkId::For(evil), BufferSlice::Copy(good)},
   };
   EXPECT_EQ(transport_.PutChunkBatch(node->id(), batch).code(),
             StatusCode::kDataLoss);
