@@ -75,6 +75,48 @@ void BM_RollingHashScan(benchmark::State& state) {
 }
 BENCHMARK(BM_RollingHashScan)->Arg(20)->Arg(64);
 
+// The per-byte boundary checks head to head: the old polynomial-roll +
+// Mix64 finalize (3 multiplies per byte) vs the gear table update + top-bit
+// mask (shift, add, lookup). These are the raw primitives underneath the
+// BM_CbchOverlap chunker rows.
+void BM_Mix64BoundaryScan(benchmark::State& state) {
+  Bytes data = MakeInput(1 << 20);
+  const std::size_t m = 20;
+  const std::uint64_t mask = (1ull << 14) - 1;
+  for (auto _ : state) {
+    std::uint64_t h = 0, pow_m = 1, boundaries = 0;
+    for (std::size_t i = 0; i + 1 < m; ++i) pow_m *= RollingHash::kBase;
+    for (std::size_t i = 0; i < m; ++i) {
+      h = h * RollingHash::kBase + data[i] + 1;
+    }
+    for (std::size_t pos = 0; pos + m < data.size(); ++pos) {
+      h = (h - (data[pos] + 1ull) * pow_m) * RollingHash::kBase +
+          data[pos + m] + 1;
+      boundaries += (Mix64(h) & mask) == 0;
+    }
+    benchmark::DoNotOptimize(boundaries);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(data.size()));
+}
+BENCHMARK(BM_Mix64BoundaryScan);
+
+void BM_GearBoundaryScan(benchmark::State& state) {
+  Bytes data = MakeInput(1 << 20);
+  const std::uint64_t mask = gear::BoundaryMask(14);
+  for (auto _ : state) {
+    std::uint64_t h = 0, boundaries = 0;
+    for (std::uint8_t b : data) {
+      h = gear::Update(h, b);
+      boundaries += (h & mask) == 0;
+    }
+    benchmark::DoNotOptimize(boundaries);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(data.size()));
+}
+BENCHMARK(BM_GearBoundaryScan);
+
 void BM_FsChChunker(benchmark::State& state) {
   Bytes data = MakeInput(8 << 20);
   FixedSizeChunker chunker(static_cast<std::size_t>(state.range(0)));
@@ -111,7 +153,9 @@ void BM_CbchOverlap(benchmark::State& state) {
   params.window_m = 20;
   params.boundary_bits_k = 14;
   params.advance_p = 1;
-  params.recompute_per_window = state.range(0) != 0;
+  params.recompute_per_window = state.range(0) == 1;
+  params.boundary_hash = state.range(0) == 2 ? CbchBoundaryHash::kGear
+                                             : CbchBoundaryHash::kMix64Rolling;
   ContentBasedChunker chunker(params);
   for (auto _ : state) {
     auto spans = chunker.Split(data);
@@ -121,11 +165,15 @@ void BM_CbchOverlap(benchmark::State& state) {
                           static_cast<std::int64_t>(data.size()));
 }
 BENCHMARK(BM_CbchOverlap)
-    ->Arg(0)   // rolling-hash scan
-    ->Arg(1);  // paper-style per-window recompute
+    ->Arg(0)   // Mix64 rolling-hash scan (pre-gear hot path)
+    ->Arg(1)   // paper-style per-window recompute
+    ->Arg(2);  // gear scan (the current hot path)
 
 // The streaming scanner the write path drives (ChunkPlanner::Append), fed
 // in write-sized pieces — the number the end-to-end CbCH write rides on.
+// Arg 0: min_chunk (0 = every position hashed, 4096 = skip-ahead active).
+// Arg 1: boundary hash (0 = gear, the default; 1 = Mix64 rolling, the
+// pre-gear scan kept for the differential speedup row).
 void BM_CbchScannerStreaming(benchmark::State& state) {
   Bytes data = MakeInput(8 << 20);
   CbchParams params;
@@ -133,6 +181,8 @@ void BM_CbchScannerStreaming(benchmark::State& state) {
   params.boundary_bits_k = 14;
   params.advance_p = 1;
   params.min_chunk = static_cast<std::uint32_t>(state.range(0));
+  params.boundary_hash = state.range(1) == 0 ? CbchBoundaryHash::kGear
+                                             : CbchBoundaryHash::kMix64Rolling;
   ContentBasedChunker chunker(params);
   constexpr std::size_t kPiece = 256 << 10;
   for (auto _ : state) {
@@ -150,8 +200,10 @@ void BM_CbchScannerStreaming(benchmark::State& state) {
                           static_cast<std::int64_t>(data.size()));
 }
 BENCHMARK(BM_CbchScannerStreaming)
-    ->Arg(0)     // no minimum: every position hashed
-    ->Arg(4096); // min-chunk skip-ahead active
+    ->Args({0, 0})      // gear, no minimum
+    ->Args({4096, 0})   // gear + min-chunk skip-ahead
+    ->Args({0, 1})      // Mix64 rolling, no minimum (pre-gear baseline)
+    ->Args({4096, 1});  // Mix64 rolling + skip-ahead
 
 class JsonLineReporter : public benchmark::ConsoleReporter {
  public:

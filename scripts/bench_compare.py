@@ -1,0 +1,163 @@
+#!/usr/bin/env python3
+"""Bench regression gate: diff a fresh BENCH_RESULTS.json against a baseline.
+
+Rows are keyed by their bench name plus every non-metric field (config
+labels, stripe widths, sweep parameters, ...). Metric fields are recognized
+by name pattern and classified by direction:
+
+  higher is better:  *_mb_s, *speedup*, *similarity_pct, *reduction_pct
+  lower  is better:  *_ns, *modeled*_s, *overhead_pct
+
+A metric that moves against its direction by more than --tolerance
+(relative) on a row present in both files is a regression; the script
+prints a report and exits 1 if any were found (0 otherwise). Added/removed
+rows and metrics are reported but never fail the gate — benches evolve.
+
+Usage:
+  scripts/bench_compare.py --baseline BENCH_RESULTS.json \
+                           --fresh fresh.json [--tolerance 0.25]
+
+CI runs this as a non-blocking report step against the committed snapshot;
+locally it is the fast answer to "did my change slow anything down".
+"""
+
+import argparse
+import json
+import sys
+
+HIGHER_BETTER = ("_mb_s", "speedup", "similarity_pct", "reduction_pct",
+                 "improvement_pct")
+LOWER_BETTER = ("_ns", "overhead_pct", "overhead_x")
+# modeled_*_s / *_total_s style wall-clock models: lower is better.
+LOWER_BETTER_TIME_HINTS = ("modeled", "total_s", "real_time")
+
+# Machine- or run-varying side measurements that must identify nothing
+# (a 32-core box reports hash_workers_peak=32 where the snapshot says 1;
+# copy counters change when a data path changes shape). They are not
+# gated either — the benches assert their own invariants on these.
+INFORMATIONAL = ("hash_workers_peak", "_payload_copies", "_copy_bytes",
+                 "materializations", "materialized_bytes", "identical",
+                 "zero_copy")
+
+
+def metric_direction(name):
+    """Returns +1 (higher better), -1 (lower better) or 0 (not a metric)."""
+    if informational(name):
+        return 0
+    for suffix in HIGHER_BETTER:
+        if name.endswith(suffix) or suffix in name:
+            return +1
+    for suffix in LOWER_BETTER:
+        if name.endswith(suffix):
+            return -1
+    if name.endswith("_s") and any(h in name for h in LOWER_BETTER_TIME_HINTS):
+        return -1
+    return 0
+
+
+def informational(name):
+    return any(pattern in name for pattern in INFORMATIONAL)
+
+
+def row_key(row):
+    """Identity of a result row: bench + every stable non-metric field.
+
+    Floats never identify a row: an unclassified float (e.g. a wall-clock
+    side measurement like hash_ms) is noise that would make keys unique
+    per run and silently ungate the row's real metrics. Such fields are
+    simply not compared either (no known direction). Informational integer
+    measurements are likewise excluded — they vary across machines.
+    Integer sweep parameters (stripe, chunk_kib, k, ...) remain identity.
+    """
+    parts = []
+    for k in sorted(row):
+        if (metric_direction(k) == 0 and not informational(k)
+                and not isinstance(row[k], float)):
+            parts.append((k, row[k]))
+    return tuple(parts)
+
+
+def load_rows(path):
+    with open(path) as f:
+        doc = json.load(f)
+    rows = {}
+    for row in doc.get("results", []):
+        key = row_key(row)
+        if key in rows:
+            # Duplicate identity (e.g. repeated run): keep the last row,
+            # matching how a reader scanning the file top-down resolves it.
+            pass
+        rows[key] = row
+    return rows
+
+
+def fmt_key(key):
+    return " ".join(f"{k}={v}" for k, v in key)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True,
+                        help="committed BENCH_RESULTS.json snapshot")
+    parser.add_argument("--fresh", required=True,
+                        help="freshly generated results to check")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="relative slack before a move counts as a "
+                             "regression (default 0.25 = 25%%)")
+    args = parser.parse_args()
+
+    base = load_rows(args.baseline)
+    fresh = load_rows(args.fresh)
+
+    regressions = []
+    improvements = []
+    for key, fresh_row in sorted(fresh.items()):
+        base_row = base.get(key)
+        if base_row is None:
+            continue
+        for name, fresh_value in fresh_row.items():
+            direction = metric_direction(name)
+            if direction == 0 or not isinstance(fresh_value, (int, float)):
+                continue
+            base_value = base_row.get(name)
+            if not isinstance(base_value, (int, float)) or base_value == 0:
+                continue
+            ratio = fresh_value / base_value
+            delta = (ratio - 1.0) * direction  # negative = got worse
+            line = (f"{fmt_key(key)} :: {name} "
+                    f"{base_value:.4g} -> {fresh_value:.4g} "
+                    f"({(ratio - 1.0) * 100.0:+.1f}%)")
+            if delta < -args.tolerance:
+                regressions.append(line)
+            elif delta > args.tolerance:
+                improvements.append(line)
+
+    added = [k for k in fresh if k not in base]
+    removed = [k for k in base if k not in fresh]
+
+    if improvements:
+        print(f"== improvements beyond {args.tolerance:.0%} tolerance "
+              f"({len(improvements)}) ==")
+        for line in improvements:
+            print("  " + line)
+    if added:
+        print(f"== new rows ({len(added)}) ==")
+        for key in sorted(added):
+            print("  " + fmt_key(key))
+    if removed:
+        print(f"== rows missing from fresh run ({len(removed)}) ==")
+        for key in sorted(removed):
+            print("  " + fmt_key(key))
+    if regressions:
+        print(f"== REGRESSIONS beyond {args.tolerance:.0%} tolerance "
+              f"({len(regressions)}) ==")
+        for line in regressions:
+            print("  " + line)
+        return 1
+    print("no regressions beyond tolerance "
+          f"({len(fresh)} fresh rows, {len(base)} baseline rows)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,5 +1,6 @@
 #include "benefactor/benefactor.h"
 
+#include <cassert>
 #include <set>
 
 #include "chunk/chunk_store.h"
@@ -36,7 +37,13 @@ std::uint64_t Benefactor::FreeBytes() const {
 
 Status Benefactor::PutChunk(const ChunkId& id, BufferSlice data) {
   STDCHK_RETURN_IF_ERROR(CheckOnline());
-  if (ChunkId::For(data.span()) != id) {
+  // Stamped slices verify by digest compare; unstamped pay the re-hash.
+  // Debug builds re-check the stamp against the bytes: the release path
+  // trusts the process-local stamp, so an upstream id/slice mispairing
+  // would otherwise sail through both admission and read verification.
+  assert(!data.stamped_digest() ||
+         Sha1(data.span()) == *data.stamped_digest());
+  if (ChunkId::For(data) != id) {
     return DataLossError("chunk content does not match its address " +
                          id.ToHex());
   }
@@ -55,7 +62,9 @@ Status Benefactor::PutChunkBatch(std::span<const ChunkPut> puts) {
   std::uint64_t new_bytes = 0;
   std::set<ChunkId> counted;
   for (const ChunkPut& put : puts) {
-    if (ChunkId::For(put.data.span()) != put.id) {
+    assert(!put.data.stamped_digest() ||
+           Sha1(put.data.span()) == *put.data.stamped_digest());
+    if (ChunkId::For(put.data) != put.id) {
       return DataLossError("chunk content does not match its address " +
                            put.id.ToHex());
     }
@@ -77,7 +86,11 @@ Status Benefactor::PutChunkBatch(std::span<const ChunkPut> puts) {
 Result<BufferSlice> Benefactor::GetChunk(const ChunkId& id) const {
   STDCHK_RETURN_IF_ERROR(CheckOnline());
   STDCHK_ASSIGN_OR_RETURN(BufferSlice data, store_->Get(id));
-  if (ChunkId::For(data.span()) != id) {
+  // Memory-store slices still carry the writer's stamp (immutable backing,
+  // so the digest is still a constant of the bytes); disk reads come back
+  // unstamped and get the full re-hash — exactly where a malicious donor
+  // could have flipped bits.
+  if (ChunkId::For(data) != id) {
     return DataLossError("stored chunk " + id.ToHex() +
                          " failed integrity verification");
   }

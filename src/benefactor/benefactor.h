@@ -81,6 +81,9 @@ class Benefactor {
 
   bool HasChunk(const ChunkId& id) const;
   std::uint64_t BytesUsed() const { return store_->BytesUsed(); }
+  // Memory actually pinned by the store's payloads (distinct generation
+  // backings, counted once) — can far exceed BytesUsed() under high dedup.
+  std::uint64_t ResidentBytes() const { return store_->ResidentBytes(); }
   std::uint64_t capacity() const { return capacity_bytes_; }
   std::uint64_t FreeBytes() const;
   std::size_t ChunkCount() const { return store_->ChunkCount(); }

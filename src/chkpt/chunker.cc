@@ -92,7 +92,9 @@ std::size_t SkipAfterBoundary(const CbchParams& params) {
              : 0;
 }
 
-// p == 1 with the rolling (non-recompute) hash: the hot CbCH scan. The
+// p == 1 with the Mix64 polynomial rolling hash — the pre-gear hot scan,
+// kept selectable (CbchBoundaryHash::kMix64Rolling) as the differential
+// baseline and for boundary-compatibility with pre-gear chunk maps. The
 // steady state is a pointer-bumping inner loop — ring update, one
 // multiply-add roll, mix, mask — with no per-byte function calls; after
 // each boundary the scan skips min_chunk-m bytes outright before
@@ -199,6 +201,104 @@ class CbchRollingScanner final : public ChunkScanner {
   std::size_t ring_pos_ = 0;
   std::size_t filled_ = 0;
   std::uint64_t hash_ = 0;
+  std::uint64_t pos_ = 0;          // stream bytes consumed
+  std::uint64_t chunk_start_ = 0;  // start of the open chunk
+  std::size_t skip_left_;          // min-chunk skip-ahead remaining
+};
+
+// p == 1 with the gear/CDC hash: the cheapest boundary scan. No ring
+// buffer — bytes age out of the 64-bit state by shifting — so the steady
+// state is one shift, one add, one table lookup and one mask test per
+// byte. window_m is honoured as a warm-up: no boundary can be declared
+// until m bytes of the open chunk have been hashed, matching the windowed
+// scanners' minimum-chunk behaviour. State never straddles Feed edges,
+// so streaming reproduces the whole-file scan bit for bit.
+class CbchGearScanner final : public ChunkScanner {
+ public:
+  explicit CbchGearScanner(const CbchParams& params)
+      : m_(params.window_m),
+        mask_(gear::BoundaryMask(params.boundary_bits_k)),
+        max_chunk_(params.max_chunk),
+        skip_init_(SkipAfterBoundary(params)),
+        skip_left_(SkipAfterBoundary(params)) {}  // min applies to chunk 0
+
+  void Feed(ByteSpan data, std::vector<std::uint64_t>& out) override {
+    const std::uint8_t* p = data.data();
+    const std::uint8_t* const end = p + data.size();
+    // Hot state in locals; written back on exit.
+    std::uint64_t h = hash_;
+    std::uint64_t pos = pos_, chunk_start = chunk_start_;
+    std::size_t filled = filled_, skip = skip_left_;
+    const std::uint64_t* const table = gear::kTable.data();
+
+    while (p < end) {
+      if (skip > 0) {
+        std::size_t take =
+            std::min<std::size_t>(skip, static_cast<std::size_t>(end - p));
+        p += take;
+        pos += take;
+        skip -= take;
+        continue;
+      }
+      if (filled < m_) {
+        // Warm-up: accumulate without boundary checks so chunks are at
+        // least window_m bytes, as with the windowed scanners.
+        while (p < end && filled < m_) {
+          h = (h << 1) + table[*p++];
+          ++filled;
+          ++pos;
+        }
+        if (filled < m_) break;
+        if ((h & mask_) == 0 ||
+            (max_chunk_ != 0 && pos - chunk_start >= max_chunk_)) {
+          out.push_back(pos);
+          chunk_start = pos;
+          h = 0;
+          filled = 0;
+          skip = skip_init_;
+        }
+        continue;
+      }
+      // Steady state: one shift+add+lookup+mask per byte.
+      while (p < end) {
+        h = (h << 1) + table[*p++];
+        ++pos;
+        if ((h & mask_) == 0 ||
+            (max_chunk_ != 0 && pos - chunk_start >= max_chunk_)) {
+          out.push_back(pos);
+          chunk_start = pos;
+          h = 0;
+          filled = 0;
+          skip = skip_init_;
+          break;
+        }
+      }
+    }
+
+    hash_ = h;
+    pos_ = pos;
+    chunk_start_ = chunk_start;
+    filled_ = filled;
+    skip_left_ = skip;
+  }
+
+  void Finish(std::vector<std::uint64_t>& out) override {
+    if (pos_ > chunk_start_) {
+      out.push_back(pos_);
+      chunk_start_ = pos_;
+    }
+  }
+
+  std::uint64_t consumed() const override { return pos_; }
+
+ private:
+  const std::size_t m_;
+  const std::uint64_t mask_;
+  const std::uint64_t max_chunk_;
+  const std::size_t skip_init_;
+
+  std::uint64_t hash_ = 0;
+  std::size_t filled_ = 0;         // warm-up bytes hashed in the open chunk
   std::uint64_t pos_ = 0;          // stream bytes consumed
   std::uint64_t chunk_start_ = 0;  // start of the open chunk
   std::size_t skip_left_;          // min-chunk skip-ahead remaining
@@ -371,6 +471,9 @@ std::vector<ChunkSpan> ContentBasedChunker::Split(ByteSpan data) const {
 
 std::unique_ptr<ChunkScanner> ContentBasedChunker::MakeScanner() const {
   if (params_.overlap() && !params_.recompute_per_window) {
+    if (params_.boundary_hash == CbchBoundaryHash::kGear) {
+      return std::make_unique<CbchGearScanner>(params_);
+    }
     return std::make_unique<CbchRollingScanner>(params_);
   }
   return std::make_unique<CbchHopScanner>(params_);
@@ -382,6 +485,10 @@ std::string ContentBasedChunker::name() const {
                     ",p=" + std::to_string(params_.advance_p);
   if (params_.min_chunk > 0) {
     out += ",min=" + std::to_string(params_.min_chunk);
+  }
+  if (params_.overlap() && !params_.recompute_per_window) {
+    out += params_.boundary_hash == CbchBoundaryHash::kGear ? ",gear"
+                                                            : ",mix64";
   }
   return out + ")";
 }

@@ -100,9 +100,28 @@ class FixedSizeChunker final : public Chunker {
   std::size_t chunk_size_;
 };
 
+// Which per-byte hash drives the p==1 streaming boundary scan.
+enum class CbchBoundaryHash {
+  // Table-driven gear/CDC hash: one shift+add+lookup per byte, boundary =
+  // top k bits zero. ~3x cheaper per byte than kMix64Rolling (no
+  // multiplies, no ring-buffer byte removal) with the same 2^-k boundary
+  // density; the effective window is the last 64 bytes regardless of
+  // window_m (window_m still sets the warm-up, i.e. the minimum chunk).
+  kGear,
+  // The original polynomial rolling hash finalized with Mix64 per byte.
+  // Kept selectable for differential testing and as the boundary-compatible
+  // reading of pre-gear chunk maps.
+  kMix64Rolling,
+};
+
 struct CbchParams {
   std::size_t window_m = 20;   // bytes covered by the rolling window
-  int boundary_bits_k = 14;    // boundary when low k hash bits are zero
+  // Boundary density: a boundary fires when k chosen hash bits are all
+  // zero (probability 2^-k per inspected position). Which k bits depends
+  // on the scan: the gear hash (default) masks the TOP k bits (the most
+  // mixed ones — see gear::BoundaryMask), Mix64/hop scans the low k bits
+  // of the finalized hash.
+  int boundary_bits_k = 14;
   std::size_t advance_p = 1;   // window advance per step; p==1 -> overlap
   // Safety bound so adversarial content cannot produce unbounded chunks;
   // 0 disables. The paper's tables report multi-MB max chunks, so the
@@ -119,12 +138,19 @@ struct CbchParams {
   // m-byte window from scratch at each position. The paper's measured
   // throughputs (~1 MB/s overlap, ~26 MB/s no-overlap, i.e. a fixed ~1 us
   // per window) are consistent with exactly this. When false (default),
-  // the scan uses cheap non-cryptographic window hashing (rolling for
-  // p==1, FNV otherwise) — the optimization the paper leaves as future
-  // work ("offloading the intensive hashing computations"). Boundary
-  // placement differs between modes (different hash functions) but both
-  // are content-defined.
+  // the scan uses cheap non-cryptographic hashing (`boundary_hash` below
+  // for p==1, FNV per window otherwise) — the optimization the paper
+  // leaves as future work ("offloading the intensive hashing
+  // computations"). Boundary placement differs between modes (different
+  // hash functions) but both are content-defined.
   bool recompute_per_window = false;
+
+  // Boundary hash for the p==1 non-recompute scan (the write hot path).
+  // Ignored by hopping (p>1) and recompute scans, which hash whole windows
+  // (FNV / SHA-1) rather than rolling per byte. Boundary *placement*
+  // differs between the two (different hash functions); both are
+  // content-defined with the same expected chunk size.
+  CbchBoundaryHash boundary_hash = CbchBoundaryHash::kGear;
 
   bool overlap() const { return advance_p == 1; }
 };

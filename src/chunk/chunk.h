@@ -26,6 +26,13 @@ struct ChunkId {
   std::string ToHex() const { return digest.ToHex(); }
 
   static ChunkId For(ByteSpan data) { return ChunkId{Sha1(data)}; }
+
+  // Slices stamped at naming time answer from the memo in O(1); unstamped
+  // slices (disk reads, copies, external callers) pay the full hash.
+  static ChunkId For(const BufferSlice& data) {
+    if (const Sha1Digest* d = data.stamped_digest()) return ChunkId{*d};
+    return For(data.span());
+  }
 };
 
 struct ChunkIdHash {

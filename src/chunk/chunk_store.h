@@ -42,6 +42,14 @@ class ChunkStore {
 
   virtual std::uint64_t BytesUsed() const = 0;
   virtual std::size_t ChunkCount() const = 0;
+
+  // Process memory pinned by the stored payloads. For slice-aliasing stores
+  // this counts each distinct backing buffer once at its full size: a
+  // high-dedup memory store that keeps 1% of a 64 MiB drain generation
+  // still pins all 64 MiB, so ResidentBytes() can exceed BytesUsed() by
+  // orders of magnitude (the over-retention ROADMAP's generation-compaction
+  // item targets). Disk-backed stores pin nothing and report 0.
+  virtual std::uint64_t ResidentBytes() const { return BytesUsed(); }
 };
 
 // In-memory store (unit tests, simulation, RAM-donor scenarios).

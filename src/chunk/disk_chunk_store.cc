@@ -117,6 +117,10 @@ class DiskChunkStore final : public ChunkStore {
     return index_.size();
   }
 
+  // Chunks live in files; nothing is pinned in memory (Get hands out
+  // freshly materialized buffers owned by the readers, not the store).
+  std::uint64_t ResidentBytes() const override { return 0; }
+
  private:
   fs::path PathFor(const ChunkId& id) const {
     std::string hex = id.ToHex();

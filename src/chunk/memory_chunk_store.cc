@@ -16,7 +16,10 @@ class MemoryChunkStore final : public ChunkStore {
   Status Put(const ChunkId& id, BufferSlice data) override {
     std::lock_guard<std::mutex> lock(mu_);
     auto [it, inserted] = chunks_.try_emplace(id, std::move(data));
-    if (inserted) bytes_used_ += it->second.size();
+    if (inserted) {
+      bytes_used_ += it->second.size();
+      PinBacking(it->second);
+    }
     return OkStatus();
   }
 
@@ -42,6 +45,7 @@ class MemoryChunkStore final : public ChunkStore {
       return NotFoundError("chunk " + id.ToHex() + " not in store");
     }
     bytes_used_ -= it->second.size();
+    UnpinBacking(it->second);
     chunks_.erase(it);
     return OkStatus();
   }
@@ -64,10 +68,44 @@ class MemoryChunkStore final : public ChunkStore {
     return chunks_.size();
   }
 
+  // Each distinct backing buffer counted once at its full size: aliasing
+  // slices means a chunk pins its whole drain generation, and BytesUsed()
+  // alone under-reports what the donor machine actually gives up.
+  std::uint64_t ResidentBytes() const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return resident_bytes_;
+  }
+
  private:
+  struct Backing {
+    std::size_t refs = 0;
+    std::size_t bytes = 0;
+  };
+
+  void PinBacking(const BufferSlice& data) {
+    if (data.backing_id() == nullptr) return;
+    Backing& b = backings_[data.backing_id()];
+    if (b.refs++ == 0) {
+      b.bytes = data.backing_size();
+      resident_bytes_ += b.bytes;
+    }
+  }
+
+  void UnpinBacking(const BufferSlice& data) {
+    if (data.backing_id() == nullptr) return;
+    auto it = backings_.find(data.backing_id());
+    if (it == backings_.end()) return;
+    if (--it->second.refs == 0) {
+      resident_bytes_ -= it->second.bytes;
+      backings_.erase(it);
+    }
+  }
+
   mutable std::mutex mu_;
   std::unordered_map<ChunkId, BufferSlice, ChunkIdHash> chunks_;
+  std::unordered_map<const void*, Backing> backings_;
   std::uint64_t bytes_used_ = 0;
+  std::uint64_t resident_bytes_ = 0;
 };
 
 }  // namespace

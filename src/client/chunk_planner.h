@@ -19,6 +19,7 @@
 
 #include "chkpt/chunker.h"
 #include "chunk/chunk.h"
+#include "client/write_stats.h"
 #include "common/buffer.h"
 #include "common/bytes.h"
 
@@ -36,7 +37,14 @@ struct StagedChunk {
 
 class ChunkPlanner {
  public:
-  explicit ChunkPlanner(std::shared_ptr<const Chunker> chunker);
+  // `hash_workers` bounds the threads used to SHA-1-name each drain
+  // generation (0 = hardware concurrency, 1 = serial — see
+  // ClientOptions::hash_workers). Naming wall time and fan-out are recorded
+  // into `stats` when provided. `stamp_digests` mirrors
+  // ClientOptions::stamp_chunk_digests.
+  explicit ChunkPlanner(std::shared_ptr<const Chunker> chunker,
+                        int hash_workers = 1, WriteStats* stats = nullptr,
+                        bool stamp_digests = true);
 
   // Buffers more application data (checkpoint images arrive sequentially)
   // and runs the streaming boundary scan over it — the single
@@ -55,6 +63,9 @@ class ChunkPlanner {
 
  private:
   std::shared_ptr<const Chunker> chunker_;
+  int hash_workers_;         // resolved: >= 1
+  WriteStats* stats_;        // optional naming accounting sink
+  bool stamp_digests_;
   std::unique_ptr<ChunkScanner> scanner_;
   Bytes buffer_;                 // bytes from the last drained boundary on
   std::uint64_t buffer_start_ = 0;  // absolute stream offset of buffer_[0]

@@ -45,6 +45,23 @@ struct ClientOptions {
   // the uploader's per-benefactor queues. 0 = unbounded.
   std::size_t max_batch_chunks = 64;
 
+  // Stamp each staged chunk's slice with the digest computed at naming
+  // time, so in-process verification hops (benefactor put admission,
+  // memory-store read integrity) compare digests instead of re-hashing —
+  // each byte is hashed once end to end. Slices that cross a
+  // re-materializing boundary (disk store, a real wire) lose the stamp and
+  // are re-hashed there regardless. Disable only to emulate the
+  // re-hash-per-hop data path (bench baselines).
+  bool stamp_chunk_digests = true;
+
+  // Threads used to SHA-1-name the chunks of each drain generation
+  // (including the session's own thread). Drain slices are immutable and
+  // independent, so naming parallelizes safely; results are reassembled in
+  // plan order, making the committed chunk map byte-identical for every
+  // setting. 0 = hardware concurrency; 1 = today's serial path, bit for
+  // bit (the shared HashPool is never touched).
+  int hash_workers = 0;
+
   // Replicas required at close() for pessimistic writes; also recorded as
   // the version's replication target (0 = inherit the folder policy).
   int replication_target = 0;

@@ -30,7 +30,8 @@ ClientOptions ResolveOptions(MetadataManager* manager,
 WriteSession::WriteSession(MetadataManager* manager, Transport* transport,
                            CheckpointName name, ClientOptions options)
     : options_(ResolveOptions(manager, name, std::move(options))),
-      planner_(options_.chunker),
+      planner_(options_.chunker, options_.hash_workers, &stats_,
+               options_.stamp_chunk_digests),
       placement_(std::make_unique<RoundRobinPlacement>()),
       coordinator_(manager, transport, std::move(name), options_, &stats_),
       uploader_(transport, placement_.get(), &coordinator_, options_, &stats_) {}

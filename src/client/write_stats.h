@@ -21,6 +21,13 @@ struct WriteStats {
   std::uint64_t bytes_spilled_local = 0;  // client-side spill (CLW/IW temp)
   std::uint64_t max_buffered_bytes = 0;   // high-water client buffering
   std::uint64_t inflight_put_peak = 0;  // concurrent batch PUTs in flight
+
+  // Chunk-naming (SHA-1) accounting from the planner's drains:
+  std::uint64_t hash_ns = 0;            // wall time spent naming chunks
+  std::uint64_t hash_chunks = 0;        // chunks named
+  std::uint64_t hash_bytes = 0;         // bytes hashed for naming
+  std::uint64_t hash_workers_peak = 0;  // widest fan-out any drain used
+  std::uint64_t hash_parallel_drains = 0;  // drains named on >1 thread
 };
 
 }  // namespace stdchk

@@ -20,6 +20,7 @@
 #include <utility>
 
 #include "common/bytes.h"
+#include "common/hash.h"
 
 namespace stdchk {
 
@@ -130,9 +131,34 @@ class BufferSlice {
     return owner_ != nullptr && owner_ == other.owner_;
   }
 
+  // ---- Content-digest stamp ------------------------------------------------
+  // Process-local memo of Sha1(span()), attached by whoever first names the
+  // bytes (the planner's drain naming). The contents are immutable, so the
+  // digest is a constant of the slice; stamping it lets every downstream
+  // verification (benefactor put admission, read integrity) compare in O(1)
+  // instead of re-hashing — "hash each byte once, end to end". Copies share
+  // the stamp; Subslice() drops it (different bytes); and any boundary that
+  // re-materializes the payload (disk store, a real wire) loses it
+  // naturally, falling back to a full re-hash there. Stamp only a digest
+  // computed from this very slice's bytes.
+  void StampDigest(const Sha1Digest& digest) {
+    digest_ = std::make_shared<const Sha1Digest>(digest);
+  }
+  const Sha1Digest* stamped_digest() const { return digest_.get(); }
+
+  // Bytes the whole backing buffer occupies (>= size()): what this slice
+  // actually pins in memory. A slice of a drain generation keeps the entire
+  // generation resident — the gap stores report via ResidentBytes().
+  std::size_t backing_size() const { return owner_ ? owner_->size() : 0; }
+
+  // Identity of the backing buffer, stable for its lifetime; lets a store
+  // count each pinned generation once. nullptr for the empty slice.
+  const void* backing_id() const { return owner_.get(); }
+
  private:
   std::shared_ptr<const Bytes> owner_;
   ByteSpan span_;
+  std::shared_ptr<const Sha1Digest> digest_;  // see StampDigest()
 };
 
 // Content equality (spans compare element-wise; Bytes converts implicitly).

@@ -1,5 +1,6 @@
 #include "common/hash.h"
 
+#include <atomic>
 #include <cstring>
 
 #if defined(__x86_64__) || defined(__i386__)
@@ -388,12 +389,14 @@ BlockFn DetectBlockFn() {
   return &ProcessBlocksPortable;
 }
 
-// Bench/test override; nullptr means "use the detected best".
-BlockFn g_forced_block_fn = nullptr;
+// Bench/test override; nullptr means "use the detected best". Atomic so
+// the write path's parallel hashing workers can read it while a bench or
+// test thread switches implementations between phases.
+std::atomic<BlockFn> g_forced_block_fn{nullptr};
 
 inline BlockFn ActiveBlockFn() {
   static const BlockFn detected = DetectBlockFn();
-  BlockFn forced = g_forced_block_fn;
+  BlockFn forced = g_forced_block_fn.load(std::memory_order_relaxed);
   return forced ? forced : detected;
 }
 

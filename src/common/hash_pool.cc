@@ -1,0 +1,138 @@
+#include "common/hash_pool.h"
+
+#include <algorithm>
+
+namespace stdchk {
+
+int HashPool::ResolveThreads(int threads) {
+  if (threads > 0) return threads;
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+HashPool::HashPool(int threads) {
+  if (threads < 0) threads = ResolveThreads(threads);
+  // The caller participates in every batch, so a pool for N-way parallelism
+  // needs N-1 workers (0 = a caller-only pool, always serial).
+  int workers = std::max(0, threads - 1);
+  workers_.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+HashPool::~HashPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+HashPool& HashPool::Shared() {
+  static HashPool pool(-1);  // hardware concurrency
+  return pool;
+}
+
+int HashPool::EffectiveWorkers(std::size_t n, int max_workers) const {
+  if (n <= 1 || max_workers <= 1) return 1;
+  std::size_t cap = std::min<std::size_t>(
+      {static_cast<std::size_t>(max_workers), workers_.size() + 1, n});
+  return static_cast<int>(std::max<std::size_t>(cap, 1));
+}
+
+bool HashPool::RunShare(Batch& batch) {
+  bool finished_last = false;
+  bool claimed_any = false;
+  for (;;) {
+    std::size_t i = batch.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= batch.count) break;
+    if (!claimed_any) {
+      claimed_any = true;
+      batch.active.fetch_add(1, std::memory_order_relaxed);
+    }
+    (*batch.fn)(i);
+    if (batch.done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        batch.count) {
+      finished_last = true;
+    }
+  }
+  return finished_last;
+}
+
+void HashPool::WorkerLoop() {
+  for (;;) {
+    std::shared_ptr<Batch> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      // A batch is joinable while it has unclaimed indices and room for
+      // another helper; helpers never leave a batch, so a non-joinable
+      // batch stays that way and the predicate cannot busy-spin on it.
+      auto joinable = [this]() -> std::shared_ptr<Batch> {
+        while (!batches_.empty() &&
+               batches_.front()->next.load(std::memory_order_relaxed) >=
+                   batches_.front()->count) {
+          batches_.pop_front();
+        }
+        for (const std::shared_ptr<Batch>& c : batches_) {
+          if (c->next.load(std::memory_order_relaxed) < c->count &&
+              c->helpers.load(std::memory_order_relaxed) < c->max_helpers) {
+            return c;
+          }
+        }
+        return nullptr;
+      };
+      work_cv_.wait(lock, [&] { return stop_ || joinable() != nullptr; });
+      if (stop_) return;
+      batch = joinable();
+      if (!batch) continue;
+      // Join under the lock: max_helpers is never overshot.
+      batch->helpers.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (RunShare(*batch)) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);  // pair with the caller's wait
+      }
+      done_cv_.notify_all();
+    }
+  }
+}
+
+int HashPool::ParallelFor(std::size_t n, int max_workers,
+                          const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return 0;
+  int helpers = std::min<int>(
+      {max_workers - 1, static_cast<int>(workers_.size()),
+       static_cast<int>(std::min<std::size_t>(n - 1, 1u << 30))});
+  if (helpers <= 0) {
+    // Serial path, bit for bit: the pool is never touched.
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return 1;
+  }
+
+  auto batch = std::make_shared<Batch>();
+  batch->fn = &fn;
+  batch->count = n;
+  batch->max_helpers = helpers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    batches_.push_back(batch);
+  }
+  work_cv_.notify_all();
+
+  if (RunShare(*batch)) {
+    done_cv_.notify_all();
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] {
+    return batch->done.load(std::memory_order_acquire) == batch->count;
+  });
+  // Threads that claimed at least one index — a joiner that raced to an
+  // already-drained cursor worked nothing and is not counted. done==count
+  // implies every claimer finished, so the read is final. At least the
+  // caller or one worker claimed index 0.
+  return std::max(1, batch->active.load(std::memory_order_acquire));
+}
+
+}  // namespace stdchk

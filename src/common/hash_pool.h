@@ -1,0 +1,92 @@
+// Work-stealing thread pool for CPU-bound fan-out, sized for the write
+// path's parallel chunk naming (the paper's "offloading the computationally
+// intensive hashing" future work).
+//
+// The shape is a blocking parallel-for, not an async task graph: the caller
+// owns a batch of n independent index-addressed tasks, workers and the
+// caller steal indices one at a time from a shared cursor (so a straggler
+// chunk never serializes the rest behind a static partition), and
+// ParallelFor returns only when every index has run. Results are written to
+// caller-preallocated slots, so output order is the index order no matter
+// which thread ran what — the determinism the committed chunk map relies on.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace stdchk {
+
+class HashPool {
+ public:
+  // Pool for `threads`-way parallelism: spawns threads-1 persistent
+  // workers, since the caller's thread always participates (0 = caller
+  // only; values < 0 mean hardware concurrency).
+  explicit HashPool(int threads);
+  ~HashPool();
+
+  HashPool(const HashPool&) = delete;
+  HashPool& operator=(const HashPool&) = delete;
+
+  // Process-wide pool sized to hardware concurrency, created on first use.
+  // Sessions share it: hashing is CPU-bound, so one pool per process is the
+  // right amount of parallelism regardless of how many writes are open.
+  static HashPool& Shared();
+
+  // The shared "how many threads does N mean" rule: values <= 0 resolve to
+  // hardware concurrency (min 1). Used by the pool's own sizing and by
+  // callers resolving a requested fan-out (ClientOptions::hash_workers).
+  static int ResolveThreads(int threads);
+
+  int worker_threads() const { return static_cast<int>(workers_.size()); }
+
+  // Runs fn(0) .. fn(n-1) across up to `max_workers` threads (including the
+  // calling thread) and returns when all have finished. fn must be safe to
+  // call concurrently for distinct indices. max_workers <= 1, n <= 1, or an
+  // empty pool all degrade to a plain serial loop on the caller's thread —
+  // bit-for-bit the serial path, no pool machinery touched.
+  //
+  // Returns the number of threads that actually worked the batch (caller +
+  // workers that joined before it drained) — a measurement, not the
+  // requested fan-out; a busy or slow-waking pool can return 1 even when
+  // more was allowed.
+  int ParallelFor(std::size_t n, int max_workers,
+                  const std::function<void(std::size_t)>& fn);
+
+  // Largest number of threads ParallelFor could use for a batch of n under
+  // this pool (caller + joinable workers) — the upper bound on its return.
+  int EffectiveWorkers(std::size_t n, int max_workers) const;
+
+ private:
+  // One ParallelFor call. Workers claim indices via next.fetch_add (the
+  // stealing cursor); the last finisher signals the caller.
+  struct Batch {
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::size_t count = 0;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    int max_helpers = 0;          // workers allowed besides the caller
+    std::atomic<int> helpers{0};  // workers that joined
+    std::atomic<int> active{0};   // threads that ran >= 1 index
+  };
+
+  void WorkerLoop();
+  // Claims and runs indices until the batch is drained; returns whether this
+  // thread ran the batch's final task.
+  bool RunShare(Batch& batch);
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // workers: a batch was queued / stop
+  std::condition_variable done_cv_;  // callers: a batch completed
+  std::deque<std::shared_ptr<Batch>> batches_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace stdchk

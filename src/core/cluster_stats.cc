@@ -13,6 +13,7 @@ ClusterStats CollectStats(StdchkCluster& cluster) {
     node.host = b.host();
     node.online = b.online();
     node.bytes_used = b.BytesUsed();
+    node.resident_bytes = b.ResidentBytes();
     node.capacity = b.capacity();
     node.chunk_count = b.ChunkCount();
     stats.nodes.push_back(node);
@@ -20,6 +21,7 @@ ClusterStats CollectStats(StdchkCluster& cluster) {
     if (node.online) ++stats.benefactors_online;
     stats.capacity_bytes += node.capacity;
     stats.stored_bytes += node.bytes_used;
+    stats.resident_bytes += node.resident_bytes;
   }
 
   const FileCatalog& catalog = cluster.manager().catalog();

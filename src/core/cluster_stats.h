@@ -14,6 +14,10 @@ struct NodeStats {
   std::string host;
   bool online = false;
   std::uint64_t bytes_used = 0;
+  // Memory pinned by slice-aliasing storage (each retained drain-generation
+  // backing counted once at full size). The bytes_used/resident_bytes gap
+  // is the over-retention cost of zero-copy inserts under high dedup.
+  std::uint64_t resident_bytes = 0;
   std::uint64_t capacity = 0;
   std::size_t chunk_count = 0;
 };
@@ -24,6 +28,7 @@ struct ClusterStats {
   std::size_t benefactors_online = 0;
   std::uint64_t capacity_bytes = 0;
   std::uint64_t stored_bytes = 0;  // physical bytes on donors (w/ replicas)
+  std::uint64_t resident_bytes = 0;  // memory pinned across donors
 
   // Catalog.
   std::size_t versions = 0;

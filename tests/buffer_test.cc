@@ -95,6 +95,59 @@ TEST(BufferSliceTest, EqualityComparesContent) {
 
 // ---- Store lifetime: the heart of the zero-copy contract -------------------
 
+TEST(BufferSliceTest, DigestStampSharedByCopiesDroppedBySubslice) {
+  Bytes data = MakeData(256, 21);
+  BufferSlice slice(BufferRef::Take(std::move(data)));
+  EXPECT_EQ(slice.stamped_digest(), nullptr);
+
+  Sha1Digest digest = Sha1(slice.span());
+  slice.StampDigest(digest);
+  ASSERT_NE(slice.stamped_digest(), nullptr);
+  EXPECT_EQ(*slice.stamped_digest(), digest);
+
+  // Copies carry the stamp (same bytes); sub-views and payload copies via
+  // Copy() must not (different bytes / fresh unverified buffer).
+  BufferSlice copy = slice;
+  ASSERT_NE(copy.stamped_digest(), nullptr);
+  EXPECT_EQ(*copy.stamped_digest(), digest);
+  EXPECT_EQ(slice.Subslice(1, 100).stamped_digest(), nullptr);
+  EXPECT_EQ(BufferSlice::Copy(slice.span()).stamped_digest(), nullptr);
+}
+
+TEST(BufferSliceTest, StampedSliceShortCircuitsChunkIdFor) {
+  Bytes data = MakeData(512, 22);
+  ChunkId true_id = ChunkId::For(data);
+  BufferSlice slice(BufferRef::Take(std::move(data)));
+  EXPECT_EQ(ChunkId::For(slice), true_id);  // unstamped: full hash
+
+  slice.StampDigest(true_id.digest);
+  EXPECT_EQ(ChunkId::For(slice), true_id);  // stamped: memo answers
+}
+
+TEST(StampedVerificationTest, BenefactorStillRejectsUnstampedMismatch) {
+  // The stamp is an optimization, not a bypass: unstamped payloads (the
+  // only kind an external/deserialized sender can produce) are re-hashed
+  // and rejected on mismatch, stamped ones sail through by compare.
+  Benefactor node("donor", MakeMemoryChunkStore(), 1_GiB);
+  Bytes good = MakeData(300, 23);
+  Bytes evil = MakeData(300, 24);
+  ChunkId good_id = ChunkId::For(good);
+
+  EXPECT_EQ(node.PutChunk(good_id, BufferSlice::Copy(evil)).code(),
+            StatusCode::kDataLoss);
+
+  BufferSlice stamped = BufferSlice::Copy(good);
+  stamped.StampDigest(good_id.digest);
+  EXPECT_TRUE(node.PutChunk(good_id, stamped).ok());
+
+  // Read-back of the memory store's stamped slice verifies by compare and
+  // returns the original bytes.
+  auto got = node.GetChunk(good_id);
+  ASSERT_TRUE(got.ok());
+  EXPECT_TRUE(got.value() == ByteSpan(good));
+  ASSERT_NE(got.value().stamped_digest(), nullptr);
+}
+
 TEST(StoreBufferLifetimeTest, ReaderHeldSliceSurvivesDelete) {
   auto store = MakeMemoryChunkStore();
   Bytes data = MakeData(4096, 8);

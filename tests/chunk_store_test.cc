@@ -145,6 +145,73 @@ TEST(DiskChunkStoreTest, SurvivesReopen) {
   std::filesystem::remove_all(dir);
 }
 
+// The over-retention gap ResidentBytes() exists to expose: slices aliasing
+// one drain generation pin the whole backing buffer, so a memory store
+// retaining a small fraction of the generation's chunks still holds the
+// full generation resident while BytesUsed() reports only the fraction.
+TEST(MemoryStoreResidencyTest, RetainedSlicePinsWholeGeneration) {
+  auto store = MakeMemoryChunkStore();
+  constexpr std::size_t kGeneration = 1 << 20;  // one 1 MiB drain
+  constexpr std::size_t kChunk = 64 << 10;
+  Rng rng(77);
+  BufferRef backing = BufferRef::Take(rng.RandomBytes(kGeneration));
+
+  std::vector<ChunkId> ids;
+  for (std::size_t off = 0; off < kGeneration; off += kChunk) {
+    BufferSlice slice(backing, off, kChunk);
+    ChunkId id = ChunkId::For(slice.span());
+    ids.push_back(id);
+    ASSERT_TRUE(store->Put(id, std::move(slice)).ok());
+  }
+  backing = BufferRef();  // the store is now the only owner
+
+  EXPECT_EQ(store->BytesUsed(), kGeneration);
+  EXPECT_EQ(store->ResidentBytes(), kGeneration);
+
+  // Dedup-style retention: keep one chunk, delete the rest. BytesUsed
+  // drops to one chunk; the resident footprint stays the whole generation.
+  for (std::size_t i = 1; i < ids.size(); ++i) {
+    ASSERT_TRUE(store->Delete(ids[i]).ok());
+  }
+  EXPECT_EQ(store->BytesUsed(), kChunk);
+  EXPECT_EQ(store->ResidentBytes(), kGeneration);
+  EXPECT_GE(store->ResidentBytes(), 16 * store->BytesUsed());
+
+  // Dropping the last chunk unpins the generation.
+  ASSERT_TRUE(store->Delete(ids[0]).ok());
+  EXPECT_EQ(store->BytesUsed(), 0u);
+  EXPECT_EQ(store->ResidentBytes(), 0u);
+}
+
+TEST(MemoryStoreResidencyTest, IndependentBackingsCountedOnce) {
+  auto store = MakeMemoryChunkStore();
+  Rng rng(78);
+  // Two generations; two chunks each. Resident = sum of distinct backings.
+  for (int g = 0; g < 2; ++g) {
+    BufferRef backing = BufferRef::Take(rng.RandomBytes(4096));
+    for (std::size_t off = 0; off < 4096; off += 2048) {
+      BufferSlice slice(backing, off, 2048);
+      ASSERT_TRUE(store->Put(ChunkId::For(slice.span()), slice).ok());
+    }
+  }
+  EXPECT_EQ(store->BytesUsed(), 8192u);
+  EXPECT_EQ(store->ResidentBytes(), 8192u);
+}
+
+TEST(DiskStoreResidencyTest, PinsNothing) {
+  auto dir = std::filesystem::temp_directory_path() /
+             ("stdchk_residency_" + std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+  auto store = MakeDiskChunkStore(dir.string());
+  ASSERT_TRUE(store.ok());
+  Rng rng(79);
+  Bytes data = rng.RandomBytes(4096);
+  ASSERT_TRUE(store.value()->Put(ChunkId::For(data), data).ok());
+  EXPECT_EQ(store.value()->BytesUsed(), 4096u);
+  EXPECT_EQ(store.value()->ResidentBytes(), 0u);
+  std::filesystem::remove_all(dir);
+}
+
 TEST(ChunkIdTest, ContentAddressing) {
   Bytes a = ToBytes("same content");
   Bytes b = ToBytes("same content");

@@ -283,18 +283,72 @@ TEST_P(CbchScannerTest, StreamingMatchesSplit) {
   }
 }
 
+CbchParams WithMix64(CbchParams params) {
+  params.boundary_hash = CbchBoundaryHash::kMix64Rolling;
+  return params;
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Params, CbchScannerTest,
     ::testing::Values(
-        CbchParams{20, 10, 1},                       // rolling overlap
+        CbchParams{20, 10, 1},                       // gear overlap (default)
         CbchParams{20, 10, 20},                      // no-overlap hop
         CbchParams{32, 9, 8},                        // partial-overlap hop
-        CbchParams{20, 8, 1, /*max_chunk=*/4096},    // forced boundaries
+        CbchParams{20, 8, 1, /*max_chunk=*/4096},    // gear, forced boundaries
         CbchParams{20, 10, 1, 16u << 20,
-                   /*min_chunk=*/2048},              // min-chunk skip-ahead
+                   /*min_chunk=*/2048},              // gear min-chunk skip
         CbchParams{20, 12, 1, 16u << 20, 0, true},   // paper-style recompute
-        CbchParams{20, 12, 20, 16u << 20, 0, true}   // recompute, hopping
+        CbchParams{20, 12, 20, 16u << 20, 0, true},  // recompute, hopping
+        WithMix64(CbchParams{20, 10, 1}),            // Mix64 rolling overlap
+        WithMix64(CbchParams{20, 8, 1, 4096}),       // Mix64, forced
+        WithMix64(CbchParams{20, 10, 1, 16u << 20,
+                             /*min_chunk=*/2048})    // Mix64 min-chunk skip
         ));
+
+// Gear and Mix64 place boundaries differently (different hash functions)
+// but must agree on the content-defined contract: same expected density
+// (2^-k per inspected byte) and full coverage. Also pins that the two
+// scans genuinely differ, so the differential selector is not a no-op.
+TEST(CbchGearTest, GearAndMix64AreDistinctButComparablyDense) {
+  Rng rng(36);
+  Bytes data = rng.RandomBytes(1 << 20);
+  ContentBasedChunker gear(CbchParams{20, 10, 1});
+  ContentBasedChunker mix(WithMix64(CbchParams{20, 10, 1}));
+
+  auto gear_spans = gear.Split(data);
+  auto mix_spans = mix.Split(data);
+  EXPECT_NE(SplitEnds(gear, data), SplitEnds(mix, data));
+
+  auto gear_stats = ComputeChunkSizeStats(gear_spans);
+  auto mix_stats = ComputeChunkSizeStats(mix_spans);
+  // Same k: average chunk sizes within 2x of each other (both ~2^k + m).
+  EXPECT_LT(gear_stats.avg_bytes, mix_stats.avg_bytes * 2);
+  EXPECT_LT(mix_stats.avg_bytes, gear_stats.avg_bytes * 2);
+}
+
+TEST(CbchGearTest, GearShiftResilienceMatchesContentDefinedContract) {
+  // The paper's §IV.C property must survive the hash swap: inserting bytes
+  // near the start leaves most gear chunk hashes intact.
+  Rng rng(37);
+  Bytes original = rng.RandomBytes(1 << 18);
+  Bytes shifted;
+  shifted.push_back('G');
+  Append(shifted, original);
+
+  ContentBasedChunker gear(CbchParams{20, 11, 1});
+  auto spans_a = gear.Split(original);
+  auto ids_a = HashChunks(original, spans_a);
+  std::unordered_set<std::uint64_t> set_a;
+  for (const auto& id : ids_a) set_a.insert(id.digest.Prefix64());
+  auto spans_b = gear.Split(shifted);
+  auto ids_b = HashChunks(shifted, spans_b);
+  std::uint64_t shared = 0;
+  for (std::size_t i = 0; i < ids_b.size(); ++i) {
+    if (set_a.contains(ids_b[i].digest.Prefix64())) shared += spans_b[i].size;
+  }
+  EXPECT_GT(static_cast<double>(shared) / static_cast<double>(shifted.size()),
+            0.85);
+}
 
 TEST(ChunkScannerTest, ByteAtATimeFeedMatchesSplit) {
   Rng rng(33);

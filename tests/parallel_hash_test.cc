@@ -1,0 +1,237 @@
+// The parallel drain hashing engine: HashPool mechanics, and the
+// determinism contract — for any worker count N, any drain timing, and any
+// chunker, the planner's chunk names, their order, and the committed chunk
+// map must be byte-identical to the serial (N=1) path.
+#include "common/hash_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "client/chunk_planner.h"
+#include "common/rng.h"
+#include "core/cluster.h"
+
+namespace stdchk {
+namespace {
+
+// ---- HashPool ---------------------------------------------------------------
+
+TEST(HashPoolTest, RunsEveryIndexExactlyOnce) {
+  HashPool pool(4);
+  for (std::size_t n : {0u, 1u, 3u, 7u, 64u, 1000u}) {
+    std::vector<std::atomic<int>> hits(n);
+    pool.ParallelFor(n, 4, [&](std::size_t i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(HashPoolTest, SerialWhenMaxWorkersIsOne) {
+  HashPool pool(8);
+  // max_workers=1 must run entirely on the calling thread, in order.
+  std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::size_t> order;
+  int used = pool.ParallelFor(100, 1, [&](std::size_t i) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    order.push_back(i);  // safe: single-threaded by contract
+  });
+  EXPECT_EQ(used, 1);
+  std::vector<std::size_t> expected(100);
+  std::iota(expected.begin(), expected.end(), 0u);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(HashPoolTest, ReportsActualEngagementWithinBounds) {
+  HashPool pool(4);
+  for (int round = 0; round < 20; ++round) {
+    int used = pool.ParallelFor(64, 8, [](std::size_t) {});
+    EXPECT_GE(used, 1);
+    EXPECT_LE(used, 4);  // caller + 3 workers
+  }
+}
+
+TEST(HashPoolTest, ZeroThreadPoolDegradesToSerial) {
+  HashPool pool(0);  // no workers at all
+  EXPECT_EQ(pool.worker_threads(), 0);
+  std::vector<std::atomic<int>> hits(50);
+  pool.ParallelFor(50, 8, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(HashPoolTest, ConcurrentBatchesFromMultipleCallers) {
+  HashPool pool(4);
+  constexpr int kCallers = 4;
+  constexpr std::size_t kPer = 300;
+  std::vector<std::vector<std::atomic<int>>> hits(kCallers);
+  for (auto& v : hits) v = std::vector<std::atomic<int>>(kPer);
+
+  std::vector<std::thread> callers;
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&, c] {
+      pool.ParallelFor(kPer, 3, [&, c](std::size_t i) {
+        hits[static_cast<std::size_t>(c)][i].fetch_add(
+            1, std::memory_order_relaxed);
+      });
+    });
+  }
+  for (auto& t : callers) t.join();
+  for (int c = 0; c < kCallers; ++c) {
+    for (std::size_t i = 0; i < kPer; ++i) {
+      EXPECT_EQ(hits[static_cast<std::size_t>(c)][i].load(), 1);
+    }
+  }
+}
+
+TEST(HashPoolTest, EffectiveWorkersBounds) {
+  HashPool pool(4);  // 3 helper threads + caller
+  EXPECT_EQ(pool.EffectiveWorkers(100, 1), 1);
+  EXPECT_EQ(pool.EffectiveWorkers(1, 8), 1);
+  EXPECT_EQ(pool.EffectiveWorkers(100, 2), 2);
+  EXPECT_EQ(pool.EffectiveWorkers(100, 16), 4);  // pool caps at 4
+  EXPECT_EQ(pool.EffectiveWorkers(3, 16), 3);    // batch caps at n
+}
+
+// ---- Planner determinism ----------------------------------------------------
+
+struct PlannedChunk {
+  ChunkId id;
+  std::size_t size;
+  bool operator==(const PlannedChunk&) const = default;
+};
+
+// Streams `data` into a planner in `piece`-sized appends, draining every
+// `drain_every` appends (0 = only the final drain).
+std::vector<PlannedChunk> Plan(std::shared_ptr<const Chunker> chunker,
+                               int hash_workers, ByteSpan data,
+                               std::size_t piece, std::size_t drain_every) {
+  ChunkPlanner planner(std::move(chunker), hash_workers);
+  std::vector<PlannedChunk> out;
+  auto take = [&](std::vector<StagedChunk> chunks) {
+    for (StagedChunk& c : chunks) out.push_back({c.id, c.data.size()});
+  };
+  std::size_t pos = 0, appends = 0;
+  while (pos < data.size()) {
+    std::size_t n = std::min(piece, data.size() - pos);
+    planner.Append(data.subspan(pos, n));
+    pos += n;
+    if (drain_every != 0 && ++appends % drain_every == 0) {
+      take(planner.Drain(/*final=*/false));
+    }
+  }
+  take(planner.Drain(/*final=*/true));
+  return out;
+}
+
+TEST(ParallelHashDeterminismTest, PlannerMatchesSerialAcrossWorkersAndTiming) {
+  Rng rng(2026);
+  Bytes data = rng.RandomBytes(512 * 1024);
+
+  CbchParams gear;  // default boundary hash
+  gear.boundary_bits_k = 10;
+  CbchParams mix = gear;
+  mix.boundary_hash = CbchBoundaryHash::kMix64Rolling;
+
+  std::vector<std::shared_ptr<const Chunker>> chunkers = {
+      std::make_shared<FixedSizeChunker>(8192),
+      std::make_shared<ContentBasedChunker>(gear),
+      std::make_shared<ContentBasedChunker>(mix),
+  };
+
+  for (const auto& chunker : chunkers) {
+    // Serial reference: whole image, one final drain, N=1.
+    std::vector<PlannedChunk> reference =
+        Plan(chunker, /*hash_workers=*/1, data, data.size(), 0);
+    ASSERT_GT(reference.size(), 4u) << chunker->name();
+
+    for (int workers : {1, 2, 8}) {
+      for (std::size_t piece : {4097u, 64u * 1024u}) {
+        for (std::size_t drain_every : {0u, 1u, 3u}) {
+          EXPECT_EQ(Plan(chunker, workers, data, piece, drain_every),
+                    reference)
+              << chunker->name() << " N=" << workers << " piece=" << piece
+              << " drain_every=" << drain_every;
+        }
+      }
+    }
+  }
+}
+
+// ---- End-to-end: committed chunk maps ---------------------------------------
+
+ChunkMap CommitWithWorkers(int hash_workers, ByteSpan data,
+                           std::shared_ptr<const Chunker> chunker) {
+  ClusterOptions options;
+  options.benefactor_count = 6;
+  options.client.chunk_size = 8192;
+  options.client.protocol = WriteProtocol::kSlidingWindow;
+  options.client.hash_workers = hash_workers;
+  options.client.chunker = std::move(chunker);
+  StdchkCluster cluster(options);
+
+  CheckpointName name{"app", "par", 1};
+  auto session = cluster.client().CreateFile(name);
+  EXPECT_TRUE(session.ok());
+  std::size_t pos = 0;
+  while (pos < data.size()) {
+    std::size_t n = std::min<std::size_t>(10000, data.size() - pos);
+    EXPECT_TRUE(session.value()->Write(data.subspan(pos, n)).ok());
+    pos += n;
+  }
+  EXPECT_TRUE(session.value()->Close().ok());
+  if (hash_workers > 1) {
+    // hash_workers_peak is a measurement of threads that actually joined —
+    // at least the caller, never more than requested or the pool can give.
+    const WriteStats& stats = session.value()->stats();
+    EXPECT_GE(stats.hash_workers_peak, 1u);
+    EXPECT_LE(stats.hash_workers_peak,
+              static_cast<std::uint64_t>(
+                  std::max(1, HashPool::Shared().worker_threads() + 1)));
+    EXPECT_GT(stats.hash_chunks, 0u);
+  }
+
+  auto record = cluster.manager().GetVersion(name);
+  EXPECT_TRUE(record.ok());
+  auto read_back = cluster.client().ReadFile(name);
+  EXPECT_TRUE(read_back.ok());
+  EXPECT_EQ(read_back.value(), Bytes(data.begin(), data.end()));
+  return record.value().chunk_map;
+}
+
+void ExpectSameMap(const ChunkMap& a, const ChunkMap& b) {
+  ASSERT_EQ(a.chunks.size(), b.chunks.size());
+  for (std::size_t i = 0; i < a.chunks.size(); ++i) {
+    EXPECT_EQ(a.chunks[i].id, b.chunks[i].id) << i;
+    EXPECT_EQ(a.chunks[i].file_offset, b.chunks[i].file_offset) << i;
+    EXPECT_EQ(a.chunks[i].size, b.chunks[i].size) << i;
+  }
+}
+
+TEST(ParallelHashDeterminismTest, CommittedChunkMapsIdenticalToSerial) {
+  Rng rng(99);
+  Bytes data = rng.RandomBytes(300 * 1024);
+
+  for (bool cbch : {false, true}) {
+    std::shared_ptr<const Chunker> chunker;
+    if (cbch) {
+      CbchParams params;
+      params.boundary_bits_k = 11;
+      chunker = std::make_shared<ContentBasedChunker>(params);
+    }
+    ChunkMap serial = CommitWithWorkers(1, data, chunker);
+    ExpectSameMap(serial, CommitWithWorkers(2, data, chunker));
+    ExpectSameMap(serial, CommitWithWorkers(8, data, chunker));
+  }
+}
+
+}  // namespace
+}  // namespace stdchk
