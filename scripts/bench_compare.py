@@ -37,7 +37,7 @@ LOWER_BETTER_TIME_HINTS = ("modeled", "total_s", "real_time")
 # gated either — the benches assert their own invariants on these.
 INFORMATIONAL = ("hash_workers_peak", "_payload_copies", "_copy_bytes",
                  "materializations", "materialized_bytes", "identical",
-                 "zero_copy")
+                 "zero_copy", "syscalls", "mmap_reads", "fsyncs")
 
 
 def metric_direction(name):

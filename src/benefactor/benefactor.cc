@@ -4,6 +4,7 @@
 #include <set>
 
 #include "chunk/chunk_store.h"
+#include "common/hash_pool.h"
 
 namespace stdchk {
 
@@ -24,9 +25,7 @@ Status Benefactor::JoinPool(MetadataManager& manager) {
 
 void Benefactor::Wipe() {
   online_ = false;
-  for (const ChunkId& id : store_->List()) {
-    (void)store_->Delete(id);
-  }
+  (void)store_->Wipe();
   stashed_.clear();
 }
 
@@ -59,12 +58,36 @@ Status Benefactor::PutChunkBatch(std::span<const ChunkPut> puts) {
   // and the aggregate space need before storing anything. Duplicate ids
   // within the batch (repeated content, e.g. zeroed pages) store once, so
   // they count once.
+  //
+  // Unstamped chunks (anything that crossed a re-materializing boundary —
+  // a disk store, a real wire) need a full re-hash each; fan those across
+  // the shared HashPool the same way drain naming does. Each task hashes a
+  // disjoint immutable slice into its own slot, so admission results are
+  // byte-identical for any worker count; stamped chunks answer from the
+  // memo and never touch the pool.
+  std::vector<std::size_t> unstamped;
+  for (std::size_t i = 0; i < puts.size(); ++i) {
+    if (puts[i].data.stamped_digest() == nullptr) unstamped.push_back(i);
+  }
+  std::vector<ChunkId> computed(unstamped.size());
+  HashPool::Shared().ParallelFor(
+      unstamped.size(), HashPool::ResolveThreads(verify_workers_),
+      [&puts, &unstamped, &computed](std::size_t i) {
+        computed[i] = ChunkId::For(puts[unstamped[i]].data.span());
+      });
+  std::size_t next_unstamped = 0;
   std::uint64_t new_bytes = 0;
   std::set<ChunkId> counted;
-  for (const ChunkPut& put : puts) {
-    assert(!put.data.stamped_digest() ||
-           Sha1(put.data.span()) == *put.data.stamped_digest());
-    if (ChunkId::For(put.data) != put.id) {
+  for (std::size_t i = 0; i < puts.size(); ++i) {
+    const ChunkPut& put = puts[i];
+    ChunkId actual;
+    if (put.data.stamped_digest() != nullptr) {
+      assert(Sha1(put.data.span()) == *put.data.stamped_digest());
+      actual = ChunkId{*put.data.stamped_digest()};
+    } else {
+      actual = computed[next_unstamped++];
+    }
+    if (actual != put.id) {
       return DataLossError("chunk content does not match its address " +
                            put.id.ToHex());
     }
@@ -77,10 +100,9 @@ Status Benefactor::PutChunkBatch(std::span<const ChunkPut> puts) {
                                   " cannot admit batch of " +
                                   std::to_string(puts.size()) + " chunks");
   }
-  for (const ChunkPut& put : puts) {
-    STDCHK_RETURN_IF_ERROR(store_->Put(put.id, put.data));
-  }
-  return OkStatus();
+  // The whole generation lands in one store call (the disk store turns it
+  // into a single vectored write + fsync).
+  return store_->PutBatch(puts);
 }
 
 Result<BufferSlice> Benefactor::GetChunk(const ChunkId& id) const {

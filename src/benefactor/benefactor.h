@@ -64,8 +64,15 @@ class Benefactor {
   // rejected at admission stores nothing and the client's failover can
   // re-route it wholesale. (A store-level I/O failure mid-batch may leave
   // earlier chunks behind — they are content addressed, so they either
-  // become usable replicas or GC-reclaimable orphans.)
+  // become usable replicas or GC-reclaimable orphans.) Unstamped chunks
+  // re-hash in parallel on the shared HashPool (see set_verify_workers);
+  // the store receives the batch as one PutBatch call.
   Status PutChunkBatch(std::span<const ChunkPut> puts);
+
+  // Fan-out for batch-admission re-hashing of unstamped chunks: 0 (default)
+  // uses hardware concurrency, N caps it, 1 is the serial path bit for bit.
+  // Admission results are byte-identical for every worker count.
+  void set_verify_workers(int workers) { verify_workers_ = workers; }
 
   // Verifies stored bytes against the content address before returning, so
   // a tampering or bit-flipping donor is detected (§IV.C). The returned
@@ -80,6 +87,10 @@ class Benefactor {
       std::span<const ChunkId> ids) const;
 
   bool HasChunk(const ChunkId& id) const;
+  // I/O-shape counters from the backing store (segment-log syscalls, mmap
+  // reads, recovery results); the zero snapshot for stores that don't
+  // report. Bench/test introspection, not a protocol surface.
+  ChunkStoreStats StoreStats() const { return store_->Stats(); }
   std::uint64_t BytesUsed() const { return store_->BytesUsed(); }
   // Memory actually pinned by the store's payloads (distinct generation
   // backings, counted once) — can far exceed BytesUsed() under high dedup.
@@ -116,6 +127,7 @@ class Benefactor {
   std::uint64_t capacity_bytes_;
   NodeId id_ = kInvalidNode;
   std::atomic<bool> online_{true};
+  int verify_workers_ = 0;  // 0 = hardware concurrency (HashPool rule)
 
   struct Stashed {
     VersionRecord record;

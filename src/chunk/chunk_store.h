@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "chunk/chunk.h"
@@ -10,13 +11,32 @@
 
 namespace stdchk {
 
+// I/O-shape introspection a store may expose (test/bench assertions, ops
+// visibility). All counters are cumulative since the store opened; a store
+// with nothing to report returns the zero snapshot.
+struct ChunkStoreStats {
+  // Write path.
+  std::uint64_t put_batches = 0;    // PutBatch calls that stored >= 1 chunk
+  std::uint64_t data_syscalls = 0;  // data-write syscalls (pwritev/pwrite)
+  std::uint64_t fsyncs = 0;
+  // Segment lifecycle (log-structured disk store).
+  std::uint64_t segments_created = 0;
+  std::uint64_t segments_reclaimed = 0;  // fully dead, unlinked
+  // Read path.
+  std::uint64_t mmap_reads = 0;  // Gets served zero-copy from a mapping
+  // Startup recovery.
+  std::uint64_t recovered_chunks = 0;      // index entries rebuilt at open
+  std::uint64_t torn_tails_truncated = 0;  // segments cut at a bad record
+};
+
 // Abstract chunk store. Implementations must be safe for concurrent use.
 //
 // Payload ownership: Put hands the store a shared slice — the memory store
 // aliases it outright (zero-copy insertion); the disk store writes it out.
 // Get returns a shared slice into the store's holdings; it remains valid
-// after the chunk is Delete()d or GC'd (the refcount keeps the backing
-// buffer alive until the last reader drops it).
+// after the chunk is Delete()d, Wipe()d or GC'd (the refcount keeps the
+// backing — heap buffer or mmap'd segment — alive until the last reader
+// drops it, even once the segment file is unlinked).
 class ChunkStore {
  public:
   virtual ~ChunkStore() = default;
@@ -24,6 +44,20 @@ class ChunkStore {
   // Stores `data` under `id`. Idempotent: re-putting an existing chunk is OK
   // (content addressing guarantees the bytes are identical).
   virtual Status Put(const ChunkId& id, BufferSlice data) = 0;
+
+  // Stores a whole batch — one drain generation — in a single call so the
+  // store can amortize it (the disk store lands the batch as one vectored
+  // write + one fsync). Duplicate ids, within the batch or vs the store,
+  // are stored once. Not atomic across store-level I/O failure: chunks
+  // admitted before the error remain (content addressed, so they are
+  // usable replicas or GC-reclaimable orphans — same contract as
+  // Benefactor::PutChunkBatch).
+  virtual Status PutBatch(std::span<const ChunkPut> puts) {
+    for (const ChunkPut& put : puts) {
+      STDCHK_RETURN_IF_ERROR(Put(put.id, put.data));
+    }
+    return OkStatus();
+  }
 
   virtual Result<BufferSlice> Get(const ChunkId& id) const = 0;
 
@@ -37,6 +71,16 @@ class ChunkStore {
 
   virtual Status Delete(const ChunkId& id) = 0;
 
+  // Drops every chunk (scavenged space reclaimed by its owner). Slices
+  // already handed out stay valid. The disk store unlinks whole segments
+  // instead of walking Delete chunk by chunk.
+  virtual Status Wipe() {
+    for (const ChunkId& id : List()) {
+      STDCHK_RETURN_IF_ERROR(Delete(id));
+    }
+    return OkStatus();
+  }
+
   // All chunk ids currently held; used for the GC exchange with the manager.
   virtual std::vector<ChunkId> List() const = 0;
 
@@ -48,16 +92,28 @@ class ChunkStore {
   // high-dedup memory store that keeps 1% of a 64 MiB drain generation
   // still pins all 64 MiB, so ResidentBytes() can exceed BytesUsed() by
   // orders of magnitude (the over-retention ROADMAP's generation-compaction
-  // item targets). Disk-backed stores pin nothing and report 0.
+  // item targets). Disk-backed stores pin nothing and report 0 (mapped
+  // segments are page cache, reclaimable by the kernel).
   virtual std::uint64_t ResidentBytes() const { return BytesUsed(); }
+
+  virtual ChunkStoreStats Stats() const { return {}; }
 };
 
 // In-memory store (unit tests, simulation, RAM-donor scenarios).
 std::unique_ptr<ChunkStore> MakeMemoryChunkStore();
 
-// On-disk store rooted at `directory`: each chunk is a file named by its
-// hex content address, fanned out over 256 subdirectories.
+struct DiskStoreOptions {
+  // A batch landing in a segment at or past this size rolls to a fresh
+  // segment first. Tests shrink it to force multi-segment layouts.
+  std::uint64_t segment_target_bytes = 64_MiB;
+};
+
+// On-disk store rooted at `directory`: a log-structured segment store.
+// Batches append to seg-NNNNNNNN.log files via one vectored write, reads
+// are zero-copy slices of the mmap'd segment, and open() recovers the
+// index by scanning segments and truncating torn tails (see README "Disk
+// store").
 Result<std::unique_ptr<ChunkStore>> MakeDiskChunkStore(
-    const std::string& directory);
+    const std::string& directory, const DiskStoreOptions& options = {});
 
 }  // namespace stdchk

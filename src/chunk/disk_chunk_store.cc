@@ -1,35 +1,159 @@
+// Log-structured segment store for scavenged donor disks.
+//
+// Layout: append-only segment files `seg-<seq>.log` under the store root.
+// Each record is a fixed 32-byte header followed by the chunk payload,
+// zero-padded to 8-byte alignment:
+//
+//   +0   u32 magic   "SDC1"
+//   +4   u32 length  payload bytes
+//   +8   u32 crc     CRC32-C of the whole record: the header with this
+//                    field zeroed, then the payload — so a flipped bit
+//                    anywhere (id, length, payload) fails recovery rather
+//                    than indexing bytes under a wrong address
+//   +12  u8[20]      chunk id (SHA-1 content address)
+//   +32  payload[length], then 0..7 zero bytes of padding
+//
+// Write path: a whole PutBatch (one drain generation) lands as a single
+// pwritev at the active segment's tail — headers, payloads and padding as
+// one iovec chain — then one fsync, and only then does the in-memory index
+// publish the chunks (durability before visibility, so a crash never
+// exposes an unsynced record). Segments roll at a size target; nothing is
+// ever rewritten in place.
+//
+// Read path: Get() returns a BufferSlice aliasing the lazily mmap'd
+// segment — zero copies, no materialization. The mapping is owned by a
+// BufferRef with an munmap deleter, so reader-held slices stay valid after
+// Delete/Wipe/segment reclamation unlink the file (the pages live until
+// the last slice drops). Slices come back unstamped: the benefactor
+// re-hashes them against the content address, exactly where a malicious
+// or bit-flipping donor would be caught.
+//
+// Recovery: open() scans every segment in sequence order, CRC-checking
+// each record. The first bad record (torn header, impossible length, CRC
+// mismatch) truncates the segment there — everything before it is intact
+// by checksum, everything after is unreachable garbage. Deleted chunks
+// simply stop being indexed; their dead bytes await segment reclamation
+// (whole-segment unlink when no live record remains) or the compaction
+// pass (ROADMAP).
+#include <fcntl.h>
+#include <limits.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
 #include <filesystem>
-#include <fstream>
+#include <map>
 #include <mutex>
 #include <unordered_map>
+#include <unordered_set>
+#include <vector>
 
 #include "chunk/chunk_store.h"
+#include "common/crc32.h"
 
 namespace stdchk {
 namespace {
 
 namespace fs = std::filesystem;
 
-// Chunk-per-file store with a 256-way fanout by the first hex byte, the
-// usual layout for content-addressed stores (avoids giant directories).
+constexpr std::uint32_t kRecordMagic = 0x31434453u;  // "SDC1" little-endian
+constexpr std::size_t kHeaderSize = 32;
+constexpr std::size_t kRecordAlign = 8;
+
+#ifdef IOV_MAX
+constexpr std::size_t kMaxIov = IOV_MAX;
+#else
+constexpr std::size_t kMaxIov = 1024;
+#endif
+
+std::size_t PadFor(std::size_t record_bytes) {
+  return (kRecordAlign - record_bytes % kRecordAlign) % kRecordAlign;
+}
+
+void PutU32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+  p[2] = static_cast<std::uint8_t>(v >> 16);
+  p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+std::uint32_t GetU32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         static_cast<std::uint32_t>(p[1]) << 8 |
+         static_cast<std::uint32_t>(p[2]) << 16 |
+         static_cast<std::uint32_t>(p[3]) << 24;
+}
+
+// Encodes the header and patches in the record CRC (header with the crc
+// field zeroed, continued over the payload).
+void EncodeHeader(std::uint8_t* out, const ChunkId& id, std::uint32_t length,
+                  ByteSpan payload) {
+  PutU32(out, kRecordMagic);
+  PutU32(out + 4, length);
+  PutU32(out + 8, 0);
+  std::memcpy(out + 12, id.digest.bytes.data(), 20);
+  PutU32(out + 8, Crc32c(payload, Crc32c(ByteSpan(out, kHeaderSize))));
+}
+
+// The recovery-side mirror of EncodeHeader's CRC: true iff the record's
+// stored CRC matches its contents.
+bool RecordCrcValid(const std::uint8_t* header, ByteSpan payload) {
+  std::uint8_t scratch[kHeaderSize];
+  std::memcpy(scratch, header, kHeaderSize);
+  std::uint32_t stored = GetU32(scratch + 8);
+  PutU32(scratch + 8, 0);
+  return Crc32c(payload, Crc32c(ByteSpan(scratch, kHeaderSize))) == stored;
+}
+
+Status ErrnoError(const std::string& what) {
+  return InternalError(what + ": " + std::strerror(errno));
+}
+
 class DiskChunkStore final : public ChunkStore {
  public:
-  explicit DiskChunkStore(fs::path root) : root_(std::move(root)) {}
+  DiskChunkStore(fs::path root, DiskStoreOptions options)
+      : root_(std::move(root)), options_(options) {}
+
+  ~DiskChunkStore() override {
+    for (auto& [seq, seg] : segments_) {
+      if (seg.fd >= 0) ::close(seg.fd);
+    }
+  }
 
   Status Init() {
     std::error_code ec;
     fs::create_directories(root_, ec);
     if (ec) return InternalError("create_directories: " + ec.message());
     // Rebuild the index from whatever survived a previous run (a benefactor
-    // restart must re-offer its chunks to the manager).
-    for (const auto& dir : fs::directory_iterator(root_, ec)) {
-      if (!dir.is_directory()) continue;
-      for (const auto& f : fs::directory_iterator(dir.path(), ec)) {
-        ChunkId id;
-        if (!ParseHex(f.path().filename().string(), id)) continue;
-        std::uint64_t size = f.file_size(ec);
-        index_[id] = size;
-        bytes_used_ += size;
+    // restart must re-offer its chunks to the manager). Segments recover in
+    // sequence order so a chunk re-put after a delete keeps its first
+    // surviving copy and later duplicates count as dead bytes.
+    std::map<std::uint32_t, fs::path> found;
+    for (const auto& entry : fs::directory_iterator(root_, ec)) {
+      std::uint32_t seq = 0;
+      if (entry.is_regular_file() &&
+          ParseSegmentName(entry.path().filename().string(), seq)) {
+        found[seq] = entry.path();
+      }
+    }
+    for (const auto& [seq, path] : found) {
+      STDCHK_RETURN_IF_ERROR(RecoverSegment(seq, path));
+      next_seq_ = seq + 1;
+      active_seq_ = seq;
+    }
+    // A recovered segment can be entirely dead — every record a duplicate
+    // of an earlier segment (re-puts after deletes). Unlink those now
+    // rather than carrying them until some Delete happens to notice.
+    for (auto it = segments_.begin(); it != segments_.end();) {
+      if (it->first != active_seq_ && it->second.live_records == 0) {
+        it = ReclaimSegmentLocked(it);
+      } else {
+        ++it;
       }
     }
     return OkStatus();
@@ -37,47 +161,30 @@ class DiskChunkStore final : public ChunkStore {
 
   using ChunkStore::Put;
 
-  // Streams the slice to disk; no in-memory duplication.
   Status Put(const ChunkId& id, BufferSlice data) override {
+    ChunkPut put{id, std::move(data)};
     std::lock_guard<std::mutex> lock(mu_);
-    if (index_.contains(id)) return OkStatus();
-    fs::path path = PathFor(id);
-    std::error_code ec;
-    fs::create_directories(path.parent_path(), ec);
-    if (ec) return InternalError("mkdir: " + ec.message());
-    // Write to a temp name then rename so a crash never leaves a torn chunk
-    // visible under its content address.
-    fs::path tmp = path;
-    tmp += ".tmp";
-    {
-      std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-      if (!out) return InternalError("open for write: " + tmp.string());
-      out.write(reinterpret_cast<const char*>(data.data()),
-                static_cast<std::streamsize>(data.size()));
-      if (!out) return InternalError("short write: " + tmp.string());
-    }
-    fs::rename(tmp, path, ec);
-    if (ec) return InternalError("rename: " + ec.message());
-    index_[id] = data.size();
-    bytes_used_ += data.size();
-    return OkStatus();
+    return PutBatchLocked(std::span<const ChunkPut>(&put, 1));
   }
 
-  // Materializes the chunk once off disk into a fresh shared buffer; every
-  // consumer downstream aliases that buffer.
+  Status PutBatch(std::span<const ChunkPut> puts) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return PutBatchLocked(puts);
+  }
+
   Result<BufferSlice> Get(const ChunkId& id) const override {
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (!index_.contains(id)) {
-        return NotFoundError("chunk " + id.ToHex() + " not on disk");
-      }
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(id);
+    if (it == index_.end()) {
+      return NotFoundError("chunk " + id.ToHex() + " not on disk");
     }
-    std::ifstream in(PathFor(id), std::ios::binary);
-    if (!in) return InternalError("open for read: " + id.ToHex());
-    Bytes data((std::istreambuf_iterator<char>(in)),
-               std::istreambuf_iterator<char>());
-    copy_stats::RecordMaterialize(data.size());
-    return BufferSlice(BufferRef::Take(std::move(data)));
+    const Entry& entry = it->second;
+    if (entry.length == 0) return BufferSlice();
+    Segment& seg = segments_.at(entry.seq);
+    STDCHK_RETURN_IF_ERROR(
+        EnsureMapped(seg, entry.offset + entry.length));
+    ++stats_.mmap_reads;
+    return BufferSlice(seg.mapping, entry.offset, entry.length);
   }
 
   bool Contains(const ChunkId& id) const override {
@@ -91,11 +198,28 @@ class DiskChunkStore final : public ChunkStore {
     if (it == index_.end()) {
       return NotFoundError("chunk " + id.ToHex() + " not on disk");
     }
-    std::error_code ec;
-    fs::remove(PathFor(id), ec);
-    if (ec) return InternalError("remove: " + ec.message());
-    bytes_used_ -= it->second;
+    auto sit = segments_.find(it->second.seq);
+    bytes_used_ -= it->second.length;
+    sit->second.live_bytes -= it->second.length;
+    sit->second.live_records -= 1;
     index_.erase(it);
+    // A fully dead non-active segment is reclaimed wholesale — the log
+    // structure's GC unit is the segment, not the chunk. Reader-held mmap
+    // slices survive the unlink (pages stay until the mapping drops).
+    if (sit->second.live_records == 0 && sit->first != active_seq_) {
+      ReclaimSegmentLocked(sit);
+    }
+    return OkStatus();
+  }
+
+  Status Wipe() override {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = segments_.begin(); it != segments_.end();) {
+      it = ReclaimSegmentLocked(it);
+    }
+    index_.clear();
+    bytes_used_ = 0;
+    active_seq_ = 0;  // next write starts a fresh segment
     return OkStatus();
   }
 
@@ -103,7 +227,7 @@ class DiskChunkStore final : public ChunkStore {
     std::lock_guard<std::mutex> lock(mu_);
     std::vector<ChunkId> out;
     out.reserve(index_.size());
-    for (const auto& [id, size] : index_) out.push_back(id);
+    for (const auto& [id, entry] : index_) out.push_back(id);
     return out;
   }
 
@@ -117,42 +241,295 @@ class DiskChunkStore final : public ChunkStore {
     return index_.size();
   }
 
-  // Chunks live in files; nothing is pinned in memory (Get hands out
-  // freshly materialized buffers owned by the readers, not the store).
+  // Chunks live in files; mapped segments are page cache the kernel can
+  // reclaim, not process-pinned heap.
   std::uint64_t ResidentBytes() const override { return 0; }
 
- private:
-  fs::path PathFor(const ChunkId& id) const {
-    std::string hex = id.ToHex();
-    return root_ / hex.substr(0, 2) / hex;
+  ChunkStoreStats Stats() const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
   }
 
-  static bool ParseHex(const std::string& hex, ChunkId& out) {
-    if (hex.size() != 40) return false;
-    auto nibble = [](char c) -> int {
-      if (c >= '0' && c <= '9') return c - '0';
-      if (c >= 'a' && c <= 'f') return c - 'a' + 10;
-      return -1;
-    };
-    for (std::size_t i = 0; i < 20; ++i) {
-      int hi = nibble(hex[2 * i]), lo = nibble(hex[2 * i + 1]);
-      if (hi < 0 || lo < 0) return false;
-      out.digest.bytes[i] = static_cast<std::uint8_t>(hi << 4 | lo);
+ private:
+  struct Entry {
+    std::uint32_t seq = 0;
+    std::uint64_t offset = 0;  // payload start within the segment
+    std::uint32_t length = 0;
+  };
+
+  struct Segment {
+    fs::path path;
+    int fd = -1;
+    std::uint64_t size = 0;        // durable, record-aligned append offset
+    std::uint64_t live_bytes = 0;  // payload bytes still indexed
+    std::uint64_t live_records = 0;
+    // Zero-copy read view of [0, mapped_size), established lazily and
+    // replaced (never grown in place) when the segment outgrows it;
+    // superseded mappings stay alive through the slices aliasing them.
+    BufferRef mapping;
+    std::uint64_t mapped_size = 0;
+  };
+
+  static bool ParseSegmentName(const std::string& name, std::uint32_t& seq) {
+    constexpr std::string_view kPrefix = "seg-", kSuffix = ".log";
+    if (name.size() <= kPrefix.size() + kSuffix.size()) return false;
+    if (name.rfind(kPrefix, 0) != 0 ||
+        name.compare(name.size() - kSuffix.size(), kSuffix.size(),
+                     kSuffix) != 0) {
+      return false;
     }
-    return true;
+    std::uint64_t value = 0;
+    for (std::size_t i = kPrefix.size(); i < name.size() - kSuffix.size();
+         ++i) {
+      if (name[i] < '0' || name[i] > '9') return false;
+      value = value * 10 + static_cast<std::uint64_t>(name[i] - '0');
+      if (value > 0xFFFFFFFFull) return false;
+    }
+    seq = static_cast<std::uint32_t>(value);
+    return seq != 0;
+  }
+
+  fs::path SegmentPath(std::uint32_t seq) const {
+    char name[32];
+    std::snprintf(name, sizeof name, "seg-%08u.log", seq);
+    return root_ / name;
+  }
+
+  Status RecoverSegment(std::uint32_t seq, const fs::path& path) {
+    int fd = ::open(path.c_str(), O_RDWR | O_CLOEXEC);
+    if (fd < 0) return ErrnoError("open " + path.string());
+    struct stat st {};
+    if (::fstat(fd, &st) != 0) {
+      ::close(fd);
+      return ErrnoError("fstat " + path.string());
+    }
+    auto file_size = static_cast<std::uint64_t>(st.st_size);
+
+    Segment seg;
+    seg.path = path;
+    seg.fd = fd;
+
+    const std::uint8_t* base = nullptr;
+    if (file_size > 0) {
+      void* addr = ::mmap(nullptr, file_size, PROT_READ, MAP_SHARED, fd, 0);
+      if (addr == MAP_FAILED) {
+        ::close(fd);
+        return ErrnoError("mmap " + path.string());
+      }
+      base = static_cast<const std::uint8_t*>(addr);
+    }
+
+    std::uint64_t off = 0;
+    while (off + kHeaderSize <= file_size) {
+      const std::uint8_t* header = base + off;
+      if (GetU32(header) != kRecordMagic) break;
+      std::uint64_t length = GetU32(header + 4);
+      if (off + kHeaderSize + length > file_size) break;  // torn payload
+      if (!RecordCrcValid(header, ByteSpan(header + kHeaderSize, length))) {
+        break;
+      }
+      ChunkId id;
+      std::memcpy(id.digest.bytes.data(), header + 12, 20);
+      auto [it, inserted] = index_.try_emplace(
+          id, Entry{seq, off + kHeaderSize,
+                    static_cast<std::uint32_t>(length)});
+      if (inserted) {
+        bytes_used_ += length;
+        seg.live_bytes += length;
+        seg.live_records += 1;
+        ++stats_.recovered_chunks;
+      }
+      off += kHeaderSize + length + PadFor(kHeaderSize + length);
+    }
+
+    if (base != nullptr) ::munmap(const_cast<std::uint8_t*>(base), file_size);
+
+    if (off < file_size) {
+      // Torn or corrupt tail: cut the segment back to its last intact
+      // record so subsequent appends extend a clean log.
+      if (::ftruncate(fd, static_cast<off_t>(off)) != 0) {
+        ::close(fd);
+        return ErrnoError("ftruncate " + path.string());
+      }
+      if (::fsync(fd) != 0) {
+        ::close(fd);
+        return ErrnoError("fsync " + path.string());
+      }
+      ++stats_.torn_tails_truncated;
+    }
+    seg.size = off;
+    segments_.emplace(seq, std::move(seg));
+    return OkStatus();
+  }
+
+  Status EnsureActiveSegmentLocked() {
+    if (active_seq_ != 0) {
+      Segment& seg = segments_.at(active_seq_);
+      if (seg.size < options_.segment_target_bytes) return OkStatus();
+    }
+    std::uint32_t seq = next_seq_++;
+    fs::path path = SegmentPath(seq);
+    int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_EXCL | O_CLOEXEC,
+                    0644);
+    if (fd < 0) return ErrnoError("create " + path.string());
+    Segment seg;
+    seg.path = std::move(path);
+    seg.fd = fd;
+    segments_.emplace(seq, std::move(seg));
+    active_seq_ = seq;
+    ++stats_.segments_created;
+    // The directory entry must be durable before any batch in this segment
+    // is acknowledged — otherwise a crash could drop the whole file and
+    // with it every fsync-acknowledged record it held.
+    return SyncDir();
+  }
+
+  Status SyncDir() {
+    int dirfd = ::open(root_.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+    if (dirfd < 0) return ErrnoError("open dir " + root_.string());
+    int rc = ::fsync(dirfd);
+    int saved_errno = errno;
+    ::close(dirfd);
+    // Filesystems that cannot sync directories (EINVAL/ENOTSUP) get the
+    // pre-segment-store durability story; real I/O errors must surface.
+    if (rc != 0 && saved_errno != EINVAL && saved_errno != ENOTSUP) {
+      errno = saved_errno;
+      return ErrnoError("fsync dir " + root_.string());
+    }
+    return OkStatus();
+  }
+
+  Status PutBatchLocked(std::span<const ChunkPut> puts) {
+    // Skip chunks already stored and intra-batch duplicates (repeated
+    // content, e.g. zeroed pages): content addressing makes re-puts
+    // byte-identical, so first copy wins.
+    std::vector<const ChunkPut*> fresh;
+    fresh.reserve(puts.size());
+    std::unordered_set<ChunkId, ChunkIdHash> in_batch;
+    for (const ChunkPut& put : puts) {
+      if (index_.contains(put.id)) continue;
+      if (!in_batch.insert(put.id).second) continue;
+      fresh.push_back(&put);
+    }
+    if (fresh.empty()) return OkStatus();
+
+    STDCHK_RETURN_IF_ERROR(EnsureActiveSegmentLocked());
+    Segment& seg = segments_.at(active_seq_);
+
+    // One iovec chain for the whole generation: header, payload, padding
+    // per record, writing the sender's slices in place (no staging copy).
+    static constexpr std::uint8_t kZeros[kRecordAlign] = {};
+    std::vector<std::array<std::uint8_t, kHeaderSize>> headers(fresh.size());
+    std::vector<Entry> entries(fresh.size());
+    std::vector<struct iovec> iov;
+    iov.reserve(fresh.size() * 3);
+    std::uint64_t off = seg.size;
+    for (std::size_t i = 0; i < fresh.size(); ++i) {
+      const ChunkPut& put = *fresh[i];
+      auto length = static_cast<std::uint32_t>(put.data.size());
+      EncodeHeader(headers[i].data(), put.id, length, put.data.span());
+      iov.push_back({headers[i].data(), kHeaderSize});
+      if (length > 0) {
+        iov.push_back({const_cast<std::uint8_t*>(put.data.data()), length});
+      }
+      std::size_t pad = PadFor(kHeaderSize + length);
+      if (pad > 0) {
+        iov.push_back({const_cast<std::uint8_t*>(kZeros), pad});
+      }
+      entries[i] = Entry{active_seq_, off + kHeaderSize, length};
+      off += kHeaderSize + length + pad;
+    }
+
+    STDCHK_RETURN_IF_ERROR(WriteVecLocked(seg, iov, seg.size));
+    // Durability before visibility: the index publishes a record only
+    // after its bytes are synced, so a crash never exposes chunks that
+    // recovery would then drop.
+    if (::fsync(seg.fd) != 0) return ErrnoError("fsync " + seg.path.string());
+    ++stats_.fsyncs;
+    ++stats_.put_batches;
+    seg.size = off;
+    for (std::size_t i = 0; i < fresh.size(); ++i) {
+      index_.emplace(fresh[i]->id, entries[i]);
+      bytes_used_ += entries[i].length;
+      seg.live_bytes += entries[i].length;
+      seg.live_records += 1;
+    }
+    return OkStatus();
+  }
+
+  Status WriteVecLocked(Segment& seg, std::vector<struct iovec>& iov,
+                        std::uint64_t offset) {
+    std::size_t idx = 0;
+    while (idx < iov.size()) {
+      auto count = static_cast<int>(
+          std::min<std::size_t>(iov.size() - idx, kMaxIov));
+      ssize_t n = ::pwritev(seg.fd, &iov[idx], count,
+                            static_cast<off_t>(offset));
+      ++stats_.data_syscalls;
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return ErrnoError("pwritev " + seg.path.string());
+      }
+      offset += static_cast<std::uint64_t>(n);
+      auto remaining = static_cast<std::size_t>(n);
+      while (remaining > 0 && idx < iov.size()) {
+        if (remaining >= iov[idx].iov_len) {
+          remaining -= iov[idx].iov_len;
+          ++idx;
+        } else {
+          iov[idx].iov_base = static_cast<char*>(iov[idx].iov_base) +
+                              remaining;
+          iov[idx].iov_len -= remaining;
+          remaining = 0;
+        }
+      }
+      // A zero-byte pwritev with bytes left would loop forever; surface it.
+      if (n == 0 && idx < iov.size()) {
+        return InternalError("pwritev wrote nothing: " + seg.path.string());
+      }
+    }
+    return OkStatus();
+  }
+
+  Status EnsureMapped(Segment& seg, std::uint64_t needed) const {
+    if (seg.mapping && seg.mapped_size >= needed) return OkStatus();
+    void* addr = ::mmap(nullptr, seg.size, PROT_READ, MAP_SHARED, seg.fd, 0);
+    if (addr == MAP_FAILED) return ErrnoError("mmap " + seg.path.string());
+    // Readers drain whole generations front to back; prefetching the
+    // segment turns per-page faults into streamed readahead.
+    ::madvise(addr, seg.size, MADV_WILLNEED);
+    seg.mapping = BufferRef::WrapMmap(addr, seg.size);
+    seg.mapped_size = seg.size;
+    return OkStatus();
+  }
+
+  std::map<std::uint32_t, Segment>::iterator ReclaimSegmentLocked(
+      std::map<std::uint32_t, Segment>::iterator it) {
+    Segment& seg = it->second;
+    if (seg.fd >= 0) ::close(seg.fd);
+    std::error_code ec;
+    fs::remove(seg.path, ec);  // mapping (if any) outlives the unlink
+    ++stats_.segments_reclaimed;
+    return segments_.erase(it);
   }
 
   fs::path root_;
+  DiskStoreOptions options_;
   mutable std::mutex mu_;
-  std::unordered_map<ChunkId, std::uint64_t, ChunkIdHash> index_;
+  std::unordered_map<ChunkId, Entry, ChunkIdHash> index_;
+  // mutable: Get() is logically const but establishes mappings lazily.
+  mutable std::map<std::uint32_t, Segment> segments_;
+  std::uint32_t active_seq_ = 0;  // 0 = none yet
+  std::uint32_t next_seq_ = 1;
   std::uint64_t bytes_used_ = 0;
+  mutable ChunkStoreStats stats_;
 };
 
 }  // namespace
 
 Result<std::unique_ptr<ChunkStore>> MakeDiskChunkStore(
-    const std::string& directory) {
-  auto store = std::make_unique<DiskChunkStore>(directory);
+    const std::string& directory, const DiskStoreOptions& options) {
+  auto store = std::make_unique<DiskChunkStore>(directory, options);
   STDCHK_RETURN_IF_ERROR(store->Init());
   return std::unique_ptr<ChunkStore>(std::move(store));
 }

@@ -15,11 +15,14 @@ class MemoryChunkStore final : public ChunkStore {
   // chunks is stored or any reader still holds a slice.
   Status Put(const ChunkId& id, BufferSlice data) override {
     std::lock_guard<std::mutex> lock(mu_);
-    auto [it, inserted] = chunks_.try_emplace(id, std::move(data));
-    if (inserted) {
-      bytes_used_ += it->second.size();
-      PinBacking(it->second);
-    }
+    PutLocked(id, std::move(data));
+    return OkStatus();
+  }
+
+  // One lock acquisition for a whole drain generation.
+  Status PutBatch(std::span<const ChunkPut> puts) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const ChunkPut& put : puts) PutLocked(put.id, put.data);
     return OkStatus();
   }
 
@@ -47,6 +50,15 @@ class MemoryChunkStore final : public ChunkStore {
     bytes_used_ -= it->second.size();
     UnpinBacking(it->second);
     chunks_.erase(it);
+    return OkStatus();
+  }
+
+  Status Wipe() override {
+    std::lock_guard<std::mutex> lock(mu_);
+    chunks_.clear();
+    backings_.clear();
+    bytes_used_ = 0;
+    resident_bytes_ = 0;
     return OkStatus();
   }
 
@@ -81,6 +93,14 @@ class MemoryChunkStore final : public ChunkStore {
     std::size_t refs = 0;
     std::size_t bytes = 0;
   };
+
+  void PutLocked(const ChunkId& id, BufferSlice data) {
+    auto [it, inserted] = chunks_.try_emplace(id, std::move(data));
+    if (inserted) {
+      bytes_used_ += it->second.size();
+      PinBacking(it->second);
+    }
+  }
 
   void PinBacking(const BufferSlice& data) {
     if (data.backing_id() == nullptr) return;

@@ -1,8 +1,23 @@
 #include "common/buffer.h"
 
+#include <sys/mman.h>
+
 #include <atomic>
 
 namespace stdchk {
+
+BufferRef BufferRef::WrapMmap(void* addr, std::size_t length) {
+  // The shared_ptr deleter is the unmap: it runs when the last BufferRef /
+  // BufferSlice aliasing the region drops, wherever that happens.
+  std::shared_ptr<const void> region(
+      addr, [length](const void* p) {
+        if (p != nullptr && length != 0) {
+          ::munmap(const_cast<void*>(p), length);
+        }
+      });
+  return WrapExternal(static_cast<const std::uint8_t*>(addr), length,
+                      std::move(region));
+}
 namespace copy_stats {
 namespace {
 

@@ -1,11 +1,14 @@
 // Ref-counted immutable payload buffers — the zero-copy chunk data path.
 //
-// A chunk's bytes are materialized once (at ingest: the planner's staging
-// buffer, or a disk-store read) into a BufferRef, and from then on every
-// hop — upload plan, transport op, benefactor store, read-ahead cache —
-// holds a BufferSlice that *aliases* the same backing storage. The backing
-// buffer is freed when the last slice drops; a reader-held slice therefore
-// stays valid even after the originating store deletes or GCs the chunk.
+// A chunk's bytes land in owned storage once (at ingest: the planner's
+// staging buffer) — or never, when the backing is an mmap'd disk segment
+// (BufferRef::WrapMmap) — and from then on every hop — upload plan,
+// transport op, benefactor store, read-ahead cache — holds a BufferSlice
+// that *aliases* the same backing storage. The backing is released (heap
+// freed, region unmapped) when the last slice drops; a reader-held slice
+// therefore stays valid even after the originating store deletes or GCs
+// the chunk, and an mmap'd slice stays valid even after the segment file
+// is unlinked.
 //
 // Ownership rules (see README "Data path"):
 //   * BufferRef/BufferSlice contents are immutable; sharing is always safe.
@@ -45,6 +48,21 @@ CopyStatsSnapshot Snapshot();
 void Reset();
 }  // namespace copy_stats
 
+namespace detail {
+
+// One immutable backing region: a pointer/size pair plus whatever keeps the
+// storage alive — a heap Bytes vector, or an externally managed region such
+// as an mmap'd segment file whose shared_ptr deleter munmaps. The Backing
+// object itself is the stable identity handed out by backing_id() and the
+// unit the stores' resident-bytes accounting counts.
+struct BufferBacking {
+  const std::uint8_t* data = nullptr;
+  std::size_t size = 0;
+  std::shared_ptr<const void> storage;
+};
+
+}  // namespace detail
+
 // Shared ownership of one immutable byte buffer.
 class BufferRef {
  public:
@@ -53,29 +71,53 @@ class BufferRef {
   // Adopts `data` without copying (the canonical way a staging buffer
   // becomes shareable).
   static BufferRef Take(Bytes&& data) {
-    return BufferRef(std::make_shared<const Bytes>(std::move(data)));
+    auto bytes = std::make_shared<const Bytes>(std::move(data));
+    const std::uint8_t* p = bytes->data();
+    std::size_t n = bytes->size();
+    return BufferRef(std::make_shared<const detail::BufferBacking>(
+        detail::BufferBacking{p, n, std::move(bytes)}));
   }
 
   // Copies borrowed bytes into owned storage; counted as a materialization.
   static BufferRef Materialize(ByteSpan data) {
     copy_stats::RecordMaterialize(data.size());
-    return BufferRef(std::make_shared<const Bytes>(data.begin(), data.end()));
+    return Take(Bytes(data.begin(), data.end()));
   }
 
-  ByteSpan span() const {
-    return bytes_ ? ByteSpan(bytes_->data(), bytes_->size()) : ByteSpan();
+  // Wraps caller-provided storage without copying: `storage`'s deleter runs
+  // when the last ref/slice aliasing the region drops. The canonical
+  // producer is WrapMmap; anything whose lifetime a shared_ptr can manage
+  // (arena block, foreign allocation) works the same way.
+  static BufferRef WrapExternal(const std::uint8_t* data, std::size_t size,
+                                std::shared_ptr<const void> storage) {
+    return BufferRef(std::make_shared<const detail::BufferBacking>(
+        detail::BufferBacking{data, size, std::move(storage)}));
   }
-  const std::uint8_t* data() const { return bytes_ ? bytes_->data() : nullptr; }
-  std::size_t size() const { return bytes_ ? bytes_->size() : 0; }
+
+  // Adopts an mmap'd region: munmap(addr, length) runs when the last
+  // ref/slice drops. `addr` must be the address of a successful mmap of
+  // `length` bytes; the mapping (and thus every slice of it) stays valid
+  // even after the backing file is unlinked. This is what makes disk-store
+  // reads zero-copy: Get() hands out slices of the mapped segment instead
+  // of materializing each chunk into fresh heap storage.
+  static BufferRef WrapMmap(void* addr, std::size_t length);
+
+  ByteSpan span() const {
+    return backing_ ? ByteSpan(backing_->data, backing_->size) : ByteSpan();
+  }
+  const std::uint8_t* data() const {
+    return backing_ ? backing_->data : nullptr;
+  }
+  std::size_t size() const { return backing_ ? backing_->size : 0; }
   bool empty() const { return size() == 0; }
-  explicit operator bool() const { return bytes_ != nullptr; }
+  explicit operator bool() const { return backing_ != nullptr; }
 
  private:
   friend class BufferSlice;
-  explicit BufferRef(std::shared_ptr<const Bytes> bytes)
-      : bytes_(std::move(bytes)) {}
+  explicit BufferRef(std::shared_ptr<const detail::BufferBacking> backing)
+      : backing_(std::move(backing)) {}
 
-  std::shared_ptr<const Bytes> bytes_;
+  std::shared_ptr<const detail::BufferBacking> backing_;
 };
 
 // A view of [offset, offset+size) within a BufferRef that shares ownership
@@ -86,13 +128,13 @@ class BufferSlice {
   BufferSlice() = default;
 
   explicit BufferSlice(BufferRef buffer)
-      : owner_(std::move(buffer.bytes_)) {
-    if (owner_) span_ = ByteSpan(owner_->data(), owner_->size());
+      : owner_(std::move(buffer.backing_)) {
+    if (owner_) span_ = ByteSpan(owner_->data, owner_->size);
   }
 
   BufferSlice(BufferRef buffer, std::size_t offset, std::size_t size)
-      : owner_(std::move(buffer.bytes_)) {
-    if (owner_) span_ = ByteSpan(owner_->data() + offset, size);
+      : owner_(std::move(buffer.backing_)) {
+    if (owner_) span_ = ByteSpan(owner_->data + offset, size);
   }
 
   // Duplicates already-owned payload bytes; counted as a payload copy.
@@ -100,10 +142,7 @@ class BufferSlice {
   // path must not.
   static BufferSlice Copy(ByteSpan data) {
     copy_stats::RecordCopy(data.size());
-    BufferSlice out;
-    out.owner_ = std::make_shared<const Bytes>(data.begin(), data.end());
-    out.span_ = ByteSpan(out.owner_->data(), out.owner_->size());
-    return out;
+    return BufferSlice(BufferRef::Take(Bytes(data.begin(), data.end())));
   }
 
   ByteSpan span() const { return span_; }
@@ -147,16 +186,18 @@ class BufferSlice {
   const Sha1Digest* stamped_digest() const { return digest_.get(); }
 
   // Bytes the whole backing buffer occupies (>= size()): what this slice
-  // actually pins in memory. A slice of a drain generation keeps the entire
-  // generation resident — the gap stores report via ResidentBytes().
-  std::size_t backing_size() const { return owner_ ? owner_->size() : 0; }
+  // actually pins. A slice of a drain generation keeps the entire
+  // generation resident — the gap stores report via ResidentBytes(). For a
+  // file-backed (mmap) slice this is the mapped region the slice keeps
+  // alive, address space + page cache rather than heap.
+  std::size_t backing_size() const { return owner_ ? owner_->size : 0; }
 
   // Identity of the backing buffer, stable for its lifetime; lets a store
   // count each pinned generation once. nullptr for the empty slice.
   const void* backing_id() const { return owner_.get(); }
 
  private:
-  std::shared_ptr<const Bytes> owner_;
+  std::shared_ptr<const detail::BufferBacking> owner_;
   ByteSpan span_;
   std::shared_ptr<const Sha1Digest> digest_;  // see StampDigest()
 };

@@ -1,0 +1,20 @@
+// CRC32-C (Castagnoli) — the per-record payload checksum of the disk
+// store's segment log. Chosen over the content SHA-1 for recovery because
+// a startup scan must classify every record of every segment as intact or
+// torn before the store can serve; CRC is an order of magnitude cheaper
+// and tampering detection still rests on SHA-1 content addressing at read
+// time (the CRC only has to catch torn writes and media corruption).
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace stdchk {
+
+// Plain (non-reflected-output tricks, standard CRC32C as in iSCSI/ext4):
+// crc of `data` continuing from `seed` (0 for a fresh checksum). Streaming
+// use: Crc32c(b, Crc32c(a)) == Crc32c(ab).
+std::uint32_t Crc32c(ByteSpan data, std::uint32_t seed = 0);
+
+}  // namespace stdchk

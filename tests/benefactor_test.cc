@@ -133,6 +133,72 @@ TEST_F(BenefactorTest, StashAndOfferRecoveredVersions) {
   EXPECT_TRUE(manager_.GetVersion(record.name).ok());
 }
 
+// Receive-side verify fan-out: batch admission re-hashes unstamped chunks
+// across the shared HashPool. Admission must be byte-identical for 1 vs N
+// workers — same statuses, same stored state — for clean and corrupt
+// batches alike.
+TEST(BenefactorVerifyFanOutTest, AdmissionIdenticalForOneAndManyWorkers) {
+  Rng rng(41);
+  std::vector<Bytes> payloads;
+  for (int i = 0; i < 32; ++i) payloads.push_back(rng.RandomBytes(1024));
+
+  auto make_batch = [&payloads]() {
+    std::vector<ChunkPut> batch;
+    for (const Bytes& data : payloads) {
+      // BufferSlice::Copy drops any stamp: every chunk pays the re-hash,
+      // like a batch that crossed a re-materializing boundary.
+      batch.push_back(ChunkPut{ChunkId::For(data), BufferSlice::Copy(data)});
+    }
+    return batch;
+  };
+
+  Benefactor serial("serial", MakeMemoryChunkStore(), 1_GiB);
+  serial.set_verify_workers(1);
+  Benefactor fanned("fanned", MakeMemoryChunkStore(), 1_GiB);
+  fanned.set_verify_workers(8);
+
+  Status s = serial.PutChunkBatch(make_batch());
+  Status f = fanned.PutChunkBatch(make_batch());
+  EXPECT_TRUE(s.ok()) << s;
+  EXPECT_TRUE(f.ok()) << f;
+
+  ASSERT_EQ(serial.ChunkCount(), payloads.size());
+  ASSERT_EQ(fanned.ChunkCount(), payloads.size());
+  EXPECT_EQ(serial.BytesUsed(), fanned.BytesUsed());
+  for (const Bytes& data : payloads) {
+    ChunkId id = ChunkId::For(data);
+    auto a = serial.GetChunk(id);
+    auto b = fanned.GetChunk(id);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(a.value(), b.value());
+  }
+}
+
+TEST(BenefactorVerifyFanOutTest, CorruptBatchRejectedIdenticallyAtAnyWidth) {
+  Rng rng(42);
+  std::vector<Bytes> payloads;
+  for (int i = 0; i < 16; ++i) payloads.push_back(rng.RandomBytes(512));
+
+  for (int workers : {1, 2, 8}) {
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    Benefactor node("donor", MakeMemoryChunkStore(), 1_GiB);
+    node.set_verify_workers(workers);
+
+    std::vector<ChunkPut> batch;
+    for (const Bytes& data : payloads) {
+      batch.push_back(ChunkPut{ChunkId::For(data), BufferSlice::Copy(data)});
+    }
+    // Mispair one chunk's content address, mid-batch.
+    batch[7].id = ChunkId::For(ToBytes("not those bytes"));
+
+    EXPECT_EQ(node.PutChunkBatch(batch).code(), StatusCode::kDataLoss);
+    // Whole-batch admission: nothing landed.
+    EXPECT_EQ(node.ChunkCount(), 0u);
+    EXPECT_EQ(node.BytesUsed(), 0u);
+  }
+}
+
 TEST_F(BenefactorTest, StashWhileOfflineFails) {
   benefactor_.Crash();
   VersionRecord record;

@@ -113,6 +113,46 @@ TEST_P(ChunkStoreTest, EmptyChunkSupported) {
   EXPECT_TRUE(got.value().empty());
 }
 
+TEST_P(ChunkStoreTest, PutBatchStoresWholeGeneration) {
+  std::vector<Bytes> payloads;
+  std::vector<ChunkPut> batch;
+  for (int i = 0; i < 8; ++i) {
+    payloads.push_back(MakeData(100 + static_cast<std::size_t>(i), 900 + i));
+    batch.push_back(
+        ChunkPut{ChunkId::For(payloads.back()), BufferSlice::Copy(payloads.back())});
+  }
+  // Duplicate id within the batch (repeated content): stored once.
+  batch.push_back(batch.front());
+  ASSERT_TRUE(store_->PutBatch(batch).ok());
+  EXPECT_EQ(store_->ChunkCount(), 8u);
+  for (const Bytes& data : payloads) {
+    auto got = store_->Get(ChunkId::For(data));
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(got.value(), data);
+  }
+  // Re-batching is idempotent.
+  ASSERT_TRUE(store_->PutBatch(batch).ok());
+  EXPECT_EQ(store_->ChunkCount(), 8u);
+}
+
+TEST_P(ChunkStoreTest, WipeDropsEverythingButHeldSlicesStayValid) {
+  Bytes data = MakeData(2048, 31);
+  ChunkId id = ChunkId::For(data);
+  ASSERT_TRUE(store_->Put(id, data).ok());
+  auto held = store_->Get(id);
+  ASSERT_TRUE(held.ok());
+
+  ASSERT_TRUE(store_->Wipe().ok());
+  EXPECT_EQ(store_->ChunkCount(), 0u);
+  EXPECT_EQ(store_->BytesUsed(), 0u);
+  EXPECT_FALSE(store_->Contains(id));
+  EXPECT_EQ(held.value(), data);  // the slice outlives the wipe
+
+  // The store remains usable after a wipe.
+  ASSERT_TRUE(store_->Put(id, data).ok());
+  EXPECT_EQ(store_->ChunkCount(), 1u);
+}
+
 INSTANTIATE_TEST_SUITE_P(Backends, ChunkStoreTest,
                          ::testing::Values(StoreKind::kMemory,
                                            StoreKind::kDisk),
@@ -120,6 +160,117 @@ INSTANTIATE_TEST_SUITE_P(Backends, ChunkStoreTest,
                            return info.param == StoreKind::kMemory ? "Memory"
                                                                    : "Disk";
                          });
+
+// Randomized op-sequence driven against the memory and disk stores in
+// lockstep: the two backends must be observationally identical — same
+// status codes, same visible bytes, same accounting — and disk slices
+// handed out along the way (zero-copy views of mmap'd segments) must stay
+// byte-stable across every later Delete/Wipe/segment reclamation.
+TEST(ChunkStorePropertyTest, MemoryAndDiskStoresAgreeUnderRandomOps) {
+  auto dir = std::filesystem::temp_directory_path() /
+             ("stdchk_lockstep_" + std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+  auto memory = MakeMemoryChunkStore();
+  DiskStoreOptions small;
+  small.segment_target_bytes = 2048;  // force frequent rolls + reclamation
+  auto disk_result = MakeDiskChunkStore(dir.string(), small);
+  ASSERT_TRUE(disk_result.ok()) << disk_result.status();
+  auto disk = std::move(disk_result).value();
+
+  Rng rng(0xC0FFEE);
+  std::vector<std::pair<ChunkId, Bytes>> universe;  // ids ops draw from
+  auto random_chunk = [&]() {
+    Bytes data = rng.RandomBytes(rng.NextBelow(700));  // includes empty
+    universe.emplace_back(ChunkId::For(data), data);
+    return universe.back();
+  };
+  auto known_id = [&]() {
+    return universe[rng.NextBelow(universe.size())].first;
+  };
+  random_chunk();  // never draw from an empty universe
+
+  struct HeldSlice {
+    BufferSlice slice;
+    Bytes expected;
+  };
+  std::vector<HeldSlice> held;
+
+  for (int op = 0; op < 600; ++op) {
+    SCOPED_TRACE("op " + std::to_string(op));
+    double dice = rng.NextDouble();
+    if (dice < 0.30) {  // Put (fresh or re-put)
+      auto [id, data] = rng.NextBool(0.7) ? random_chunk()
+                                          : universe[rng.NextBelow(
+                                                universe.size())];
+      Status m = memory->Put(id, BufferSlice::Copy(data));
+      Status d = disk->Put(id, BufferSlice::Copy(data));
+      EXPECT_EQ(m.code(), d.code());
+    } else if (dice < 0.45) {  // PutBatch of a small generation
+      std::vector<ChunkPut> batch;
+      std::size_t n = 1 + rng.NextBelow(6);
+      for (std::size_t i = 0; i < n; ++i) {
+        auto [id, data] = random_chunk();
+        batch.push_back(ChunkPut{id, BufferSlice::Copy(data)});
+      }
+      Status m = memory->PutBatch(batch);
+      Status d = disk->PutBatch(batch);
+      EXPECT_EQ(m.code(), d.code());
+    } else if (dice < 0.70) {  // Get, occasionally holding the disk slice
+      ChunkId id = known_id();
+      auto m = memory->Get(id);
+      auto d = disk->Get(id);
+      ASSERT_EQ(m.status().code(), d.status().code());
+      if (m.ok()) {
+        EXPECT_EQ(m.value(), d.value());
+        if (rng.NextBool(0.5)) {
+          held.push_back(HeldSlice{d.value(), d.value().ToBytes()});
+        }
+      }
+    } else if (dice < 0.90) {  // Delete
+      ChunkId id = known_id();
+      Status m = memory->Delete(id);
+      Status d = disk->Delete(id);
+      EXPECT_EQ(m.code(), d.code());
+    } else if (dice < 0.93) {  // Wipe (rare)
+      EXPECT_TRUE(memory->Wipe().ok());
+      EXPECT_TRUE(disk->Wipe().ok());
+    } else {  // Contains
+      ChunkId id = known_id();
+      EXPECT_EQ(memory->Contains(id), disk->Contains(id));
+    }
+
+    ASSERT_EQ(memory->BytesUsed(), disk->BytesUsed());
+    ASSERT_EQ(memory->ChunkCount(), disk->ChunkCount());
+  }
+
+  // Visible state is identical chunk for chunk.
+  std::set<std::string> memory_ids, disk_ids;
+  for (const ChunkId& id : memory->List()) memory_ids.insert(id.ToHex());
+  for (const ChunkId& id : disk->List()) disk_ids.insert(id.ToHex());
+  EXPECT_EQ(memory_ids, disk_ids);
+  for (const ChunkId& id : memory->List()) {
+    auto m = memory->Get(id);
+    auto d = disk->Get(id);
+    ASSERT_TRUE(m.ok());
+    ASSERT_TRUE(d.ok());
+    EXPECT_EQ(m.value(), d.value());
+  }
+
+  // Every slice held across subsequent deletes, wipes and segment
+  // reclamations still reads its original bytes (the mmap backing lives
+  // until the last slice drops, unlinked files included).
+  EXPECT_GE(held.size(), 5u);  // the op mix must actually exercise this
+  for (std::size_t i = 0; i < held.size(); ++i) {
+    SCOPED_TRACE("held slice " + std::to_string(i));
+    EXPECT_EQ(held[i].slice, ByteSpan(held[i].expected));
+  }
+  EXPECT_GT(disk->Stats().segments_reclaimed, 0u);
+
+  held.clear();
+  memory.reset();
+  disk.reset();
+  std::filesystem::remove_all(dir);
+}
 
 TEST(DiskChunkStoreTest, SurvivesReopen) {
   auto dir = std::filesystem::temp_directory_path() / "stdchk_reopen_test";

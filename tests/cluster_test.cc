@@ -190,13 +190,21 @@ TEST(ClusterTest, DiskBackedBenefactorsPersistChunks) {
     ASSERT_TRUE(read_back.ok());
     EXPECT_EQ(read_back.value(), data);
   }
-  // Chunk files are on disk.
-  std::size_t files = 0;
+  // The chunks persisted into each node's segment log: one seg-*.log per
+  // drained node (a whole generation lands in one segment), and together
+  // they hold all 4 KiB of payload plus the per-record headers.
+  std::size_t segment_files = 0;
+  std::uintmax_t on_disk_bytes = 0;
   for (auto it = std::filesystem::recursive_directory_iterator(dir);
        it != std::filesystem::recursive_directory_iterator(); ++it) {
-    if (it->is_regular_file()) ++files;
+    if (!it->is_regular_file()) continue;
+    EXPECT_TRUE(it->path().filename().string().starts_with("seg-"))
+        << it->path();
+    ++segment_files;
+    on_disk_bytes += it->file_size();
   }
-  EXPECT_EQ(files, 4u);
+  EXPECT_EQ(segment_files, 2u);  // both donors drained one generation each
+  EXPECT_GT(on_disk_bytes, 4096u);
   std::filesystem::remove_all(dir);
 }
 

@@ -4,6 +4,8 @@
 // once two-thirds of the stripe concur.
 #include <gtest/gtest.h>
 
+#include <filesystem>
+
 #include "common/rng.h"
 #include "core/cluster.h"
 
@@ -127,6 +129,56 @@ TEST_F(RecoveryTest, CommittedDataUnaffectedByManagerBounce) {
   auto read_back = cluster_->client().ReadFile(Name(1));
   ASSERT_TRUE(read_back.ok());
   EXPECT_EQ(read_back.value(), data);
+}
+
+// A disk-donating benefactor process dies and comes back: a fresh store
+// over the same directory recovers the segment log, and the rebuilt node
+// re-offers every surviving chunk to the manager's GC exchange (the
+// paper's soft-state re-registration story, now backed by real recovery).
+TEST(BenefactorRestartTest, DiskBenefactorRejoinsWithRecoveredChunks) {
+  auto dir = std::filesystem::temp_directory_path() /
+             ("stdchk_benefactor_restart_" + std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+
+  Rng rng(23);
+  std::vector<std::pair<ChunkId, Bytes>> chunks;
+  std::vector<ChunkPut> batch;
+  for (int i = 0; i < 6; ++i) {
+    Bytes data = rng.RandomBytes(2048);
+    chunks.emplace_back(ChunkId::For(data), data);
+    batch.push_back(ChunkPut{chunks.back().first, BufferSlice::Copy(data)});
+  }
+
+  {  // First life: admit a generation, then the process dies (no cleanup).
+    auto store = MakeDiskChunkStore(dir.string());
+    ASSERT_TRUE(store.ok());
+    Benefactor node("desk0", std::move(store).value(), 1_GiB);
+    ASSERT_TRUE(node.PutChunkBatch(batch).ok());
+  }
+
+  // Second life: a new store over the same directory, a new registration.
+  VirtualClock clock;
+  MetadataManager manager(&clock);
+  auto store = MakeDiskChunkStore(dir.string());
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ(store.value()->Stats().recovered_chunks, chunks.size());
+  Benefactor reborn("desk0", std::move(store).value(), 1_GiB);
+  ASSERT_TRUE(reborn.JoinPool(manager).ok());
+  EXPECT_EQ(reborn.ChunkCount(), chunks.size());
+  for (const auto& [id, data] : chunks) {
+    auto got = reborn.GetChunk(id);  // served + SHA-1-verified
+    ASSERT_TRUE(got.ok()) << got.status();
+    EXPECT_EQ(got.value(), data);
+  }
+
+  // The GC exchange sees the recovered holdings; with no live catalog
+  // entries they are orphans, so the manager reclaims all of them.
+  auto reclaimed = reborn.RunGc(manager);
+  ASSERT_TRUE(reclaimed.ok());
+  EXPECT_EQ(reclaimed.value(), chunks.size());
+  EXPECT_EQ(reborn.ChunkCount(), 0u);
+
+  std::filesystem::remove_all(dir);
 }
 
 TEST_F(RecoveryTest, GcDoesNotCollectStashedDataBeforeRecovery) {
