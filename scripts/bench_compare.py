@@ -13,36 +13,53 @@ A metric that moves against its direction by more than --tolerance
 prints a report and exits 1 if any were found (0 otherwise). Added/removed
 rows and metrics are reported but never fail the gate — benches evolve.
 
+A second class of metrics is DETERMINISTIC: counts and invariants (payload
+copies, syscalls, fsyncs, mmap reads, placement RPCs, epoch mismatches)
+that depend only on the workload, not the hardware. These are compared
+exactly — any drift is a regression, because a copy or RPC appearing on a
+zero-copy / zero-RPC path is a behavior change, not noise.
+
 Usage:
   scripts/bench_compare.py --baseline BENCH_RESULTS.json \
-                           --fresh fresh.json [--tolerance 0.25]
+                           --fresh fresh.json [--tolerance 0.25] \
+                           [--gate all|deterministic|perf]
 
-CI runs this as a non-blocking report step against the committed snapshot;
-locally it is the fast answer to "did my change slow anything down".
+CI runs --gate deterministic as a BLOCKING step (exact counters are
+machine-independent) and the perf comparison as a non-blocking report —
+runners are noisy shared VMs, so wall-clock gating is meant for
+like-for-like hardware (run locally before refreshing the snapshot).
 """
 
 import argparse
 import json
 import sys
 
-HIGHER_BETTER = ("_mb_s", "speedup", "similarity_pct", "reduction_pct",
-                 "improvement_pct")
+HIGHER_BETTER = ("_mb_s", "_per_sec", "speedup", "similarity_pct",
+                 "reduction_pct", "improvement_pct")
 LOWER_BETTER = ("_ns", "overhead_pct", "overhead_x")
 # modeled_*_s / *_total_s style wall-clock models: lower is better.
 LOWER_BETTER_TIME_HINTS = ("modeled", "total_s", "real_time")
 
 # Machine- or run-varying side measurements that must identify nothing
-# (a 32-core box reports hash_workers_peak=32 where the snapshot says 1;
-# copy counters change when a data path changes shape). They are not
-# gated either — the benches assert their own invariants on these.
-INFORMATIONAL = ("hash_workers_peak", "_payload_copies", "_copy_bytes",
-                 "materializations", "materialized_bytes", "identical",
-                 "zero_copy", "syscalls", "mmap_reads", "fsyncs")
+# (a 32-core box reports hash_workers_peak=32 where the snapshot says 1).
+# Not gated — the benches assert their own invariants on these.
+INFORMATIONAL = ("hash_workers_peak", "lock_contended")
+
+# Workload-determined counts: identical on every machine for a given build,
+# so any change is a real behavior change. Compared exactly, blocking.
+DETERMINISTIC = ("_payload_copies", "_copy_bytes", "materializations",
+                 "materialized_bytes", "identical", "zero_copy", "syscalls",
+                 "mmap_reads", "fsyncs", "placement_rpcs", "epoch_mismatch",
+                 "server_placements", "per_write")
+
+
+def deterministic(name):
+    return any(pattern in name for pattern in DETERMINISTIC)
 
 
 def metric_direction(name):
     """Returns +1 (higher better), -1 (lower better) or 0 (not a metric)."""
-    if informational(name):
+    if informational(name) or deterministic(name):
         return 0
     for suffix in HIGHER_BETTER:
         if name.endswith(suffix) or suffix in name:
@@ -72,7 +89,7 @@ def row_key(row):
     parts = []
     for k in sorted(row):
         if (metric_direction(k) == 0 and not informational(k)
-                and not isinstance(row[k], float)):
+                and not deterministic(k) and not isinstance(row[k], float)):
             parts.append((k, row[k]))
     return tuple(parts)
 
@@ -104,10 +121,17 @@ def main():
     parser.add_argument("--tolerance", type=float, default=0.25,
                         help="relative slack before a move counts as a "
                              "regression (default 0.25 = 25%%)")
+    parser.add_argument("--gate", choices=("all", "deterministic", "perf"),
+                        default="all",
+                        help="which metric classes can fail the run: "
+                             "exact-match counters, directional perf "
+                             "metrics, or both (default)")
     args = parser.parse_args()
 
     base = load_rows(args.baseline)
     fresh = load_rows(args.fresh)
+    check_perf = args.gate in ("all", "perf")
+    check_deterministic = args.gate in ("all", "deterministic")
 
     regressions = []
     improvements = []
@@ -116,11 +140,20 @@ def main():
         if base_row is None:
             continue
         for name, fresh_value in fresh_row.items():
-            direction = metric_direction(name)
-            if direction == 0 or not isinstance(fresh_value, (int, float)):
+            if not isinstance(fresh_value, (int, float)):
                 continue
             base_value = base_row.get(name)
-            if not isinstance(base_value, (int, float)) or base_value == 0:
+            if not isinstance(base_value, (int, float)):
+                continue
+            if deterministic(name):
+                if check_deterministic and fresh_value != base_value:
+                    regressions.append(
+                        f"{fmt_key(key)} :: {name} "
+                        f"{base_value:.6g} != {fresh_value:.6g} "
+                        f"(deterministic counter drifted)")
+                continue
+            direction = metric_direction(name)
+            if direction == 0 or not check_perf or base_value == 0:
                 continue
             ratio = fresh_value / base_value
             delta = (ratio - 1.0) * direction  # negative = got worse

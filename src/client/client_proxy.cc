@@ -13,7 +13,9 @@ Result<std::unique_ptr<WriteSession>> ClientProxy::CreateFileWith(
     return AlreadyExistsError("checkpoint image " + name.ToString() +
                               " already exists");
   }
-  return std::make_unique<WriteSession>(manager_, transport_, name, options);
+  return std::make_unique<WriteSession>(
+      manager_, transport_, name, options,
+      options.decentralized_placement ? &table_cache_ : nullptr);
 }
 
 Result<CloseOutcome> ClientProxy::WriteFile(const CheckpointName& name,

@@ -13,6 +13,7 @@
 
 #include "client/transport.h"
 #include "client/client_options.h"
+#include "client/placement.h"
 #include "client/write_stats.h"
 #include "common/status.h"
 #include "manager/metadata_manager.h"
@@ -28,9 +29,14 @@ enum class CloseOutcome {
 
 class CommitCoordinator {
  public:
+  // `table_cache` enables decentralized placement: the first reservation
+  // computes its stripe from the cached table (ComputeStripe) and reserves
+  // at the table's epoch, refetching only on a stale-epoch rejection.
+  // nullptr keeps the legacy server-side SelectStripe path.
   CommitCoordinator(MetadataManager* manager, Transport* transport,
                     CheckpointName name, const ClientOptions& options,
-                    WriteStats* stats);
+                    WriteStats* stats,
+                    PlacementTableCache* table_cache = nullptr);
 
   // ---- Reservation lifecycle (batch-aware) ---------------------------------
   // Ensures a stripe reservation exists and covers `upcoming` more bytes.
@@ -77,16 +83,24 @@ class CommitCoordinator {
 
  private:
   Status StashOnStripe(const VersionRecord& record);
+  // First reservation via the cached placement table (mismatch-refetch
+  // loop); only used when table_cache_ is set.
+  Status ReserveDecentralized(std::uint64_t bytes);
 
   MetadataManager* manager_;
   Transport* transport_;
   CheckpointName name_;
   const ClientOptions& options_;
   WriteStats* stats_;
+  PlacementTableCache* table_cache_;
 
   WriteReservation reservation_;
   bool have_reservation_ = false;
   std::uint64_t reserved_remaining_ = 0;
+  // Table epoch the stripe was placed against; 0 until a decentralized
+  // reservation exists (commit then skips epoch validation — legacy path
+  // or an all-dedup/empty write that placed nothing).
+  std::uint64_t placed_epoch_ = 0;
 
   ChunkMap map_;
   std::vector<bool> slot_reused_;

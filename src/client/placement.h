@@ -4,14 +4,25 @@
 // discipline is pluggable (locality- or load-aware policies slot in behind
 // the same interface) and shared — the perf write-pipeline models stripe
 // with the same RoundRobinCursor (common/striping.h).
+//
+// This header also hosts the client half of the decentralized-placement
+// protocol: a cached, epoch-versioned placement table and the pure stripe
+// computation over it. The flow is publish → cache → compute locally →
+// reserve at the placed epoch → refetch only on a stale-epoch rejection.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "chunk/chunk.h"
+#include "common/status.h"
 #include "common/striping.h"
+#include "manager/metadata_manager.h"
+#include "manager/types.h"
 
 namespace stdchk {
 
@@ -44,5 +55,50 @@ class RoundRobinPlacement final : public PlacementPolicy {
  private:
   RoundRobinCursor cursor_;
 };
+
+// ---- Epoch-versioned decentralized placement -------------------------------
+
+// Client-side cache of the manager's placement table, shared by every write
+// session of one ClientProxy. Thread-safe. In steady state (no membership
+// churn) the table is fetched once and every subsequent write computes its
+// stripe locally — zero manager placement RPCs per write.
+class PlacementTableCache {
+ public:
+  explicit PlacementTableCache(MetadataManager* manager)
+      : manager_(manager) {}
+
+  // Returns the cached table, fetching from the manager only when the
+  // cache is cold or was invalidated. `fetched` (optional) reports whether
+  // this call performed the RPC.
+  Result<PlacementTable> Get(bool* fetched = nullptr);
+
+  // Drops the cached table (after a stale-epoch rejection); the next Get()
+  // refetches.
+  void Invalidate();
+
+  // Total manager fetches performed through this cache.
+  std::uint64_t fetch_count() const {
+    return fetches_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  MetadataManager* manager_;
+  std::mutex mu_;
+  bool valid_ = false;
+  PlacementTable table_;
+  std::atomic<std::uint64_t> fetches_{0};
+};
+
+// Deterministic client-side stripe selection: rendezvous hashing of the
+// table's members against `seed`, preferring members with free space. A
+// pure function of (table, width, seed) — every client with the same table
+// computes the same stripe for the same file, with different files spread
+// across the pool by their seeds. Fails Unavailable when the table has
+// fewer than `width` members.
+Result<std::vector<NodeId>> ComputeStripe(const PlacementTable& table,
+                                          int width, std::uint64_t seed);
+
+// Stable per-file seed for ComputeStripe.
+std::uint64_t PlacementSeed(const CheckpointName& name);
 
 }  // namespace stdchk

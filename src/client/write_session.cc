@@ -28,12 +28,14 @@ ClientOptions ResolveOptions(MetadataManager* manager,
 }  // namespace
 
 WriteSession::WriteSession(MetadataManager* manager, Transport* transport,
-                           CheckpointName name, ClientOptions options)
+                           CheckpointName name, ClientOptions options,
+                           PlacementTableCache* table_cache)
     : options_(ResolveOptions(manager, name, std::move(options))),
       planner_(options_.chunker, options_.hash_workers, &stats_,
                options_.stamp_chunk_digests),
       placement_(std::make_unique<RoundRobinPlacement>()),
-      coordinator_(manager, transport, std::move(name), options_, &stats_),
+      coordinator_(manager, transport, std::move(name), options_, &stats_,
+                   table_cache),
       uploader_(transport, placement_.get(), &coordinator_, options_, &stats_) {}
 
 WriteSession::~WriteSession() {

@@ -34,8 +34,11 @@ namespace stdchk {
 
 class WriteSession {
  public:
+  // `table_cache` (usually the owning ClientProxy's) enables decentralized
+  // placement for this session; nullptr keeps server-side placement.
   WriteSession(MetadataManager* manager, Transport* transport,
-               CheckpointName name, ClientOptions options);
+               CheckpointName name, ClientOptions options,
+               PlacementTableCache* table_cache = nullptr);
   ~WriteSession();
 
   WriteSession(const WriteSession&) = delete;

@@ -22,6 +22,12 @@ struct WriteStats {
   std::uint64_t max_buffered_bytes = 0;   // high-water client buffering
   std::uint64_t inflight_put_peak = 0;  // concurrent batch PUTs in flight
 
+  // Decentralized placement (epoch-versioned table):
+  std::uint64_t placement_table_fetches = 0;  // manager table RPCs (cold
+                                              // cache or stale epoch only)
+  std::uint64_t placement_epoch_mismatches = 0;  // stale-epoch rejections
+  std::uint64_t local_placements = 0;  // stripes computed client-side
+
   // Chunk-naming (SHA-1) accounting from the planner's drains:
   std::uint64_t hash_ns = 0;            // wall time spent naming chunks
   std::uint64_t hash_chunks = 0;        // chunks named

@@ -32,6 +32,19 @@ ClusterStats CollectStats(StdchkCluster& cluster) {
   stats.pending_replications = cluster.manager().pending_replications();
   stats.rpcs = cluster.transport().rpc_count();
   stats.network_bytes = cluster.transport().bytes_moved();
+
+  ManagerCounters counters = cluster.manager().Counters();
+  stats.placement_epoch = counters.placement_epoch;
+  stats.placement_table_fetches = counters.placement_table_fetches;
+  stats.placement_epoch_mismatches = counters.placement_epoch_mismatches;
+  stats.server_side_placements = counters.server_side_placements;
+  stats.catalog_shard_stats = std::move(counters.catalog_shards);
+  stats.catalog_shards = stats.catalog_shard_stats.size();
+  for (const CatalogShardStats& shard : stats.catalog_shard_stats) {
+    stats.catalog_ops += shard.ops;
+    stats.catalog_lock_acquisitions += shard.lock_acquisitions;
+    stats.catalog_lock_contended += shard.lock_contended;
+  }
   return stats;
 }
 

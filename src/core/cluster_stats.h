@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "manager/file_catalog.h"  // CatalogShardStats
+
 namespace stdchk {
 
 class StdchkCluster;
@@ -38,6 +40,21 @@ struct ClusterStats {
 
   // Background machinery.
   std::size_t pending_replications = 0;
+
+  // Metadata plane: sharded catalog + decentralized placement. The shard
+  // vector has one entry per catalog shard; the scalar catalog_* fields
+  // are sums across shards. In steady state server_side_placements and
+  // placement_epoch_mismatches stay flat while writes proceed — the
+  // decentralized-placement invariant.
+  std::size_t catalog_shards = 0;
+  std::uint64_t catalog_ops = 0;
+  std::uint64_t catalog_lock_acquisitions = 0;
+  std::uint64_t catalog_lock_contended = 0;
+  std::uint64_t placement_epoch = 0;
+  std::uint64_t placement_table_fetches = 0;
+  std::uint64_t placement_epoch_mismatches = 0;
+  std::uint64_t server_side_placements = 0;
+  std::vector<CatalogShardStats> catalog_shard_stats;
 
   // Transport.
   std::uint64_t rpcs = 0;

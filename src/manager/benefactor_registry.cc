@@ -14,6 +14,7 @@ NodeId BenefactorRegistry::Register(const BenefactorInfo& info) {
   status.last_heartbeat = clock_->NowUs();
   status.online = true;
   nodes_[id] = status;
+  ++epoch_;  // membership changed: new table epoch, same mutation
   return id;
 }
 
@@ -23,6 +24,7 @@ Status BenefactorRegistry::Heartbeat(NodeId node, std::uint64_t free_bytes) {
     return NotFoundError("heartbeat from unregistered node");
   }
   it->second.last_heartbeat = clock_->NowUs();
+  if (!it->second.online) ++epoch_;  // revival of an expired node
   it->second.online = true;
   it->second.info.free_bytes = free_bytes;
   return OkStatus();
@@ -31,6 +33,7 @@ Status BenefactorRegistry::Heartbeat(NodeId node, std::uint64_t free_bytes) {
 Status BenefactorRegistry::SetOffline(NodeId node) {
   auto it = nodes_.find(node);
   if (it == nodes_.end()) return NotFoundError("unknown node");
+  if (it->second.online) ++epoch_;
   it->second.online = false;
   return OkStatus();
 }
@@ -44,7 +47,23 @@ std::vector<NodeId> BenefactorRegistry::ExpireStale() {
       expired.push_back(id);
     }
   }
+  if (!expired.empty()) ++epoch_;
   return expired;
+}
+
+PlacementTable BenefactorRegistry::PlacementSnapshot() const {
+  PlacementTable table;
+  table.epoch = epoch_;
+  for (const auto& [id, status] : nodes_) {
+    if (!status.online) continue;
+    PlacementMember member;
+    member.id = id;
+    member.free_bytes = status.info.free_bytes > status.reserved_bytes
+                            ? status.info.free_bytes - status.reserved_bytes
+                            : 0;
+    table.members.push_back(member);
+  }
+  return table;
 }
 
 bool BenefactorRegistry::IsOnline(NodeId node) const {
@@ -134,12 +153,15 @@ std::vector<BenefactorStatus> BenefactorRegistry::Export() const {
 }
 
 void BenefactorRegistry::Import(const std::vector<BenefactorStatus>& nodes,
-                                NodeId next_id) {
+                                NodeId next_id, std::uint64_t epoch) {
   nodes_.clear();
   for (const BenefactorStatus& status : nodes) {
     nodes_[status.id] = status;
   }
   next_id_ = next_id;
+  // Conservative bump past the snapshot's epoch: any table cached against
+  // the pre-failover manager is forced to refetch from the promoted one.
+  epoch_ = std::max<std::uint64_t>(epoch, 1) + 1;
 }
 
 void BenefactorRegistry::AddUsed(NodeId node, std::uint64_t bytes) {

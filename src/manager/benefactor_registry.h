@@ -56,10 +56,22 @@ class BenefactorRegistry {
   void AddUsed(NodeId node, std::uint64_t bytes);
   void ReleaseUsed(NodeId node, std::uint64_t bytes);
 
+  // ---- Epoch-versioned placement table -------------------------------------
+  // Every membership change (register, administrative offline, heartbeat
+  // expiry, revival of an expired node) bumps the placement epoch *inside*
+  // the same mutation, so a snapshot can never pair a new member list with
+  // an old epoch (or vice versa). Free-space-only heartbeats do not bump:
+  // they change weights, not membership, and must not invalidate every
+  // client cache on every heartbeat.
+  std::uint64_t placement_epoch() const { return epoch_; }
+  // Atomic (members, epoch) snapshot of the online membership.
+  PlacementTable PlacementSnapshot() const;
+
   // ---- Snapshot support -----------------------------------------------------
   std::vector<BenefactorStatus> Export() const;
   NodeId next_id() const { return next_id_; }
-  void Import(const std::vector<BenefactorStatus>& nodes, NodeId next_id);
+  void Import(const std::vector<BenefactorStatus>& nodes, NodeId next_id,
+              std::uint64_t epoch);
 
  private:
   const VirtualClock* clock_;
@@ -67,6 +79,8 @@ class BenefactorRegistry {
   NodeId next_id_ = 1;
   std::map<NodeId, BenefactorStatus> nodes_;
   mutable std::uint64_t rr_cursor_ = 0;
+  // Starts at 1 so clients can use 0 as "no cached table / legacy commit".
+  std::uint64_t epoch_ = 1;
 };
 
 }  // namespace stdchk

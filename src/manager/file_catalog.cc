@@ -2,37 +2,96 @@
 
 #include <algorithm>
 
+#include "common/rolling_hash.h"  // Mix64
+
 namespace stdchk {
+
+namespace {
+
+// FNV-1a over the application name, finalized with Mix64 so short names
+// still spread across shards.
+std::uint64_t AppHash(const std::string& app) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (char c : app) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return Mix64(h);
+}
+
+}  // namespace
+
+FileCatalog::FileCatalog(const VirtualClock* clock, int shards)
+    : clock_(clock) {
+  int n = std::max(1, shards);
+  folder_shards_.reserve(static_cast<std::size_t>(n));
+  chunk_shards_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    folder_shards_.push_back(std::make_unique<FolderShard>());
+    chunk_shards_.push_back(std::make_unique<ChunkShard>());
+  }
+}
+
+std::size_t FileCatalog::FolderShardIndex(const std::string& app) const {
+  return static_cast<std::size_t>(AppHash(app)) % folder_shards_.size();
+}
+
+// ---- Folder policies -------------------------------------------------------
 
 void FileCatalog::SetFolderPolicy(const std::string& app,
                                   const FolderPolicy& policy) {
-  folders_[app].policy = policy;
+  FolderShard& shard = FolderShardFor(app);
+  shard.ops.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<ShardMutex> lock(shard.mu);
+  shard.folders[app].policy = policy;
 }
 
 FolderPolicy FileCatalog::GetFolderPolicy(const std::string& app) const {
-  auto it = folders_.find(app);
-  return it == folders_.end() ? FolderPolicy{} : it->second.policy;
+  FolderShard& shard = FolderShardFor(app);
+  shard.ops.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<ShardMutex> lock(shard.mu);
+  auto it = shard.folders.find(app);
+  return it == shard.folders.end() ? FolderPolicy{} : it->second.policy;
 }
 
-void FileCatalog::Ref(const ChunkLocation& loc) {
-  ChunkRecord& rec = chunks_[loc.id];
+// ---- Chunk-record helpers --------------------------------------------------
+
+void FileCatalog::RefIn(ChunkShard& shard, const ChunkLocation& loc) {
+  ChunkRecord& rec = shard.chunks[loc.id];
   rec.size = loc.size;
   ++rec.refcount;
   for (NodeId node : loc.replicas) rec.replicas.insert(node);
 }
 
-void FileCatalog::Unref(const ChunkId& id) {
-  auto it = chunks_.find(id);
-  if (it == chunks_.end()) return;
-  if (--it->second.refcount <= 0) chunks_.erase(it);
+void FileCatalog::UnrefIn(ChunkShard& shard, const ChunkId& id) {
+  auto it = shard.chunks.find(id);
+  if (it == shard.chunks.end()) return;
+  if (--it->second.refcount <= 0) shard.chunks.erase(it);
 }
 
-void FileCatalog::RemoveVersionChunks(const VersionRecord& record) {
-  for (const ChunkLocation& loc : record.chunk_map.chunks) Unref(loc.id);
+void FileCatalog::RefChunks(const VersionRecord& record) {
+  for (const ChunkLocation& loc : record.chunk_map.chunks) {
+    ChunkShard& shard = ChunkShardFor(loc.id);
+    std::lock_guard<ShardMutex> lock(shard.mu);
+    RefIn(shard, loc);
+  }
 }
+
+void FileCatalog::UnrefChunks(const VersionRecord& record) {
+  for (const ChunkLocation& loc : record.chunk_map.chunks) {
+    ChunkShard& shard = ChunkShardFor(loc.id);
+    std::lock_guard<ShardMutex> lock(shard.mu);
+    UnrefIn(shard, loc.id);
+  }
+}
+
+// ---- Version lifecycle -----------------------------------------------------
 
 Status FileCatalog::CommitVersion(const VersionRecord& record) {
-  Folder& folder = folders_[record.name.app];
+  FolderShard& shard = FolderShardFor(record.name.app);
+  shard.ops.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<ShardMutex> lock(shard.mu);
+  Folder& folder = shard.folders[record.name.app];
   auto key = std::make_pair(record.name.node, record.name.timestep);
   if (folder.versions.contains(key)) {
     return AlreadyExistsError("version " + record.name.ToString() +
@@ -45,27 +104,22 @@ Status FileCatalog::CommitVersion(const VersionRecord& record) {
   }
   VersionRecord stored = record;
   stored.commit_time = clock_->NowUs();
-  for (const ChunkLocation& loc : stored.chunk_map.chunks) Ref(loc);
+  // Chunk refs under the folder lock: a concurrent delete of this folder
+  // serializes behind us, so refcounts and the version list stay in step.
+  RefChunks(stored);
   folder.versions.emplace(key, std::move(stored));
   return OkStatus();
 }
 
-Result<VersionRecord> FileCatalog::GetVersion(
-    const CheckpointName& name) const {
-  auto folder = folders_.find(name.app);
-  if (folder == folders_.end()) {
-    return NotFoundError("no such application: " + name.app);
-  }
-  auto it = folder->second.versions.find({name.node, name.timestep});
-  if (it == folder->second.versions.end()) {
-    return NotFoundError("no such version: " + name.ToString());
-  }
+VersionRecord FileCatalog::RefreshedCopy(const VersionRecord& record) const {
   // Refresh replica lists from the chunk records (replication may have
   // added copies since commit).
-  VersionRecord out = it->second;
+  VersionRecord out = record;
   for (ChunkLocation& loc : out.chunk_map.chunks) {
-    auto chunk = chunks_.find(loc.id);
-    if (chunk != chunks_.end()) {
+    ChunkShard& shard = ChunkShardFor(loc.id);
+    std::lock_guard<ShardMutex> lock(shard.mu);
+    auto chunk = shard.chunks.find(loc.id);
+    if (chunk != shard.chunks.end()) {
       loc.replicas.assign(chunk->second.replicas.begin(),
                           chunk->second.replicas.end());
     }
@@ -73,10 +127,29 @@ Result<VersionRecord> FileCatalog::GetVersion(
   return out;
 }
 
+Result<VersionRecord> FileCatalog::GetVersion(
+    const CheckpointName& name) const {
+  FolderShard& shard = FolderShardFor(name.app);
+  shard.ops.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<ShardMutex> lock(shard.mu);
+  auto folder = shard.folders.find(name.app);
+  if (folder == shard.folders.end()) {
+    return NotFoundError("no such application: " + name.app);
+  }
+  auto it = folder->second.versions.find({name.node, name.timestep});
+  if (it == folder->second.versions.end()) {
+    return NotFoundError("no such version: " + name.ToString());
+  }
+  return RefreshedCopy(it->second);
+}
+
 Result<VersionRecord> FileCatalog::GetLatest(const std::string& app,
                                              const std::string& node) const {
-  auto folder = folders_.find(app);
-  if (folder == folders_.end()) {
+  FolderShard& shard = FolderShardFor(app);
+  shard.ops.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<ShardMutex> lock(shard.mu);
+  auto folder = shard.folders.find(app);
+  if (folder == shard.folders.end()) {
     return NotFoundError("no such application: " + app);
   }
   const VersionRecord* best = nullptr;
@@ -89,14 +162,17 @@ Result<VersionRecord> FileCatalog::GetLatest(const std::string& app,
   if (best == nullptr) {
     return NotFoundError("no versions for " + app + "." + node);
   }
-  return GetVersion(best->name);
+  return RefreshedCopy(*best);
 }
 
 std::vector<CheckpointName> FileCatalog::ListVersions(
     const std::string& app) const {
+  FolderShard& shard = FolderShardFor(app);
+  shard.ops.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<ShardMutex> lock(shard.mu);
   std::vector<CheckpointName> out;
-  auto folder = folders_.find(app);
-  if (folder == folders_.end()) return out;
+  auto folder = shard.folders.find(app);
+  if (folder == shard.folders.end()) return out;
   for (const auto& [key, record] : folder->second.versions) {
     out.push_back(record.name);
   }
@@ -105,42 +181,57 @@ std::vector<CheckpointName> FileCatalog::ListVersions(
 
 std::vector<std::string> FileCatalog::ListApps() const {
   std::vector<std::string> out;
-  for (const auto& [app, folder] : folders_) {
-    if (!folder.versions.empty()) out.push_back(app);
+  for (const auto& shard : folder_shards_) {
+    shard->ops.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<ShardMutex> lock(shard->mu);
+    for (const auto& [app, folder] : shard->folders) {
+      if (!folder.versions.empty()) out.push_back(app);
+    }
   }
+  // Sorted output == single-map order at shards == 1 (no-op there).
+  std::sort(out.begin(), out.end());
   return out;
 }
 
 bool FileCatalog::Exists(const CheckpointName& name) const {
-  auto folder = folders_.find(name.app);
-  return folder != folders_.end() &&
+  FolderShard& shard = FolderShardFor(name.app);
+  shard.ops.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<ShardMutex> lock(shard.mu);
+  auto folder = shard.folders.find(name.app);
+  return folder != shard.folders.end() &&
          folder->second.versions.contains({name.node, name.timestep});
 }
 
 Status FileCatalog::DeleteVersion(const CheckpointName& name) {
-  auto folder = folders_.find(name.app);
-  if (folder == folders_.end()) {
+  FolderShard& shard = FolderShardFor(name.app);
+  shard.ops.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<ShardMutex> lock(shard.mu);
+  auto folder = shard.folders.find(name.app);
+  if (folder == shard.folders.end()) {
     return NotFoundError("no such application: " + name.app);
   }
   auto it = folder->second.versions.find({name.node, name.timestep});
   if (it == folder->second.versions.end()) {
     return NotFoundError("no such version: " + name.ToString());
   }
-  RemoveVersionChunks(it->second);
+  UnrefChunks(it->second);
   folder->second.versions.erase(it);
   return OkStatus();
 }
 
 Result<std::size_t> FileCatalog::DeleteApp(const std::string& app) {
-  auto folder = folders_.find(app);
-  if (folder == folders_.end()) {
+  FolderShard& shard = FolderShardFor(app);
+  shard.ops.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<ShardMutex> lock(shard.mu);
+  auto folder = shard.folders.find(app);
+  if (folder == shard.folders.end()) {
     return NotFoundError("no such application: " + app);
   }
   std::size_t n = folder->second.versions.size();
   for (const auto& [key, record] : folder->second.versions) {
-    RemoveVersionChunks(record);
+    UnrefChunks(record);
   }
-  folders_.erase(folder);
+  shard.folders.erase(folder);
   return n;
 }
 
@@ -148,93 +239,138 @@ std::vector<CheckpointName> FileCatalog::ApplyRetention() {
   std::vector<CheckpointName> removed;
   ClockTime now = clock_->NowUs();
 
-  for (auto& [app, folder] : folders_) {
-    switch (folder.policy.retention) {
-      case RetentionPolicy::kNoIntervention:
-        break;
+  // Each folder shard is swept under its own lock: retention on one shard
+  // never blocks commits or reads on another.
+  for (const auto& shard_ptr : folder_shards_) {
+    FolderShard& shard = *shard_ptr;
+    shard.ops.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<ShardMutex> lock(shard.mu);
+    for (auto& [app, folder] : shard.folders) {
+      switch (folder.policy.retention) {
+        case RetentionPolicy::kNoIntervention:
+          break;
 
-      case RetentionPolicy::kAutomatedReplace: {
-        // Per (node) lineage keep only the newest `keep_last` timesteps.
-        std::map<std::string, std::vector<std::uint64_t>> by_node;
-        for (const auto& [key, record] : folder.versions) {
-          by_node[key.first].push_back(key.second);
-        }
-        for (auto& [node, steps] : by_node) {
-          std::sort(steps.begin(), steps.end());
-          int keep = std::max(1, folder.policy.keep_last);
-          if (static_cast<int>(steps.size()) <= keep) continue;
-          steps.resize(steps.size() - static_cast<std::size_t>(keep));
-          for (std::uint64_t step : steps) {
-            auto it = folder.versions.find({node, step});
-            removed.push_back(it->second.name);
-            RemoveVersionChunks(it->second);
-            folder.versions.erase(it);
+        case RetentionPolicy::kAutomatedReplace: {
+          // Per (node) lineage keep only the newest `keep_last` timesteps.
+          std::map<std::string, std::vector<std::uint64_t>> by_node;
+          for (const auto& [key, record] : folder.versions) {
+            by_node[key.first].push_back(key.second);
           }
+          for (auto& [node, steps] : by_node) {
+            std::sort(steps.begin(), steps.end());
+            int keep = std::max(1, folder.policy.keep_last);
+            if (static_cast<int>(steps.size()) <= keep) continue;
+            steps.resize(steps.size() - static_cast<std::size_t>(keep));
+            for (std::uint64_t step : steps) {
+              auto it = folder.versions.find({node, step});
+              removed.push_back(it->second.name);
+              UnrefChunks(it->second);
+              folder.versions.erase(it);
+            }
+          }
+          break;
         }
-        break;
-      }
 
-      case RetentionPolicy::kAutomatedPurge: {
-        for (auto it = folder.versions.begin(); it != folder.versions.end();) {
-          if (now - it->second.commit_time >= folder.policy.purge_age_us) {
-            removed.push_back(it->second.name);
-            RemoveVersionChunks(it->second);
-            it = folder.versions.erase(it);
-          } else {
-            ++it;
+        case RetentionPolicy::kAutomatedPurge: {
+          for (auto it = folder.versions.begin();
+               it != folder.versions.end();) {
+            if (now - it->second.commit_time >= folder.policy.purge_age_us) {
+              removed.push_back(it->second.name);
+              UnrefChunks(it->second);
+              it = folder.versions.erase(it);
+            } else {
+              ++it;
+            }
           }
+          break;
         }
-        break;
       }
     }
   }
   return removed;
 }
 
+// ---- Chunk-level views -----------------------------------------------------
+
 bool FileCatalog::IsChunkLive(const ChunkId& id) const {
-  return chunks_.contains(id);
+  ChunkShard& shard = ChunkShardFor(id);
+  shard.ops.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<ShardMutex> lock(shard.mu);
+  return shard.chunks.contains(id);
 }
 
 std::vector<bool> FileCatalog::KnownChunks(
     const std::vector<ChunkId>& ids) const {
   std::vector<bool> out(ids.size());
   for (std::size_t i = 0; i < ids.size(); ++i) {
-    auto it = chunks_.find(ids[i]);
-    out[i] = it != chunks_.end() && !it->second.replicas.empty();
+    ChunkShard& shard = ChunkShardFor(ids[i]);
+    shard.ops.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<ShardMutex> lock(shard.mu);
+    auto it = shard.chunks.find(ids[i]);
+    out[i] = it != shard.chunks.end() && !it->second.replicas.empty();
   }
   return out;
 }
 
 std::vector<NodeId> FileCatalog::ChunkReplicas(const ChunkId& id) const {
-  auto it = chunks_.find(id);
-  if (it == chunks_.end()) return {};
+  ChunkShard& shard = ChunkShardFor(id);
+  shard.ops.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<ShardMutex> lock(shard.mu);
+  auto it = shard.chunks.find(id);
+  if (it == shard.chunks.end()) return {};
   return std::vector<NodeId>(it->second.replicas.begin(),
                              it->second.replicas.end());
 }
 
 std::uint32_t FileCatalog::ChunkSize(const ChunkId& id) const {
-  auto it = chunks_.find(id);
-  return it == chunks_.end() ? 0 : it->second.size;
+  ChunkShard& shard = ChunkShardFor(id);
+  shard.ops.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<ShardMutex> lock(shard.mu);
+  auto it = shard.chunks.find(id);
+  return it == shard.chunks.end() ? 0 : it->second.size;
 }
 
 std::set<ChunkId> FileCatalog::LiveChunksOn(NodeId node) const {
   std::set<ChunkId> out;
-  for (const auto& [id, rec] : chunks_) {
-    if (rec.replicas.contains(node)) out.insert(id);
+  for (const auto& shard_ptr : chunk_shards_) {
+    ChunkShard& shard = *shard_ptr;
+    shard.ops.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<ShardMutex> lock(shard.mu);
+    for (const auto& [id, rec] : shard.chunks) {
+      if (rec.replicas.contains(node)) out.insert(id);
+    }
   }
   return out;
 }
 
 void FileCatalog::AddReplica(const ChunkId& id, NodeId node) {
-  auto it = chunks_.find(id);
-  if (it != chunks_.end()) it->second.replicas.insert(node);
+  ChunkShard& shard = ChunkShardFor(id);
+  shard.ops.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<ShardMutex> lock(shard.mu);
+  auto it = shard.chunks.find(id);
+  if (it != shard.chunks.end()) it->second.replicas.insert(node);
+}
+
+bool FileCatalog::AddReplicaIfLive(const ChunkId& id, NodeId node) {
+  ChunkShard& shard = ChunkShardFor(id);
+  shard.ops.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<ShardMutex> lock(shard.mu);
+  auto it = shard.chunks.find(id);
+  if (it == shard.chunks.end()) return false;
+  it->second.replicas.insert(node);
+  return true;
 }
 
 std::vector<ChunkId> FileCatalog::RemoveNodeReplicas(NodeId node) {
   std::vector<ChunkId> lost;
-  for (auto& [id, rec] : chunks_) {
-    if (rec.replicas.erase(node) > 0 && rec.replicas.empty()) {
-      lost.push_back(id);
+  for (const auto& shard_ptr : chunk_shards_) {
+    ChunkShard& shard = *shard_ptr;
+    shard.ops.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<ShardMutex> lock(shard.mu);
+    for (auto& [id, rec] : shard.chunks) {
+      if (rec.replicas.erase(node) > 0 && rec.replicas.empty()) {
+        lost.push_back(id);
+      }
     }
   }
   return lost;
@@ -244,21 +380,29 @@ std::vector<FileCatalog::UnderReplicated> FileCatalog::FindUnderReplicated(
     const std::set<NodeId>& online) const {
   // A chunk's target is the max across versions referencing it; since we do
   // not track back-references, recompute per version (catalog sizes in this
-  // system are small relative to data).
+  // system are small relative to data). Folder shards are walked in index
+  // order so shards == 1 reproduces the historical single-map iteration.
   std::unordered_map<ChunkId, int, ChunkIdHash> targets;
-  for (const auto& [app, folder] : folders_) {
-    for (const auto& [key, record] : folder.versions) {
-      for (const ChunkLocation& loc : record.chunk_map.chunks) {
-        int& t = targets[loc.id];
-        t = std::max(t, record.replication_target);
+  for (const auto& shard_ptr : folder_shards_) {
+    FolderShard& shard = *shard_ptr;
+    shard.ops.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<ShardMutex> lock(shard.mu);
+    for (const auto& [app, folder] : shard.folders) {
+      for (const auto& [key, record] : folder.versions) {
+        for (const ChunkLocation& loc : record.chunk_map.chunks) {
+          int& t = targets[loc.id];
+          t = std::max(t, record.replication_target);
+        }
       }
     }
   }
 
   std::vector<UnderReplicated> out;
   for (const auto& [id, want] : targets) {
-    auto it = chunks_.find(id);
-    if (it == chunks_.end()) continue;
+    ChunkShard& shard = ChunkShardFor(id);
+    std::lock_guard<ShardMutex> lock(shard.mu);
+    auto it = shard.chunks.find(id);
+    if (it == shard.chunks.end()) continue;
     int have = 0;
     for (NodeId node : it->second.replicas) {
       if (online.contains(node)) ++have;
@@ -272,59 +416,107 @@ std::vector<FileCatalog::UnderReplicated> FileCatalog::FindUnderReplicated(
 
 std::size_t FileCatalog::TotalVersions() const {
   std::size_t n = 0;
-  for (const auto& [app, folder] : folders_) n += folder.versions.size();
+  for (const auto& shard_ptr : folder_shards_) {
+    std::lock_guard<ShardMutex> lock(shard_ptr->mu);
+    for (const auto& [app, folder] : shard_ptr->folders) {
+      n += folder.versions.size();
+    }
+  }
   return n;
 }
 
 std::uint64_t FileCatalog::TotalLogicalBytes() const {
   std::uint64_t n = 0;
-  for (const auto& [app, folder] : folders_) {
-    for (const auto& [key, record] : folder.versions) n += record.size;
+  for (const auto& shard_ptr : folder_shards_) {
+    std::lock_guard<ShardMutex> lock(shard_ptr->mu);
+    for (const auto& [app, folder] : shard_ptr->folders) {
+      for (const auto& [key, record] : folder.versions) n += record.size;
+    }
   }
   return n;
 }
 
 std::uint64_t FileCatalog::TotalUniqueBytes() const {
   std::uint64_t n = 0;
-  for (const auto& [id, rec] : chunks_) n += rec.size;
+  for (const auto& shard_ptr : chunk_shards_) {
+    std::lock_guard<ShardMutex> lock(shard_ptr->mu);
+    for (const auto& [id, rec] : shard_ptr->chunks) n += rec.size;
+  }
   return n;
 }
 
+// ---- Snapshot support ------------------------------------------------------
+
 FileCatalog::ExportedState FileCatalog::Export() const {
+  // Consistent cut: hold every shard lock at once, folders before chunks,
+  // each group in ascending index order (the one sanctioned exception to
+  // the one-folder-lock rule; see the lock hierarchy note in the header).
+  std::vector<std::unique_lock<ShardMutex>> locks;
+  locks.reserve(folder_shards_.size() + chunk_shards_.size());
+  for (const auto& shard : folder_shards_) locks.emplace_back(shard->mu);
+  for (const auto& shard : chunk_shards_) locks.emplace_back(shard->mu);
+
   ExportedState state;
-  for (const auto& [app, folder] : folders_) {
-    state.policies.emplace_back(app, folder.policy);
-    for (const auto& [key, record] : folder.versions) {
-      state.versions.push_back(record);
+  for (const auto& shard : folder_shards_) {
+    for (const auto& [app, folder] : shard->folders) {
+      state.policies.emplace_back(app, folder.policy);
+      for (const auto& [key, record] : folder.versions) {
+        state.versions.push_back(record);
+      }
     }
   }
-  for (const auto& [id, rec] : chunks_) {
-    state.chunk_replicas.emplace_back(
-        id, std::vector<NodeId>(rec.replicas.begin(), rec.replicas.end()));
+  for (const auto& shard : chunk_shards_) {
+    for (const auto& [id, rec] : shard->chunks) {
+      state.chunk_replicas.emplace_back(
+          id, std::vector<NodeId>(rec.replicas.begin(), rec.replicas.end()));
+    }
   }
+  // Deterministic snapshot bytes regardless of shard count: sort the
+  // cross-shard aggregates (no-ops for the folder walk at shards == 1).
+  std::sort(state.policies.begin(), state.policies.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::sort(state.versions.begin(), state.versions.end(),
+            [](const VersionRecord& a, const VersionRecord& b) {
+              return std::tie(a.name.app, a.name.node, a.name.timestep) <
+                     std::tie(b.name.app, b.name.node, b.name.timestep);
+            });
+  std::sort(state.chunk_replicas.begin(), state.chunk_replicas.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
   return state;
 }
 
 Status FileCatalog::Import(const ExportedState& state) {
-  folders_.clear();
-  chunks_.clear();
+  std::vector<std::unique_lock<ShardMutex>> locks;
+  locks.reserve(folder_shards_.size() + chunk_shards_.size());
+  for (const auto& shard : folder_shards_) locks.emplace_back(shard->mu);
+  for (const auto& shard : chunk_shards_) locks.emplace_back(shard->mu);
+
+  for (const auto& shard : folder_shards_) shard->folders.clear();
+  for (const auto& shard : chunk_shards_) shard->chunks.clear();
+
   for (const auto& [app, policy] : state.policies) {
-    folders_[app].policy = policy;
+    folder_shards_[FolderShardIndex(app)]->folders[app].policy = policy;
   }
   for (const VersionRecord& record : state.versions) {
-    Folder& folder = folders_[record.name.app];
+    Folder& folder =
+        folder_shards_[FolderShardIndex(record.name.app)]
+            ->folders[record.name.app];
     auto key = std::make_pair(record.name.node, record.name.timestep);
     if (folder.versions.contains(key)) {
       return InvalidArgumentError("duplicate version in snapshot: " +
                                   record.name.ToString());
     }
-    // Unlike CommitVersion, preserve the snapshot's commit_time.
-    for (const ChunkLocation& loc : record.chunk_map.chunks) Ref(loc);
+    // Unlike CommitVersion, preserve the snapshot's commit_time. All chunk
+    // locks are already held, so mutate the shard maps directly.
+    for (const ChunkLocation& loc : record.chunk_map.chunks) {
+      RefIn(*chunk_shards_[ChunkShardIndex(loc.id)], loc);
+    }
     folder.versions.emplace(key, record);
   }
   for (const auto& [id, replicas] : state.chunk_replicas) {
-    auto it = chunks_.find(id);
-    if (it == chunks_.end()) {
+    ChunkShard& shard = *chunk_shards_[ChunkShardIndex(id)];
+    auto it = shard.chunks.find(id);
+    if (it == shard.chunks.end()) {
       return InvalidArgumentError(
           "snapshot lists replicas for unreferenced chunk " + id.ToHex());
     }
@@ -332,6 +524,19 @@ Status FileCatalog::Import(const ExportedState& state) {
     it->second.replicas.insert(replicas.begin(), replicas.end());
   }
   return OkStatus();
+}
+
+std::vector<CatalogShardStats> FileCatalog::ShardStatsSnapshot() const {
+  std::vector<CatalogShardStats> out(folder_shards_.size());
+  for (std::size_t i = 0; i < folder_shards_.size(); ++i) {
+    out[i].ops = folder_shards_[i]->ops.load(std::memory_order_relaxed) +
+                 chunk_shards_[i]->ops.load(std::memory_order_relaxed);
+    out[i].lock_acquisitions = folder_shards_[i]->mu.acquisitions() +
+                               chunk_shards_[i]->mu.acquisitions();
+    out[i].lock_contended =
+        folder_shards_[i]->mu.contended() + chunk_shards_[i]->mu.contended();
+  }
+  return out;
 }
 
 }  // namespace stdchk

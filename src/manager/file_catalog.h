@@ -9,9 +9,27 @@
 //    (no-intervention / automated-replace / automated-purge);
 //  * replica bookkeeping feeding the replication scheduler and the GC
 //    protocol (§IV.A).
+//
+// Concurrency: the catalog is internally sharded and thread-safe. State is
+// partitioned twice, each partition under its own lock:
+//  * folder shards, routed by hash(app) — a folder's versions, policies,
+//    retention and lineage walks are shard-local;
+//  * chunk shards, routed by hash(chunk id) — refcounts and replica sets
+//    stay global (a chunk deduplicated across folders has exactly one
+//    record), so dedup never diverges between folder shards.
+// Lock hierarchy: a folder-shard lock may be held while taking chunk-shard
+// locks (one at a time), never the reverse, and never two folder locks —
+// except the snapshot paths (Export/Import), which take every lock in
+// ascending index order (all folders, then all chunks) for a consistent
+// cut. `shards == 1` degenerates to the historical single-map catalog: one
+// folder map, one chunk map, identical iteration orders, bit for bit.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <set>
 #include <string>
 #include <unordered_map>
@@ -23,9 +41,42 @@
 
 namespace stdchk {
 
+// Per-shard observability counters (surfaced through ClusterStats).
+struct CatalogShardStats {
+  std::uint64_t ops = 0;                // catalog operations routed here
+  std::uint64_t lock_acquisitions = 0;  // shard mutex acquisitions
+  std::uint64_t lock_contended = 0;     // acquisitions that had to wait
+};
+
+// A mutex that counts acquisitions and contention (a failed try_lock before
+// the blocking lock). Satisfies BasicLockable for std::lock_guard.
+class ShardMutex {
+ public:
+  void lock() {
+    if (!mu_.try_lock()) {
+      contended_.fetch_add(1, std::memory_order_relaxed);
+      mu_.lock();
+    }
+    acquisitions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void unlock() { mu_.unlock(); }
+
+  std::uint64_t acquisitions() const {
+    return acquisitions_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t contended() const {
+    return contended_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::mutex mu_;
+  std::atomic<std::uint64_t> acquisitions_{0};
+  std::atomic<std::uint64_t> contended_{0};
+};
+
 class FileCatalog {
  public:
-  explicit FileCatalog(const VirtualClock* clock) : clock_(clock) {}
+  explicit FileCatalog(const VirtualClock* clock, int shards = 1);
 
   // ---- Folder policies -------------------------------------------------
   void SetFolderPolicy(const std::string& app, const FolderPolicy& policy);
@@ -53,6 +104,8 @@ class FileCatalog {
   Result<std::size_t> DeleteApp(const std::string& app);
 
   // Applies retention policies (replace/purge). Returns the names removed.
+  // Walks folder shards independently — retention on one shard never
+  // blocks commits on another.
   std::vector<CheckpointName> ApplyRetention();
 
   // ---- Chunk-level views --------------------------------------------------
@@ -68,6 +121,9 @@ class FileCatalog {
 
   // Records that `node` now holds a replica of `id` (replication ack).
   void AddReplica(const ChunkId& id, NodeId node);
+  // GC-exchange reintegration: adds the replica iff the chunk is live,
+  // reporting liveness, in one shard-lock acquisition.
+  bool AddReplicaIfLive(const ChunkId& id, NodeId node);
 
   // Drops `node` from every chunk's replica list (node declared dead).
   // Returns chunks that lost their last replica (actual data loss).
@@ -96,10 +152,17 @@ class FileCatalog {
     // background replication).
     std::vector<std::pair<ChunkId, std::vector<NodeId>>> chunk_replicas;
   };
+  // Consistent cut across all shards: policies/versions sorted by app then
+  // (node, timestep); chunk replicas sorted by id for a stable snapshot.
   ExportedState Export() const;
   // Replaces the entire catalog; chunk refcounts are rebuilt from the
   // versions, then replica sets are overwritten from the snapshot.
   Status Import(const ExportedState& state);
+
+  // ---- Shard observability -------------------------------------------------
+  int shard_count() const { return static_cast<int>(folder_shards_.size()); }
+  // Entry i merges folder shard i and chunk shard i.
+  std::vector<CatalogShardStats> ShardStatsSnapshot() const;
 
  private:
   struct ChunkRecord {
@@ -114,14 +177,44 @@ class FileCatalog {
     std::map<std::pair<std::string, std::uint64_t>, VersionRecord> versions;
   };
 
-  void Ref(const ChunkLocation& loc);
-  // Unrefs and erases dead chunk records.
-  void Unref(const ChunkId& id);
-  void RemoveVersionChunks(const VersionRecord& record);
+  struct FolderShard {
+    mutable ShardMutex mu;
+    std::map<std::string, Folder> folders;
+    std::atomic<std::uint64_t> ops{0};
+  };
+
+  struct ChunkShard {
+    mutable ShardMutex mu;
+    std::unordered_map<ChunkId, ChunkRecord, ChunkIdHash> chunks;
+    std::atomic<std::uint64_t> ops{0};
+  };
+
+  std::size_t FolderShardIndex(const std::string& app) const;
+  std::size_t ChunkShardIndex(const ChunkId& id) const {
+    return static_cast<std::size_t>(ChunkIdHash{}(id)) % chunk_shards_.size();
+  }
+  FolderShard& FolderShardFor(const std::string& app) const {
+    return *folder_shards_[FolderShardIndex(app)];
+  }
+  ChunkShard& ChunkShardFor(const ChunkId& id) const {
+    return *chunk_shards_[ChunkShardIndex(id)];
+  }
+
+  // Chunk-record mutation on a shard whose lock the caller already holds.
+  static void RefIn(ChunkShard& shard, const ChunkLocation& loc);
+  static void UnrefIn(ChunkShard& shard, const ChunkId& id);
+  // Locks each chunk's shard; caller may hold a folder-shard lock.
+  void RefChunks(const VersionRecord& record);
+  void UnrefChunks(const VersionRecord& record);
+
+  // Copies `record` with replica lists refreshed from the chunk records;
+  // caller holds the owning folder-shard lock.
+  VersionRecord RefreshedCopy(const VersionRecord& record) const;
 
   const VirtualClock* clock_;
-  std::map<std::string, Folder> folders_;
-  std::unordered_map<ChunkId, ChunkRecord, ChunkIdHash> chunks_;
+  // unique_ptr: shards hold mutexes/atomics, which are not movable.
+  std::vector<std::unique_ptr<FolderShard>> folder_shards_;
+  std::vector<std::unique_ptr<ChunkShard>> chunk_shards_;
 };
 
 }  // namespace stdchk

@@ -29,7 +29,7 @@ MetadataManager::MetadataManager(const VirtualClock* clock,
     : clock_(clock),
       options_(options),
       registry_(clock, options.heartbeat_expiry_us),
-      catalog_(clock) {}
+      catalog_(clock, options.catalog_shards) {}
 
 Result<NodeId> MetadataManager::RegisterBenefactor(const BenefactorInfo& info) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -45,33 +45,39 @@ Status MetadataManager::Heartbeat(NodeId node, std::uint64_t free_bytes) {
 
 Result<std::vector<ChunkId>> MetadataManager::GcExchange(
     NodeId node, const std::vector<ChunkId>& held) {
-  std::lock_guard<std::mutex> lock(mu_);
-  STDCHK_RETURN_IF_ERROR(CheckUp());
-  if (!registry_.IsOnline(node)) {
-    return UnavailableError("GC exchange from offline node");
-  }
-
-  // Chunks the node holds that are not live anywhere are orphans — deleted
-  // files, failed writes, or purged versions. Exception: never collect
-  // while the node is part of an active write reservation: the unknown
-  // chunks may be the in-flight data itself.
+  // Control-plane checks under mu_; the per-chunk sweep below walks the
+  // catalog's shards without it, so a long GC exchange never blocks
+  // commits or reads on other shards.
   bool node_has_active_reservation = false;
-  for (const auto& [id, res] : reservations_) {
-    if (std::find(res.stripe.begin(), res.stripe.end(), node) !=
-        res.stripe.end()) {
-      node_has_active_reservation = true;
-      break;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    STDCHK_RETURN_IF_ERROR(CheckUp());
+    if (!registry_.IsOnline(node)) {
+      return UnavailableError("GC exchange from offline node");
+    }
+
+    // Chunks the node holds that are not live anywhere are orphans —
+    // deleted files, failed writes, or purged versions. Exception: never
+    // collect while the node is part of an active write reservation: the
+    // unknown chunks may be the in-flight data itself. (A reservation
+    // created after this check defers collection to the next exchange —
+    // keeping data one round longer is always safe.)
+    for (const auto& [id, res] : reservations_) {
+      if (std::find(res.stripe.begin(), res.stripe.end(), node) !=
+          res.stripe.end()) {
+        node_has_active_reservation = true;
+        break;
+      }
     }
   }
 
   std::vector<ChunkId> to_delete;
   for (const ChunkId& id : held) {
-    if (catalog_.IsChunkLive(id)) {
+    if (catalog_.AddReplicaIfLive(id, node)) {
       // Re-integration: a desktop returning from an outage still holds
       // chunks the catalog dropped when its heartbeat expired. Content
       // addressing makes this safe — same id, same bytes — so the copy
       // counts toward availability again instead of being collected.
-      catalog_.AddReplica(id, node);
       continue;
     }
     if (node_has_active_reservation) continue;  // defer: possibly in flight
@@ -105,6 +111,7 @@ Result<WriteReservation> MetadataManager::ReserveStripe(int width,
                                                         std::uint64_t bytes) {
   std::lock_guard<std::mutex> lock(mu_);
   STDCHK_RETURN_IF_ERROR(CheckUp());
+  stat_server_placements_.fetch_add(1, std::memory_order_relaxed);
   STDCHK_ASSIGN_OR_RETURN(std::vector<NodeId> stripe,
                           registry_.SelectStripe(width));
   Reservation res;
@@ -148,6 +155,9 @@ Result<NodeId> MetadataManager::ReplaceReservationNode(ReservationId id,
   if (slot == res.stripe.end()) {
     return NotFoundError("node is not a member of the reservation stripe");
   }
+  // Failover replacement is a server-side pick by design: it needs the
+  // freshest membership, and it is off the steady-state write path.
+  stat_server_placements_.fetch_add(1, std::memory_order_relaxed);
   STDCHK_ASSIGN_OR_RETURN(std::vector<NodeId> fresh,
                           registry_.SelectStripe(1, res.stripe));
   // Hand the dead member's share of the eager reservation to the
@@ -180,7 +190,12 @@ Status MetadataManager::ReleaseReservation(ReservationId id) {
 
 Status MetadataManager::CommitVersion(ReservationId id,
                                       const VersionRecord& record) {
-  std::lock_guard<std::mutex> lock(mu_);
+  return CommitVersionAt(id, record, /*placed_epoch=*/0);
+}
+
+Status MetadataManager::CommitVersionAt(ReservationId id,
+                                        const VersionRecord& record,
+                                        std::uint64_t placed_epoch) {
   STDCHK_RETURN_IF_ERROR(CheckUp());
   VersionRecord to_commit = record;
   // The folder's replication target applies unless the record overrides it.
@@ -188,7 +203,35 @@ Status MetadataManager::CommitVersion(ReservationId id,
   if (to_commit.replication_target <= 0) {
     to_commit.replication_target = policy.replication_target;
   }
+
+  if (placed_epoch != 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (placed_epoch != registry_.placement_epoch()) {
+      // Stale placement: membership changed after the client computed its
+      // stripe. Drop replicas on departed benefactors; a chunk left with
+      // no live replica fails the whole commit (session semantics: the
+      // version must never become visible with unreachable data).
+      for (ChunkLocation& loc : to_commit.chunk_map.chunks) {
+        std::erase_if(loc.replicas, [this](NodeId node) {
+          return !registry_.IsOnline(node);
+        });
+        if (loc.replicas.empty()) {
+          stat_epoch_mismatches_.fetch_add(1, std::memory_order_relaxed);
+          return FailedPreconditionError(
+              "placement epoch " + std::to_string(placed_epoch) +
+              " is stale and chunk " + loc.id.ToHex() +
+              " has every replica on departed benefactors");
+        }
+      }
+    }
+  }
+
+  // The catalog commit is the atomic visibility point; it serializes on
+  // the folder's shard only. The registry accounting below runs under mu_
+  // afterwards — a reader observing the committed version before the
+  // free-space figures settle is harmless (reservation GC is TTL-based).
   STDCHK_RETURN_IF_ERROR(catalog_.CommitVersion(to_commit));
+  std::lock_guard<std::mutex> lock(mu_);
   for (const ChunkLocation& loc : to_commit.chunk_map.chunks) {
     for (NodeId node : loc.replicas) registry_.AddUsed(node, loc.size);
   }
@@ -199,43 +242,90 @@ Status MetadataManager::CommitVersion(ReservationId id,
   return OkStatus();
 }
 
+Result<PlacementTable> MetadataManager::GetPlacementTable() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  STDCHK_RETURN_IF_ERROR(CheckUp());
+  stat_table_fetches_.fetch_add(1, std::memory_order_relaxed);
+  return registry_.PlacementSnapshot();
+}
+
+Result<WriteReservation> MetadataManager::ReserveStripeAt(
+    std::uint64_t epoch, const std::vector<NodeId>& stripe,
+    std::uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  STDCHK_RETURN_IF_ERROR(CheckUp());
+  if (stripe.empty()) return InvalidArgumentError("empty stripe");
+  if (epoch != registry_.placement_epoch()) {
+    stat_epoch_mismatches_.fetch_add(1, std::memory_order_relaxed);
+    return FailedPreconditionError(
+        "placement epoch " + std::to_string(epoch) + " is stale (current " +
+        std::to_string(registry_.placement_epoch()) + ")");
+  }
+  // With a current epoch every table member is registry-online; anything
+  // else in the stripe is a client bug, not staleness.
+  for (std::size_t i = 0; i < stripe.size(); ++i) {
+    if (!registry_.IsOnline(stripe[i])) {
+      return InvalidArgumentError("stripe member " +
+                                  std::to_string(stripe[i]) +
+                                  " is not an online benefactor");
+    }
+    for (std::size_t j = i + 1; j < stripe.size(); ++j) {
+      if (stripe[i] == stripe[j]) {
+        return InvalidArgumentError("stripe members must be distinct");
+      }
+    }
+  }
+
+  Reservation res;
+  res.id = next_reservation_++;
+  res.stripe = stripe;
+  res.bytes = bytes;
+  res.last_touch = clock_->NowUs();
+  std::uint64_t per_node = bytes / stripe.size() + 1;
+  for (NodeId node : stripe) registry_.AddReserved(node, per_node);
+  reservations_[res.id] = res;
+
+  WriteReservation out;
+  out.id = res.id;
+  out.stripe = stripe;
+  out.reserved_bytes = bytes;
+  return out;
+}
+
+// Catalog-only RPCs take no manager lock at all: the catalog is internally
+// sharded and thread-safe, so these contend only on the touched shard.
+
 Result<VersionRecord> MetadataManager::GetVersion(
     const CheckpointName& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
   STDCHK_RETURN_IF_ERROR(CheckUp());
   return catalog_.GetVersion(name);
 }
 
 Result<VersionRecord> MetadataManager::GetLatest(const std::string& app,
                                                  const std::string& node) const {
-  std::lock_guard<std::mutex> lock(mu_);
   STDCHK_RETURN_IF_ERROR(CheckUp());
   return catalog_.GetLatest(app, node);
 }
 
 Result<std::vector<CheckpointName>> MetadataManager::ListVersions(
     const std::string& app) const {
-  std::lock_guard<std::mutex> lock(mu_);
   STDCHK_RETURN_IF_ERROR(CheckUp());
   return catalog_.ListVersions(app);
 }
 
 Result<std::vector<std::string>> MetadataManager::ListApps() const {
-  std::lock_guard<std::mutex> lock(mu_);
   STDCHK_RETURN_IF_ERROR(CheckUp());
   return catalog_.ListApps();
 }
 
 Result<std::vector<bool>> MetadataManager::FilterKnownChunks(
     const std::vector<ChunkId>& ids) const {
-  std::lock_guard<std::mutex> lock(mu_);
   STDCHK_RETURN_IF_ERROR(CheckUp());
   return catalog_.KnownChunks(ids);
 }
 
 Result<std::vector<std::vector<NodeId>>> MetadataManager::LocateChunks(
     const std::vector<ChunkId>& ids) const {
-  std::lock_guard<std::mutex> lock(mu_);
   STDCHK_RETURN_IF_ERROR(CheckUp());
   std::vector<std::vector<NodeId>> out;
   out.reserve(ids.size());
@@ -245,7 +335,6 @@ Result<std::vector<std::vector<NodeId>>> MetadataManager::LocateChunks(
 
 Status MetadataManager::SetFolderPolicy(const std::string& app,
                                         const FolderPolicy& policy) {
-  std::lock_guard<std::mutex> lock(mu_);
   STDCHK_RETURN_IF_ERROR(CheckUp());
   if (policy.replication_target <= 0) {
     return InvalidArgumentError("replication target must be >= 1");
@@ -256,31 +345,37 @@ Status MetadataManager::SetFolderPolicy(const std::string& app,
 
 Result<FolderPolicy> MetadataManager::GetFolderPolicy(
     const std::string& app) const {
-  std::lock_guard<std::mutex> lock(mu_);
   STDCHK_RETURN_IF_ERROR(CheckUp());
   return catalog_.GetFolderPolicy(app);
 }
 
 Status MetadataManager::DeleteVersion(const CheckpointName& name) {
-  std::lock_guard<std::mutex> lock(mu_);
   STDCHK_RETURN_IF_ERROR(CheckUp());
   return catalog_.DeleteVersion(name);
 }
 
 Result<std::size_t> MetadataManager::DeleteApp(const std::string& app) {
-  std::lock_guard<std::mutex> lock(mu_);
   STDCHK_RETURN_IF_ERROR(CheckUp());
   return catalog_.DeleteApp(app);
 }
 
 std::vector<NodeId> MetadataManager::TickExpiry() {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (!up_) return {};
-  std::vector<NodeId> expired = registry_.ExpireStale();
-  for (NodeId node : expired) {
-    std::vector<ChunkId> lost = catalog_.RemoveNodeReplicas(node);
-    lost_chunks_.insert(lost_chunks_.end(), lost.begin(), lost.end());
+  std::vector<NodeId> expired;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!up_) return {};
+    expired = registry_.ExpireStale();
   }
+  if (expired.empty()) return expired;
+  // The catalog sweep walks chunk shards under their own locks; mu_ is
+  // retaken only to append the data-loss events.
+  std::vector<ChunkId> lost;
+  for (NodeId node : expired) {
+    std::vector<ChunkId> node_lost = catalog_.RemoveNodeReplicas(node);
+    lost.insert(lost.end(), node_lost.begin(), node_lost.end());
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  lost_chunks_.insert(lost_chunks_.end(), lost.begin(), lost.end());
   return expired;
 }
 
@@ -346,7 +441,8 @@ Status MetadataManager::AckReplication(const ReplicationCommand& cmd,
 }
 
 std::vector<CheckpointName> MetadataManager::TickRetention() {
-  std::lock_guard<std::mutex> lock(mu_);
+  // No manager lock: retention walks the catalog's folder shards under
+  // their own locks, one shard at a time.
   if (!up_) return {};
   return catalog_.ApplyRetention();
 }
@@ -369,6 +465,22 @@ std::vector<ChunkId> MetadataManager::TakeLostChunks() {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<ChunkId> out;
   out.swap(lost_chunks_);
+  return out;
+}
+
+ManagerCounters MetadataManager::Counters() const {
+  ManagerCounters out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.placement_epoch = registry_.placement_epoch();
+  }
+  out.placement_table_fetches =
+      stat_table_fetches_.load(std::memory_order_relaxed);
+  out.placement_epoch_mismatches =
+      stat_epoch_mismatches_.load(std::memory_order_relaxed);
+  out.server_side_placements =
+      stat_server_placements_.load(std::memory_order_relaxed);
+  out.catalog_shards = catalog_.ShardStatsSnapshot();
   return out;
 }
 
@@ -441,6 +553,7 @@ Bytes MetadataManager::SaveSnapshot() const {
   // Registry.
   std::vector<BenefactorStatus> nodes = registry_.Export();
   w.U32(registry_.next_id());
+  w.U64(registry_.placement_epoch());
   w.U32(static_cast<std::uint32_t>(nodes.size()));
   for (const BenefactorStatus& node : nodes) {
     w.U32(node.id);
@@ -482,6 +595,7 @@ Status MetadataManager::LoadSnapshot(ByteSpan snapshot) {
   }
 
   STDCHK_ASSIGN_OR_RETURN(NodeId next_id, r.U32());
+  STDCHK_ASSIGN_OR_RETURN(std::uint64_t epoch, r.U64());
   STDCHK_ASSIGN_OR_RETURN(std::uint32_t node_count, r.U32());
   std::vector<BenefactorStatus> nodes;
   nodes.reserve(node_count);
@@ -537,7 +651,7 @@ Status MetadataManager::LoadSnapshot(ByteSpan snapshot) {
   if (!r.AtEnd()) return DataLossError("trailing bytes in snapshot");
 
   // Commit point: only mutate after the whole snapshot parsed.
-  registry_.Import(nodes, next_id);
+  registry_.Import(nodes, next_id, epoch);
   STDCHK_RETURN_IF_ERROR(catalog_.Import(state));
   reservations_.clear();
   inflight_.clear();

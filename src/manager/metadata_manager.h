@@ -37,6 +37,24 @@ struct ManagerOptions {
   // implements "creation of new files has priority over replication": the
   // scheduler trickles copies instead of flooding benefactors.
   int max_replications_per_tick = 8;
+  // Number of independently locked FileCatalog shards. 1 keeps the
+  // historical single-map catalog, bit for bit; N spreads folder and chunk
+  // state over N locks so commits, reads, GC and retention on different
+  // shards proceed concurrently.
+  int catalog_shards = 1;
+};
+
+// Control-plane counters for observability and the scale bench. The
+// placement counters express the decentralized-placement invariant: in
+// steady state (no membership churn) the manager performs zero placement
+// work — table fetches happen once per client, mismatches and server-side
+// placements stay at zero.
+struct ManagerCounters {
+  std::uint64_t placement_epoch = 0;
+  std::uint64_t placement_table_fetches = 0;    // GetPlacementTable calls
+  std::uint64_t placement_epoch_mismatches = 0; // stale-epoch rejections
+  std::uint64_t server_side_placements = 0;     // legacy SelectStripe calls
+  std::vector<CatalogShardStats> catalog_shards;
 };
 
 class MetadataManager {
@@ -68,8 +86,20 @@ class MetadataManager {
                                int stripe_width);
 
   // ---- Client-facing RPCs --------------------------------------------------
-  // Eagerly reserves `bytes` across a stripe of `width` benefactors.
+  // Eagerly reserves `bytes` across a stripe of `width` benefactors. The
+  // legacy (server-side placement) path: the manager picks the stripe.
   Result<WriteReservation> ReserveStripe(int width, std::uint64_t bytes);
+
+  // ---- Decentralized placement (epoch-versioned table) ---------------------
+  // Publishes the current placement table; clients cache it and compute
+  // stripes locally (client/placement.h: ComputeStripe).
+  Result<PlacementTable> GetPlacementTable() const;
+  // Reserves a client-chosen stripe placed against table `epoch`. Fails
+  // FailedPrecondition when the epoch is stale (membership changed since
+  // the client cached the table) — the client refetches and retries.
+  Result<WriteReservation> ReserveStripeAt(std::uint64_t epoch,
+                                           const std::vector<NodeId>& stripe,
+                                           std::uint64_t bytes);
   // Extends an existing reservation (incremental space allocation: stdchk
   // "cannot predict in advance the file size", §IV.A).
   Status ExtendReservation(ReservationId id, std::uint64_t additional_bytes);
@@ -85,6 +115,14 @@ class MetadataManager {
   // Atomic commit of a version's chunk map — the session-semantics commit
   // point. Releases the reservation (id 0 = no reservation).
   Status CommitVersion(ReservationId id, const VersionRecord& record);
+
+  // Epoch-validated commit: `placed_epoch` is the table epoch the client
+  // placed against (0 = legacy, no validation). If membership changed since
+  // placement, replicas on departed benefactors are dropped; the commit is
+  // rejected FailedPrecondition if any chunk would be left with no live
+  // replica — a stale client can never commit onto a departed benefactor.
+  Status CommitVersionAt(ReservationId id, const VersionRecord& record,
+                         std::uint64_t placed_epoch);
 
   Result<VersionRecord> GetVersion(const CheckpointName& name) const;
   Result<VersionRecord> GetLatest(const std::string& app,
@@ -144,6 +182,7 @@ class MetadataManager {
   const FileCatalog& catalog() const { return catalog_; }
   const BenefactorRegistry& registry() const { return registry_; }
   BenefactorRegistry& registry_mutable() { return registry_; }
+  ManagerCounters Counters() const;
 
  private:
   struct Reservation {
@@ -163,11 +202,17 @@ class MetadataManager {
   ManagerOptions options_;
   std::atomic<bool> up_{true};
 
-  // Coarse-grained lock: the manager is a single shared control-plane
-  // component accessed by clients, benefactors and the background pumps
-  // concurrently. Metadata operations are tiny relative to data transfers
-  // (which never pass through the manager), so one mutex suffices.
+  // Control-plane lock, scoped to registry_, reservations_, inflight_,
+  // offers_ and lost_chunks_. The catalog is internally sharded and
+  // thread-safe, so catalog-only RPCs (reads, commits, deletes, dedup
+  // filters) never touch mu_ — they contend only on their shard. Lock
+  // order where both are needed: mu_ before catalog shard locks (the
+  // catalog never calls back into the manager).
   mutable std::mutex mu_;
+
+  mutable std::atomic<std::uint64_t> stat_table_fetches_{0};
+  std::atomic<std::uint64_t> stat_epoch_mismatches_{0};
+  std::atomic<std::uint64_t> stat_server_placements_{0};
 
   BenefactorRegistry registry_;
   FileCatalog catalog_;

@@ -80,5 +80,63 @@ TEST(ClusterStatsTest, PendingReplicationsVisibleMidRepair) {
   }
 }
 
+TEST(ClusterStatsTest, MetadataPlaneCountersSurface) {
+  ClusterOptions options;
+  options.benefactor_count = 4;
+  options.manager.catalog_shards = 4;
+  options.client.stripe_width = 2;
+  options.client.chunk_size = 1024;
+  options.client.decentralized_placement = true;
+  StdchkCluster cluster(options);
+  Rng rng(7);
+
+  for (std::uint64_t t = 1; t <= 6; ++t) {
+    ASSERT_TRUE(cluster.client()
+                    .WriteFile(CheckpointName{"app" + std::to_string(t % 3),
+                                              "n", t},
+                               rng.RandomBytes(4096))
+                    .ok());
+  }
+
+  ClusterStats stats = CollectStats(cluster);
+  EXPECT_EQ(stats.catalog_shards, 4u);
+  ASSERT_EQ(stats.catalog_shard_stats.size(), 4u);
+  std::uint64_t ops = 0, acquisitions = 0;
+  for (const CatalogShardStats& shard : stats.catalog_shard_stats) {
+    ops += shard.ops;
+    acquisitions += shard.lock_acquisitions;
+  }
+  EXPECT_EQ(stats.catalog_ops, ops);
+  EXPECT_EQ(stats.catalog_lock_acquisitions, acquisitions);
+  EXPECT_GT(stats.catalog_ops, 0u);
+  EXPECT_GE(stats.catalog_lock_acquisitions, stats.catalog_ops);
+
+  // Steady state with a warm placement-table cache: exactly one fetch, no
+  // epoch mismatches, and — the headline invariant — zero writes placed by
+  // the manager.
+  EXPECT_EQ(stats.placement_epoch,
+            cluster.manager().registry().placement_epoch());
+  EXPECT_EQ(stats.placement_table_fetches, 1u);
+  EXPECT_EQ(stats.placement_epoch_mismatches, 0u);
+  EXPECT_EQ(stats.server_side_placements, 0u);
+}
+
+TEST(ClusterStatsTest, LegacyPlacementShowsServerSidePlacements) {
+  ClusterOptions options;
+  options.benefactor_count = 4;
+  options.client.stripe_width = 2;
+  options.client.chunk_size = 1024;
+  StdchkCluster cluster(options);
+  Rng rng(8);
+  ASSERT_TRUE(cluster.client()
+                  .WriteFile(CheckpointName{"a", "n", 1}, rng.RandomBytes(4096))
+                  .ok());
+
+  ClusterStats stats = CollectStats(cluster);
+  EXPECT_EQ(stats.catalog_shards, 1u);  // default single shard
+  EXPECT_EQ(stats.placement_table_fetches, 0u);
+  EXPECT_GT(stats.server_side_placements, 0u);
+}
+
 }  // namespace
 }  // namespace stdchk

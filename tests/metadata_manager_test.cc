@@ -323,5 +323,159 @@ TEST_F(MetadataManagerTest, ReplicationRespectsPerTickBudget) {
   EXPECT_EQ(manager.TickReplication().size(), 2u);
 }
 
+// ---- epoch-versioned placement RPCs ----------------------------------------
+
+TEST_F(MetadataManagerTest, GetPlacementTableReturnsOnlineMembership) {
+  auto table = manager_.GetPlacementTable();
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table.value().members.size(), nodes_.size());
+  EXPECT_GT(table.value().epoch, 0u);
+
+  manager_.registry_mutable().SetOffline(nodes_[0]);
+  auto after = manager_.GetPlacementTable();
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after.value().members.size(), nodes_.size() - 1);
+  EXPECT_EQ(after.value().epoch, table.value().epoch + 1);
+}
+
+TEST_F(MetadataManagerTest, ReserveStripeAtAcceptsCurrentEpoch) {
+  auto table = manager_.GetPlacementTable();
+  ASSERT_TRUE(table.ok());
+  auto res = manager_.ReserveStripeAt(table.value().epoch,
+                                      {nodes_[0], nodes_[1]}, 10_MiB);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.value().stripe, (std::vector<NodeId>{nodes_[0], nodes_[1]}));
+  EXPECT_NE(res.value().id, 0u);
+  // The eager reservation charges the named nodes, like the legacy path.
+  auto status = manager_.registry_mutable().Get(nodes_[0]);
+  ASSERT_TRUE(status.ok());
+  EXPECT_GT(status.value().reserved_bytes, 0u);
+}
+
+TEST_F(MetadataManagerTest, ReserveStripeAtRejectsStaleEpoch) {
+  auto table = manager_.GetPlacementTable();
+  ASSERT_TRUE(table.ok());
+  manager_.registry_mutable().SetOffline(nodes_[3]);  // bumps the epoch
+
+  auto res =
+      manager_.ReserveStripeAt(table.value().epoch, {nodes_[0]}, 1_MiB);
+  EXPECT_EQ(res.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(manager_.Counters().placement_epoch_mismatches, 1u);
+
+  // Refetch-and-retry succeeds — the protocol's recovery loop.
+  auto fresh = manager_.GetPlacementTable();
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_TRUE(
+      manager_.ReserveStripeAt(fresh.value().epoch, {nodes_[0]}, 1_MiB).ok());
+}
+
+TEST_F(MetadataManagerTest, ReserveStripeAtRejectsBadStripes) {
+  std::uint64_t epoch = manager_.GetPlacementTable().value().epoch;
+  // Offline member: the client computed placement onto a departed node.
+  manager_.registry_mutable().SetOffline(nodes_[2]);
+  epoch = manager_.GetPlacementTable().value().epoch;
+  EXPECT_EQ(manager_.ReserveStripeAt(epoch, {nodes_[2]}, 1_MiB).status().code(),
+            StatusCode::kInvalidArgument);
+  // Duplicate members: a client-side placement bug, not an epoch race.
+  EXPECT_EQ(manager_.ReserveStripeAt(epoch, {nodes_[0], nodes_[0]}, 1_MiB)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  // Empty stripe.
+  EXPECT_EQ(manager_.ReserveStripeAt(epoch, {}, 1_MiB).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(MetadataManagerTest, CommitAtCurrentEpochKeepsAllReplicas) {
+  std::uint64_t epoch = manager_.GetPlacementTable().value().epoch;
+  ASSERT_TRUE(manager_
+                  .CommitVersionAt(0, MakeVersion("app", 1, nodes_[0]), epoch)
+                  .ok());
+  auto got = manager_.GetVersion(CheckpointName{"app", "n1", 1});
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value().chunk_map.chunks[0].replicas,
+            (std::vector<NodeId>{nodes_[0]}));
+}
+
+TEST_F(MetadataManagerTest, StaleCommitDropsDepartedReplicas) {
+  std::uint64_t placed_epoch = manager_.GetPlacementTable().value().epoch;
+  VersionRecord record = MakeVersion("app", 1, nodes_[0]);
+  record.chunk_map.chunks[0].replicas = {nodes_[0], nodes_[1]};
+
+  // The node the client wrote to departs between placement and commit.
+  manager_.registry_mutable().SetOffline(nodes_[1]);
+  ASSERT_TRUE(manager_.CommitVersionAt(0, record, placed_epoch).ok());
+
+  // The committed map must never reference the departed benefactor.
+  auto got = manager_.GetVersion(CheckpointName{"app", "n1", 1});
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value().chunk_map.chunks[0].replicas,
+            (std::vector<NodeId>{nodes_[0]}));
+  EXPECT_EQ(manager_.Counters().placement_epoch_mismatches, 0u);
+}
+
+TEST_F(MetadataManagerTest, StaleCommitRejectedWhenAllReplicasDeparted) {
+  std::uint64_t placed_epoch = manager_.GetPlacementTable().value().epoch;
+  VersionRecord record = MakeVersion("app", 1, nodes_[1]);
+
+  manager_.registry_mutable().SetOffline(nodes_[1]);
+  Status status = manager_.CommitVersionAt(0, record, placed_epoch);
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(manager_.Counters().placement_epoch_mismatches, 1u);
+  EXPECT_FALSE(manager_.GetVersion(CheckpointName{"app", "n1", 1}).ok());
+}
+
+TEST_F(MetadataManagerTest, LegacyCommitSkipsEpochValidation) {
+  // placed_epoch 0 is the sentinel for "server placed this stripe": replicas
+  // are trusted as before the epoch protocol existed.
+  VersionRecord record = MakeVersion("app", 1, nodes_[1]);
+  manager_.registry_mutable().SetOffline(nodes_[1]);
+  EXPECT_TRUE(manager_.CommitVersionAt(0, record, 0).ok());
+  EXPECT_EQ(manager_.Counters().placement_epoch_mismatches, 0u);
+}
+
+TEST_F(MetadataManagerTest, CountersTrackPlacementTraffic) {
+  ManagerCounters before = manager_.Counters();
+  EXPECT_EQ(before.placement_table_fetches, 0u);
+  EXPECT_EQ(before.server_side_placements, 0u);
+  ASSERT_EQ(before.catalog_shards.size(), 1u);  // default: one shard
+
+  (void)manager_.GetPlacementTable();
+  (void)manager_.GetPlacementTable();
+  (void)manager_.ReserveStripe(2, 1_MiB);  // legacy server-side placement
+
+  ManagerCounters after = manager_.Counters();
+  EXPECT_EQ(after.placement_table_fetches, 2u);
+  EXPECT_EQ(after.server_side_placements, 1u);
+  EXPECT_EQ(after.placement_epoch, manager_.registry().placement_epoch());
+}
+
+TEST_F(MetadataManagerTest, ShardedCatalogCountsPerShardOps) {
+  ManagerOptions options;
+  options.catalog_shards = 4;
+  MetadataManager manager(&clock_, options);
+  BenefactorInfo info;
+  info.host = "d0";
+  info.free_bytes = 1_GiB;
+  NodeId node = manager.RegisterBenefactor(info).value();
+
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(
+        manager.CommitVersion(0, MakeVersion("app" + std::to_string(i), 1, node))
+            .ok());
+  }
+  std::vector<CatalogShardStats> shards = manager.Counters().catalog_shards;
+  ASSERT_EQ(shards.size(), 4u);
+  std::uint64_t total_ops = 0;
+  std::size_t active = 0;
+  for (const CatalogShardStats& s : shards) {
+    total_ops += s.ops;
+    if (s.ops > 0) ++active;
+    EXPECT_GE(s.lock_acquisitions, s.ops);
+  }
+  EXPECT_GE(total_ops, 8u);
+  EXPECT_GT(active, 1u);  // eight distinct apps must spread across shards
+}
+
 }  // namespace
 }  // namespace stdchk
