@@ -48,12 +48,12 @@
 #include <cstring>
 #include <filesystem>
 #include <map>
-#include <mutex>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "chunk/chunk_store.h"
+#include "common/annotated_mutex.h"
 #include "common/crc32.h"
 
 namespace stdchk {
@@ -125,7 +125,11 @@ class DiskChunkStore final : public ChunkStore {
     }
   }
 
-  Status Init() {
+  Status Init() EXCLUDES(mu_) {
+    // Init runs before the store is published to any other thread, but it
+    // calls the Locked-contract recovery helpers — take the lock so the
+    // contracts hold (uncontended, so effectively free).
+    MutexLock lock(mu_);
     std::error_code ec;
     fs::create_directories(root_, ec);
     if (ec) return InternalError("create_directories: " + ec.message());
@@ -163,17 +167,17 @@ class DiskChunkStore final : public ChunkStore {
 
   Status Put(const ChunkId& id, BufferSlice data) override {
     ChunkPut put{id, std::move(data)};
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return PutBatchLocked(std::span<const ChunkPut>(&put, 1));
   }
 
   Status PutBatch(std::span<const ChunkPut> puts) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return PutBatchLocked(puts);
   }
 
   Result<BufferSlice> Get(const ChunkId& id) const override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = index_.find(id);
     if (it == index_.end()) {
       return NotFoundError("chunk " + id.ToHex() + " not on disk");
@@ -188,12 +192,12 @@ class DiskChunkStore final : public ChunkStore {
   }
 
   bool Contains(const ChunkId& id) const override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return index_.contains(id);
   }
 
   Status Delete(const ChunkId& id) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = index_.find(id);
     if (it == index_.end()) {
       return NotFoundError("chunk " + id.ToHex() + " not on disk");
@@ -213,7 +217,7 @@ class DiskChunkStore final : public ChunkStore {
   }
 
   Status Wipe() override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (auto it = segments_.begin(); it != segments_.end();) {
       it = ReclaimSegmentLocked(it);
     }
@@ -224,7 +228,7 @@ class DiskChunkStore final : public ChunkStore {
   }
 
   std::vector<ChunkId> List() const override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     std::vector<ChunkId> out;
     out.reserve(index_.size());
     for (const auto& [id, entry] : index_) out.push_back(id);
@@ -232,12 +236,12 @@ class DiskChunkStore final : public ChunkStore {
   }
 
   std::uint64_t BytesUsed() const override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return bytes_used_;
   }
 
   std::size_t ChunkCount() const override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return index_.size();
   }
 
@@ -246,7 +250,7 @@ class DiskChunkStore final : public ChunkStore {
   std::uint64_t ResidentBytes() const override { return 0; }
 
   ChunkStoreStats Stats() const override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return stats_;
   }
 
@@ -295,7 +299,8 @@ class DiskChunkStore final : public ChunkStore {
     return root_ / name;
   }
 
-  Status RecoverSegment(std::uint32_t seq, const fs::path& path) {
+  Status RecoverSegment(std::uint32_t seq, const fs::path& path)
+      REQUIRES(mu_) {
     int fd = ::open(path.c_str(), O_RDWR | O_CLOEXEC);
     if (fd < 0) return ErrnoError("open " + path.string());
     struct stat st {};
@@ -362,7 +367,7 @@ class DiskChunkStore final : public ChunkStore {
     return OkStatus();
   }
 
-  Status EnsureActiveSegmentLocked() {
+  Status EnsureActiveSegmentLocked() REQUIRES(mu_) {
     if (active_seq_ != 0) {
       Segment& seg = segments_.at(active_seq_);
       if (seg.size < options_.segment_target_bytes) return OkStatus();
@@ -399,7 +404,7 @@ class DiskChunkStore final : public ChunkStore {
     return OkStatus();
   }
 
-  Status PutBatchLocked(std::span<const ChunkPut> puts) {
+  Status PutBatchLocked(std::span<const ChunkPut> puts) REQUIRES(mu_) {
     // Skip chunks already stored and intra-batch duplicates (repeated
     // content, e.g. zeroed pages): content addressing makes re-puts
     // byte-identical, so first copy wins.
@@ -458,7 +463,7 @@ class DiskChunkStore final : public ChunkStore {
   }
 
   Status WriteVecLocked(Segment& seg, std::vector<struct iovec>& iov,
-                        std::uint64_t offset) {
+                        std::uint64_t offset) REQUIRES(mu_) {
     std::size_t idx = 0;
     while (idx < iov.size()) {
       auto count = static_cast<int>(
@@ -491,7 +496,8 @@ class DiskChunkStore final : public ChunkStore {
     return OkStatus();
   }
 
-  Status EnsureMapped(Segment& seg, std::uint64_t needed) const {
+  Status EnsureMapped(Segment& seg, std::uint64_t needed) const
+      REQUIRES(mu_) {
     if (seg.mapping && seg.mapped_size >= needed) return OkStatus();
     void* addr = ::mmap(nullptr, seg.size, PROT_READ, MAP_SHARED, seg.fd, 0);
     if (addr == MAP_FAILED) return ErrnoError("mmap " + seg.path.string());
@@ -504,7 +510,7 @@ class DiskChunkStore final : public ChunkStore {
   }
 
   std::map<std::uint32_t, Segment>::iterator ReclaimSegmentLocked(
-      std::map<std::uint32_t, Segment>::iterator it) {
+      std::map<std::uint32_t, Segment>::iterator it) REQUIRES(mu_) {
     Segment& seg = it->second;
     if (seg.fd >= 0) ::close(seg.fd);
     std::error_code ec;
@@ -515,14 +521,14 @@ class DiskChunkStore final : public ChunkStore {
 
   fs::path root_;
   DiskStoreOptions options_;
-  mutable std::mutex mu_;
-  std::unordered_map<ChunkId, Entry, ChunkIdHash> index_;
+  mutable Mutex mu_{LockRank::kChunkStore, 0, "disk_chunk_store"};
+  std::unordered_map<ChunkId, Entry, ChunkIdHash> index_ GUARDED_BY(mu_);
   // mutable: Get() is logically const but establishes mappings lazily.
-  mutable std::map<std::uint32_t, Segment> segments_;
-  std::uint32_t active_seq_ = 0;  // 0 = none yet
-  std::uint32_t next_seq_ = 1;
-  std::uint64_t bytes_used_ = 0;
-  mutable ChunkStoreStats stats_;
+  mutable std::map<std::uint32_t, Segment> segments_ GUARDED_BY(mu_);
+  std::uint32_t active_seq_ GUARDED_BY(mu_) = 0;  // 0 = none yet
+  std::uint32_t next_seq_ GUARDED_BY(mu_) = 1;
+  std::uint64_t bytes_used_ GUARDED_BY(mu_) = 0;
+  mutable ChunkStoreStats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace

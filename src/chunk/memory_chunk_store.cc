@@ -1,7 +1,7 @@
-#include <mutex>
 #include <unordered_map>
 
 #include "chunk/chunk_store.h"
+#include "common/annotated_mutex.h"
 
 namespace stdchk {
 namespace {
@@ -14,21 +14,21 @@ class MemoryChunkStore final : public ChunkStore {
   // (often a whole planner drain generation) stays alive while any of its
   // chunks is stored or any reader still holds a slice.
   Status Put(const ChunkId& id, BufferSlice data) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     PutLocked(id, std::move(data));
     return OkStatus();
   }
 
   // One lock acquisition for a whole drain generation.
   Status PutBatch(std::span<const ChunkPut> puts) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (const ChunkPut& put : puts) PutLocked(put.id, put.data);
     return OkStatus();
   }
 
   // Shares the stored slice; concurrent readers alias one buffer.
   Result<BufferSlice> Get(const ChunkId& id) const override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = chunks_.find(id);
     if (it == chunks_.end()) {
       return NotFoundError("chunk " + id.ToHex() + " not in store");
@@ -37,12 +37,12 @@ class MemoryChunkStore final : public ChunkStore {
   }
 
   bool Contains(const ChunkId& id) const override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return chunks_.contains(id);
   }
 
   Status Delete(const ChunkId& id) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = chunks_.find(id);
     if (it == chunks_.end()) {
       return NotFoundError("chunk " + id.ToHex() + " not in store");
@@ -54,7 +54,7 @@ class MemoryChunkStore final : public ChunkStore {
   }
 
   Status Wipe() override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     chunks_.clear();
     backings_.clear();
     bytes_used_ = 0;
@@ -63,7 +63,7 @@ class MemoryChunkStore final : public ChunkStore {
   }
 
   std::vector<ChunkId> List() const override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     std::vector<ChunkId> out;
     out.reserve(chunks_.size());
     for (const auto& [id, data] : chunks_) out.push_back(id);
@@ -71,12 +71,12 @@ class MemoryChunkStore final : public ChunkStore {
   }
 
   std::uint64_t BytesUsed() const override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return bytes_used_;
   }
 
   std::size_t ChunkCount() const override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return chunks_.size();
   }
 
@@ -84,7 +84,7 @@ class MemoryChunkStore final : public ChunkStore {
   // slices means a chunk pins its whole drain generation, and BytesUsed()
   // alone under-reports what the donor machine actually gives up.
   std::uint64_t ResidentBytes() const override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return resident_bytes_;
   }
 
@@ -94,7 +94,7 @@ class MemoryChunkStore final : public ChunkStore {
     std::size_t bytes = 0;
   };
 
-  void PutLocked(const ChunkId& id, BufferSlice data) {
+  void PutLocked(const ChunkId& id, BufferSlice data) REQUIRES(mu_) {
     auto [it, inserted] = chunks_.try_emplace(id, std::move(data));
     if (inserted) {
       bytes_used_ += it->second.size();
@@ -102,7 +102,7 @@ class MemoryChunkStore final : public ChunkStore {
     }
   }
 
-  void PinBacking(const BufferSlice& data) {
+  void PinBacking(const BufferSlice& data) REQUIRES(mu_) {
     if (data.backing_id() == nullptr) return;
     Backing& b = backings_[data.backing_id()];
     if (b.refs++ == 0) {
@@ -111,7 +111,7 @@ class MemoryChunkStore final : public ChunkStore {
     }
   }
 
-  void UnpinBacking(const BufferSlice& data) {
+  void UnpinBacking(const BufferSlice& data) REQUIRES(mu_) {
     if (data.backing_id() == nullptr) return;
     auto it = backings_.find(data.backing_id());
     if (it == backings_.end()) return;
@@ -121,11 +121,11 @@ class MemoryChunkStore final : public ChunkStore {
     }
   }
 
-  mutable std::mutex mu_;
-  std::unordered_map<ChunkId, BufferSlice, ChunkIdHash> chunks_;
-  std::unordered_map<const void*, Backing> backings_;
-  std::uint64_t bytes_used_ = 0;
-  std::uint64_t resident_bytes_ = 0;
+  mutable Mutex mu_{LockRank::kChunkStore, 0, "memory_chunk_store"};
+  std::unordered_map<ChunkId, BufferSlice, ChunkIdHash> chunks_ GUARDED_BY(mu_);
+  std::unordered_map<const void*, Backing> backings_ GUARDED_BY(mu_);
+  std::uint64_t bytes_used_ GUARDED_BY(mu_) = 0;
+  std::uint64_t resident_bytes_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace

@@ -24,7 +24,15 @@ void RoundRobinPlacement::OnChunkPlaced(const std::vector<NodeId>& stripe) {
 
 Result<PlacementTable> PlacementTableCache::Get(bool* fetched) {
   if (fetched != nullptr) *fetched = false;
-  std::lock_guard<std::mutex> lock(mu_);
+  {
+    // Steady-state fast path: shared hold, no writer exclusion between
+    // concurrent write sessions reading the same cached table.
+    ReaderLock lock(mu_);
+    if (valid_) return table_;
+  }
+  WriterLock lock(mu_);
+  // Re-check: another session may have completed the fetch while we waited
+  // for the writer lock.
   if (!valid_) {
     STDCHK_ASSIGN_OR_RETURN(table_, manager_->GetPlacementTable());
     valid_ = true;
@@ -35,7 +43,7 @@ Result<PlacementTable> PlacementTableCache::Get(bool* fetched) {
 }
 
 void PlacementTableCache::Invalidate() {
-  std::lock_guard<std::mutex> lock(mu_);
+  WriterLock lock(mu_);
   valid_ = false;
 }
 

@@ -14,11 +14,11 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "chunk/chunk.h"
+#include "common/annotated_mutex.h"
 #include "common/status.h"
 #include "common/striping.h"
 #include "manager/metadata_manager.h"
@@ -69,12 +69,14 @@ class PlacementTableCache {
 
   // Returns the cached table, fetching from the manager only when the
   // cache is cold or was invalidated. `fetched` (optional) reports whether
-  // this call performed the RPC.
-  Result<PlacementTable> Get(bool* fetched = nullptr);
+  // this call performed the RPC. Steady state takes only the reader lock:
+  // every write session of the proxy hits this per write, and a shared
+  // hold keeps the hot path contention-free.
+  Result<PlacementTable> Get(bool* fetched = nullptr) EXCLUDES(mu_);
 
   // Drops the cached table (after a stale-epoch rejection); the next Get()
   // refetches.
-  void Invalidate();
+  void Invalidate() EXCLUDES(mu_);
 
   // Total manager fetches performed through this cache.
   std::uint64_t fetch_count() const {
@@ -83,9 +85,11 @@ class PlacementTableCache {
 
  private:
   MetadataManager* manager_;
-  std::mutex mu_;
-  bool valid_ = false;
-  PlacementTable table_;
+  // Rank sits below the manager's: Get() holds the writer lock across the
+  // table-fetch RPC so concurrent cold readers coalesce into one fetch.
+  SharedMutex mu_{LockRank::kClientPlacement, 0, "placement_cache"};
+  bool valid_ GUARDED_BY(mu_) = false;
+  PlacementTable table_ GUARDED_BY(mu_);
   std::atomic<std::uint64_t> fetches_{0};
 };
 

@@ -14,7 +14,10 @@ ReadSession::ReadSession(Transport* transport, VersionRecord record,
 
 ReadSession::~ReadSession() {
   // Drop replies for anything still in flight so the transport does not
-  // accumulate undeliverable completions.
+  // accumulate undeliverable completions. Locked for the rank validator's
+  // benefit (session rank sits below the transport's); Clang's analysis
+  // skips destructors.
+  MutexLock lock(mu_);
   for (const auto& [handle, fetch] : inflight_) {
     (void)transport_->Cancel(handle);
   }
@@ -216,6 +219,10 @@ void ReadSession::EvictToBudget(std::size_t demand) {
 Result<std::size_t> ReadSession::ReadAt(std::uint64_t offset,
                                         MutableByteSpan out) {
   if (offset >= record_.size || out.empty()) return std::size_t{0};
+
+  // Serialize the whole call: the window, cache and failover state are one
+  // coherent machine, and ChunkData's returned pointer aliases the cache.
+  MutexLock lock(mu_);
 
   // The failover budget bounds retries within one call; a fresh call gets
   // a fresh budget (links heal, nodes restart), like the pre-pipelined

@@ -22,6 +22,7 @@
 
 #include "client/client_options.h"
 #include "client/transport.h"
+#include "common/annotated_mutex.h"
 #include "common/status.h"
 #include "manager/metadata_manager.h"
 
@@ -52,15 +53,28 @@ class ReadSession {
   std::uint64_t size() const { return record_.size; }
 
   // Reads up to `out.size()` bytes at `offset`; returns bytes read (0 at
-  // EOF). Sequential callers get the full pipelined window.
-  Result<std::size_t> ReadAt(std::uint64_t offset, MutableByteSpan out);
+  // EOF). Sequential callers get the full pipelined window. Serialized on
+  // the session mutex: concurrent callers share one window and cache.
+  Result<std::size_t> ReadAt(std::uint64_t offset, MutableByteSpan out)
+      EXCLUDES(mu_);
 
   // Convenience: the whole file.
   Result<Bytes> ReadAll();
 
-  const ReadStats& stats() const { return stats_; }
-  std::uint64_t chunks_fetched() const { return stats_.chunks_fetched; }
-  std::uint64_t cache_hits() const { return stats_.cache_hits; }
+  // Snapshot of the accounting, copied under the session mutex so a reader
+  // concurrent with ReadAt sees a consistent struct.
+  ReadStats stats() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return stats_;
+  }
+  std::uint64_t chunks_fetched() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return stats_.chunks_fetched;
+  }
+  std::uint64_t cache_hits() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return stats_.cache_hits;
+  }
 
  private:
   struct Cached {
@@ -80,37 +94,53 @@ class ReadSession {
   // dead this session (dead nodes are retried only when no live candidate
   // remains — a drop may have been transient, so exhausted blacklists are
   // cleared and re-swept under a bounded per-chunk failover budget).
-  Result<NodeId> PickReplica(std::size_t index);
+  Result<NodeId> PickReplica(std::size_t index) REQUIRES(mu_);
   // Fills the in-flight window for demand position `demand`, coalescing
   // same-replica chunks into batch GETs. Errors only if the demand chunk
   // itself has no fetchable replica; read-ahead failures stay soft.
-  Status PumpWindow(std::size_t demand);
+  Status PumpWindow(std::size_t demand) REQUIRES(mu_);
   // Delivers one completion: caches payloads, or records the failure and
-  // releases its chunks for failover resubmission.
-  Status HarvestOne(std::size_t demand);
+  // releases its chunks for failover resubmission. Blocks in the transport
+  // while holding mu_ — legal because kClientReadSession ranks below
+  // kTransport, and intended: the window state must not shift under the
+  // wait.
+  Status HarvestOne(std::size_t demand) REQUIRES(mu_);
   // Blocks until chunk `index` is cached (pumping + harvesting the window).
-  Result<const BufferSlice*> ChunkData(std::size_t index);
+  // The returned pointer aliases the cache; it stays valid only while mu_
+  // is held (ReadAt copies out before unlocking).
+  Result<const BufferSlice*> ChunkData(std::size_t index) REQUIRES(mu_);
 
-  void Insert(std::size_t index, BufferSlice data);
-  void EvictToBudget(std::size_t demand);
+  void Insert(std::size_t index, BufferSlice data) REQUIRES(mu_);
+  void EvictToBudget(std::size_t demand) REQUIRES(mu_);
 
   Transport* transport_;
   VersionRecord record_;
   ClientOptions options_;
-  ReadStats stats_;
 
-  std::list<Cached> cache_;  // insertion order = eviction order
-  std::map<std::size_t, std::list<Cached>::iterator> cache_index_;
-  std::uint64_t cache_bytes_ = 0;
+  // Session lock: one ReadAt (window pump + harvest + cache) runs at a
+  // time, and the stats accessors snapshot under it. Ranks below the
+  // transport because HarvestOne waits on completions while holding it.
+  mutable Mutex mu_{LockRank::kClientReadSession, 0, "read_session"};
 
-  std::map<OpHandle, Fetch> inflight_;
-  std::set<std::size_t> inflight_chunks_;
+  ReadStats stats_ GUARDED_BY(mu_);
 
-  std::set<NodeId> dead_nodes_;  // nodes observed unreachable this session
-  std::map<std::size_t, std::set<NodeId>> failed_replicas_;  // per chunk
-  std::map<std::size_t, std::size_t> fetch_attempts_;  // failed, per ReadAt
-  std::set<std::size_t> singles_only_;  // retry alone after a batch rejection
-  std::size_t rr_replica_ = 0;
+  std::list<Cached> cache_ GUARDED_BY(mu_);  // insertion order = eviction order
+  std::map<std::size_t, std::list<Cached>::iterator> cache_index_
+      GUARDED_BY(mu_);
+  std::uint64_t cache_bytes_ GUARDED_BY(mu_) = 0;
+
+  std::map<OpHandle, Fetch> inflight_ GUARDED_BY(mu_);
+  std::set<std::size_t> inflight_chunks_ GUARDED_BY(mu_);
+
+  // Nodes observed unreachable this session.
+  std::set<NodeId> dead_nodes_ GUARDED_BY(mu_);
+  std::map<std::size_t, std::set<NodeId>> failed_replicas_
+      GUARDED_BY(mu_);  // per chunk
+  std::map<std::size_t, std::size_t> fetch_attempts_
+      GUARDED_BY(mu_);  // failed, per ReadAt
+  // Retry alone after a batch rejection.
+  std::set<std::size_t> singles_only_ GUARDED_BY(mu_);
+  std::size_t rr_replica_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace stdchk

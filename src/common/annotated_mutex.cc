@@ -1,0 +1,163 @@
+#include "common/annotated_mutex.h"
+
+#if STDCHK_LOCK_RANK_CHECKS
+
+#include <cstdio>
+#include <cstdlib>
+#include <type_traits>
+
+#if defined(__has_include)
+#if __has_include(<execinfo.h>)
+#define STDCHK_HAVE_BACKTRACE 1
+#include <execinfo.h>
+#endif
+#endif
+#ifndef STDCHK_HAVE_BACKTRACE
+#define STDCHK_HAVE_BACKTRACE 0
+#endif
+
+namespace stdchk::lockrank {
+namespace {
+
+constexpr int kMaxFrames = 16;
+
+struct HeldLock {
+  const void* mu;
+  std::uint32_t rank;
+  std::uint32_t seq;
+  const char* name;
+  void* frames[kMaxFrames];
+  int frame_count;
+};
+
+// Per-thread stack of ranked locks, in acquisition order. Validated
+// acquisitions are strictly ascending by (rank, seq), so the top entry is
+// always the maximum held.
+//
+// Deliberately a fixed array, not a std::vector: the stack must be
+// trivially destructible. Static-storage objects (a global HashPool, a
+// logger) lock ranked mutexes from their destructors, which run *after*
+// __call_tls_dtors has torn down any thread_local with a destructor — a
+// heap-backed container here is a use-after-free at exit. Depth covers the
+// deepest legal chain (catalog Export holds every folder and chunk shard);
+// overflow aborts loudly rather than dropping entries.
+constexpr int kMaxHeld = 128;
+
+struct HeldStackTls {
+  HeldLock entries[kMaxHeld];
+  int depth = 0;
+};
+static_assert(std::is_trivially_destructible_v<HeldStackTls>);
+
+HeldStackTls& HeldStack() {
+  thread_local HeldStackTls held;
+  return held;
+}
+
+int CaptureFrames(void** frames) {
+#if STDCHK_HAVE_BACKTRACE
+  return backtrace(frames, kMaxFrames);
+#else
+  (void)frames;
+  return 0;
+#endif
+}
+
+void DumpFrames(const char* heading, void* const* frames, int count) {
+  std::fprintf(stderr, "%s\n", heading);
+#if STDCHK_HAVE_BACKTRACE
+  if (count > 0) {
+    backtrace_symbols_fd(const_cast<void* const*>(frames), count, 2);
+  } else {
+    std::fprintf(stderr, "  <no frames captured>\n");
+  }
+#else
+  (void)frames;
+  (void)count;
+  std::fprintf(stderr, "  <backtrace unavailable on this platform>\n");
+#endif
+}
+
+[[noreturn]] void ReportViolation(const char* what, const HeldLock& conflict,
+                                  const void* mu, std::uint32_t rank,
+                                  std::uint32_t seq, const char* name) {
+  const HeldStackTls& held = HeldStack();
+  std::fprintf(stderr,
+               "\n==== stdchk lock-rank violation: %s ====\n"
+               "attempted: %-24s (rank %3u, seq %3u, %p)\n"
+               "conflicts: %-24s (rank %3u, seq %3u, %p)\n"
+               "locks held by this thread, in acquisition order:\n",
+               what, name, rank, seq, mu, conflict.name, conflict.rank,
+               conflict.seq, conflict.mu);
+  for (int i = 0; i < held.depth; ++i) {
+    const HeldLock& h = held.entries[i];
+    std::fprintf(stderr, "  - %-24s (rank %3u, seq %3u, %p)%s\n", h.name,
+                 h.rank, h.seq, h.mu, h.mu == conflict.mu ? "  <-- conflict" : "");
+  }
+  DumpFrames("conflicting lock was acquired at:", conflict.frames,
+             conflict.frame_count);
+  void* frames[kMaxFrames];
+  int count = CaptureFrames(frames);
+  DumpFrames("attempted acquisition at:", frames, count);
+  std::fprintf(stderr,
+               "lock hierarchy is documented in src/common/annotated_mutex.h; "
+               "acquire in strictly ascending (rank, seq) order.\n");
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace
+
+void OnAcquire(const void* mu, std::uint32_t rank, std::uint32_t seq,
+               const char* name) {
+  HeldStackTls& held = HeldStack();
+  for (int i = 0; i < held.depth; ++i) {
+    if (held.entries[i].mu == mu) {
+      ReportViolation("recursive acquisition of a held lock", held.entries[i],
+                      mu, rank, seq, name);
+    }
+  }
+  if (held.depth > 0) {
+    // Ascending invariant makes the top entry the maximum (rank, seq) held.
+    const HeldLock& top = held.entries[held.depth - 1];
+    if (rank < top.rank || (rank == top.rank && seq <= top.seq)) {
+      ReportViolation("out-of-order acquisition", top, mu, rank, seq, name);
+    }
+  }
+  if (held.depth == kMaxHeld) {
+    std::fprintf(stderr,
+                 "stdchk lock-rank validator: %d ranked locks held by one "
+                 "thread — deeper than any legal chain; aborting.\n",
+                 kMaxHeld);
+    std::abort();
+  }
+  HeldLock& h = held.entries[held.depth++];
+  h.mu = mu;
+  h.rank = rank;
+  h.seq = seq;
+  h.name = name;
+  h.frame_count = CaptureFrames(h.frames);
+}
+
+void OnRelease(const void* mu) {
+  HeldStackTls& held = HeldStack();
+  for (int i = held.depth - 1; i >= 0; --i) {
+    if (held.entries[i].mu == mu) {
+      for (int j = i; j + 1 < held.depth; ++j) {
+        held.entries[j] = held.entries[j + 1];
+      }
+      --held.depth;
+      return;
+    }
+  }
+  // A release we never tracked (lock taken before checks were compiled in,
+  // or an unranked handoff): nothing to do.
+}
+
+std::size_t HeldDepth() {
+  return static_cast<std::size_t>(HeldStack().depth);
+}
+
+}  // namespace stdchk::lockrank
+
+#endif  // STDCHK_LOCK_RANK_CHECKS

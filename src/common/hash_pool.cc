@@ -23,10 +23,10 @@ HashPool::HashPool(int threads) {
 
 HashPool::~HashPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& t : workers_) t.join();
 }
 
@@ -61,40 +61,38 @@ bool HashPool::RunShare(Batch& batch) {
   return finished_last;
 }
 
+std::shared_ptr<HashPool::Batch> HashPool::JoinableLocked() {
+  while (!batches_.empty() &&
+         batches_.front()->next.load(std::memory_order_relaxed) >=
+             batches_.front()->count) {
+    batches_.pop_front();
+  }
+  for (const std::shared_ptr<Batch>& c : batches_) {
+    if (c->next.load(std::memory_order_relaxed) < c->count &&
+        c->helpers.load(std::memory_order_relaxed) < c->max_helpers) {
+      return c;
+    }
+  }
+  return nullptr;
+}
+
 void HashPool::WorkerLoop() {
   for (;;) {
     std::shared_ptr<Batch> batch;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      // A batch is joinable while it has unclaimed indices and room for
-      // another helper; helpers never leave a batch, so a non-joinable
-      // batch stays that way and the predicate cannot busy-spin on it.
-      auto joinable = [this]() -> std::shared_ptr<Batch> {
-        while (!batches_.empty() &&
-               batches_.front()->next.load(std::memory_order_relaxed) >=
-                   batches_.front()->count) {
-          batches_.pop_front();
-        }
-        for (const std::shared_ptr<Batch>& c : batches_) {
-          if (c->next.load(std::memory_order_relaxed) < c->count &&
-              c->helpers.load(std::memory_order_relaxed) < c->max_helpers) {
-            return c;
-          }
-        }
-        return nullptr;
-      };
-      work_cv_.wait(lock, [&] { return stop_ || joinable() != nullptr; });
+      MutexLock lock(mu_);
+      while (!stop_ && (batch = JoinableLocked()) == nullptr) {
+        work_cv_.Wait(mu_);
+      }
       if (stop_) return;
-      batch = joinable();
-      if (!batch) continue;
       // Join under the lock: max_helpers is never overshot.
       batch->helpers.fetch_add(1, std::memory_order_relaxed);
     }
     if (RunShare(*batch)) {
       {
-        std::lock_guard<std::mutex> lock(mu_);  // pair with the caller's wait
+        MutexLock lock(mu_);  // pair with the caller's wait
       }
-      done_cv_.notify_all();
+      done_cv_.NotifyAll();
     }
   }
 }
@@ -116,18 +114,20 @@ int HashPool::ParallelFor(std::size_t n, int max_workers,
   batch->count = n;
   batch->max_helpers = helpers;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     batches_.push_back(batch);
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
 
   if (RunShare(*batch)) {
-    done_cv_.notify_all();
+    done_cv_.NotifyAll();
   }
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [&] {
-    return batch->done.load(std::memory_order_acquire) == batch->count;
-  });
+  {
+    MutexLock lock(mu_);
+    while (batch->done.load(std::memory_order_acquire) != batch->count) {
+      done_cv_.Wait(mu_);
+    }
+  }
   // Threads that claimed at least one index — a joiner that raced to an
   // already-drained cursor worked nothing and is not counted. done==count
   // implies every claimer finished, so the read is final. At least the

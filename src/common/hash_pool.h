@@ -12,14 +12,14 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/annotated_mutex.h"
 
 namespace stdchk {
 
@@ -57,7 +57,7 @@ class HashPool {
   // requested fan-out; a busy or slow-waking pool can return 1 even when
   // more was allowed.
   int ParallelFor(std::size_t n, int max_workers,
-                  const std::function<void(std::size_t)>& fn);
+                  const std::function<void(std::size_t)>& fn) EXCLUDES(mu_);
 
   // Largest number of threads ParallelFor could use for a batch of n under
   // this pool (caller + joinable workers) — the upper bound on its return.
@@ -76,16 +76,21 @@ class HashPool {
     std::atomic<int> active{0};   // threads that ran >= 1 index
   };
 
-  void WorkerLoop();
+  void WorkerLoop() EXCLUDES(mu_);
   // Claims and runs indices until the batch is drained; returns whether this
   // thread ran the batch's final task.
   bool RunShare(Batch& batch);
+  // Pops drained batches off the queue's front and returns the first batch
+  // with unclaimed indices and helper headroom (nullptr if none). Helpers
+  // never leave a batch, so a non-joinable batch stays that way and wait
+  // loops over this cannot busy-spin.
+  std::shared_ptr<Batch> JoinableLocked() REQUIRES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;  // workers: a batch was queued / stop
-  std::condition_variable done_cv_;  // callers: a batch completed
-  std::deque<std::shared_ptr<Batch>> batches_;
-  bool stop_ = false;
+  Mutex mu_{LockRank::kHashPool, 0, "hash_pool"};
+  CondVar work_cv_;  // workers: a batch was queued / stop
+  CondVar done_cv_;  // callers: a batch completed
+  std::deque<std::shared_ptr<Batch>> batches_ GUARDED_BY(mu_);
+  bool stop_ GUARDED_BY(mu_) = false;
   std::vector<std::thread> workers_;
 };
 

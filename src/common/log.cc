@@ -11,9 +11,9 @@ Logger& Logger::Instance() {
 
 void Logger::Write(LogLevel level, std::string_view component,
                    std::string_view msg) {
-  if (level < level_) return;
+  if (level < this->level()) return;
   static const char* kNames[] = {"DEBUG", "INFO", "WARN", "ERROR"};
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::fprintf(stderr, "[%s] %.*s: %.*s\n",
                kNames[static_cast<int>(level)],
                static_cast<int>(component.size()), component.data(),

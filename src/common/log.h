@@ -2,9 +2,11 @@
 // benches and examples raise the level when narrating.
 #pragma once
 
-#include <mutex>
+#include <atomic>
 #include <sstream>
 #include <string>
+
+#include "common/annotated_mutex.h"
 
 namespace stdchk {
 
@@ -14,15 +16,23 @@ class Logger {
  public:
   static Logger& Instance();
 
-  void set_level(LogLevel level) { level_ = level; }
-  LogLevel level() const { return level_; }
+  // level_ is a lock-free atomic: the STDCHK_LOG macro reads it on every
+  // (possibly filtered-out) log site, and benches flip it concurrently with
+  // worker threads logging. Relaxed is enough — it's a filter, not a fence.
+  void set_level(LogLevel level) {
+    level_.store(level, std::memory_order_relaxed);
+  }
+  LogLevel level() const { return level_.load(std::memory_order_relaxed); }
 
-  void Write(LogLevel level, std::string_view component, std::string_view msg);
+  void Write(LogLevel level, std::string_view component, std::string_view msg)
+      EXCLUDES(mu_);
 
  private:
   Logger() = default;
-  LogLevel level_ = LogLevel::kWarning;
-  std::mutex mu_;
+  std::atomic<LogLevel> level_{LogLevel::kWarning};
+  // kLogger is the highest rank: logging is legal while holding any other
+  // lock in the system.
+  Mutex mu_{LockRank::kLogger, 0, "logger"};
 };
 
 namespace internal {

@@ -6,10 +6,9 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
-#include <mutex>
 #include <thread>
 
+#include "common/annotated_mutex.h"
 #include "core/cluster.h"
 
 namespace stdchk {
@@ -24,19 +23,22 @@ class BackgroundDriver {
   BackgroundDriver(const BackgroundDriver&) = delete;
   BackgroundDriver& operator=(const BackgroundDriver&) = delete;
 
-  void Stop();
+  void Stop() EXCLUDES(mu_);
 
   std::uint64_t ticks() const { return ticks_.load(); }
 
  private:
-  void Loop();
+  void Loop() EXCLUDES(mu_);
 
   StdchkCluster* cluster_;
   double period_seconds_;
   std::atomic<bool> stop_{false};
   std::atomic<std::uint64_t> ticks_{0};
-  std::mutex mu_;
-  std::condition_variable cv_;
+  // Held only around the stop/wakeup handshake, never across Tick() — so
+  // its rank sits at the bottom of the hierarchy: every lock the cluster
+  // tick takes (manager, catalog, transport, stores...) ranks above it.
+  Mutex mu_{LockRank::kBackgroundDriver, 0, "background_driver"};
+  CondVar cv_;
   std::thread thread_;
 };
 

@@ -6,12 +6,12 @@
 namespace stdchk {
 
 void LocalTransport::AddEndpoint(Benefactor* benefactor) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   endpoints_[benefactor->id()] = benefactor;
 }
 
 void LocalTransport::SetUnreachable(NodeId node, bool unreachable) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (unreachable) {
     unreachable_.insert(node);
   } else {
@@ -20,47 +20,47 @@ void LocalTransport::SetUnreachable(NodeId node, bool unreachable) {
 }
 
 void LocalTransport::SetLossRate(NodeId node, double p) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   loss_rate_[node] = p;
 }
 
 void LocalTransport::SetDefaultLinkModel(sim::LinkModel model) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   default_link_ = model;
 }
 
 void LocalTransport::SetLinkModel(NodeId node, sim::LinkModel model) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   links_[node] = model;
 }
 
 SimTime LocalTransport::now() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return now_;
 }
 
 std::uint64_t LocalTransport::rpc_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return rpc_count_;
 }
 
 std::uint64_t LocalTransport::bytes_moved() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return bytes_moved_;
 }
 
 std::size_t LocalTransport::inflight_peak() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return inflight_peak_;
 }
 
 void LocalTransport::ResetInflightPeak() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   inflight_peak_ = pending_.size();
 }
 
 std::size_t LocalTransport::InFlight() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return pending_.size();
 }
 
@@ -185,7 +185,7 @@ std::uint64_t LocalTransport::ExecuteLocked(const ChunkOp& op,
 }
 
 OpHandle LocalTransport::Submit(ChunkOp op) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   OpHandle handle = next_handle_++;
   Pending p;
   p.completion.handle = handle;
@@ -222,7 +222,7 @@ LocalTransport::Pending LocalTransport::TakeLocked(
 }
 
 Result<OpCompletion> LocalTransport::Wait(OpHandle handle) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = pending_.find(handle);
   if (it == pending_.end()) {
     return NotFoundError("wait on unknown or already-delivered op handle " +
@@ -254,7 +254,7 @@ LocalTransport::FindEarliestLocked(std::span<const OpHandle> handles,
 
 Result<OpCompletion> LocalTransport::WaitAny(
     std::span<const OpHandle> handles) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (handles.empty()) {
     return InvalidArgumentError("WaitAny on an empty handle set");
   }
@@ -272,14 +272,14 @@ Result<OpCompletion> LocalTransport::WaitAny(
 
 std::optional<OpCompletion> LocalTransport::Poll(
     std::span<const OpHandle> handles) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto best = FindEarliestLocked(handles, /*only_ready=*/true);
   if (best == pending_.end()) return std::nullopt;
   return TakeLocked(best).completion;
 }
 
 bool LocalTransport::Cancel(OpHandle handle) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = pending_.find(handle);
   if (it == pending_.end()) return false;
   pending_.erase(it);

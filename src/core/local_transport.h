@@ -21,10 +21,10 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <set>
 
 #include "benefactor/benefactor.h"
+#include "common/annotated_mutex.h"
 #include "client/transport.h"
 #include "common/rng.h"
 #include "common/sim_time.h"
@@ -77,33 +77,36 @@ class LocalTransport final : public Transport {
     SimTime ready_at = 0;  // modeled delivery time
   };
 
-  Result<Benefactor*> RouteLocked(NodeId node);
-  const sim::LinkModel& LinkLocked(NodeId node) const;
+  Result<Benefactor*> RouteLocked(NodeId node) REQUIRES(mu_);
+  const sim::LinkModel& LinkLocked(NodeId node) const REQUIRES(mu_);
   // Earliest-finishing pending op among `handles` (submission order breaks
   // ties); unknown handles are skipped. `only_ready` restricts the search
   // to ops already finished at the modeled clock. end() if none qualify.
   std::map<OpHandle, Pending>::iterator FindEarliestLocked(
-      std::span<const OpHandle> handles, bool only_ready);
+      std::span<const OpHandle> handles, bool only_ready) REQUIRES(mu_);
   // Executes `op` against the routed benefactor and fills `out.status` /
-  // payload; returns the payload bytes that occupied the wire.
-  std::uint64_t ExecuteLocked(const ChunkOp& op, OpCompletion& out);
-  Pending TakeLocked(std::map<OpHandle, Pending>::iterator it);
+  // payload; returns the payload bytes that occupied the wire. The
+  // benefactor side effect runs under mu_ (rank kTransport), nesting into
+  // the chunk-store and hash-pool locks, which rank above it.
+  std::uint64_t ExecuteLocked(const ChunkOp& op, OpCompletion& out)
+      REQUIRES(mu_);
+  Pending TakeLocked(std::map<OpHandle, Pending>::iterator it) REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::map<NodeId, Benefactor*> endpoints_;
-  std::set<NodeId> unreachable_;
-  std::map<NodeId, double> loss_rate_;
-  std::map<NodeId, sim::LinkModel> links_;
-  sim::LinkModel default_link_{};
-  std::map<NodeId, SimTime> link_busy_until_;
-  Rng rng_;
+  mutable Mutex mu_{LockRank::kTransport, 0, "local_transport"};
+  std::map<NodeId, Benefactor*> endpoints_ GUARDED_BY(mu_);
+  std::set<NodeId> unreachable_ GUARDED_BY(mu_);
+  std::map<NodeId, double> loss_rate_ GUARDED_BY(mu_);
+  std::map<NodeId, sim::LinkModel> links_ GUARDED_BY(mu_);
+  sim::LinkModel default_link_ GUARDED_BY(mu_){};
+  std::map<NodeId, SimTime> link_busy_until_ GUARDED_BY(mu_);
+  Rng rng_ GUARDED_BY(mu_);
 
-  SimTime now_ = 0;
-  OpHandle next_handle_ = 1;
-  std::map<OpHandle, Pending> pending_;
-  std::uint64_t rpc_count_ = 0;
-  std::uint64_t bytes_moved_ = 0;
-  std::size_t inflight_peak_ = 0;
+  SimTime now_ GUARDED_BY(mu_) = 0;
+  OpHandle next_handle_ GUARDED_BY(mu_) = 1;
+  std::map<OpHandle, Pending> pending_ GUARDED_BY(mu_);
+  std::uint64_t rpc_count_ GUARDED_BY(mu_) = 0;
+  std::uint64_t bytes_moved_ GUARDED_BY(mu_) = 0;
+  std::size_t inflight_peak_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace stdchk

@@ -7,6 +7,7 @@
 namespace stdchk {
 
 NodeId BenefactorRegistry::Register(const BenefactorInfo& info) {
+  MutexLock lock(mu_);
   NodeId id = next_id_++;
   BenefactorStatus status;
   status.id = id;
@@ -19,6 +20,7 @@ NodeId BenefactorRegistry::Register(const BenefactorInfo& info) {
 }
 
 Status BenefactorRegistry::Heartbeat(NodeId node, std::uint64_t free_bytes) {
+  MutexLock lock(mu_);
   auto it = nodes_.find(node);
   if (it == nodes_.end()) {
     return NotFoundError("heartbeat from unregistered node");
@@ -31,6 +33,7 @@ Status BenefactorRegistry::Heartbeat(NodeId node, std::uint64_t free_bytes) {
 }
 
 Status BenefactorRegistry::SetOffline(NodeId node) {
+  MutexLock lock(mu_);
   auto it = nodes_.find(node);
   if (it == nodes_.end()) return NotFoundError("unknown node");
   if (it->second.online) ++epoch_;
@@ -39,6 +42,7 @@ Status BenefactorRegistry::SetOffline(NodeId node) {
 }
 
 std::vector<NodeId> BenefactorRegistry::ExpireStale() {
+  MutexLock lock(mu_);
   std::vector<NodeId> expired;
   ClockTime now = clock_->NowUs();
   for (auto& [id, status] : nodes_) {
@@ -52,6 +56,7 @@ std::vector<NodeId> BenefactorRegistry::ExpireStale() {
 }
 
 PlacementTable BenefactorRegistry::PlacementSnapshot() const {
+  MutexLock lock(mu_);
   PlacementTable table;
   table.epoch = epoch_;
   for (const auto& [id, status] : nodes_) {
@@ -67,17 +72,19 @@ PlacementTable BenefactorRegistry::PlacementSnapshot() const {
 }
 
 bool BenefactorRegistry::IsOnline(NodeId node) const {
+  MutexLock lock(mu_);
   auto it = nodes_.find(node);
   return it != nodes_.end() && it->second.online;
 }
 
 Result<BenefactorStatus> BenefactorRegistry::Get(NodeId node) const {
+  MutexLock lock(mu_);
   auto it = nodes_.find(node);
   if (it == nodes_.end()) return NotFoundError("unknown node");
   return it->second;
 }
 
-std::vector<NodeId> BenefactorRegistry::OnlineNodes() const {
+std::vector<NodeId> BenefactorRegistry::OnlineNodesLocked() const {
   std::vector<NodeId> out;
   for (const auto& [id, status] : nodes_) {
     if (status.online) out.push_back(id);
@@ -85,13 +92,20 @@ std::vector<NodeId> BenefactorRegistry::OnlineNodes() const {
   return out;
 }
 
+std::vector<NodeId> BenefactorRegistry::OnlineNodes() const {
+  MutexLock lock(mu_);
+  return OnlineNodesLocked();
+}
+
 std::size_t BenefactorRegistry::online_count() const {
-  return OnlineNodes().size();
+  MutexLock lock(mu_);
+  return OnlineNodesLocked().size();
 }
 
 Result<std::vector<NodeId>> BenefactorRegistry::SelectStripe(
     int width, const std::vector<NodeId>& exclude) const {
   if (width <= 0) return InvalidArgumentError("stripe width must be > 0");
+  MutexLock lock(mu_);
 
   struct Candidate {
     NodeId id;
@@ -132,11 +146,13 @@ Result<std::vector<NodeId>> BenefactorRegistry::SelectStripe(
 }
 
 void BenefactorRegistry::AddReserved(NodeId node, std::uint64_t bytes) {
+  MutexLock lock(mu_);
   auto it = nodes_.find(node);
   if (it != nodes_.end()) it->second.reserved_bytes += bytes;
 }
 
 void BenefactorRegistry::ReleaseReserved(NodeId node, std::uint64_t bytes) {
+  MutexLock lock(mu_);
   auto it = nodes_.find(node);
   if (it != nodes_.end()) {
     it->second.reserved_bytes =
@@ -146,6 +162,7 @@ void BenefactorRegistry::ReleaseReserved(NodeId node, std::uint64_t bytes) {
 }
 
 std::vector<BenefactorStatus> BenefactorRegistry::Export() const {
+  MutexLock lock(mu_);
   std::vector<BenefactorStatus> out;
   out.reserve(nodes_.size());
   for (const auto& [id, status] : nodes_) out.push_back(status);
@@ -154,6 +171,7 @@ std::vector<BenefactorStatus> BenefactorRegistry::Export() const {
 
 void BenefactorRegistry::Import(const std::vector<BenefactorStatus>& nodes,
                                 NodeId next_id, std::uint64_t epoch) {
+  MutexLock lock(mu_);
   nodes_.clear();
   for (const BenefactorStatus& status : nodes) {
     nodes_[status.id] = status;
@@ -165,6 +183,7 @@ void BenefactorRegistry::Import(const std::vector<BenefactorStatus>& nodes,
 }
 
 void BenefactorRegistry::AddUsed(NodeId node, std::uint64_t bytes) {
+  MutexLock lock(mu_);
   auto it = nodes_.find(node);
   if (it != nodes_.end()) {
     it->second.info.free_bytes = it->second.info.free_bytes > bytes
@@ -174,6 +193,7 @@ void BenefactorRegistry::AddUsed(NodeId node, std::uint64_t bytes) {
 }
 
 void BenefactorRegistry::ReleaseUsed(NodeId node, std::uint64_t bytes) {
+  MutexLock lock(mu_);
   auto it = nodes_.find(node);
   if (it != nodes_.end()) it->second.info.free_bytes += bytes;
 }

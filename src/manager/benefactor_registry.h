@@ -10,12 +10,18 @@
 #include <map>
 #include <vector>
 
+#include "common/annotated_mutex.h"
 #include "common/status.h"
 #include "manager/types.h"
 #include "manager/virtual_clock.h"
 
 namespace stdchk {
 
+// Thread-safe: guarded by its own mutex (rank kRegistry). Historically the
+// registry relied on the manager's control-plane lock, but the registry()/
+// registry_mutable() accessors let tests and stats code call it directly —
+// which raced with manager mutations. The internal lock closes that race;
+// the manager may hold its own mu_ (rank kManager) while calling in.
 class BenefactorRegistry {
  public:
   BenefactorRegistry(const VirtualClock* clock, ClockTime heartbeat_expiry_us)
@@ -63,24 +69,35 @@ class BenefactorRegistry {
   // an old epoch (or vice versa). Free-space-only heartbeats do not bump:
   // they change weights, not membership, and must not invalidate every
   // client cache on every heartbeat.
-  std::uint64_t placement_epoch() const { return epoch_; }
+  std::uint64_t placement_epoch() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return epoch_;
+  }
   // Atomic (members, epoch) snapshot of the online membership.
   PlacementTable PlacementSnapshot() const;
 
   // ---- Snapshot support -----------------------------------------------------
   std::vector<BenefactorStatus> Export() const;
-  NodeId next_id() const { return next_id_; }
+  NodeId next_id() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return next_id_;
+  }
   void Import(const std::vector<BenefactorStatus>& nodes, NodeId next_id,
               std::uint64_t epoch);
 
  private:
+  std::vector<NodeId> OnlineNodesLocked() const REQUIRES(mu_);
+
   const VirtualClock* clock_;
   ClockTime heartbeat_expiry_us_;
-  NodeId next_id_ = 1;
-  std::map<NodeId, BenefactorStatus> nodes_;
-  mutable std::uint64_t rr_cursor_ = 0;
+  mutable Mutex mu_{LockRank::kRegistry, 0, "benefactor_registry"};
+  NodeId next_id_ GUARDED_BY(mu_) = 1;
+  std::map<NodeId, BenefactorStatus> nodes_ GUARDED_BY(mu_);
+  // mutable: SelectStripe is a logically-const read that advances the
+  // tie-break cursor.
+  mutable std::uint64_t rr_cursor_ GUARDED_BY(mu_) = 0;
   // Starts at 1 so clients can use 0 as "no cached table / legacy commit".
-  std::uint64_t epoch_ = 1;
+  std::uint64_t epoch_ GUARDED_BY(mu_) = 1;
 };
 
 }  // namespace stdchk

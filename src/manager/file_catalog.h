@@ -21,7 +21,12 @@
 // locks (one at a time), never the reverse, and never two folder locks —
 // except the snapshot paths (Export/Import), which take every lock in
 // ascending index order (all folders, then all chunks) for a consistent
-// cut. `shards == 1` degenerates to the historical single-map catalog: one
+// cut. The hierarchy is enforced, not just documented: shard mutexes carry
+// LockRank::kCatalogFolder / kCatalogChunk with the shard index as the
+// intra-rank sequence (common/annotated_mutex.h), so a debug build aborts
+// on any out-of-order acquisition and Clang's -Wthread-safety checks the
+// GUARDED_BY/REQUIRES contracts. `shards == 1` degenerates to the
+// historical single-map catalog: one
 // folder map, one chunk map, identical iteration orders, bit for bit.
 #pragma once
 
@@ -35,6 +40,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/annotated_mutex.h"
 #include "common/status.h"
 #include "manager/types.h"
 #include "manager/virtual_clock.h"
@@ -49,17 +55,31 @@ struct CatalogShardStats {
 };
 
 // A mutex that counts acquisitions and contention (a failed try_lock before
-// the blocking lock). Satisfies BasicLockable for std::lock_guard.
-class ShardMutex {
+// the blocking lock). Satisfies BasicLockable for std::unique_lock, carries
+// a thread-safety capability for Clang analysis, and participates in the
+// lock-rank validator: each shard mutex is constructed with its layer's rank
+// and its shard index as the intra-rank sequence, so Export/Import's
+// all-shards sweep is legal only in ascending index order.
+class CAPABILITY("mutex") ShardMutex {
  public:
-  void lock() {
+  ShardMutex(LockRank rank, std::uint32_t seq, const char* name)
+      : rank_(static_cast<std::uint32_t>(rank)), seq_(seq), name_(name) {}
+
+  ShardMutex(const ShardMutex&) = delete;
+  ShardMutex& operator=(const ShardMutex&) = delete;
+
+  void lock() ACQUIRE() {
+    lockrank::OnAcquire(this, rank_, seq_, name_);
     if (!mu_.try_lock()) {
       contended_.fetch_add(1, std::memory_order_relaxed);
       mu_.lock();
     }
     acquisitions_.fetch_add(1, std::memory_order_relaxed);
   }
-  void unlock() { mu_.unlock(); }
+  void unlock() RELEASE() {
+    mu_.unlock();
+    lockrank::OnRelease(this);
+  }
 
   std::uint64_t acquisitions() const {
     return acquisitions_.load(std::memory_order_relaxed);
@@ -70,8 +90,24 @@ class ShardMutex {
 
  private:
   std::mutex mu_;
+  std::uint32_t rank_;
+  std::uint32_t seq_;
+  const char* name_;
   std::atomic<std::uint64_t> acquisitions_{0};
   std::atomic<std::uint64_t> contended_{0};
+};
+
+// RAII guard Clang's analysis tracks (std::lock_guard is opaque to it).
+class SCOPED_CAPABILITY ShardMutexLock {
+ public:
+  explicit ShardMutexLock(ShardMutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~ShardMutexLock() RELEASE() { mu_.unlock(); }
+
+  ShardMutexLock(const ShardMutexLock&) = delete;
+  ShardMutexLock& operator=(const ShardMutexLock&) = delete;
+
+ private:
+  ShardMutex& mu_;
 };
 
 class FileCatalog {
@@ -178,14 +214,19 @@ class FileCatalog {
   };
 
   struct FolderShard {
+    explicit FolderShard(std::uint32_t seq)
+        : mu(LockRank::kCatalogFolder, seq, "catalog_folder_shard") {}
     mutable ShardMutex mu;
-    std::map<std::string, Folder> folders;
+    std::map<std::string, Folder> folders GUARDED_BY(mu);
     std::atomic<std::uint64_t> ops{0};
   };
 
   struct ChunkShard {
+    explicit ChunkShard(std::uint32_t seq)
+        : mu(LockRank::kCatalogChunk, seq, "catalog_chunk_shard") {}
     mutable ShardMutex mu;
-    std::unordered_map<ChunkId, ChunkRecord, ChunkIdHash> chunks;
+    std::unordered_map<ChunkId, ChunkRecord, ChunkIdHash> chunks
+        GUARDED_BY(mu);
     std::atomic<std::uint64_t> ops{0};
   };
 
@@ -201,8 +242,10 @@ class FileCatalog {
   }
 
   // Chunk-record mutation on a shard whose lock the caller already holds.
-  static void RefIn(ChunkShard& shard, const ChunkLocation& loc);
-  static void UnrefIn(ChunkShard& shard, const ChunkId& id);
+  static void RefIn(ChunkShard& shard, const ChunkLocation& loc)
+      REQUIRES(shard.mu);
+  static void UnrefIn(ChunkShard& shard, const ChunkId& id)
+      REQUIRES(shard.mu);
   // Locks each chunk's shard; caller may hold a folder-shard lock.
   void RefChunks(const VersionRecord& record);
   void UnrefChunks(const VersionRecord& record);

@@ -32,13 +32,13 @@ MetadataManager::MetadataManager(const VirtualClock* clock,
       catalog_(clock, options.catalog_shards) {}
 
 Result<NodeId> MetadataManager::RegisterBenefactor(const BenefactorInfo& info) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   STDCHK_RETURN_IF_ERROR(CheckUp());
   return registry_.Register(info);
 }
 
 Status MetadataManager::Heartbeat(NodeId node, std::uint64_t free_bytes) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   STDCHK_RETURN_IF_ERROR(CheckUp());
   return registry_.Heartbeat(node, free_bytes);
 }
@@ -50,7 +50,7 @@ Result<std::vector<ChunkId>> MetadataManager::GcExchange(
   // commits or reads on other shards.
   bool node_has_active_reservation = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     STDCHK_RETURN_IF_ERROR(CheckUp());
     if (!registry_.IsOnline(node)) {
       return UnavailableError("GC exchange from offline node");
@@ -89,7 +89,7 @@ Result<std::vector<ChunkId>> MetadataManager::GcExchange(
 Status MetadataManager::OfferRecoveredVersion(NodeId from,
                                               const VersionRecord& record,
                                               int stripe_width) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   STDCHK_RETURN_IF_ERROR(CheckUp());
   if (stripe_width <= 0) return InvalidArgumentError("stripe width must be > 0");
   if (catalog_.Exists(record.name)) return OkStatus();  // already recovered
@@ -109,7 +109,7 @@ Status MetadataManager::OfferRecoveredVersion(NodeId from,
 
 Result<WriteReservation> MetadataManager::ReserveStripe(int width,
                                                         std::uint64_t bytes) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   STDCHK_RETURN_IF_ERROR(CheckUp());
   stat_server_placements_.fetch_add(1, std::memory_order_relaxed);
   STDCHK_ASSIGN_OR_RETURN(std::vector<NodeId> stripe,
@@ -132,7 +132,7 @@ Result<WriteReservation> MetadataManager::ReserveStripe(int width,
 
 Status MetadataManager::ExtendReservation(ReservationId id,
                                           std::uint64_t additional_bytes) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   STDCHK_RETURN_IF_ERROR(CheckUp());
   auto it = reservations_.find(id);
   if (it == reservations_.end()) return NotFoundError("unknown reservation");
@@ -146,7 +146,7 @@ Status MetadataManager::ExtendReservation(ReservationId id,
 
 Result<NodeId> MetadataManager::ReplaceReservationNode(ReservationId id,
                                                        NodeId dead) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   STDCHK_RETURN_IF_ERROR(CheckUp());
   auto it = reservations_.find(id);
   if (it == reservations_.end()) return NotFoundError("unknown reservation");
@@ -180,7 +180,7 @@ void MetadataManager::ReleaseReservationLocked(
 }
 
 Status MetadataManager::ReleaseReservation(ReservationId id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   STDCHK_RETURN_IF_ERROR(CheckUp());
   auto it = reservations_.find(id);
   if (it == reservations_.end()) return NotFoundError("unknown reservation");
@@ -205,7 +205,7 @@ Status MetadataManager::CommitVersionAt(ReservationId id,
   }
 
   if (placed_epoch != 0) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (placed_epoch != registry_.placement_epoch()) {
       // Stale placement: membership changed after the client computed its
       // stripe. Drop replicas on departed benefactors; a chunk left with
@@ -231,7 +231,7 @@ Status MetadataManager::CommitVersionAt(ReservationId id,
   // afterwards — a reader observing the committed version before the
   // free-space figures settle is harmless (reservation GC is TTL-based).
   STDCHK_RETURN_IF_ERROR(catalog_.CommitVersion(to_commit));
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const ChunkLocation& loc : to_commit.chunk_map.chunks) {
     for (NodeId node : loc.replicas) registry_.AddUsed(node, loc.size);
   }
@@ -243,7 +243,7 @@ Status MetadataManager::CommitVersionAt(ReservationId id,
 }
 
 Result<PlacementTable> MetadataManager::GetPlacementTable() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   STDCHK_RETURN_IF_ERROR(CheckUp());
   stat_table_fetches_.fetch_add(1, std::memory_order_relaxed);
   return registry_.PlacementSnapshot();
@@ -252,7 +252,7 @@ Result<PlacementTable> MetadataManager::GetPlacementTable() const {
 Result<WriteReservation> MetadataManager::ReserveStripeAt(
     std::uint64_t epoch, const std::vector<NodeId>& stripe,
     std::uint64_t bytes) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   STDCHK_RETURN_IF_ERROR(CheckUp());
   if (stripe.empty()) return InvalidArgumentError("empty stripe");
   if (epoch != registry_.placement_epoch()) {
@@ -362,7 +362,7 @@ Result<std::size_t> MetadataManager::DeleteApp(const std::string& app) {
 std::vector<NodeId> MetadataManager::TickExpiry() {
   std::vector<NodeId> expired;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!up_) return {};
     expired = registry_.ExpireStale();
   }
@@ -374,13 +374,13 @@ std::vector<NodeId> MetadataManager::TickExpiry() {
     std::vector<ChunkId> node_lost = catalog_.RemoveNodeReplicas(node);
     lost.insert(lost.end(), node_lost.begin(), node_lost.end());
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   lost_chunks_.insert(lost_chunks_.end(), lost.begin(), lost.end());
   return expired;
 }
 
 std::vector<ReplicationCommand> MetadataManager::TickReplication() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (!up_) return {};
   std::set<NodeId> online;
   for (NodeId node : registry_.OnlineNodes()) online.insert(node);
@@ -430,7 +430,7 @@ std::vector<ReplicationCommand> MetadataManager::TickReplication() {
 
 Status MetadataManager::AckReplication(const ReplicationCommand& cmd,
                                        bool success) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   inflight_.erase({cmd.chunk, cmd.target});
   if (!up_) return UnavailableError("metadata manager is down");
   if (success) {
@@ -448,7 +448,7 @@ std::vector<CheckpointName> MetadataManager::TickRetention() {
 }
 
 void MetadataManager::TickReservationGc() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (!up_) return;
   ClockTime now = clock_->NowUs();
   for (auto it = reservations_.begin(); it != reservations_.end();) {
@@ -462,7 +462,7 @@ void MetadataManager::TickReservationGc() {
 }
 
 std::vector<ChunkId> MetadataManager::TakeLostChunks() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<ChunkId> out;
   out.swap(lost_chunks_);
   return out;
@@ -471,7 +471,7 @@ std::vector<ChunkId> MetadataManager::TakeLostChunks() {
 ManagerCounters MetadataManager::Counters() const {
   ManagerCounters out;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     out.placement_epoch = registry_.placement_epoch();
   }
   out.placement_table_fetches =
@@ -546,7 +546,7 @@ Result<VersionRecord> ReadVersion(BinaryReader& r) {
 }  // namespace
 
 Bytes MetadataManager::SaveSnapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   BinaryWriter w;
   w.U32(kSnapshotMagic);
 
@@ -587,7 +587,7 @@ Bytes MetadataManager::SaveSnapshot() const {
 }
 
 Status MetadataManager::LoadSnapshot(ByteSpan snapshot) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   BinaryReader r(snapshot);
   STDCHK_ASSIGN_OR_RETURN(std::uint32_t magic, r.U32());
   if (magic != kSnapshotMagic) {

@@ -14,11 +14,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "common/annotated_mutex.h"
 #include "common/status.h"
 #include "manager/benefactor_registry.h"
 #include "manager/file_catalog.h"
@@ -155,7 +155,12 @@ class MetadataManager {
   // AckReplication with the outcome.
   std::vector<ReplicationCommand> TickReplication();
   Status AckReplication(const ReplicationCommand& cmd, bool success);
-  std::size_t pending_replications() const { return inflight_.size(); }
+  // Reads the in-flight set under mu_ — the -Wthread-safety sweep caught
+  // the previous lock-free read racing TickReplication/AckReplication.
+  std::size_t pending_replications() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return inflight_.size();
+  }
 
   // Applies retention policies; returns purged version names.
   std::vector<CheckpointName> TickRetention();
@@ -196,19 +201,22 @@ class MetadataManager {
     return up_.load() ? OkStatus()
                       : UnavailableError("metadata manager is down");
   }
-  void ReleaseReservationLocked(std::map<ReservationId, Reservation>::iterator it);
+  void ReleaseReservationLocked(
+      std::map<ReservationId, Reservation>::iterator it) REQUIRES(mu_);
 
   const VirtualClock* clock_;
   ManagerOptions options_;
   std::atomic<bool> up_{true};
 
-  // Control-plane lock, scoped to registry_, reservations_, inflight_,
-  // offers_ and lost_chunks_. The catalog is internally sharded and
-  // thread-safe, so catalog-only RPCs (reads, commits, deletes, dedup
-  // filters) never touch mu_ — they contend only on their shard. Lock
-  // order where both are needed: mu_ before catalog shard locks (the
-  // catalog never calls back into the manager).
-  mutable std::mutex mu_;
+  // Control-plane lock, scoped to reservations_, inflight_, offers_ and
+  // lost_chunks_. The registry is internally locked (rank kRegistry) and
+  // the catalog is internally sharded and thread-safe, so catalog-only
+  // RPCs (reads, commits, deletes, dedup filters) never touch mu_ — they
+  // contend only on their shard. Lock order where several layers nest:
+  // mu_ (kManager) before registry mu_ (kRegistry) before catalog shard
+  // locks (kCatalogFolder/kCatalogChunk) — none of those call back into
+  // the manager, and the rank validator enforces the order.
+  mutable Mutex mu_{LockRank::kManager, 0, "metadata_manager"};
 
   mutable std::atomic<std::uint64_t> stat_table_fetches_{0};
   std::atomic<std::uint64_t> stat_epoch_mismatches_{0};
@@ -217,17 +225,18 @@ class MetadataManager {
   BenefactorRegistry registry_;
   FileCatalog catalog_;
 
-  ReservationId next_reservation_ = 1;
-  std::map<ReservationId, Reservation> reservations_;
+  ReservationId next_reservation_ GUARDED_BY(mu_) = 1;
+  std::map<ReservationId, Reservation> reservations_ GUARDED_BY(mu_);
 
   // Replication commands issued but not yet acked, keyed by (chunk, target)
   // so the scheduler does not double-issue.
-  std::set<std::pair<ChunkId, NodeId>> inflight_;
+  std::set<std::pair<ChunkId, NodeId>> inflight_ GUARDED_BY(mu_);
 
   // Recovery offers: (version name, chunk-map fingerprint) -> endorsers.
-  std::map<std::pair<std::string, std::uint64_t>, std::set<NodeId>> offers_;
+  std::map<std::pair<std::string, std::uint64_t>, std::set<NodeId>> offers_
+      GUARDED_BY(mu_);
 
-  std::vector<ChunkId> lost_chunks_;
+  std::vector<ChunkId> lost_chunks_ GUARDED_BY(mu_);
 };
 
 }  // namespace stdchk
