@@ -1,18 +1,28 @@
 // Ablation: replication vs erasure coding for checkpoint availability —
 // the design choice of paper §IV.A, measured instead of asserted.
 //
-// For a checkpoint image we compare, per redundancy scheme:
-//   * storage overhead (x raw data),
-//   * node failures tolerated,
-//   * real encode CPU throughput (GF(256) Reed-Solomon on this machine),
-//   * write-path OAB when the encoding runs inline (pessimistic
-//     durability), via the DES,
-//   * network bytes leaving the client.
+// Three layers:
+//   1. Kernel: GF(256) encode/decode throughput per dispatched MulAccum
+//      implementation (scalar / SSSE3 / AVX2), with the SIMD speedup over
+//      the scalar oracle.
+//   2. Model: storage overhead, failures tolerated, and modeled write-path
+//      OAB when the encoding runs inline (pessimistic durability), via the
+//      DES.
+//   3. End-to-end: the functional cluster writing one checkpoint in
+//      ErasureCoded{k,m} mode vs 2x/3x replication, then reading it back
+//      under injected benefactor deaths. Shard/reconstruction/GC counters
+//      are workload-determined and gated exactly by bench_compare.py;
+//      MB/s rows are report-only.
 #include <chrono>
+#include <optional>
+#include <string>
+#include <vector>
 
 #include "bench_util.h"
-#include "erasure/reed_solomon.h"
 #include "common/rng.h"
+#include "core/cluster.h"
+#include "erasure/gf256.h"
+#include "erasure/reed_solomon.h"
 #include "perf/experiments.h"
 
 using namespace stdchk;
@@ -20,23 +30,176 @@ using namespace stdchk::perf;
 
 namespace {
 
-double MeasureEncodeMBps(int k, int m, std::size_t block) {
-  auto rs = ReedSolomon::Create(k, m).value();
-  Rng rng(77);
-  Bytes data = rng.RandomBytes(block);
+double Seconds(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+const char* ImplName(gf256::Gf256Impl impl) {
+  switch (impl) {
+    case gf256::Gf256Impl::kScalar:
+      return "scalar";
+    case gf256::Gf256Impl::kSsse3:
+      return "ssse3";
+    case gf256::Gf256Impl::kAvx2:
+      return "avx2";
+    default:
+      return "auto";
+  }
+}
+
+// The kernels this CPU can actually run (forcing an unsupported kernel
+// falls back, so probe by force-then-read).
+std::vector<gf256::Gf256Impl> AvailableImpls() {
+  std::vector<gf256::Gf256Impl> impls;
+  for (gf256::Gf256Impl impl :
+       {gf256::Gf256Impl::kScalar, gf256::Gf256Impl::kSsse3,
+        gf256::Gf256Impl::kAvx2}) {
+    gf256::Gf256ForceImpl(impl);
+    if (gf256::Gf256ActiveImpl() == impl) impls.push_back(impl);
+  }
+  gf256::Gf256ForceImpl(gf256::Gf256Impl::kAuto);
+  return impls;
+}
+
+// Data MB/s through the span-based parity encode (the write path's call).
+double MeasureEncodeMBps(const ReedSolomon& rs,
+                         const std::vector<ByteSpan>& views,
+                         std::size_t shard_size) {
+  const double data_bytes =
+      static_cast<double>(shard_size) * static_cast<double>(rs.data_shards());
   auto start = std::chrono::steady_clock::now();
   int reps = 0;
   double elapsed = 0;
   volatile std::uint8_t sink = 0;
   do {
-    auto shards = rs.EncodeBlock(data);
-    sink = sink ^ shards.back()[0];  // keep the encode alive
+    auto parity = rs.EncodeParity(views, shard_size).value();
+    sink = sink ^ parity.back()[0];  // keep the encode alive
     ++reps;
-    elapsed = std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                            start)
-                  .count();
+    elapsed = Seconds(start);
   } while (elapsed < 0.2);
-  return static_cast<double>(block) * reps / 1048576.0 / elapsed;
+  return data_bytes * reps / 1048576.0 / elapsed;
+}
+
+// Data MB/s recovering m lost data shards from the survivors — the
+// worst-case degraded read / repair decode.
+double MeasureDecodeMBps(const ReedSolomon& rs,
+                         const std::vector<Bytes>& shards,
+                         std::size_t shard_size) {
+  std::vector<std::optional<ByteSpan>> views(shards.size());
+  std::vector<int> want;
+  for (int i = 0; i < rs.total_shards(); ++i) {
+    if (i < rs.parity_shards()) {
+      want.push_back(i);  // first m data shards are "lost"
+    } else {
+      views[static_cast<std::size_t>(i)] =
+          ByteSpan(shards[static_cast<std::size_t>(i)].data(),
+                   shards[static_cast<std::size_t>(i)].size());
+    }
+  }
+  std::vector<Bytes> rebuilt(want.size(), Bytes(shard_size, 0));
+  std::vector<MutableByteSpan> outs;
+  for (Bytes& b : rebuilt) outs.emplace_back(b.data(), b.size());
+  const double data_bytes =
+      static_cast<double>(shard_size) * static_cast<double>(rs.data_shards());
+  auto start = std::chrono::steady_clock::now();
+  int reps = 0;
+  double elapsed = 0;
+  do {
+    Status recovered = rs.RecoverShards(views, shard_size, want, outs);
+    if (!recovered.ok()) return 0;
+    ++reps;
+    elapsed = Seconds(start);
+  } while (elapsed < 0.2);
+  return data_bytes * reps / 1048576.0 / elapsed;
+}
+
+// ---- End-to-end: functional cluster, one checkpoint, injected deaths ----
+
+struct SchemeConfig {
+  std::string name;
+  int replication_target = 0;  // whole-copy schemes
+  ErasureCoded erasure;        // shard schemes
+  int deaths = 0;              // benefactors crashed between write and read
+};
+
+void RunClusterScheme(const SchemeConfig& scheme) {
+  ClusterOptions options;
+  options.benefactor_count = 10;
+  options.client.chunk_size = 1_MiB;
+  options.client.replication_target = scheme.replication_target;
+  options.client.erasure = scheme.erasure;
+  StdchkCluster cluster(options);
+
+  Rng rng(1234);
+  Bytes data = rng.RandomBytes(8_MiB);
+  CheckpointName name{"bench", "n0", 1};
+
+  auto write_start = std::chrono::steady_clock::now();
+  auto session = cluster.client().CreateFile(name).value();
+  Status wrote = session->Write(ByteSpan(data.data(), data.size()));
+  if (wrote.ok()) wrote = session->Close().status();
+  double write_s = Seconds(write_start);
+  if (!wrote.ok()) {
+    bench::PrintRow("  %-18s FAILED: %s", scheme.name.c_str(),
+                    wrote.ToString().c_str());
+    return;
+  }
+  const WriteStats& ws = session->stats();
+  cluster.Settle();  // background replication to target, if any
+
+  // Injected deaths: crash holders of the first chunk's redundancy, the
+  // worst case the scheme claims to tolerate.
+  VersionRecord record = cluster.manager().GetVersion(name).value();
+  const ChunkLocation& first = record.chunk_map.chunks.front();
+  std::vector<NodeId> victims;
+  for (int d = 0; d < scheme.deaths; ++d) {
+    victims.push_back(first.erasure_coded()
+                          ? first.shards[static_cast<std::size_t>(d)].node
+                          : first.replicas[static_cast<std::size_t>(d)]);
+  }
+  for (NodeId victim : victims) {
+    for (std::size_t i = 0; i < cluster.benefactor_count(); ++i) {
+      if (cluster.benefactor(i).id() == victim) {
+        (void)cluster.CrashBenefactor(i);
+      }
+    }
+  }
+
+  auto read_start = std::chrono::steady_clock::now();
+  auto reader = cluster.client().OpenFile(name).value();
+  Result<Bytes> read_back = reader->ReadAll();
+  double read_s = Seconds(read_start);
+  const bool identical = read_back.ok() && read_back.value() == data;
+  ReadStats rs = reader->stats();
+
+  // Shard-group GC: delete the version; the metadata counter releases one
+  // record per shard, exactly (workload-determined, machine-independent).
+  (void)cluster.manager().DeleteVersion(name);
+  std::uint64_t shard_gc_reclaims =
+      cluster.manager().Counters().shard_records_released;
+
+  double mb = static_cast<double>(data.size()) / 1048576.0;
+  bench::PrintRow("  %-18s %8.0f %12.0f %7llu %7llu %14llu %10llu %6s",
+                  scheme.name.c_str(), mb / write_s, mb / read_s,
+                  static_cast<unsigned long long>(ws.data_shards_written),
+                  static_cast<unsigned long long>(ws.parity_shards_written),
+                  static_cast<unsigned long long>(rs.reconstructions),
+                  static_cast<unsigned long long>(shard_gc_reclaims),
+                  identical ? "yes" : "NO");
+  bench::JsonLine("bench_ablation_erasure")
+      .Str("e2e_scheme", scheme.name)
+      .Num("write_mb_s", mb / write_s)
+      .Num("degraded_read_mb_s", mb / read_s)
+      .Int("deaths_injected", static_cast<std::uint64_t>(scheme.deaths))
+      .Int("data_shards_put", ws.data_shards_written)
+      .Int("parity_shards_put", ws.parity_shards_written)
+      .Int("reconstructions_performed", rs.reconstructions)
+      .Int("full_replica_fallbacks", rs.full_replica_fallbacks)
+      .Int("shard_gc_reclaims", shard_gc_reclaims)
+      .Int("read_identical", identical ? 1 : 0)
+      .Emit();
 }
 
 }  // namespace
@@ -45,6 +208,48 @@ int main() {
   bench::PrintHeader("Ablation",
                      "Replication vs erasure coding (paper §IV.A)");
 
+  // ---- 1. GF(256) kernel throughput per dispatched implementation ----
+  bench::PrintSection("GF(256) kernels (k=8, m=3, 8 MiB block)");
+  {
+    const int k = 8, m = 3;
+    auto rs = ReedSolomon::Create(k, m).value();
+    Rng rng(77);
+    const std::size_t shard_size = 1_MiB;
+    std::vector<Bytes> data_shards;
+    std::vector<ByteSpan> views;
+    for (int i = 0; i < k; ++i) {
+      data_shards.push_back(rng.RandomBytes(shard_size));
+      views.emplace_back(data_shards.back().data(),
+                         data_shards.back().size());
+    }
+    std::vector<Bytes> all = data_shards;
+    std::vector<Bytes> parity = rs.EncodeParity(views, shard_size).value();
+    for (Bytes& p : parity) all.push_back(std::move(p));
+
+    bench::PrintRow("  %-8s %14s %14s %10s", "impl", "encode MB/s",
+                    "decode MB/s", "speedup");
+    double scalar_encode = 0;
+    for (gf256::Gf256Impl impl : AvailableImpls()) {
+      gf256::Gf256ForceImpl(impl);
+      double encode = MeasureEncodeMBps(rs, views, shard_size);
+      double decode = MeasureDecodeMBps(rs, all, shard_size);
+      if (impl == gf256::Gf256Impl::kScalar) scalar_encode = encode;
+      double speedup = scalar_encode > 0 ? encode / scalar_encode : 1.0;
+      bench::PrintRow("  %-8s %14.0f %14.0f %9.1fx", ImplName(impl), encode,
+                      decode, speedup);
+      bench::JsonLine("bench_ablation_erasure")
+          .Str("impl", ImplName(impl))
+          .Int("k", k)
+          .Int("m", m)
+          .Num("encode_mb_s", encode)
+          .Num("decode_mb_s", decode)
+          .Num("speedup_x", speedup)
+          .Emit();
+    }
+    gf256::Gf256ForceImpl(gf256::Gf256Impl::kAuto);
+  }
+
+  // ---- 2. Modeled write-path cost (DES, paper LAN testbed) ----
   PlatformModel platform = PaperLanTestbed();
   const std::uint64_t file = 1_GiB;
 
@@ -66,6 +271,7 @@ int main() {
     return r;
   };
 
+  bench::PrintSection("modeled write path (DES, 1 GiB checkpoint)");
   bench::PrintRow("%-22s %10s %10s %12s %12s %12s", "scheme", "overhead",
                   "tolerates", "encode MB/s", "OAB MB/s", "net GB");
 
@@ -84,13 +290,22 @@ int main() {
   }
 
   // Reed-Solomon (k, m): parity overhead (k+m)/k, tolerates m losses,
-  // inline encode at the measured GF(256) rate.
+  // inline encode at the measured GF(256) rate (kAuto = widest kernel).
   struct Geometry {
     int k, m;
   };
   for (Geometry g : {Geometry{8, 1}, Geometry{8, 2}, Geometry{8, 3},
                      Geometry{4, 2}}) {
-    double encode = MeasureEncodeMBps(g.k, g.m, 8_MiB);
+    auto rs = ReedSolomon::Create(g.k, g.m).value();
+    Rng rng(78);
+    std::size_t shard_size = 8_MiB / static_cast<std::size_t>(g.k);
+    std::vector<Bytes> shards;
+    std::vector<ByteSpan> views;
+    for (int i = 0; i < g.k; ++i) {
+      shards.push_back(rng.RandomBytes(shard_size));
+      views.emplace_back(shards.back().data(), shards.back().size());
+    }
+    double encode = MeasureEncodeMBps(rs, views, shard_size);
     double overhead = static_cast<double>(g.k + g.m) / g.k;
     // The stripe carries each encoded shard once: traffic = overhead x.
     // The client writes one "replica" whose production is paced by the
@@ -122,13 +337,33 @@ int main() {
         .Emit();
   }
 
+  // ---- 3. End-to-end: the functional cluster under injected deaths ----
+  bench::PrintSection(
+      "end-to-end cluster, 8 MiB checkpoint, deaths injected before read");
+  bench::PrintRow("  %-18s %8s %12s %7s %7s %14s %10s %6s", "scheme",
+                  "write", "degraded-rd", "dshard", "pshard", "reconstructs",
+                  "gc-shards", "ok");
+  RunClusterScheme({.name = "replication r=2",
+                    .replication_target = 2,
+                    .erasure = {},
+                    .deaths = 1});
+  RunClusterScheme({.name = "replication r=3",
+                    .replication_target = 3,
+                    .erasure = {},
+                    .deaths = 2});
+  RunClusterScheme({.name = "erasure k=4,m=2",
+                    .replication_target = 0,
+                    .erasure = {4, 2},
+                    .deaths = 2});
+
   bench::PrintRow("");
   bench::PrintNote(
       "the paper's argument, quantified: replication costs space (2-3x) "
       "but zero compute and trivially parallel repair; erasure coding "
       "cuts the space/traffic overhead to 1.1-1.5x for equal or better "
       "loss tolerance, but the inline GF(256) encode paces the write path "
-      "and repair must gather k shards. For transient checkpoint data the "
-      "space overhead is transient too, so stdchk picks replication.");
+      "and repair must gather k shards. The PSHUFB kernels shrink that "
+      "compute gap by an order of magnitude, which is why ErasureCoded{k,m} "
+      "is now a first-class write mode rather than a modeled what-if.");
   return 0;
 }

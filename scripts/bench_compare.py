@@ -14,7 +14,8 @@ prints a report and exits 1 if any were found (0 otherwise). Added/removed
 rows and metrics are reported but never fail the gate — benches evolve.
 
 A second class of metrics is DETERMINISTIC: counts and invariants (payload
-copies, syscalls, fsyncs, mmap reads, placement RPCs, epoch mismatches)
+copies, syscalls, fsyncs, mmap reads, placement RPCs, epoch mismatches,
+erasure shard puts/reconstructions/GC releases)
 that depend only on the workload, not the hardware. These are compared
 exactly — any drift is a regression, because a copy or RPC appearing on a
 zero-copy / zero-RPC path is a behavior change, not noise.
@@ -50,7 +51,11 @@ INFORMATIONAL = ("hash_workers_peak", "lock_contended")
 DETERMINISTIC = ("_payload_copies", "_copy_bytes", "materializations",
                  "materialized_bytes", "identical", "zero_copy", "syscalls",
                  "mmap_reads", "fsyncs", "placement_rpcs", "epoch_mismatch",
-                 "server_placements", "per_write")
+                 "server_placements", "per_write",
+                 # Erasure path: shard puts, parity reconstructions and
+                 # shard-group GC releases are workload-determined counts.
+                 "parity_shards", "data_shards", "reconstruction",
+                 "shard_gc_reclaims", "replica_fallback")
 
 
 def deterministic(name):

@@ -1,10 +1,12 @@
 #include "client/chunk_uploader.h"
 
 #include <algorithm>
+#include <chrono>
 #include <map>
 #include <set>
 #include <utility>
 
+#include "common/hash_pool.h"
 #include "common/log.h"
 
 namespace stdchk {
@@ -36,6 +38,7 @@ void ChunkUploader::Stage(StagedChunk chunk) {
 
 Status ChunkUploader::Flush() {
   if (pending_.empty()) return OkStatus();
+  if (options_.erasure.enabled()) return FlushErasure();
 
   // Batch-aware reservation: one ensure covers the whole drain instead of
   // one manager round trip per chunk.
@@ -175,6 +178,241 @@ Status ChunkUploader::Flush() {
   for (Pending& p : pending_) {
     coordinator_->ConsumeReserved(p.chunk.data.size());
     coordinator_->SetReplicas(p.map_slot, std::move(p.replicas));
+  }
+  pending_.clear();
+  pending_bytes_ = 0;
+  return OkStatus();
+}
+
+Status ChunkUploader::FlushErasure() {
+  const int k = options_.erasure.k;
+  const int m = options_.erasure.m;
+  if (!rs_.has_value()) {
+    STDCHK_ASSIGN_OR_RETURN(ReedSolomon rs, ReedSolomon::Create(k, m));
+    rs_.emplace(std::move(rs));
+  }
+
+  // The reservation must cover the parity overhead, not just the payload:
+  // reserved bytes are what the manager holds against the stripe while the
+  // write is open.
+  std::uint64_t shard_bytes = 0;
+  for (const Pending& p : pending_) {
+    const std::uint32_t size = static_cast<std::uint32_t>(p.chunk.data.size());
+    shard_bytes += size + static_cast<std::uint64_t>(m) *
+                              ErasureShardSize(size, k);
+  }
+  STDCHK_RETURN_IF_ERROR(coordinator_->EnsureReservation(shard_bytes));
+  if (static_cast<int>(coordinator_->stripe().size()) < k + m) {
+    return UnavailableError(
+        "erasure-coded write needs a stripe of at least k+m = " +
+        std::to_string(k + m) + " benefactors, stripe has " +
+        std::to_string(coordinator_->stripe().size()));
+  }
+
+  // One placement unit per shard. Shards of one group must land on
+  // distinct benefactors — a single death may cost at most one of the m
+  // losses the code tolerates.
+  struct ShardUpload {
+    Pending* parent = nullptr;
+    int index = 0;  // shard order within the group: data first, then parity
+    ChunkId id;
+    BufferSlice data;
+    std::vector<NodeId> candidates;
+    std::size_t attempts = 0;
+    NodeId placed = kInvalidNode;
+  };
+  std::vector<ShardUpload> shards;
+  shards.reserve(pending_.size() * static_cast<std::size_t>(k + m));
+  std::map<Pending*, std::set<NodeId>> group_nodes;
+
+  HashPool& pool = HashPool::Shared();
+  const int workers = HashPool::ResolveThreads(options_.hash_workers);
+  const std::size_t attempt_limit = coordinator_->stripe().size() * 2 + 4;
+
+  for (Pending& p : pending_) {
+    const std::uint32_t size = static_cast<std::uint32_t>(p.chunk.data.size());
+    const std::size_t shard_size = ErasureShardSize(size, k);
+    std::vector<BufferSlice> slices(static_cast<std::size_t>(k + m));
+    std::vector<ByteSpan> views(static_cast<std::size_t>(k));
+    for (int j = 0; j < k; ++j) {
+      // Data shards are zero-copy views of the staged chunk, stored
+      // unpadded: the tail shard is short and the codec zero-pads it
+      // virtually.
+      std::size_t len = ErasureShardLength(size, k, j);
+      std::size_t off = std::min(static_cast<std::size_t>(j) * shard_size,
+                                 p.chunk.data.size());
+      slices[static_cast<std::size_t>(j)] = p.chunk.data.Subslice(off, len);
+      views[static_cast<std::size_t>(j)] =
+          slices[static_cast<std::size_t>(j)].span();
+    }
+    auto t0 = std::chrono::steady_clock::now();
+    STDCHK_ASSIGN_OR_RETURN(
+        std::vector<Bytes> parity,
+        rs_->EncodeParity(views, shard_size, &pool, workers));
+    stats_->erasure_encode_ns += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+    for (int i = 0; i < m; ++i) {
+      slices[static_cast<std::size_t>(k + i)] =
+          BufferSlice(BufferRef::Take(std::move(parity[static_cast<std::size_t>(i)])));
+    }
+    // Content-address every shard (benefactor admission verifies against
+    // it); naming fans across the shared pool under the same deterministic
+    // slot-per-index rule as the planner's drain naming.
+    std::vector<ChunkId> ids(slices.size());
+    pool.ParallelFor(slices.size(), workers, [&](std::size_t i) {
+      ids[i] = ChunkId::For(slices[i].span());
+    });
+    ++stats_->erasure_encoded_chunks;
+
+    std::vector<NodeId> walk = placement_->PlanChunk(coordinator_->stripe());
+    placement_->OnChunkPlaced(coordinator_->stripe());
+    for (int s = 0; s < k + m; ++s) {
+      ShardUpload u;
+      u.parent = &p;
+      u.index = s;
+      u.id = ids[static_cast<std::size_t>(s)];
+      u.data = slices[static_cast<std::size_t>(s)];
+      if (options_.stamp_chunk_digests) u.data.StampDigest(u.id.digest);
+      // Rotate the group's walk by the shard index so the group fans out
+      // across the stripe instead of queueing on its head.
+      std::size_t rot = static_cast<std::size_t>(s) % walk.size();
+      u.candidates.assign(walk.begin() + static_cast<std::ptrdiff_t>(rot),
+                          walk.end());
+      u.candidates.insert(u.candidates.end(), walk.begin(),
+                          walk.begin() + static_cast<std::ptrdiff_t>(rot));
+      shards.push_back(std::move(u));
+    }
+  }
+
+  // Drain rounds, mirroring the replication flush: assign each unplaced
+  // shard its next candidate not already used by a sibling, then keep one
+  // batched PUT per target node in flight and harvest.
+  while (true) {
+    std::map<NodeId, std::vector<ShardUpload*>> queues;
+    for (ShardUpload& u : shards) {
+      if (u.placed != kInvalidNode) continue;
+      std::set<NodeId>& used = group_nodes[u.parent];
+      NodeId target = kInvalidNode;
+      while (!u.candidates.empty() && u.attempts < attempt_limit) {
+        NodeId c = u.candidates.front();
+        u.candidates.erase(u.candidates.begin());
+        ++u.attempts;
+        if (!used.contains(c)) {
+          target = c;
+          break;
+        }
+      }
+      if (target != kInvalidNode) {
+        used.insert(target);
+        queues[target].push_back(&u);
+      }
+    }
+    if (queues.empty()) break;
+
+    struct InflightBatch {
+      NodeId node;
+      std::vector<ShardUpload*> items;
+    };
+    std::map<OpHandle, InflightBatch> inflight;
+    for (auto& [node, items] : queues) {
+      std::size_t batch_limit = options_.max_batch_chunks == 0
+                                    ? items.size()
+                                    : options_.max_batch_chunks;
+      for (std::size_t begin = 0; begin < items.size(); begin += batch_limit) {
+        std::size_t end = std::min(items.size(), begin + batch_limit);
+        std::vector<ChunkPut> batch;
+        batch.reserve(end - begin);
+        for (std::size_t i = begin; i < end; ++i) {
+          ChunkPut put;
+          put.id = items[i]->id;
+          put.data = items[i]->data;
+          put.group = items[i]->parent->chunk.id;
+          put.shard_index = items[i]->index;
+          batch.push_back(std::move(put));
+        }
+        OpHandle h =
+            transport_->Submit(ChunkOp::PutBatch(node, std::move(batch)));
+        inflight.emplace(
+            h, InflightBatch{node,
+                             {items.begin() + static_cast<std::ptrdiff_t>(begin),
+                              items.begin() + static_cast<std::ptrdiff_t>(end)}});
+      }
+    }
+    stats_->inflight_put_peak =
+        std::max<std::uint64_t>(stats_->inflight_put_peak, inflight.size());
+
+    std::set<NodeId> replaced_this_round;
+    while (!inflight.empty()) {
+      std::vector<OpHandle> handles;
+      handles.reserve(inflight.size());
+      for (const auto& [h, b] : inflight) handles.push_back(h);
+      STDCHK_ASSIGN_OR_RETURN(OpCompletion c, transport_->WaitAny(handles));
+      auto it = inflight.find(c.handle);
+      InflightBatch batch = std::move(it->second);
+      inflight.erase(it);
+
+      if (c.status.ok()) {
+        ++stats_->batched_puts;
+        for (ShardUpload* u : batch.items) {
+          u->placed = batch.node;
+          stats_->bytes_transferred += u->data.size();
+          ++stats_->replica_puts;
+          if (u->index >= k) {
+            ++stats_->parity_shards_written;
+            stats_->parity_bytes_written += u->data.size();
+          } else {
+            ++stats_->data_shards_written;
+          }
+        }
+        continue;
+      }
+      STDCHK_LOG(kDebug, "client")
+          << "batch put of " << batch.items.size() << " shards to node "
+          << batch.node << " failed: " << c.status.ToString();
+      // Free the dead node in each affected group so its shard can walk
+      // on, then swap the stripe member and patch every walk, exactly as
+      // the replication drain does.
+      for (ShardUpload* u : batch.items) {
+        group_nodes[u->parent].erase(batch.node);
+      }
+      if (!replaced_this_round.insert(batch.node).second) continue;
+      auto fresh = coordinator_->ReplaceStripeMember(batch.node);
+      for (ShardUpload& u : shards) {
+        if (fresh.ok()) {
+          std::replace(u.candidates.begin(), u.candidates.end(), batch.node,
+                       fresh.value());
+        } else {
+          u.candidates.erase(std::remove(u.candidates.begin(),
+                                         u.candidates.end(), batch.node),
+                             u.candidates.end());
+        }
+      }
+    }
+  }
+
+  // All k+m shards of every group must have landed: unlike replication
+  // there is no optimistic shortfall — the parity IS the durability, and a
+  // group born below full strength has already spent its loss budget.
+  for (const ShardUpload& u : shards) {
+    if (u.placed == kInvalidNode) {
+      return UnavailableError(
+          "could not stripe all " + std::to_string(k + m) +
+          " erasure shards across distinct benefactors");
+    }
+  }
+  std::size_t idx = 0;
+  for (Pending& p : pending_) {
+    std::vector<ShardLocation> locs(static_cast<std::size_t>(k + m));
+    std::uint64_t consumed = 0;
+    for (int s = 0; s < k + m; ++s, ++idx) {
+      locs[static_cast<std::size_t>(s)] =
+          ShardLocation{shards[idx].id, shards[idx].placed};
+      consumed += shards[idx].data.size();
+    }
+    coordinator_->ConsumeReserved(consumed);
+    coordinator_->SetShards(p.map_slot, k, m, std::move(locs));
   }
   pending_.clear();
   pending_bytes_ = 0;

@@ -10,10 +10,19 @@
 // wholesale: the dead stripe member is swapped for a fresh donor
 // (CommitCoordinator::ReplaceStripeMember) and the affected chunks walk on
 // to their next placement candidates.
+// In erasure-coded mode (ClientOptions::erasure) a flush instead encodes
+// each pending chunk into k data-shard views + m parity shards (GF(256)
+// SIMD kernels, parity rows fanned across the shared HashPool), names every
+// shard by its own content hash, and stripes the k+m shards across distinct
+// stripe members — same per-node batching and dead-member failover, but the
+// placement unit is the shard and "distinct" is enforced per group (one
+// death must cost at most one shard). All k+m shards must land or the flush
+// fails: parity is the durability, so there is no optimistic shortfall.
 #pragma once
 
 #include <cstdint>
 #include <deque>
+#include <optional>
 #include <vector>
 
 #include "client/chunk_planner.h"
@@ -23,6 +32,7 @@
 #include "client/transport.h"
 #include "client/write_stats.h"
 #include "common/status.h"
+#include "erasure/reed_solomon.h"
 
 namespace stdchk {
 
@@ -54,6 +64,11 @@ class ChunkUploader {
   };
 
   int replicas_needed() const;
+  // The erasure-coded drain: encode, name, and stripe shards. All-or-
+  // nothing per call — a failed flush settles nothing and a retry re-encodes
+  // (shard puts are content-addressed, so re-sending an already-stored
+  // shard is an idempotent no-op at the benefactor).
+  Status FlushErasure();
 
   Transport* transport_;
   PlacementPolicy* placement_;
@@ -63,6 +78,8 @@ class ChunkUploader {
 
   std::deque<Pending> pending_;
   std::uint64_t pending_bytes_ = 0;
+  // Codec for ClientOptions::erasure, built on the first erasure flush.
+  std::optional<ReedSolomon> rs_;
 };
 
 }  // namespace stdchk

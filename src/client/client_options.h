@@ -21,6 +21,20 @@ enum class WriteProtocol { kCompleteLocal, kIncremental, kSlidingWindow };
 // replica persists and let background replication catch up.
 enum class WriteSemantics { kOptimistic, kPessimistic };
 
+// Erasure-coded redundancy (paper §IV.A's rejected alternative, promoted to
+// a live choice now the GF(256) kernels run at data-path speed): each
+// committed chunk is encoded into k data + m parity shards striped across
+// k+m distinct benefactors. Storage overhead is (k+m)/k (e.g. 1.5x for
+// RS(4,2)) instead of replication's 2-3x, and any m benefactor deaths stay
+// survivable — reads reconstruct from any k live shards. k == 0 disables
+// erasure coding (replication mode).
+struct ErasureCoded {
+  int k = 0;
+  int m = 0;
+
+  bool enabled() const { return k > 0 && m > 0; }
+};
+
 struct ClientOptions {
   int stripe_width = 4;
   std::size_t chunk_size = kDefaultChunkSize;
@@ -73,6 +87,13 @@ struct ClientOptions {
   // Replicas required at close() for pessimistic writes; also recorded as
   // the version's replication target (0 = inherit the folder policy).
   int replication_target = 0;
+
+  // Erasure-coded mode: when enabled, the uploader encodes every committed
+  // chunk into erasure.k + erasure.m shards on distinct benefactors instead
+  // of whole replicas (replication_target is ignored — durability comes
+  // from parity). Requires a stripe of at least k+m benefactors; the write
+  // session widens stripe_width to k+m automatically.
+  ErasureCoded erasure;
 
   // Per-write eager space reservation granularity (§IV.A incremental
   // allocation).

@@ -116,6 +116,14 @@ void CommitCoordinator::SetReplicas(std::size_t slot,
   map_.chunks[slot].replicas = std::move(replicas);
 }
 
+void CommitCoordinator::SetShards(std::size_t slot, int k, int m,
+                                  std::vector<ShardLocation> shards) {
+  ChunkLocation& loc = map_.chunks[slot];
+  loc.ec_k = static_cast<std::uint16_t>(k);
+  loc.ec_m = static_cast<std::uint16_t>(m);
+  loc.shards = std::move(shards);
+}
+
 std::vector<std::vector<NodeId>> CommitCoordinator::LocateReusable(
     const std::vector<ChunkId>& ids) {
   std::vector<std::vector<NodeId>> out(ids.size());

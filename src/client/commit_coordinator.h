@@ -55,6 +55,10 @@ class CommitCoordinator {
   // Claims the next chunk-map slot for `id`, advancing the file offset.
   std::size_t AddSlot(const ChunkId& id, std::uint32_t size);
   void SetReplicas(std::size_t slot, std::vector<NodeId> replicas);
+  // Marks the slot erasure-coded: k+m shard locations (data first, parity
+  // after) instead of whole replicas.
+  void SetShards(std::size_t slot, int k, int m,
+                 std::vector<ShardLocation> shards);
 
   // Batched compare-by-hash dedup (§IV.C): one manager round trip per
   // drain, not per chunk. Returns, for each id, the live replica list of

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cstring>
+#include <optional>
 #include <utility>
+
+#include "erasure/reed_solomon.h"
 
 namespace stdchk {
 
@@ -83,6 +86,11 @@ Status ReadSession::PumpWindow(std::size_t demand) {
   for (std::size_t i = demand; i <= window_end; ++i) {
     if (inflight_chunks_.size() >= max_inflight) break;
     if (cache_index_.contains(i) || inflight_chunks_.contains(i)) continue;
+    // Erasure-coded chunks bypass the replica window: ChunkData fetches
+    // their shards on demand (already overlapped across k benefactors).
+    // Exception: chunks ChunkData demoted to the replica path after a
+    // failed shard recovery (mixed-mode fallback).
+    if (chunks[i].erasure_coded() && !replica_fallback_.contains(i)) continue;
     Result<NodeId> pick = PickReplica(i);
     if (!pick.ok()) {
       // Read-ahead misses stay soft; only the demand chunk is fatal.
@@ -173,6 +181,26 @@ Status ReadSession::HarvestOne(std::size_t demand) {
 }
 
 Result<const BufferSlice*> ReadSession::ChunkData(std::size_t index) {
+  const ChunkLocation& loc = record_.chunk_map.chunks[index];
+  if (loc.erasure_coded()) {
+    if (auto it = cache_index_.find(index); it != cache_index_.end()) {
+      return &it->second->data;
+    }
+    Result<BufferSlice> data = FetchErasure(index);
+    if (!data.ok()) {
+      // Mixed-mode escape hatch: a chunk can carry whole replicas besides
+      // its shard group (dedup reuse of a replication-era copy). Only then
+      // is a full-replica fallback even possible — and the EC acceptance
+      // bar is that it never fires for pure erasure files.
+      if (loc.replicas.empty()) return data.status();
+      ++stats_.full_replica_fallbacks;
+      replica_fallback_.insert(index);
+    } else {
+      Insert(index, std::move(data.value()));
+      EvictToBudget(index);
+      return &cache_index_.find(index)->second->data;
+    }
+  }
   while (true) {
     if (auto it = cache_index_.find(index); it != cache_index_.end()) {
       return &it->second->data;
@@ -186,6 +214,127 @@ Result<const BufferSlice*> ReadSession::ChunkData(std::size_t index) {
     }
     STDCHK_RETURN_IF_ERROR(HarvestOne(index));
   }
+}
+
+Result<BufferSlice> ReadSession::FetchErasure(std::size_t index) {
+  const ChunkLocation& loc = record_.chunk_map.chunks[index];
+  const int k = loc.ec_k;
+  const int m = loc.ec_m;
+  const int total = k + m;
+  if (static_cast<int>(loc.shards.size()) != total) {
+    return DataLossError("chunk " + loc.id.ToHex() +
+                         " has a malformed shard group");
+  }
+  const std::size_t shard_size = ErasureShardSize(loc.size, k);
+
+  std::vector<std::optional<BufferSlice>> got(
+      static_cast<std::size_t>(total));
+  int have = 0;
+  // Zero-length tail data shards (chunk smaller than (k-1) shard widths)
+  // are virtually present: nothing stored, nothing to fetch.
+  for (int s = 0; s < k; ++s) {
+    if (ErasureShardLength(loc.size, k, s) == 0) {
+      got[static_cast<std::size_t>(s)] = BufferSlice();
+      ++have;
+    }
+  }
+
+  // One GET per shard — group members sit on distinct benefactors by
+  // construction, so the k data fetches overlap across k nodes. Parity
+  // shards are requested only to cover failures, one per loss.
+  std::map<OpHandle, int> pending;
+  auto submit = [&](int s) -> bool {
+    const ShardLocation& sl = loc.shards[static_cast<std::size_t>(s)];
+    if (sl.node == kInvalidNode) return false;  // departed, awaiting repair
+    OpHandle h = transport_->Submit(ChunkOp::Get(sl.node, sl.id));
+    pending.emplace(h, s);
+    ++stats_.single_gets;
+    return true;
+  };
+  int next_extra = k;
+  for (int s = 0; s < k; ++s) {
+    if (got[static_cast<std::size_t>(s)].has_value()) continue;
+    if (!submit(s)) {
+      while (next_extra < total && !submit(next_extra)) ++next_extra;
+      if (next_extra < total) ++next_extra;
+    }
+  }
+
+  while (have < k && !pending.empty()) {
+    std::vector<OpHandle> handles;
+    handles.reserve(pending.size());
+    for (const auto& [h, s] : pending) handles.push_back(h);
+    STDCHK_ASSIGN_OR_RETURN(OpCompletion c, transport_->WaitAny(handles));
+    int s = pending.at(c.handle);
+    pending.erase(c.handle);
+    const NodeId node = loc.shards[static_cast<std::size_t>(s)].node;
+    if (c.status.ok()) {
+      dead_nodes_.erase(node);
+      got[static_cast<std::size_t>(s)] = std::move(c.data);
+      ++have;
+      ++stats_.shard_fetches;
+      if (s >= k) ++stats_.parity_shard_fetches;
+      continue;
+    }
+    ++stats_.failovers;
+    if (c.status.code() == StatusCode::kUnavailable) dead_nodes_.insert(node);
+    // Walk on to the next untried shard to cover this loss.
+    while (next_extra < total && !submit(next_extra)) ++next_extra;
+    if (next_extra < total) ++next_extra;
+  }
+  if (have < k) {
+    return DataLossError("only " + std::to_string(have) + " of the required " +
+                         std::to_string(k) + " shards of chunk " +
+                         loc.id.ToHex() + " are reachable");
+  }
+
+  // Reassemble: direct data shards copy into place, missing ones decode
+  // straight into their region of the chunk buffer (prefix recovery — no
+  // scratch shard buffers).
+  Bytes assembled(loc.size, 0);
+  std::vector<int> want;
+  std::vector<MutableByteSpan> outs;
+  for (int s = 0; s < k; ++s) {
+    std::size_t len = ErasureShardLength(loc.size, k, s);
+    if (len == 0) continue;
+    MutableByteSpan region(
+        assembled.data() + static_cast<std::size_t>(s) * shard_size, len);
+    const auto& shard = got[static_cast<std::size_t>(s)];
+    if (shard.has_value()) {
+      if (shard->size() != len) {
+        return DataLossError("shard " + std::to_string(s) + " of chunk " +
+                             loc.id.ToHex() + " has the wrong stored size");
+      }
+      std::memcpy(region.data(), shard->data(), len);
+    } else {
+      want.push_back(s);
+      outs.push_back(region);
+    }
+  }
+  // Reassembly is the one real copy of the EC read path (k scattered shard
+  // buffers into one contiguous chunk); account it honestly.
+  copy_stats::RecordCopy(loc.size);
+  if (!want.empty()) {
+    STDCHK_ASSIGN_OR_RETURN(ReedSolomon rs, ReedSolomon::Create(k, m));
+    std::vector<std::optional<ByteSpan>> views(static_cast<std::size_t>(total));
+    for (int s = 0; s < total; ++s) {
+      const auto& shard = got[static_cast<std::size_t>(s)];
+      if (shard.has_value()) views[static_cast<std::size_t>(s)] = shard->span();
+    }
+    STDCHK_RETURN_IF_ERROR(rs.RecoverShards(views, shard_size, want, outs));
+    ++stats_.reconstructions;
+  }
+
+  // Content-based addressability doubles as the integrity check: the
+  // reassembled (possibly reconstructed) chunk must hash to its address.
+  BufferSlice out(BufferRef::Take(std::move(assembled)));
+  ChunkId actual = ChunkId::For(out.span());
+  if (actual != loc.id) {
+    return DataLossError("chunk " + loc.id.ToHex() +
+                         " failed integrity verification after reassembly");
+  }
+  out.StampDigest(actual.digest);
+  return out;
 }
 
 void ReadSession::Insert(std::size_t index, BufferSlice data) {

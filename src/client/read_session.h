@@ -39,6 +39,14 @@ struct ReadStats {
   std::uint64_t failovers = 0;    // chunk fetches retried after a failure
   std::uint64_t dead_replica_skips = 0;  // replicas skipped as observed-dead
   std::size_t inflight_peak = 0;  // engine's overlap high watermark (chunks)
+
+  // Erasure-coded chunks (ChunkLocation::erasure_coded()):
+  std::uint64_t shard_fetches = 0;         // shard payloads received
+  std::uint64_t parity_shard_fetches = 0;  // parity pulled to cover a loss
+  std::uint64_t reconstructions = 0;       // chunks rebuilt from parity
+  std::uint64_t full_replica_fallbacks = 0;  // EC chunks served by a whole
+                                             // replica after shard recovery
+                                             // failed (mixed-mode dedup only)
 };
 
 class ReadSession {
@@ -109,6 +117,13 @@ class ReadSession {
   // The returned pointer aliases the cache; it stays valid only while mu_
   // is held (ReadAt copies out before unlocking).
   Result<const BufferSlice*> ChunkData(std::size_t index) REQUIRES(mu_);
+  // Fetches and reassembles an erasure-coded chunk: concurrent GETs for its
+  // k data shards (each on its own benefactor — the striped-read
+  // parallelism comes free), pulling parity shards only when a data shard's
+  // holder fails, and reconstructing from any k survivors. The reassembled
+  // chunk must verify against the whole-chunk content address. Bypasses the
+  // replica window machinery; EC chunks are not read ahead.
+  Result<BufferSlice> FetchErasure(std::size_t index) REQUIRES(mu_);
 
   void Insert(std::size_t index, BufferSlice data) REQUIRES(mu_);
   void EvictToBudget(std::size_t demand) REQUIRES(mu_);
@@ -141,6 +156,9 @@ class ReadSession {
   // Retry alone after a batch rejection.
   std::set<std::size_t> singles_only_ GUARDED_BY(mu_);
   std::size_t rr_replica_ GUARDED_BY(mu_) = 0;
+  // EC chunks demoted to the whole-replica path after shard recovery
+  // failed (possible only for mixed-mode chunks that also carry replicas).
+  std::set<std::size_t> replica_fallback_ GUARDED_BY(mu_);
 };
 
 }  // namespace stdchk

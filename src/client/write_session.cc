@@ -22,6 +22,12 @@ ClientOptions ResolveOptions(MetadataManager* manager,
   if (!options.chunker) {
     options.chunker = std::make_shared<FixedSizeChunker>(options.chunk_size);
   }
+  // Erasure-coded writes stripe k+m shards across distinct stripe members,
+  // so the stripe must be at least that wide.
+  if (options.erasure.enabled()) {
+    options.stripe_width =
+        std::max(options.stripe_width, options.erasure.k + options.erasure.m);
+  }
   return options;
 }
 

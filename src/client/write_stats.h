@@ -28,6 +28,13 @@ struct WriteStats {
   std::uint64_t placement_epoch_mismatches = 0;  // stale-epoch rejections
   std::uint64_t local_placements = 0;  // stripes computed client-side
 
+  // Erasure-coded write path (ClientOptions::erasure):
+  std::uint64_t parity_shards_written = 0;  // parity shard puts that landed
+  std::uint64_t data_shards_written = 0;    // data shard puts that landed
+  std::uint64_t parity_bytes_written = 0;   // redundancy bytes shipped
+  std::uint64_t erasure_encode_ns = 0;      // wall time in GF(256) encode
+  std::uint64_t erasure_encoded_chunks = 0;
+
   // Chunk-naming (SHA-1) accounting from the planner's drains:
   std::uint64_t hash_ns = 0;            // wall time spent naming chunks
   std::uint64_t hash_chunks = 0;        // chunks named

@@ -1,9 +1,11 @@
 #include "core/cluster.h"
 
 #include <cassert>
+#include <optional>
 
 #include "chunk/chunk_store.h"
 #include "common/log.h"
+#include "erasure/reed_solomon.h"
 
 namespace stdchk {
 
@@ -66,6 +68,47 @@ Status StdchkCluster::RestartBenefactor(std::size_t idx) {
   return b.SendHeartbeat(*manager_);
 }
 
+Status StdchkCluster::ExecuteShardRepair(const ShardRepairCommand& cmd) {
+  STDCHK_ASSIGN_OR_RETURN(ReedSolomon rs,
+                          ReedSolomon::Create(cmd.ec_k, cmd.ec_m));
+  const std::size_t shard_size = ErasureShardSize(cmd.chunk_size, cmd.ec_k);
+  std::vector<BufferSlice> fetched(cmd.source_ids.size());
+  std::vector<std::optional<ByteSpan>> views(
+      static_cast<std::size_t>(cmd.ec_k) + cmd.ec_m);
+  for (std::size_t i = 0; i < cmd.source_ids.size(); ++i) {
+    Benefactor* source = FindBenefactor(cmd.source_nodes[i]);
+    if (source == nullptr) {
+      return UnavailableError("shard-repair source departed");
+    }
+    // GetChunk verifies the shard against its content address — a corrupt
+    // source fails here instead of poisoning the rebuild.
+    STDCHK_ASSIGN_OR_RETURN(fetched[i],
+                            source->GetChunk(cmd.source_ids[i]));
+    views[static_cast<std::size_t>(cmd.source_indices[i])] =
+        fetched[i].span();
+  }
+
+  Bytes rebuilt(shard_size, 0);
+  STDCHK_RETURN_IF_ERROR(rs.RecoverShards(
+      views, shard_size, {cmd.missing_index},
+      {MutableByteSpan(rebuilt.data(), rebuilt.size())}));
+  // Data shards are stored unpadded; drop the virtual zero tail before the
+  // content check (parity shards are always full width).
+  rebuilt.resize(
+      ErasureShardLength(cmd.chunk_size, cmd.ec_k, cmd.missing_index));
+  if (ChunkId::For(ByteSpan(rebuilt.data(), rebuilt.size())) !=
+      cmd.missing_id) {
+    return DataLossError("rebuilt shard failed content verification");
+  }
+
+  Benefactor* target = FindBenefactor(cmd.target);
+  if (target == nullptr) {
+    return UnavailableError("shard-repair target departed");
+  }
+  return target->PutChunk(cmd.missing_id,
+                          BufferSlice(BufferRef::Take(std::move(rebuilt))));
+}
+
 StdchkCluster::TickReport StdchkCluster::Tick(double advance_seconds) {
   TickReport report;
   clock_.AdvanceSeconds(advance_seconds);
@@ -99,6 +142,16 @@ StdchkCluster::TickReport StdchkCluster::Tick(double advance_seconds) {
     (void)manager_->AckReplication(cmd, copied.ok());
   }
 
+  // 4b. Shard repair: rebuild erasure-coded shards whose holder departed,
+  //     while the group still has >= k live shards to decode from.
+  std::vector<ShardRepairCommand> repairs = manager_->TickShardRepair();
+  report.shard_repair_commands = repairs.size();
+  for (const ShardRepairCommand& cmd : repairs) {
+    Status repaired = ExecuteShardRepair(cmd);
+    if (!repaired.ok()) ++report.shard_repair_failures;
+    (void)manager_->AckShardRepair(cmd, repaired.ok());
+  }
+
   // 5. GC exchange: each online benefactor reconciles against the live set.
   for (auto& b : benefactors_) {
     if (!b->online()) continue;
@@ -113,6 +166,8 @@ std::size_t StdchkCluster::Settle(std::size_t max_ticks) {
     TickReport report = Tick();
     if (report.replication_commands == 0 &&
         manager_->pending_replications() == 0 &&
+        report.shard_repair_commands == 0 &&
+        manager_->pending_shard_repairs() == 0 &&
         report.gc_reclaimed_chunks == 0 && report.purged.empty()) {
       return i;
     }

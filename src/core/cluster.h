@@ -65,6 +65,10 @@ class StdchkCluster {
     std::vector<NodeId> expired;
     std::size_t replication_commands = 0;
     std::size_t replication_failures = 0;
+    // Erasure-coded shard repair (k-survivor maintenance): rebuilds
+    // executed this tick, and how many failed.
+    std::size_t shard_repair_commands = 0;
+    std::size_t shard_repair_failures = 0;
     std::vector<CheckpointName> purged;
     std::size_t gc_reclaimed_chunks = 0;
     std::size_t recovered_versions_offered = 0;
@@ -78,6 +82,11 @@ class StdchkCluster {
   std::size_t Settle(std::size_t max_ticks = 64);
 
  private:
+  // Executes one shard-repair command: fetches the k source shards,
+  // reconstructs the missing one, verifies it against its content address,
+  // and stores it on the target benefactor.
+  Status ExecuteShardRepair(const ShardRepairCommand& cmd);
+
   ClusterOptions options_;
   VirtualClock clock_;
   std::unique_ptr<MetadataManager> manager_;

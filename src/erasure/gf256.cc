@@ -1,5 +1,12 @@
 #include "erasure/gf256.h"
 
+#include <atomic>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define STDCHK_GF256_SIMD_CANDIDATE 1
+#endif
+
 namespace stdchk::gf256 {
 namespace internal {
 
@@ -40,8 +47,13 @@ std::uint8_t Exp(unsigned e) {
   return t.exp[e % 255];
 }
 
-void MulAccum(std::uint8_t c, const std::uint8_t* src, std::uint8_t* dst,
-              std::size_t n) {
+namespace {
+
+// ---- scalar kernel (the differential oracle) --------------------------------
+// The original table-lookup-per-byte loop, byte for byte. Every SIMD kernel
+// must agree with this on arbitrary (c, src, dst, n).
+void MulAccumScalar(std::uint8_t c, const std::uint8_t* src, std::uint8_t* dst,
+                    std::size_t n) {
   if (c == 0) return;
   if (c == 1) {
     for (std::size_t i = 0; i < n; ++i) dst[i] ^= src[i];
@@ -55,6 +67,176 @@ void MulAccum(std::uint8_t c, const std::uint8_t* src, std::uint8_t* dst,
       dst[i] ^= t.exp[static_cast<std::size_t>(logc) + t.log[s]];
     }
   }
+}
+
+// ---- PSHUFB split-table kernels ---------------------------------------------
+// c * b factors over nibbles: b = bhi·16 ^ blo, so c·b = c·(bhi·16) ^ c·blo
+// (multiplication distributes over XOR in GF(2^8)). Two 16-entry tables per
+// coefficient — products with every low nibble and every high nibble — turn
+// a vector of byte multiplies into two PSHUFB lookups and a XOR.
+#ifdef STDCHK_GF256_SIMD_CANDIDATE
+
+struct NibbleTables {
+  alignas(16) std::uint8_t lo[256][16];
+  alignas(16) std::uint8_t hi[256][16];
+  NibbleTables() {
+    for (int c = 0; c < 256; ++c) {
+      for (int x = 0; x < 16; ++x) {
+        lo[c][x] = Mul(static_cast<std::uint8_t>(c),
+                       static_cast<std::uint8_t>(x));
+        hi[c][x] = Mul(static_cast<std::uint8_t>(c),
+                       static_cast<std::uint8_t>(x << 4));
+      }
+    }
+  }
+};
+
+const NibbleTables& GetNibbleTables() {
+  static const NibbleTables tables;
+  return tables;
+}
+
+// 16 B per iteration. Unaligned loads/stores handle arbitrary alignment;
+// the sub-vector tail falls through to the scalar oracle.
+__attribute__((target("ssse3"))) void MulAccumSsse3(std::uint8_t c,
+                                                    const std::uint8_t* src,
+                                                    std::uint8_t* dst,
+                                                    std::size_t n) {
+  const NibbleTables& nt = GetNibbleTables();
+  const __m128i lo_tab =
+      _mm_load_si128(reinterpret_cast<const __m128i*>(nt.lo[c]));
+  const __m128i hi_tab =
+      _mm_load_si128(reinterpret_cast<const __m128i*>(nt.hi[c]));
+  const __m128i mask = _mm_set1_epi8(0x0F);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    __m128i s = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    // srli works on 64-bit lanes; the bits a byte inherits from its left
+    // neighbour land in its high nibble and are masked off.
+    __m128i lo = _mm_shuffle_epi8(lo_tab, _mm_and_si128(s, mask));
+    __m128i hi = _mm_shuffle_epi8(
+        hi_tab, _mm_and_si128(_mm_srli_epi64(s, 4), mask));
+    __m128i d = _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                     _mm_xor_si128(d, _mm_xor_si128(lo, hi)));
+  }
+  MulAccumScalar(c, src + i, dst + i, n - i);
+}
+
+// 32 B per iteration. VPSHUFB shuffles within each 128-bit lane, so the
+// 16-entry tables are broadcast to both lanes. The 16..31 B remainder runs
+// one SSSE3 step, then the scalar tail.
+__attribute__((target("avx2"))) void MulAccumAvx2(std::uint8_t c,
+                                                  const std::uint8_t* src,
+                                                  std::uint8_t* dst,
+                                                  std::size_t n) {
+  const NibbleTables& nt = GetNibbleTables();
+  const __m256i lo_tab = _mm256_broadcastsi128_si256(
+      _mm_load_si128(reinterpret_cast<const __m128i*>(nt.lo[c])));
+  const __m256i hi_tab = _mm256_broadcastsi128_si256(
+      _mm_load_si128(reinterpret_cast<const __m128i*>(nt.hi[c])));
+  const __m256i mask = _mm256_set1_epi8(0x0F);
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    __m256i s = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    __m256i lo = _mm256_shuffle_epi8(lo_tab, _mm256_and_si256(s, mask));
+    __m256i hi = _mm256_shuffle_epi8(
+        hi_tab, _mm256_and_si256(_mm256_srli_epi64(s, 4), mask));
+    __m256i d = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_xor_si256(d, _mm256_xor_si256(lo, hi)));
+  }
+  _mm256_zeroupper();
+  MulAccumSsse3(c, src + i, dst + i, n - i);
+}
+
+#endif  // STDCHK_GF256_SIMD_CANDIDATE
+
+using MulAccumFn = void (*)(std::uint8_t, const std::uint8_t*, std::uint8_t*,
+                            std::size_t);
+
+bool CpuHasSsse3() {
+#ifdef STDCHK_GF256_SIMD_CANDIDATE
+  return __builtin_cpu_supports("ssse3");
+#else
+  return false;
+#endif
+}
+
+bool CpuHasAvx2() {
+#ifdef STDCHK_GF256_SIMD_CANDIDATE
+  return __builtin_cpu_supports("avx2");
+#else
+  return false;
+#endif
+}
+
+MulAccumFn DetectMulAccumFn() {
+#ifdef STDCHK_GF256_SIMD_CANDIDATE
+  if (CpuHasAvx2()) return &MulAccumAvx2;
+  if (CpuHasSsse3()) return &MulAccumSsse3;
+#endif
+  return &MulAccumScalar;
+}
+
+// Bench/test override; nullptr means "use the detected best". Atomic so
+// the parity fan-out workers can read it while a bench or test thread
+// switches implementations between phases.
+std::atomic<MulAccumFn> g_forced_mul_accum_fn{nullptr};
+
+inline MulAccumFn ActiveMulAccumFn() {
+  static const MulAccumFn detected = DetectMulAccumFn();
+  MulAccumFn forced = g_forced_mul_accum_fn.load(std::memory_order_relaxed);
+  return forced ? forced : detected;
+}
+
+}  // namespace
+
+Gf256Impl Gf256ActiveImpl() {
+#ifdef STDCHK_GF256_SIMD_CANDIDATE
+  if (ActiveMulAccumFn() == &MulAccumAvx2) return Gf256Impl::kAvx2;
+  if (ActiveMulAccumFn() == &MulAccumSsse3) return Gf256Impl::kSsse3;
+#endif
+  return Gf256Impl::kScalar;
+}
+
+void Gf256ForceImpl(Gf256Impl impl) {
+  switch (impl) {
+    case Gf256Impl::kAuto:
+      g_forced_mul_accum_fn = nullptr;
+      return;
+    case Gf256Impl::kScalar:
+      g_forced_mul_accum_fn = &MulAccumScalar;
+      return;
+    case Gf256Impl::kSsse3:
+#ifdef STDCHK_GF256_SIMD_CANDIDATE
+      if (CpuHasSsse3()) {
+        g_forced_mul_accum_fn = &MulAccumSsse3;
+        return;
+      }
+#endif
+      g_forced_mul_accum_fn = &MulAccumScalar;
+      return;
+    case Gf256Impl::kAvx2:
+#ifdef STDCHK_GF256_SIMD_CANDIDATE
+      if (CpuHasAvx2()) {
+        g_forced_mul_accum_fn = &MulAccumAvx2;
+        return;
+      }
+      if (CpuHasSsse3()) {
+        g_forced_mul_accum_fn = &MulAccumSsse3;
+        return;
+      }
+#endif
+      g_forced_mul_accum_fn = &MulAccumScalar;
+      return;
+  }
+}
+
+void MulAccum(std::uint8_t c, const std::uint8_t* src, std::uint8_t* dst,
+              std::size_t n) {
+  if (c == 0 || n == 0) return;
+  ActiveMulAccumFn()(c, src, dst, n);
 }
 
 }  // namespace stdchk::gf256

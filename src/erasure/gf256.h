@@ -7,6 +7,14 @@
 //
 // Field: GF(256) with the conventional primitive polynomial
 // x^8 + x^4 + x^3 + x^2 + 1 (0x11D), generator 2.
+//
+// The hot loop, MulAccum, is a runtime-dispatched kernel family mirroring
+// the SHA-1 compressor (Sha1ForceImpl): a scalar log/exp loop kept as the
+// differential oracle, plus PSHUFB split-table kernels — each coefficient c
+// gets two 16-entry tables (products of c with the low and high nibble of
+// every byte), so one shuffle per table turns 16 (SSSE3) or 32 (AVX2) byte
+// multiplies into two table lookups and a XOR. Arbitrary src/dst alignment
+// and length are handled with unaligned vector loads plus a scalar tail.
 #pragma once
 
 #include <array>
@@ -43,8 +51,22 @@ std::uint8_t Inv(std::uint8_t a);
 // generator^e
 std::uint8_t Exp(unsigned e);
 
+// Which kernel backs MulAccum. kAuto picks the widest the CPU supports
+// (AVX2, else SSSE3, else scalar). kScalar is the original
+// table-lookup-per-byte loop, kept as the differential-testing oracle and
+// as the bench baseline the SIMD speedup is measured against.
+enum class Gf256Impl { kAuto, kScalar, kSsse3, kAvx2 };
+
+// The implementation kAuto resolves to right now.
+Gf256Impl Gf256ActiveImpl();
+
+// Forces an implementation (benches compare, tests cross-check). Requesting
+// a kernel the CPU cannot run falls back to the widest supported one
+// (kAvx2 -> kSsse3 -> kScalar); kAuto restores runtime detection.
+void Gf256ForceImpl(Gf256Impl impl);
+
 // Multiply-accumulate over a buffer: dst[i] ^= c * src[i]. The hot loop of
-// RS encoding/decoding.
+// RS encoding/decoding. src and dst must not overlap unless equal.
 void MulAccum(std::uint8_t c, const std::uint8_t* src, std::uint8_t* dst,
               std::size_t n);
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/buffer.h"
+#include "common/hash_pool.h"
 #include "erasure/gf256.h"
 
 namespace stdchk {
@@ -82,21 +84,46 @@ Result<std::vector<Bytes>> ReedSolomon::EncodeParity(
     return InvalidArgumentError("expected exactly k data shards");
   }
   const std::size_t shard_size = data_shards[0].size();
+  std::vector<ByteSpan> views;
+  views.reserve(data_shards.size());
   for (const Bytes& shard : data_shards) {
     if (shard.size() != shard_size) {
       return InvalidArgumentError("data shards must have equal size");
+    }
+    views.emplace_back(shard.data(), shard.size());
+  }
+  return EncodeParity(views, shard_size);
+}
+
+Result<std::vector<Bytes>> ReedSolomon::EncodeParity(
+    const std::vector<ByteSpan>& data_shards, std::size_t shard_size,
+    HashPool* pool, int max_workers) const {
+  if (static_cast<int>(data_shards.size()) != k_) {
+    return InvalidArgumentError("expected exactly k data shards");
+  }
+  for (ByteSpan shard : data_shards) {
+    if (shard.size() > shard_size) {
+      return InvalidArgumentError("data shard view exceeds the shard size");
     }
   }
 
   std::vector<Bytes> parity(static_cast<std::size_t>(m_),
                             Bytes(shard_size, 0));
-  for (int i = 0; i < m_; ++i) {
-    const std::vector<std::uint8_t>& row = Row(k_ + i);
+  auto encode_row = [&](std::size_t i) {
+    const std::vector<std::uint8_t>& row = Row(k_ + static_cast<int>(i));
     for (int j = 0; j < k_; ++j) {
-      gf256::MulAccum(row[static_cast<std::size_t>(j)],
-                      data_shards[static_cast<std::size_t>(j)].data(),
-                      parity[static_cast<std::size_t>(i)].data(), shard_size);
+      ByteSpan shard = data_shards[static_cast<std::size_t>(j)];
+      // Shorter views are virtually zero-padded: the tail contributes
+      // nothing, so the accumulate simply stops at the view's end.
+      if (shard.empty()) continue;
+      gf256::MulAccum(row[static_cast<std::size_t>(j)], shard.data(),
+                      parity[i].data(), shard.size());
     }
+  };
+  if (pool != nullptr && m_ > 1 && max_workers != 1) {
+    pool->ParallelFor(static_cast<std::size_t>(m_), max_workers, encode_row);
+  } else {
+    for (int i = 0; i < m_; ++i) encode_row(static_cast<std::size_t>(i));
   }
   return parity;
 }
@@ -105,20 +132,139 @@ std::vector<Bytes> ReedSolomon::EncodeBlock(ByteSpan data) const {
   const std::size_t shard_size =
       (data.size() + static_cast<std::size_t>(k_) - 1) /
       static_cast<std::size_t>(k_);
+  // Parity encodes straight from views of `data`; the padded data-shard
+  // copies below exist only because this convenience returns owned shards.
+  std::vector<ByteSpan> views;
+  views.reserve(static_cast<std::size_t>(k_));
+  for (int i = 0; i < k_; ++i) {
+    std::size_t offset = static_cast<std::size_t>(i) * shard_size;
+    std::size_t n =
+        offset < data.size() ? std::min(shard_size, data.size() - offset) : 0;
+    views.emplace_back(data.data() + offset, n);
+  }
+  auto parity = EncodeParity(views, shard_size);
+
   std::vector<Bytes> shards;
   shards.reserve(static_cast<std::size_t>(k_ + m_));
   for (int i = 0; i < k_; ++i) {
     Bytes shard(shard_size, 0);
-    std::size_t offset = static_cast<std::size_t>(i) * shard_size;
-    if (offset < data.size()) {
-      std::size_t n = std::min(shard_size, data.size() - offset);
-      std::copy_n(data.data() + offset, n, shard.data());
-    }
+    ByteSpan view = views[static_cast<std::size_t>(i)];
+    std::copy_n(view.data(), view.size(), shard.data());
+    copy_stats::RecordCopy(view.size());
     shards.push_back(std::move(shard));
   }
-  auto parity = EncodeParity(shards);
   for (Bytes& p : parity.value()) shards.push_back(std::move(p));
   return shards;
+}
+
+Status ReedSolomon::RecoverShards(
+    const std::vector<std::optional<ByteSpan>>& shards, std::size_t shard_size,
+    const std::vector<int>& want,
+    const std::vector<MutableByteSpan>& out) const {
+  const std::size_t total = static_cast<std::size_t>(k_ + m_);
+  if (shards.size() != total) {
+    return InvalidArgumentError("expected k+m shard slots");
+  }
+  if (want.size() != out.size()) {
+    return InvalidArgumentError("want/out must be parallel");
+  }
+  bool parity_wanted = false;
+  for (std::size_t w = 0; w < want.size(); ++w) {
+    if (want[w] < 0 || want[w] >= k_ + m_) {
+      return InvalidArgumentError("wanted shard index out of range");
+    }
+    if (out[w].size() > shard_size) {
+      return InvalidArgumentError("output buffer exceeds the shard size");
+    }
+    if (want[w] >= k_) parity_wanted = true;
+  }
+  if (parity_wanted) {
+    // Parity rows read whole data shards; a prefix-only data output would
+    // feed them a silently truncated shard.
+    for (std::size_t w = 0; w < want.size(); ++w) {
+      if (out[w].size() != shard_size) {
+        return InvalidArgumentError(
+            "parity recovery requires full-size output buffers");
+      }
+    }
+  }
+
+  std::vector<int> present;
+  for (std::size_t i = 0; i < total; ++i) {
+    if (!shards[i].has_value()) continue;
+    if (shards[i]->size() > shard_size) {
+      return InvalidArgumentError("surviving shard view exceeds shard size");
+    }
+    present.push_back(static_cast<int>(i));
+  }
+  if (static_cast<int>(present.size()) < k_) {
+    return DataLossError("only " + std::to_string(present.size()) +
+                         " of the required " + std::to_string(k_) +
+                         " shards survive");
+  }
+
+  // Decode matrix from the first k survivors:
+  // data shard d = sum_j sub[d][j] * shards[used[j]].
+  std::vector<int> used(present.begin(), present.begin() + k_);
+  std::vector<std::vector<std::uint8_t>> sub;
+  for (int r : used) sub.push_back(Row(r));
+  if (!InvertMatrix(sub)) {
+    return InternalError("Cauchy submatrix unexpectedly singular");
+  }
+
+  for (MutableByteSpan o : out) std::fill(o.begin(), o.end(), 0);
+
+  // Decodes data shard `d` into `into` (a prefix suffices: byte i of the
+  // output depends only on byte i of each survivor).
+  auto decode_data = [&](int d, MutableByteSpan into) {
+    for (int j = 0; j < k_; ++j) {
+      ByteSpan s = *shards[static_cast<std::size_t>(used[static_cast<std::size_t>(j)])];
+      std::size_t n = std::min(s.size(), into.size());
+      if (n == 0) continue;
+      gf256::MulAccum(sub[static_cast<std::size_t>(d)][static_cast<std::size_t>(j)],
+                      s.data(), into.data(), n);
+    }
+  };
+
+  // Full-width views of every data shard, needed only when parity is
+  // wanted; missing ones decode into scratch.
+  std::vector<ByteSpan> data_views(static_cast<std::size_t>(k_));
+  std::vector<Bytes> scratch;
+  if (parity_wanted) {
+    scratch.reserve(static_cast<std::size_t>(k_));
+    for (int j = 0; j < k_; ++j) {
+      if (shards[static_cast<std::size_t>(j)].has_value()) {
+        data_views[static_cast<std::size_t>(j)] =
+            *shards[static_cast<std::size_t>(j)];
+      } else {
+        scratch.emplace_back(shard_size, 0);
+        decode_data(j, MutableByteSpan(scratch.back()));
+        data_views[static_cast<std::size_t>(j)] = ByteSpan(scratch.back());
+      }
+    }
+  }
+
+  for (std::size_t w = 0; w < want.size(); ++w) {
+    int idx = want[w];
+    if (idx < k_) {
+      if (shards[static_cast<std::size_t>(idx)].has_value()) {
+        ByteSpan s = *shards[static_cast<std::size_t>(idx)];
+        std::copy_n(s.data(), std::min(s.size(), out[w].size()),
+                    out[w].data());
+      } else {
+        decode_data(idx, out[w]);
+      }
+      continue;
+    }
+    const std::vector<std::uint8_t>& row = Row(idx);
+    for (int j = 0; j < k_; ++j) {
+      ByteSpan s = data_views[static_cast<std::size_t>(j)];
+      if (s.empty()) continue;
+      gf256::MulAccum(row[static_cast<std::size_t>(j)], s.data(),
+                      out[w].data(), std::min(s.size(), out[w].size()));
+    }
+  }
+  return OkStatus();
 }
 
 Status ReedSolomon::Reconstruct(
@@ -139,58 +285,35 @@ Status ReedSolomon::Reconstruct(
                          " of the required " + std::to_string(k_) +
                          " shards survive");
   }
-  bool any_missing = false;
-  for (const auto& shard : shards) {
-    if (!shard.has_value()) {
-      any_missing = true;
-    } else if (shard->size() != shard_size) {
+  std::vector<int> missing;
+  for (int i = 0; i < k_ + m_; ++i) {
+    if (!shards[static_cast<std::size_t>(i)].has_value()) {
+      missing.push_back(i);
+    } else if (shards[static_cast<std::size_t>(i)]->size() != shard_size) {
       return InvalidArgumentError("surviving shards differ in size");
     }
   }
-  if (!any_missing) return OkStatus();
+  if (missing.empty()) return OkStatus();
 
-  // Build the k x k matrix of the first k surviving rows and invert it:
-  // decode_matrix * [surviving shards] = [data shards].
-  std::vector<std::vector<std::uint8_t>> sub;
-  std::vector<int> used(present.begin(), present.begin() + k_);
-  for (int r : used) sub.push_back(Row(r));
-  if (!InvertMatrix(sub)) {
-    return InternalError("Cauchy submatrix unexpectedly singular");
-  }
-
-  // Recover the data shards first.
-  std::vector<Bytes> data(static_cast<std::size_t>(k_));
-  for (int i = 0; i < k_; ++i) {
-    if (shards[static_cast<std::size_t>(i)].has_value()) {
-      data[static_cast<std::size_t>(i)] = *shards[static_cast<std::size_t>(i)];
-      continue;
-    }
-    Bytes out(shard_size, 0);
-    for (int j = 0; j < k_; ++j) {
-      gf256::MulAccum(sub[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)],
-                      shards[static_cast<std::size_t>(used[static_cast<std::size_t>(j)])]->data(),
-                      out.data(), shard_size);
-    }
-    data[static_cast<std::size_t>(i)] = std::move(out);
-  }
-  for (int i = 0; i < k_; ++i) {
-    if (!shards[static_cast<std::size_t>(i)].has_value()) {
-      shards[static_cast<std::size_t>(i)] = data[static_cast<std::size_t>(i)];
+  std::vector<std::optional<ByteSpan>> views;
+  views.reserve(shards.size());
+  for (const auto& shard : shards) {
+    if (shard.has_value()) {
+      views.emplace_back(ByteSpan(*shard));
+    } else {
+      views.emplace_back(std::nullopt);
     }
   }
-
-  // Re-encode any missing parity shards from the recovered data.
-  for (int i = 0; i < m_; ++i) {
-    std::size_t idx = static_cast<std::size_t>(k_ + i);
-    if (shards[idx].has_value()) continue;
-    Bytes out(shard_size, 0);
-    const std::vector<std::uint8_t>& row = Row(k_ + i);
-    for (int j = 0; j < k_; ++j) {
-      gf256::MulAccum(row[static_cast<std::size_t>(j)],
-                      data[static_cast<std::size_t>(j)].data(), out.data(),
-                      shard_size);
-    }
-    shards[idx] = std::move(out);
+  std::vector<Bytes> recovered;
+  std::vector<MutableByteSpan> outs;
+  recovered.reserve(missing.size());
+  for (std::size_t i = 0; i < missing.size(); ++i) {
+    recovered.emplace_back(shard_size, 0);
+    outs.emplace_back(recovered.back());
+  }
+  STDCHK_RETURN_IF_ERROR(RecoverShards(views, shard_size, missing, outs));
+  for (std::size_t i = 0; i < missing.size(); ++i) {
+    shards[static_cast<std::size_t>(missing[i])] = std::move(recovered[i]);
   }
   return OkStatus();
 }

@@ -64,27 +64,66 @@ void FileCatalog::RefIn(ChunkShard& shard, const ChunkLocation& loc) {
   rec.size = loc.size;
   ++rec.refcount;
   for (NodeId node : loc.replicas) rec.replicas.insert(node);
+  if (loc.erasure_coded()) {
+    rec.ec_k = loc.ec_k;
+    rec.ec_m = loc.ec_m;
+    rec.shard_ids.clear();
+    rec.shard_ids.reserve(loc.shards.size());
+    for (const ShardLocation& sl : loc.shards) rec.shard_ids.push_back(sl.id);
+  }
+}
+
+void FileCatalog::RefShardIn(ChunkShard& shard, const ChunkLocation& loc,
+                             std::size_t index) {
+  const ShardLocation& sl = loc.shards[index];
+  ChunkRecord& rec = shard.chunks[sl.id];
+  rec.size = static_cast<std::uint32_t>(
+      ErasureShardLength(loc.size, loc.ec_k, static_cast<int>(index)));
+  ++rec.refcount;
+  rec.is_shard = true;
+  rec.group_of = loc.id;
+  if (sl.node != kInvalidNode) rec.replicas.insert(sl.node);
 }
 
 void FileCatalog::UnrefIn(ChunkShard& shard, const ChunkId& id) {
   auto it = shard.chunks.find(id);
   if (it == shard.chunks.end()) return;
-  if (--it->second.refcount <= 0) shard.chunks.erase(it);
+  if (--it->second.refcount <= 0) {
+    if (it->second.is_shard) {
+      shard_unrefs_.fetch_add(1, std::memory_order_relaxed);
+    }
+    shard.chunks.erase(it);
+  }
 }
 
 void FileCatalog::RefChunks(const VersionRecord& record) {
   for (const ChunkLocation& loc : record.chunk_map.chunks) {
-    ChunkShard& shard = ChunkShardFor(loc.id);
-    ShardMutexLock lock(shard.mu);
-    RefIn(shard, loc);
+    {
+      ChunkShard& shard = ChunkShardFor(loc.id);
+      ShardMutexLock lock(shard.mu);
+      RefIn(shard, loc);
+    }
+    if (!loc.erasure_coded()) continue;
+    for (std::size_t s = 0; s < loc.shards.size(); ++s) {
+      ChunkShard& shard = ChunkShardFor(loc.shards[s].id);
+      ShardMutexLock lock(shard.mu);
+      RefShardIn(shard, loc, s);
+    }
   }
 }
 
 void FileCatalog::UnrefChunks(const VersionRecord& record) {
   for (const ChunkLocation& loc : record.chunk_map.chunks) {
-    ChunkShard& shard = ChunkShardFor(loc.id);
-    ShardMutexLock lock(shard.mu);
-    UnrefIn(shard, loc.id);
+    {
+      ChunkShard& shard = ChunkShardFor(loc.id);
+      ShardMutexLock lock(shard.mu);
+      UnrefIn(shard, loc.id);
+    }
+    for (const ShardLocation& sl : loc.shards) {
+      ChunkShard& shard = ChunkShardFor(sl.id);
+      ShardMutexLock lock(shard.mu);
+      UnrefIn(shard, sl.id);
+    }
   }
 }
 
@@ -101,7 +140,23 @@ Status FileCatalog::CommitVersion(const VersionRecord& record) {
                               " already committed (images are immutable)");
   }
   for (const ChunkLocation& loc : record.chunk_map.chunks) {
-    if (loc.replicas.empty()) {
+    if (loc.erasure_coded()) {
+      // EC entries commit with zero whole replicas; their availability
+      // invariant is "k live shards", not a replica count.
+      if (loc.shards.size() !=
+          static_cast<std::size_t>(loc.ec_k) + loc.ec_m) {
+        return InvalidArgumentError(
+            "erasure-coded chunk map entry must carry exactly k+m shards");
+      }
+      int live = 0;
+      for (const ShardLocation& sl : loc.shards) {
+        if (sl.node != kInvalidNode) ++live;
+      }
+      if (live < static_cast<int>(loc.ec_k)) {
+        return InvalidArgumentError(
+            "erasure-coded chunk map entry with fewer than k live shards");
+      }
+    } else if (loc.replicas.empty()) {
       return InvalidArgumentError("chunk map entry with no replicas");
     }
   }
@@ -119,12 +174,30 @@ VersionRecord FileCatalog::RefreshedCopy(const VersionRecord& record) const {
   // added copies since commit).
   VersionRecord out = record;
   for (ChunkLocation& loc : out.chunk_map.chunks) {
-    ChunkShard& shard = ChunkShardFor(loc.id);
-    ShardMutexLock lock(shard.mu);
-    auto chunk = shard.chunks.find(loc.id);
-    if (chunk != shard.chunks.end()) {
-      loc.replicas.assign(chunk->second.replicas.begin(),
-                          chunk->second.replicas.end());
+    {
+      ChunkShard& shard = ChunkShardFor(loc.id);
+      ShardMutexLock lock(shard.mu);
+      auto chunk = shard.chunks.find(loc.id);
+      if (chunk != shard.chunks.end()) {
+        loc.replicas.assign(chunk->second.replicas.begin(),
+                            chunk->second.replicas.end());
+      }
+    }
+    // Shard holders move too (repair rebuilds a lost shard elsewhere; a
+    // departed holder's replica entry is dropped): keep the commit-time
+    // holder when it still stands, otherwise follow the record.
+    for (ShardLocation& sl : loc.shards) {
+      ChunkShard& shard = ChunkShardFor(sl.id);
+      ShardMutexLock lock(shard.mu);
+      auto it = shard.chunks.find(sl.id);
+      if (it == shard.chunks.end()) {
+        sl.node = kInvalidNode;
+        continue;
+      }
+      const std::set<NodeId>& holders = it->second.replicas;
+      if (!holders.contains(sl.node)) {
+        sl.node = holders.empty() ? kInvalidNode : *holders.begin();
+      }
     }
   }
   return out;
@@ -365,16 +438,48 @@ bool FileCatalog::AddReplicaIfLive(const ChunkId& id, NodeId node) {
 }
 
 std::vector<ChunkId> FileCatalog::RemoveNodeReplicas(NodeId node) {
+  // Phase 1: drop the node everywhere, collecting records that lost their
+  // last holder. Groups are judged afterwards — the k-survivor check needs
+  // other shards' records, and chunk-shard locks are never nested.
   std::vector<ChunkId> lost;
+  std::set<ChunkId> damaged_groups;
   for (const auto& shard_ptr : chunk_shards_) {
     ChunkShard& shard = *shard_ptr;
     shard.ops.fetch_add(1, std::memory_order_relaxed);
     ShardMutexLock lock(shard.mu);
     for (auto& [id, rec] : shard.chunks) {
       if (rec.replicas.erase(node) > 0 && rec.replicas.empty()) {
-        lost.push_back(id);
+        if (rec.is_shard) {
+          damaged_groups.insert(rec.group_of);
+        } else {
+          lost.push_back(id);
+        }
       }
     }
+  }
+
+  // Phase 2: a group whose live shard count fell below k is unrecoverable
+  // — report the whole-chunk id as lost, the same signal a replicated
+  // chunk emits when its last copy goes.
+  for (const ChunkId& group : damaged_groups) {
+    std::vector<ChunkId> shard_ids;
+    std::uint16_t k = 0;
+    {
+      ChunkShard& shard = ChunkShardFor(group);
+      ShardMutexLock lock(shard.mu);
+      auto it = shard.chunks.find(group);
+      if (it == shard.chunks.end()) continue;  // group already unref'd
+      k = it->second.ec_k;
+      shard_ids = it->second.shard_ids;
+    }
+    int live = 0;
+    for (const ChunkId& sid : shard_ids) {
+      ChunkShard& shard = ChunkShardFor(sid);
+      ShardMutexLock lock(shard.mu);
+      auto it = shard.chunks.find(sid);
+      if (it != shard.chunks.end() && !it->second.replicas.empty()) ++live;
+    }
+    if (live < static_cast<int>(k)) lost.push_back(group);
   }
   return lost;
 }
@@ -412,6 +517,73 @@ std::vector<FileCatalog::UnderReplicated> FileCatalog::FindUnderReplicated(
     }
     if (have < want && have > 0) {
       out.push_back(UnderReplicated{id, have, want});
+    }
+  }
+  return out;
+}
+
+std::vector<FileCatalog::DamagedGroup> FileCatalog::FindDamagedGroups(
+    const std::set<NodeId>& online) const {
+  // Collect every committed erasure-coded group (deduplicated: a group
+  // shared by several versions is repaired once), then judge each against
+  // the chunk records' current holders — commit-time placement is stale
+  // the moment a holder departs or a repair lands a shard elsewhere.
+  struct GroupShape {
+    std::uint32_t chunk_size = 0;
+    std::uint16_t ec_k = 0;
+    std::uint16_t ec_m = 0;
+    std::vector<ChunkId> shard_ids;
+  };
+  std::map<ChunkId, GroupShape> groups;
+  for (const auto& shard_ptr : folder_shards_) {
+    FolderShard& shard = *shard_ptr;
+    shard.ops.fetch_add(1, std::memory_order_relaxed);
+    ShardMutexLock lock(shard.mu);
+    for (const auto& [app, folder] : shard.folders) {
+      for (const auto& [key, record] : folder.versions) {
+        for (const ChunkLocation& loc : record.chunk_map.chunks) {
+          if (!loc.erasure_coded() || groups.contains(loc.id)) continue;
+          GroupShape& shape = groups[loc.id];
+          shape.chunk_size = loc.size;
+          shape.ec_k = loc.ec_k;
+          shape.ec_m = loc.ec_m;
+          shape.shard_ids.reserve(loc.shards.size());
+          for (const ShardLocation& sl : loc.shards) {
+            shape.shard_ids.push_back(sl.id);
+          }
+        }
+      }
+    }
+  }
+
+  std::vector<DamagedGroup> out;
+  for (const auto& [group, shape] : groups) {
+    DamagedGroup dg;
+    dg.group = group;
+    dg.chunk_size = shape.chunk_size;
+    dg.ec_k = shape.ec_k;
+    dg.ec_m = shape.ec_m;
+    int live = 0;
+    for (const ChunkId& sid : shape.shard_ids) {
+      ShardLocation sl;
+      sl.id = sid;
+      ChunkShard& shard = ChunkShardFor(sid);
+      ShardMutexLock lock(shard.mu);
+      auto it = shard.chunks.find(sid);
+      if (it != shard.chunks.end()) {
+        for (NodeId node : it->second.replicas) {
+          if (online.contains(node)) {
+            sl.node = node;
+            break;
+          }
+        }
+      }
+      if (sl.node != kInvalidNode) ++live;
+      dg.shards.push_back(sl);
+    }
+    bool missing = live < static_cast<int>(shape.shard_ids.size());
+    if (missing && live >= static_cast<int>(shape.ec_k)) {
+      out.push_back(std::move(dg));
     }
   }
   return out;
@@ -520,6 +692,9 @@ Status FileCatalog::Import(const ExportedState& state)
     // locks are already held, so mutate the shard maps directly.
     for (const ChunkLocation& loc : record.chunk_map.chunks) {
       RefIn(*chunk_shards_[ChunkShardIndex(loc.id)], loc);
+      for (std::size_t s = 0; s < loc.shards.size(); ++s) {
+        RefShardIn(*chunk_shards_[ChunkShardIndex(loc.shards[s].id)], loc, s);
+      }
     }
     folder.versions.emplace(key, record);
   }

@@ -163,6 +163,10 @@ class FileCatalog {
 
   // Drops `node` from every chunk's replica list (node declared dead).
   // Returns chunks that lost their last replica (actual data loss).
+  // Erasure-coded state is judged by the k-survivor rule instead: a shard
+  // losing its only holder is not data loss by itself — the group id is
+  // reported lost only when its live shard count drops below k (the paper's
+  // replica-count availability generalized to "any k of k+m").
   std::vector<ChunkId> RemoveNodeReplicas(NodeId node);
 
   // Chunks of committed versions whose live replica count (counting only
@@ -175,6 +179,29 @@ class FileCatalog {
   };
   std::vector<UnderReplicated> FindUnderReplicated(
       const std::set<NodeId>& online) const;
+
+  // Erasure-coded groups of committed versions that are repairable but
+  // degraded: at least one shard has no online holder while at least k
+  // shards do. `shards` lists one online holder per position (kInvalidNode
+  // for the missing ones) so the scheduler can build repair commands
+  // without re-querying. Groups below k survivors are not returned — they
+  // are unrepairable (surfaced through RemoveNodeReplicas as lost).
+  struct DamagedGroup {
+    ChunkId group;
+    std::uint32_t chunk_size = 0;
+    std::uint16_t ec_k = 0;
+    std::uint16_t ec_m = 0;
+    std::vector<ShardLocation> shards;  // shard order; holders refreshed
+  };
+  std::vector<DamagedGroup> FindDamagedGroups(
+      const std::set<NodeId>& online) const;
+
+  // Shard records released because their last referencing version was
+  // deleted/purged (the metadata half of shard-group GC; the physical
+  // bytes follow through the normal GC exchange). Cumulative.
+  std::uint64_t ShardRecordsReleased() const {
+    return shard_unrefs_.load(std::memory_order_relaxed);
+  }
 
   std::size_t TotalVersions() const;
   std::uint64_t TotalLogicalBytes() const;   // sum of file sizes
@@ -205,6 +232,18 @@ class FileCatalog {
     std::uint32_t size = 0;
     int refcount = 0;
     std::set<NodeId> replicas;
+    // Erasure-coded group head (ChunkLocation::erasure_coded()): the shard
+    // ids in shard order. The head's `replicas` lists whole-copy holders
+    // only (normally none — parity, not copies, is the durability).
+    std::uint16_t ec_k = 0;
+    std::uint16_t ec_m = 0;
+    std::vector<ChunkId> shard_ids;
+    // Shard of an erasure-coded group: sized at its stored (unpadded)
+    // length, holders in `replicas` like any chunk, so GC exchange,
+    // LiveChunksOn and repair acks work on shards unchanged. `group_of`
+    // points at the head for k-survivor loss accounting.
+    bool is_shard = false;
+    ChunkId group_of;
   };
 
   struct Folder {
@@ -244,9 +283,13 @@ class FileCatalog {
   // Chunk-record mutation on a shard whose lock the caller already holds.
   static void RefIn(ChunkShard& shard, const ChunkLocation& loc)
       REQUIRES(shard.mu);
-  static void UnrefIn(ChunkShard& shard, const ChunkId& id)
-      REQUIRES(shard.mu);
-  // Locks each chunk's shard; caller may hold a folder-shard lock.
+  static void RefShardIn(ChunkShard& shard, const ChunkLocation& loc,
+                         std::size_t index) REQUIRES(shard.mu);
+  void UnrefIn(ChunkShard& shard, const ChunkId& id) REQUIRES(shard.mu);
+  // Locks each chunk's shard; caller may hold a folder-shard lock. For
+  // erasure-coded locations the group head and every shard record are
+  // (un)referenced, one chunk-shard lock at a time — never nested, so the
+  // chunk-shard intra-rank order is irrelevant here.
   void RefChunks(const VersionRecord& record);
   void UnrefChunks(const VersionRecord& record);
 
@@ -258,6 +301,7 @@ class FileCatalog {
   // unique_ptr: shards hold mutexes/atomics, which are not movable.
   std::vector<std::unique_ptr<FolderShard>> folder_shards_;
   std::vector<std::unique_ptr<ChunkShard>> chunk_shards_;
+  std::atomic<std::uint64_t> shard_unrefs_{0};
 };
 
 }  // namespace stdchk

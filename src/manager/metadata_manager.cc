@@ -18,6 +18,18 @@ std::uint64_t ChunkMapFingerprint(const ChunkMap& map) {
     std::uint64_t meta[2] = {loc.file_offset, loc.size};
     hasher.Update(ByteSpan(reinterpret_cast<const std::uint8_t*>(meta),
                            sizeof(meta)));
+    // Erasure-coded entries: shard identity is part of the map (offers
+    // endorsing the same chunks but a different striping must not match).
+    // Replicated entries hash byte-identically to the pre-EC format.
+    if (loc.erasure_coded()) {
+      std::uint64_t ec[2] = {loc.ec_k, loc.ec_m};
+      hasher.Update(ByteSpan(reinterpret_cast<const std::uint8_t*>(ec),
+                             sizeof(ec)));
+      for (const ShardLocation& sl : loc.shards) {
+        hasher.Update(ByteSpan(sl.id.digest.bytes.data(),
+                               sl.id.digest.bytes.size()));
+      }
+    }
   }
   return hasher.Finish().Prefix64();
 }
@@ -215,6 +227,27 @@ Status MetadataManager::CommitVersionAt(ReservationId id,
         std::erase_if(loc.replicas, [this](NodeId node) {
           return !registry_.IsOnline(node);
         });
+        if (loc.erasure_coded()) {
+          // EC entries survive the k-loss rule: shards on departed
+          // benefactors are marked lost-in-place (positions are shard
+          // indices and must not shift), and the commit stands as long as
+          // k shards remain readable. Repair restores the margin later.
+          int live = 0;
+          for (ShardLocation& sl : loc.shards) {
+            if (sl.node != kInvalidNode && !registry_.IsOnline(sl.node)) {
+              sl.node = kInvalidNode;
+            }
+            if (sl.node != kInvalidNode) ++live;
+          }
+          if (live < static_cast<int>(loc.ec_k)) {
+            stat_epoch_mismatches_.fetch_add(1, std::memory_order_relaxed);
+            return FailedPreconditionError(
+                "placement epoch " + std::to_string(placed_epoch) +
+                " is stale and erasure-coded chunk " + loc.id.ToHex() +
+                " has fewer than k shards on live benefactors");
+          }
+          continue;
+        }
         if (loc.replicas.empty()) {
           stat_epoch_mismatches_.fetch_add(1, std::memory_order_relaxed);
           return FailedPreconditionError(
@@ -234,6 +267,12 @@ Status MetadataManager::CommitVersionAt(ReservationId id,
   MutexLock lock(mu_);
   for (const ChunkLocation& loc : to_commit.chunk_map.chunks) {
     for (NodeId node : loc.replicas) registry_.AddUsed(node, loc.size);
+    for (std::size_t s = 0; s < loc.shards.size(); ++s) {
+      const ShardLocation& sl = loc.shards[s];
+      if (sl.node == kInvalidNode) continue;
+      registry_.AddUsed(sl.node, ErasureShardLength(loc.size, loc.ec_k,
+                                                    static_cast<int>(s)));
+    }
   }
   if (id != 0) {
     auto it = reservations_.find(id);
@@ -440,6 +479,83 @@ Status MetadataManager::AckReplication(const ReplicationCommand& cmd,
   return OkStatus();
 }
 
+std::vector<ShardRepairCommand> MetadataManager::TickShardRepair() {
+  MutexLock lock(mu_);
+  if (!up_) return {};
+  std::set<NodeId> online;
+  for (NodeId node : registry_.OnlineNodes()) online.insert(node);
+
+  std::vector<ShardRepairCommand> commands;
+  for (const auto& dg : catalog_.FindDamagedGroups(online)) {
+    if (static_cast<int>(commands.size()) >=
+        options_.max_replications_per_tick) {
+      break;
+    }
+    // Current holders are excluded as rebuild targets: the group-distinct
+    // placement invariant (one node death costs at most one shard) must
+    // survive repair.
+    std::vector<NodeId> exclude;
+    for (const ShardLocation& sl : dg.shards) {
+      if (sl.node != kInvalidNode) exclude.push_back(sl.node);
+    }
+
+    // The first k live shards source every rebuild of this group.
+    std::vector<int> src_indices;
+    std::vector<ChunkId> src_ids;
+    std::vector<NodeId> src_nodes;
+    for (std::size_t s = 0; s < dg.shards.size() &&
+                            src_indices.size() < static_cast<std::size_t>(dg.ec_k);
+         ++s) {
+      if (dg.shards[s].node == kInvalidNode) continue;
+      src_indices.push_back(static_cast<int>(s));
+      src_ids.push_back(dg.shards[s].id);
+      src_nodes.push_back(dg.shards[s].node);
+    }
+    if (src_indices.size() < static_cast<std::size_t>(dg.ec_k)) continue;
+
+    for (std::size_t s = 0; s < dg.shards.size(); ++s) {
+      if (static_cast<int>(commands.size()) >=
+          options_.max_replications_per_tick) {
+        break;
+      }
+      if (dg.shards[s].node != kInvalidNode) continue;
+      if (inflight_repairs_.contains(dg.shards[s].id)) continue;
+      auto stripe = registry_.SelectStripe(1, exclude);
+      if (!stripe.ok()) break;  // no distinct target left for this group
+      NodeId target = stripe.value()[0];
+      exclude.push_back(target);
+      inflight_repairs_.insert(dg.shards[s].id);
+
+      ShardRepairCommand cmd;
+      cmd.group = dg.group;
+      cmd.chunk_size = dg.chunk_size;
+      cmd.ec_k = dg.ec_k;
+      cmd.ec_m = dg.ec_m;
+      cmd.missing_index = static_cast<int>(s);
+      cmd.missing_id = dg.shards[s].id;
+      cmd.source_indices = src_indices;
+      cmd.source_ids = src_ids;
+      cmd.source_nodes = src_nodes;
+      cmd.target = target;
+      commands.push_back(std::move(cmd));
+    }
+  }
+  return commands;
+}
+
+Status MetadataManager::AckShardRepair(const ShardRepairCommand& cmd,
+                                       bool success) {
+  MutexLock lock(mu_);
+  inflight_repairs_.erase(cmd.missing_id);
+  if (!up_) return UnavailableError("metadata manager is down");
+  if (success) {
+    catalog_.AddReplica(cmd.missing_id, cmd.target);
+    registry_.AddUsed(cmd.target, ErasureShardLength(cmd.chunk_size, cmd.ec_k,
+                                                     cmd.missing_index));
+  }
+  return OkStatus();
+}
+
 std::vector<CheckpointName> MetadataManager::TickRetention() {
   // No manager lock: retention walks the catalog's folder shards under
   // their own locks, one shard at a time.
@@ -480,6 +596,7 @@ ManagerCounters MetadataManager::Counters() const {
       stat_epoch_mismatches_.load(std::memory_order_relaxed);
   out.server_side_placements =
       stat_server_placements_.load(std::memory_order_relaxed);
+  out.shard_records_released = catalog_.ShardRecordsReleased();
   out.catalog_shards = catalog_.ShardStatsSnapshot();
   return out;
 }
@@ -514,6 +631,14 @@ void WriteVersion(BinaryWriter& w, const VersionRecord& v) {
     w.U32(loc.size);
     w.U32(static_cast<std::uint32_t>(loc.replicas.size()));
     for (NodeId node : loc.replicas) w.U32(node);
+    // Erasure-coded striping (zeros for replicated entries).
+    w.U32(loc.ec_k);
+    w.U32(loc.ec_m);
+    w.U32(static_cast<std::uint32_t>(loc.shards.size()));
+    for (const ShardLocation& sl : loc.shards) {
+      WriteChunkId(w, sl.id);
+      w.U32(sl.node);
+    }
   }
 }
 
@@ -537,6 +662,22 @@ Result<VersionRecord> ReadVersion(BinaryReader& r) {
     for (std::uint32_t j = 0; j < replicas; ++j) {
       STDCHK_ASSIGN_OR_RETURN(NodeId node, r.U32());
       loc.replicas.push_back(node);
+    }
+    STDCHK_ASSIGN_OR_RETURN(std::uint32_t ec_k, r.U32());
+    STDCHK_ASSIGN_OR_RETURN(std::uint32_t ec_m, r.U32());
+    loc.ec_k = static_cast<std::uint16_t>(ec_k);
+    loc.ec_m = static_cast<std::uint16_t>(ec_m);
+    STDCHK_ASSIGN_OR_RETURN(std::uint32_t shards, r.U32());
+    if (loc.erasure_coded() &&
+        shards != ec_k + ec_m) {
+      return DataLossError("bad shard count in snapshot");
+    }
+    loc.shards.reserve(shards);
+    for (std::uint32_t j = 0; j < shards; ++j) {
+      ShardLocation sl;
+      STDCHK_ASSIGN_OR_RETURN(sl.id, ReadChunkId(r));
+      STDCHK_ASSIGN_OR_RETURN(sl.node, r.U32());
+      loc.shards.push_back(sl);
     }
     v.chunk_map.chunks.push_back(std::move(loc));
   }

@@ -54,6 +54,9 @@ struct ManagerCounters {
   std::uint64_t placement_table_fetches = 0;    // GetPlacementTable calls
   std::uint64_t placement_epoch_mismatches = 0; // stale-epoch rejections
   std::uint64_t server_side_placements = 0;     // legacy SelectStripe calls
+  // Shard records released by version deletion/purge — the metadata half
+  // of shard-group GC (physical bytes follow via the GC exchange).
+  std::uint64_t shard_records_released = 0;
   std::vector<CatalogShardStats> catalog_shards;
 };
 
@@ -162,6 +165,19 @@ class MetadataManager {
     return inflight_.size();
   }
 
+  // Emits shard-repair commands for erasure-coded groups that are degraded
+  // but still hold >= k live shards — the EC analogue of TickReplication:
+  // repair restores the m-loss margin instead of a replica count. Shares
+  // max_replications_per_tick (file creation keeps priority over repair).
+  // The caller executes each command (fetch k shards, reconstruct, verify,
+  // store) and must call AckShardRepair with the outcome.
+  std::vector<ShardRepairCommand> TickShardRepair();
+  Status AckShardRepair(const ShardRepairCommand& cmd, bool success);
+  std::size_t pending_shard_repairs() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return inflight_repairs_.size();
+  }
+
   // Applies retention policies; returns purged version names.
   std::vector<CheckpointName> TickRetention();
 
@@ -231,6 +247,10 @@ class MetadataManager {
   // Replication commands issued but not yet acked, keyed by (chunk, target)
   // so the scheduler does not double-issue.
   std::set<std::pair<ChunkId, NodeId>> inflight_ GUARDED_BY(mu_);
+
+  // Shard repairs issued but not yet acked, keyed by the missing shard's
+  // content address (one rebuild per lost shard at a time).
+  std::set<ChunkId> inflight_repairs_ GUARDED_BY(mu_);
 
   // Recovery offers: (version name, chunk-map fingerprint) -> endorsers.
   std::map<std::pair<std::string, std::uint64_t>, std::set<NodeId>> offers_

@@ -113,4 +113,26 @@ struct ReplicationCommand {
   NodeId target = kInvalidNode;
 };
 
+// A single shard-repair command for an erasure-coded group that dropped
+// below full width but still has >= k live shards: fetch the k source
+// shards, reconstruct shard `missing_index`, verify it against its content
+// address, and store it on `target`. Issued by the manager's shard-repair
+// scheduler (the EC analogue of replication: repair restores the m-loss
+// margin instead of a replica count); executed by the transport layer;
+// acked back to the manager.
+struct ShardRepairCommand {
+  ChunkId group;                 // the whole-chunk (group head) address
+  std::uint32_t chunk_size = 0;  // shard widths derive from (size, k)
+  std::uint16_t ec_k = 0;
+  std::uint16_t ec_m = 0;
+  int missing_index = -1;        // shard position to rebuild (data first)
+  ChunkId missing_id;            // content address the rebuild must match
+  // Exactly k live sources, in shard order: parallel arrays of shard
+  // position, shard content address, and an online holder of each.
+  std::vector<int> source_indices;
+  std::vector<ChunkId> source_ids;
+  std::vector<NodeId> source_nodes;
+  NodeId target = kInvalidNode;  // receives the rebuilt shard
+};
+
 }  // namespace stdchk
