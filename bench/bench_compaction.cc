@@ -1,0 +1,222 @@
+// Live compaction soak: a sustained put/delete mix — with reader slices
+// held across the churn — against the disk segment store and the memory
+// generation store, with throttled CompactStep passes interleaved the way
+// the background pump runs them.
+//
+// The headline invariant (nonzero exit on violation) is the one that makes
+// long-running donated-storage deployments viable:
+//   * disk: total segment-file bytes stay <= (1 + slack) * live bytes
+//     (plus one segment of active-append slop) at every checkpoint of the
+//     run — dead bytes are handed back while traffic continues;
+//   * memory: ResidentBytes() stays similarly bounded relative to
+//     BytesUsed() — generation backings do not stay pinned by survivors;
+//   * zero foreground op failures, and every held reader slice is
+//     byte-identical to its original payload at the end of the run.
+//
+// The compaction counters emitted below are workload-determined and gated
+// exactly by scripts/bench_compare.py (DETERMINISTIC).
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <vector>
+
+#include "bench_util.h"
+#include "chunk/chunk_store.h"
+#include "common/rng.h"
+
+namespace stdchk {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct SoakResult {
+  bool ok = true;
+  std::uint64_t ops = 0;
+  std::uint64_t failures = 0;
+  std::uint64_t held_mismatches = 0;
+  std::uint64_t footprint_violations = 0;
+  double worst_ratio = 0;  // footprint / live, worst checkpoint
+  ChunkStoreStats stats;
+};
+
+constexpr double kSlack = 0.5;         // footprint <= 1.5x live (+ slop)
+constexpr std::uint64_t kSegTarget = 64 * 1024;
+
+std::uint64_t DiskFootprint(const fs::path& dir) {
+  std::uint64_t total = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.is_regular_file()) total += entry.file_size();
+  }
+  return total;
+}
+
+// One soak: `rounds` rounds of [put a generation, delete most of an older
+// one, hold a couple of reader slices, one throttled CompactStep]. The
+// footprint probe runs every round; `disk_dir` empty means memory store
+// (probe ResidentBytes instead of segment files).
+SoakResult Soak(ChunkStore& store, const fs::path& disk_dir, int rounds) {
+  SoakResult result;
+  Rng rng(0x50AC);
+  CompactionPolicy policy;
+  policy.utilization_threshold = 0.6;
+  policy.max_bytes_per_step = 128 * 1024;
+
+  struct Held {
+    BufferSlice slice;
+    Bytes expected;
+  };
+  std::vector<Held> held;
+  std::vector<std::vector<ChunkId>> generations;
+
+  for (int round = 0; round < rounds; ++round) {
+    // Put one generation of 8 chunks through one shared backing (the drain
+    // shape) for the memory store; the disk store copies regardless.
+    std::vector<Bytes> payloads;
+    Bytes packed;
+    for (int c = 0; c < 8; ++c) {
+      payloads.push_back(rng.RandomBytes(1024 + rng.NextBelow(3072)));
+      packed.insert(packed.end(), payloads.back().begin(),
+                    payloads.back().end());
+    }
+    BufferRef backing = BufferRef::Take(std::move(packed));
+    std::vector<ChunkPut> batch;
+    std::vector<ChunkId> ids;
+    std::size_t off = 0;
+    for (const Bytes& data : payloads) {
+      ids.push_back(ChunkId::For(data));
+      batch.push_back(
+          ChunkPut{ids.back(), BufferSlice(backing, off, data.size())});
+      off += data.size();
+    }
+    ++result.ops;
+    if (!store.PutBatch(batch).ok()) ++result.failures;
+    generations.push_back(ids);
+
+    // Hold a reader slice from this generation now and then: compaction
+    // must leave it byte-stable however many times its home moves or dies.
+    if (round % 7 == 0) {
+      std::size_t pick = rng.NextBelow(payloads.size());
+      auto got = store.Get(ids[pick]);
+      ++result.ops;
+      if (!got.ok()) {
+        ++result.failures;
+      } else {
+        held.push_back(Held{got.value(), payloads[pick]});
+      }
+    }
+
+    // Kill most of a generation a few rounds back: the dedup-churn shape
+    // that strands dead bytes behind a few survivors.
+    if (generations.size() > 3) {
+      std::vector<ChunkId>& old_gen =
+          generations[generations.size() - 4];
+      for (std::size_t i = 0; i < old_gen.size(); ++i) {
+        if (i % 4 == 3) continue;  // survivors pin the segment/backing
+        ++result.ops;
+        if (!store.Delete(old_gen[i]).ok()) ++result.failures;
+      }
+    }
+
+    // The background pump's throttled pass.
+    auto step = store.CompactStep(policy);
+    ++result.ops;
+    if (!step.ok()) ++result.failures;
+
+    // Footprint invariant, probed live mid-churn.
+    std::uint64_t live = store.BytesUsed();
+    std::uint64_t footprint = disk_dir.empty()
+                                  ? store.ResidentBytes()
+                                  : DiskFootprint(disk_dir);
+    std::uint64_t bound = static_cast<std::uint64_t>(
+                              (1.0 + kSlack) * static_cast<double>(live)) +
+                          kSegTarget;
+    if (live > 0) {
+      double ratio =
+          static_cast<double>(footprint) / static_cast<double>(live);
+      result.worst_ratio = std::max(result.worst_ratio, ratio);
+    }
+    if (footprint > bound) ++result.footprint_violations;
+  }
+
+  for (const Held& h : held) {
+    if (!(h.slice == ByteSpan(h.expected))) ++result.held_mismatches;
+  }
+  result.stats = store.Stats();
+  result.ok = result.failures == 0 && result.held_mismatches == 0 &&
+              result.footprint_violations == 0;
+  return result;
+}
+
+void Report(const char* name, const SoakResult& r) {
+  bench::PrintRow("  %-6s ops=%llu failures=%llu held_mismatch=%llu "
+                  "footprint_violations=%llu worst_ratio=%.2f",
+                  name, static_cast<unsigned long long>(r.ops),
+                  static_cast<unsigned long long>(r.failures),
+                  static_cast<unsigned long long>(r.held_mismatches),
+                  static_cast<unsigned long long>(r.footprint_violations),
+                  r.worst_ratio);
+  bench::PrintRow("         steps=%llu segments_compacted=%llu "
+                  "generations_released=%llu rewritten=%llu",
+                  static_cast<unsigned long long>(r.stats.compaction_steps),
+                  static_cast<unsigned long long>(r.stats.segments_compacted),
+                  static_cast<unsigned long long>(
+                      r.stats.generations_released),
+                  static_cast<unsigned long long>(
+                      r.stats.compacted_bytes_rewritten));
+}
+
+}  // namespace
+}  // namespace stdchk
+
+int main() {
+  using namespace stdchk;
+  bench::PrintHeader("bench_compaction",
+                     "live compaction soak: put/delete churn with held "
+                     "readers; footprint stays (1+slack)x live");
+
+  constexpr int kRounds = 200;
+
+  bench::PrintSection("disk segment store");
+  fs::path dir = fs::temp_directory_path() /
+                 ("stdchk_bench_compaction_" + std::to_string(::getpid()));
+  fs::remove_all(dir);
+  DiskStoreOptions options;
+  options.segment_target_bytes = kSegTarget;
+  auto disk = MakeDiskChunkStore(dir.string(), options);
+  if (!disk.ok()) {
+    std::printf("FAILED to open disk store: %s\n",
+                disk.status().ToString().c_str());
+    return 1;
+  }
+  SoakResult disk_result = Soak(*disk.value(), dir, kRounds);
+  Report("disk", disk_result);
+  disk.value().reset();
+  fs::remove_all(dir);
+
+  bench::PrintSection("memory generation store");
+  auto memory = MakeMemoryChunkStore();
+  SoakResult mem_result = Soak(*memory, fs::path(), kRounds);
+  Report("memory", mem_result);
+
+  bench::JsonLine("bench_compaction")
+      .Int("rounds", kRounds)
+      .Int("disk_segments_compacted", disk_result.stats.segments_compacted)
+      .Int("disk_compacted_bytes", disk_result.stats.compacted_bytes_rewritten)
+      .Int("disk_footprint_violations", disk_result.footprint_violations)
+      .Int("mem_generations_released", mem_result.stats.generations_released)
+      .Int("mem_compacted_bytes", mem_result.stats.compacted_bytes_rewritten)
+      .Int("mem_footprint_violations", mem_result.footprint_violations)
+      .Int("foreground_failures", disk_result.failures + mem_result.failures)
+      .Int("held_mismatches",
+           disk_result.held_mismatches + mem_result.held_mismatches)
+      .Emit();
+
+  bool compacted = disk_result.stats.segments_compacted > 0 &&
+                   mem_result.stats.generations_released > 0;
+  if (!disk_result.ok || !mem_result.ok || !compacted) {
+    bench::PrintRow("  FAILED: compaction footprint/stability invariant "
+                    "violated");
+    return 1;
+  }
+  return 0;
+}

@@ -55,7 +55,11 @@ DETERMINISTIC = ("_payload_copies", "_copy_bytes", "materializations",
                  # Erasure path: shard puts, parity reconstructions and
                  # shard-group GC releases are workload-determined counts.
                  "parity_shards", "data_shards", "reconstruction",
-                 "shard_gc_reclaims", "replica_fallback")
+                 "shard_gc_reclaims", "replica_fallback",
+                 # Live compaction: victims rewritten and generation
+                 # releases are a function of the op sequence alone.
+                 "segments_compacted", "compacted_bytes",
+                 "generations_released")
 
 
 def deterministic(name):

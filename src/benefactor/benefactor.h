@@ -116,6 +116,29 @@ class Benefactor {
   // manager accepted or that have since been committed.
   Status OfferStashedVersions(MetadataManager& manager);
 
+  // One throttled live-compaction pass over the backing store: rewrites
+  // under-utilized disk segments / memory generation backings and hands
+  // dead bytes back (donated space, so dead bytes are not free — §IV.A).
+  // Pacing is the caller's job: the background pump calls this once per
+  // tick and the policy's max_bytes_per_step bounds each pass.
+  Result<CompactionStepReport> CompactStep() {
+    STDCHK_RETURN_IF_ERROR(CheckOnline());
+    return store_->CompactStep(compaction_policy_);
+  }
+  Result<CompactionStepReport> CompactStep(const CompactionPolicy& policy) {
+    STDCHK_RETURN_IF_ERROR(CheckOnline());
+    return store_->CompactStep(policy);
+  }
+
+  // Pacing knobs for the background pump's per-tick pass (threshold,
+  // per-step rewrite budget). Takes effect on the next CompactStep().
+  void set_compaction_policy(const CompactionPolicy& policy) {
+    compaction_policy_ = policy;
+  }
+  const CompactionPolicy& compaction_policy() const {
+    return compaction_policy_;
+  }
+
  private:
   Status CheckOnline() const {
     return online_ ? OkStatus()
@@ -128,6 +151,7 @@ class Benefactor {
   NodeId id_ = kInvalidNode;
   std::atomic<bool> online_{true};
   int verify_workers_ = 0;  // 0 = hardware concurrency (HashPool rule)
+  CompactionPolicy compaction_policy_;  // background-pump pacing knobs
 
   struct Stashed {
     VersionRecord record;

@@ -27,6 +27,34 @@ struct ChunkStoreStats {
   // Startup recovery.
   std::uint64_t recovered_chunks = 0;      // index entries rebuilt at open
   std::uint64_t torn_tails_truncated = 0;  // segments cut at a bad record
+  // Live compaction (CompactStep): dead-byte reclamation under traffic.
+  std::uint64_t compaction_steps = 0;      // CompactStep calls that did work
+  std::uint64_t segments_compacted = 0;    // disk victims rewritten + unlinked
+  std::uint64_t generations_released = 0;  // memory backings replaced
+  std::uint64_t compacted_bytes_rewritten = 0;  // live payload bytes moved
+};
+
+// Tuning for one CompactStep() pass. The caller (the benefactor's
+// background pump) owns pacing: a step visits whole victims but never
+// rewrites more than max_bytes_per_step of live payload, so a pass bounds
+// the latency it can add in front of foreground puts and gets.
+struct CompactionPolicy {
+  // A segment (disk) or generation backing (memory) whose live fraction —
+  // live payload footprint over total bytes held — is below this becomes a
+  // compaction victim. 0 disables compaction entirely.
+  double utilization_threshold = 0.5;
+  // Per-step rewrite budget. At least one victim is taken per step even if
+  // its live bytes exceed the budget, so a single oversized segment cannot
+  // pin its dead bytes forever.
+  std::uint64_t max_bytes_per_step = 8_MiB;
+};
+
+// What one CompactStep() accomplished.
+struct CompactionStepReport {
+  std::uint64_t segments_compacted = 0;    // disk segments rewritten+unlinked
+  std::uint64_t generations_released = 0;  // memory backings replaced
+  std::uint64_t bytes_rewritten = 0;       // live payload bytes copied
+  std::uint64_t bytes_reclaimed = 0;       // dead bytes handed back
 };
 
 // Abstract chunk store. Implementations must be safe for concurrent use.
@@ -87,14 +115,29 @@ class ChunkStore {
   virtual std::uint64_t BytesUsed() const = 0;
   virtual std::size_t ChunkCount() const = 0;
 
-  // Process memory pinned by the stored payloads. For slice-aliasing stores
-  // this counts each distinct backing buffer once at its full size: a
-  // high-dedup memory store that keeps 1% of a 64 MiB drain generation
-  // still pins all 64 MiB, so ResidentBytes() can exceed BytesUsed() by
-  // orders of magnitude (the over-retention ROADMAP's generation-compaction
-  // item targets). Disk-backed stores pin nothing and report 0 (mapped
-  // segments are page cache, reclaimable by the kernel).
+  // Bytes pinned beyond what the filesystem/allocator could otherwise
+  // reclaim. For slice-aliasing memory stores this counts each distinct
+  // backing buffer once at its full size: a high-dedup store that keeps 1%
+  // of a 64 MiB drain generation still pins all 64 MiB, so ResidentBytes()
+  // can exceed BytesUsed() by orders of magnitude. The disk store counts
+  // mapped-but-unlinked segment bytes: reader-held mmap slices keep a
+  // reclaimed/compacted segment's pages (and thus its disk blocks) alive
+  // after the unlink, invisible to `du` — this is what makes the
+  // compaction invariant measurable. Both gaps close as readers drop their
+  // slices; CompactStep() is what closes the memory store's gap early.
   virtual std::uint64_t ResidentBytes() const { return BytesUsed(); }
+
+  // One throttled pass of live compaction: rewrite the live records of
+  // under-utilized storage units (disk segments / memory generation
+  // backings) into fresh, fully-live ones and release the old units.
+  // Safe to call concurrently with the data path; reader-held slices stay
+  // byte-stable across the move (old backings live until the last slice
+  // drops). Moved bytes never inherit digest stamps — post-compaction
+  // reads re-verify from the bytes. The default is a no-op for stores
+  // with nothing to compact.
+  virtual Result<CompactionStepReport> CompactStep(const CompactionPolicy&) {
+    return CompactionStepReport{};
+  }
 
   virtual ChunkStoreStats Stats() const { return {}; }
 };
@@ -106,6 +149,12 @@ struct DiskStoreOptions {
   // A batch landing in a segment at or past this size rolls to a fresh
   // segment first. Tests shrink it to force multi-segment layouts.
   std::uint64_t segment_target_bytes = 64_MiB;
+  // Test-only crash injection: CompactStep fails after the compacted
+  // segment is durable on disk but before the index repoints and the
+  // victims unlink — exactly the on-disk state a crash at that boundary
+  // leaves (both copies present; recovery must keep the first and count
+  // the duplicates as dead bytes).
+  bool testing_compaction_abort_before_publish = false;
 };
 
 // On-disk store rooted at `directory`: a log-structured segment store.

@@ -33,8 +33,26 @@
 // mismatch) truncates the segment there — everything before it is intact
 // by checksum, everything after is unreachable garbage. Deleted chunks
 // simply stop being indexed; their dead bytes await segment reclamation
-// (whole-segment unlink when no live record remains) or the compaction
-// pass (ROADMAP).
+// (whole-segment unlink when no live record remains) or compaction.
+//
+// Compaction (CompactStep): under churn, one live chunk pins a segment's
+// dead bytes forever, so a throttled background pass rewrites the live
+// records of under-utilized segments into a fresh segment and unlinks the
+// victims. The step runs in three phases so the data write never holds
+// the store lock: (1) under the lock, pick victims below the utilization
+// threshold, pin their mappings and collect live-record slices; (2) with
+// the lock released, append every collected record to a brand-new segment
+// file (a sequence number reserved in phase 1), fsync it and the
+// directory; (3) under the lock again, repoint surviving index entries at
+// the new segment, drop records that died mid-copy as dead bytes, and
+// unlink the now-fully-dead victims. Reader-held slices alias the victim
+// mappings and stay byte-stable throughout. Crash-wise the step is a
+// no-op until the unlink: a crash after phase 2 leaves both copies on
+// disk and recovery's first-copy-wins rule (lower sequence first) keeps
+// the original, counting the compacted duplicates as dead bytes — no
+// committed chunk is ever lost. Compacted records are served from the new
+// mapping unstamped, like every disk read, so moved bytes always re-hash
+// at the verification boundary.
 #include <fcntl.h>
 #include <limits.h>
 #include <sys/mman.h>
@@ -73,6 +91,14 @@ constexpr std::size_t kMaxIov = 1024;
 
 std::size_t PadFor(std::size_t record_bytes) {
   return (kRecordAlign - record_bytes % kRecordAlign) % kRecordAlign;
+}
+
+// File bytes one record occupies: header + payload, padded to alignment.
+// Summed over live records this gives a segment's live footprint, the
+// numerator of its utilization (a fully-live segment measures exactly 1.0).
+std::uint64_t RecordFootprint(std::uint64_t payload_length) {
+  std::uint64_t body = kHeaderSize + payload_length;
+  return body + PadFor(body);
 }
 
 void PutU32(std::uint8_t* p, std::uint32_t v) {
@@ -206,11 +232,15 @@ class DiskChunkStore final : public ChunkStore {
     bytes_used_ -= it->second.length;
     sit->second.live_bytes -= it->second.length;
     sit->second.live_records -= 1;
+    sit->second.live_footprint -= RecordFootprint(it->second.length);
     index_.erase(it);
     // A fully dead non-active segment is reclaimed wholesale — the log
     // structure's GC unit is the segment, not the chunk. Reader-held mmap
-    // slices survive the unlink (pages stay until the mapping drops).
-    if (sit->second.live_records == 0 && sit->first != active_seq_) {
+    // slices survive the unlink (pages stay until the mapping drops). A
+    // segment mid-compaction is left for the compaction publish phase,
+    // which reclaims it once its in-flight copies resolve.
+    if (sit->second.live_records == 0 && sit->first != active_seq_ &&
+        !sit->second.compacting) {
       ReclaimSegmentLocked(sit);
     }
     return OkStatus();
@@ -225,6 +255,191 @@ class DiskChunkStore final : public ChunkStore {
     bytes_used_ = 0;
     active_seq_ = 0;  // next write starts a fresh segment
     return OkStatus();
+  }
+
+  // One throttled compaction pass (see the file comment for the phase
+  // structure and crash story). Only phase 1 and phase 3 hold the lock —
+  // the data write and fsync run concurrently with foreground puts/gets.
+  Result<CompactionStepReport> CompactStep(
+      const CompactionPolicy& policy) override EXCLUDES(mu_) {
+    CompactionStepReport report;
+    if (policy.utilization_threshold <= 0.0) return report;
+
+    struct Moved {
+      ChunkId id;
+      std::uint32_t victim_seq = 0;
+      BufferSlice data;               // aliases the victim's mapping
+      std::uint64_t new_offset = 0;   // payload offset in the output segment
+    };
+    std::vector<Moved> moved;
+    std::vector<std::uint32_t> victims;
+    std::uint32_t out_seq = 0;
+
+    // ---- Phase 1: select victims, pin their mappings, collect slices.
+    {
+      MutexLock lock(mu_);
+      struct Candidate {
+        double utilization;
+        std::uint32_t seq;
+        std::uint64_t live_bytes;
+      };
+      std::vector<Candidate> candidates;
+      for (auto& [seq, seg] : segments_) {
+        if (seq == active_seq_ || seg.compacting || seg.size == 0 ||
+            seg.live_records == 0) {
+          continue;  // fully dead segments are Delete/roll reclaim's job
+        }
+        double utilization = static_cast<double>(seg.live_footprint) /
+                             static_cast<double>(seg.size);
+        if (utilization < policy.utilization_threshold) {
+          candidates.push_back(Candidate{utilization, seq, seg.live_bytes});
+        }
+      }
+      if (candidates.empty()) return report;
+      // Deadest first gives the most reclaim per rewritten byte; sequence
+      // breaks ties so a step is deterministic for a given state.
+      std::sort(candidates.begin(), candidates.end(),
+                [](const Candidate& a, const Candidate& b) {
+                  return a.utilization != b.utilization
+                             ? a.utilization < b.utilization
+                             : a.seq < b.seq;
+                });
+      std::uint64_t budget_used = 0;
+      for (const Candidate& candidate : candidates) {
+        if (!victims.empty() &&
+            budget_used + candidate.live_bytes > policy.max_bytes_per_step) {
+          break;
+        }
+        victims.push_back(candidate.seq);
+        budget_used += candidate.live_bytes;
+        if (budget_used >= policy.max_bytes_per_step) break;
+      }
+      std::unordered_set<std::uint32_t> victim_set(victims.begin(),
+                                                   victims.end());
+      // Map every victim before marking any: a mapping failure here must
+      // leave no segment stuck in the compacting state.
+      for (std::uint32_t seq : victims) {
+        STDCHK_RETURN_IF_ERROR(EnsureMapped(segments_.at(seq),
+                                            segments_.at(seq).size));
+      }
+      for (std::uint32_t seq : victims) {
+        segments_.at(seq).compacting = true;
+      }
+      for (const auto& [id, entry] : index_) {
+        if (!victim_set.contains(entry.seq)) continue;
+        const Segment& seg = segments_.at(entry.seq);
+        moved.push_back(Moved{
+            id, entry.seq,
+            BufferSlice(seg.mapping, entry.offset, entry.length), 0});
+      }
+      out_seq = next_seq_++;  // reserved: nothing else can take this name
+    }
+
+    // ---- Phase 2: write the output segment, no lock held. The collected
+    // slices stay byte-stable whatever the foreground does (the mappings
+    // outlive deletes, wipes, even the victims' unlink).
+    auto abandon = [this, &victims](Status why) EXCLUDES(mu_) -> Status {
+      MutexLock lock(mu_);
+      for (std::uint32_t seq : victims) {
+        auto it = segments_.find(seq);
+        if (it != segments_.end()) it->second.compacting = false;
+      }
+      return why;
+    };
+    fs::path out_path = SegmentPath(out_seq);
+    int out_fd = ::open(out_path.c_str(),
+                        O_RDWR | O_CREAT | O_EXCL | O_CLOEXEC, 0644);
+    if (out_fd < 0) return abandon(ErrnoError("create " + out_path.string()));
+
+    static constexpr std::uint8_t kZeros[kRecordAlign] = {};
+    std::vector<std::array<std::uint8_t, kHeaderSize>> headers(moved.size());
+    std::vector<struct iovec> iov;
+    iov.reserve(moved.size() * 3);
+    std::uint64_t out_size = 0;
+    for (std::size_t i = 0; i < moved.size(); ++i) {
+      Moved& rec = moved[i];
+      auto length = static_cast<std::uint32_t>(rec.data.size());
+      EncodeHeader(headers[i].data(), rec.id, length, rec.data.span());
+      iov.push_back({headers[i].data(), kHeaderSize});
+      if (length > 0) {
+        iov.push_back({const_cast<std::uint8_t*>(rec.data.data()), length});
+      }
+      std::size_t pad = PadFor(kHeaderSize + length);
+      if (pad > 0) iov.push_back({const_cast<std::uint8_t*>(kZeros), pad});
+      rec.new_offset = out_size + kHeaderSize;
+      out_size += kHeaderSize + length + pad;
+    }
+    std::uint64_t write_syscalls = 0;
+    Status wrote = WriteVecTo(out_fd, out_path, iov, 0, &write_syscalls);
+    if (wrote.ok() && ::fsync(out_fd) != 0) {
+      wrote = ErrnoError("fsync " + out_path.string());
+    }
+    if (wrote.ok()) wrote = SyncDir();
+    if (!wrote.ok()) {
+      ::close(out_fd);
+      std::error_code ec;
+      fs::remove(out_path, ec);  // never published, safe to drop
+      return abandon(std::move(wrote));
+    }
+    if (options_.testing_compaction_abort_before_publish) {
+      ::close(out_fd);
+      return abandon(InternalError(
+          "injected crash: compacted segment durable, not yet published"));
+    }
+
+    // ---- Phase 3: publish. Repoint every record that is still live and
+    // still homed in its victim; anything deleted (or re-put elsewhere)
+    // mid-copy stays dead bytes in the output. The victims are then fully
+    // dead by construction and unlink; an output left with zero live
+    // records (everything died mid-copy) unlinks right away too.
+    MutexLock lock(mu_);
+    stats_.data_syscalls += write_syscalls;
+    ++stats_.fsyncs;
+    Segment out_seg;
+    out_seg.path = std::move(out_path);
+    out_seg.fd = out_fd;
+    out_seg.size = out_size;
+    ++stats_.segments_created;
+    auto [out_it, out_inserted] = segments_.emplace(out_seq,
+                                                    std::move(out_seg));
+    (void)out_inserted;
+    for (const Moved& rec : moved) {
+      auto it = index_.find(rec.id);
+      if (it == index_.end() || it->second.seq != rec.victim_seq) continue;
+      auto length = static_cast<std::uint32_t>(rec.data.size());
+      it->second = Entry{out_seq, rec.new_offset, length};
+      out_it->second.live_bytes += length;
+      out_it->second.live_records += 1;
+      out_it->second.live_footprint += RecordFootprint(length);
+      auto victim_it = segments_.find(rec.victim_seq);
+      if (victim_it != segments_.end()) {  // gone only if Wipe() raced us
+        victim_it->second.live_bytes -= length;
+        victim_it->second.live_records -= 1;
+        victim_it->second.live_footprint -= RecordFootprint(length);
+      }
+      report.bytes_rewritten += length;
+    }
+    for (std::uint32_t seq : victims) {
+      auto victim_it = segments_.find(seq);
+      if (victim_it == segments_.end()) continue;  // Wipe() beat us to it
+      victim_it->second.compacting = false;
+      if (victim_it->second.live_records == 0 && seq != active_seq_) {
+        report.bytes_reclaimed += victim_it->second.size;
+        ReclaimSegmentLocked(victim_it);
+        ++report.segments_compacted;
+      }
+    }
+    if (out_it->second.live_records == 0) {
+      report.bytes_reclaimed += out_it->second.size;
+      ReclaimSegmentLocked(out_it);
+      --stats_.segments_reclaimed;  // never visible; not a reclaim event
+    }
+    report.bytes_reclaimed -=
+        std::min<std::uint64_t>(report.bytes_reclaimed, out_size);
+    stats_.segments_compacted += report.segments_compacted;
+    stats_.compacted_bytes_rewritten += report.bytes_rewritten;
+    ++stats_.compaction_steps;
+    return report;
   }
 
   std::vector<ChunkId> List() const override {
@@ -245,9 +460,20 @@ class DiskChunkStore final : public ChunkStore {
     return index_.size();
   }
 
-  // Chunks live in files; mapped segments are page cache the kernel can
-  // reclaim, not process-pinned heap.
-  std::uint64_t ResidentBytes() const override { return 0; }
+  // Chunks live in files, and mappings of *linked* segments are page cache
+  // the kernel can reclaim at will — those count nothing. What does count
+  // is mapped-but-unlinked bytes: a reader-held slice of a reclaimed or
+  // compacted segment keeps the unlinked file's pages (and disk blocks)
+  // alive, invisible to the filesystem, until the last slice drops. That
+  // is real space the donor machine has not gotten back yet.
+  std::uint64_t ResidentBytes() const override EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    std::erase_if(unlinked_pins_,
+                  [](const MappingPin& pin) { return pin.alive.expired(); });
+    std::uint64_t pinned = 0;
+    for (const MappingPin& pin : unlinked_pins_) pinned += pin.bytes;
+    return pinned;
+  }
 
   ChunkStoreStats Stats() const override {
     MutexLock lock(mu_);
@@ -261,17 +487,33 @@ class DiskChunkStore final : public ChunkStore {
     std::uint32_t length = 0;
   };
 
+  // A mapping (or former mapping) we may still be pinning disk/page-cache
+  // bytes through: alive stops reporting it once the last slice drops.
+  struct MappingPin {
+    std::weak_ptr<const void> alive;
+    std::uint64_t bytes = 0;
+  };
+
   struct Segment {
     fs::path path;
     int fd = -1;
     std::uint64_t size = 0;        // durable, record-aligned append offset
     std::uint64_t live_bytes = 0;  // payload bytes still indexed
     std::uint64_t live_records = 0;
+    // File bytes occupied by live records (headers + padding included):
+    // live_footprint / size is the segment's utilization.
+    std::uint64_t live_footprint = 0;
+    // A compaction pass has collected this segment's live records and is
+    // writing them out without the lock: defer reclamation to its publish
+    // phase and never select it as a victim twice.
+    bool compacting = false;
     // Zero-copy read view of [0, mapped_size), established lazily and
     // replaced (never grown in place) when the segment outgrows it;
-    // superseded mappings stay alive through the slices aliasing them.
+    // superseded mappings stay alive through the slices aliasing them and
+    // are tracked here so an eventual unlink can account them.
     BufferRef mapping;
     std::uint64_t mapped_size = 0;
+    std::vector<MappingPin> old_mappings;
   };
 
   static bool ParseSegmentName(const std::string& name, std::uint32_t& seq) {
@@ -342,6 +584,7 @@ class DiskChunkStore final : public ChunkStore {
         bytes_used_ += length;
         seg.live_bytes += length;
         seg.live_records += 1;
+        seg.live_footprint += RecordFootprint(length);
         ++stats_.recovered_chunks;
       }
       off += kHeaderSize + length + PadFor(kHeaderSize + length);
@@ -369,8 +612,12 @@ class DiskChunkStore final : public ChunkStore {
 
   Status EnsureActiveSegmentLocked() REQUIRES(mu_) {
     if (active_seq_ != 0) {
-      Segment& seg = segments_.at(active_seq_);
-      if (seg.size < options_.segment_target_bytes) return OkStatus();
+      auto it = segments_.find(active_seq_);
+      if (it->second.size < options_.segment_target_bytes) return OkStatus();
+      // Rolling away from a fully dead active segment is the last chance
+      // to notice it: Delete skips the active segment and compaction never
+      // selects it, so reclaim it here rather than never.
+      if (it->second.live_records == 0) ReclaimSegmentLocked(it);
     }
     std::uint32_t seq = next_seq_++;
     fs::path path = SegmentPath(seq);
@@ -458,22 +705,34 @@ class DiskChunkStore final : public ChunkStore {
       bytes_used_ += entries[i].length;
       seg.live_bytes += entries[i].length;
       seg.live_records += 1;
+      seg.live_footprint += RecordFootprint(entries[i].length);
     }
     return OkStatus();
   }
 
   Status WriteVecLocked(Segment& seg, std::vector<struct iovec>& iov,
                         std::uint64_t offset) REQUIRES(mu_) {
+    std::uint64_t syscalls = 0;
+    Status wrote = WriteVecTo(seg.fd, seg.path, iov, offset, &syscalls);
+    stats_.data_syscalls += syscalls;
+    return wrote;
+  }
+
+  // Lock-free core of the vectored append (compaction writes its output
+  // segment without the store lock; PutBatch counts syscalls under it).
+  static Status WriteVecTo(int fd, const fs::path& path,
+                           std::vector<struct iovec>& iov,
+                           std::uint64_t offset, std::uint64_t* syscalls) {
     std::size_t idx = 0;
     while (idx < iov.size()) {
       auto count = static_cast<int>(
           std::min<std::size_t>(iov.size() - idx, kMaxIov));
-      ssize_t n = ::pwritev(seg.fd, &iov[idx], count,
+      ssize_t n = ::pwritev(fd, &iov[idx], count,
                             static_cast<off_t>(offset));
-      ++stats_.data_syscalls;
+      ++*syscalls;
       if (n < 0) {
         if (errno == EINTR) continue;
-        return ErrnoError("pwritev " + seg.path.string());
+        return ErrnoError("pwritev " + path.string());
       }
       offset += static_cast<std::uint64_t>(n);
       auto remaining = static_cast<std::size_t>(n);
@@ -490,7 +749,7 @@ class DiskChunkStore final : public ChunkStore {
       }
       // A zero-byte pwritev with bytes left would loop forever; surface it.
       if (n == 0 && idx < iov.size()) {
-        return InternalError("pwritev wrote nothing: " + seg.path.string());
+        return InternalError("pwritev wrote nothing: " + path.string());
       }
     }
     return OkStatus();
@@ -504,6 +763,12 @@ class DiskChunkStore final : public ChunkStore {
     // Readers drain whole generations front to back; prefetching the
     // segment turns per-page faults into streamed readahead.
     ::madvise(addr, seg.size, MADV_WILLNEED);
+    if (seg.mapping) {
+      // The superseded mapping lives on through any slices aliasing it; if
+      // this segment is ever unlinked those slices pin unlinked bytes too.
+      seg.old_mappings.push_back(
+          MappingPin{seg.mapping.backing_handle(), seg.mapped_size});
+    }
     seg.mapping = BufferRef::WrapMmap(addr, seg.size);
     seg.mapped_size = seg.size;
     return OkStatus();
@@ -515,6 +780,17 @@ class DiskChunkStore final : public ChunkStore {
     if (seg.fd >= 0) ::close(seg.fd);
     std::error_code ec;
     fs::remove(seg.path, ec);  // mapping (if any) outlives the unlink
+    // From this point any still-held mapping of the segment pins unlinked
+    // bytes — move every live mapping handle into the resident accounting.
+    // (If no reader holds a slice, the handles expire the moment the
+    // Segment is erased below and ResidentBytes() prunes them for free.)
+    if (seg.mapping) {
+      unlinked_pins_.push_back(
+          MappingPin{seg.mapping.backing_handle(), seg.mapped_size});
+    }
+    for (MappingPin& pin : seg.old_mappings) {
+      if (!pin.alive.expired()) unlinked_pins_.push_back(std::move(pin));
+    }
     ++stats_.segments_reclaimed;
     return segments_.erase(it);
   }
@@ -528,6 +804,9 @@ class DiskChunkStore final : public ChunkStore {
   std::uint32_t active_seq_ GUARDED_BY(mu_) = 0;  // 0 = none yet
   std::uint32_t next_seq_ GUARDED_BY(mu_) = 1;
   std::uint64_t bytes_used_ GUARDED_BY(mu_) = 0;
+  // Mappings of unlinked segments that readers may still hold slices of
+  // (the ResidentBytes() accounting); expired entries prune lazily.
+  mutable std::vector<MappingPin> unlinked_pins_ GUARDED_BY(mu_);
   mutable ChunkStoreStats stats_ GUARDED_BY(mu_);
 };
 

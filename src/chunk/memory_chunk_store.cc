@@ -1,4 +1,6 @@
+#include <algorithm>
 #include <unordered_map>
+#include <vector>
 
 #include "chunk/chunk_store.h"
 #include "common/annotated_mutex.h"
@@ -6,6 +8,17 @@
 namespace stdchk {
 namespace {
 
+// In-memory store. Slices alias their callers' buffers (zero-copy
+// insertion), which means one retained chunk pins its whole drain
+// generation — the ResidentBytes()/BytesUsed() gap. CompactStep closes it:
+// when a backing's live fraction drops below the policy threshold, the
+// surviving slices are copied into a fresh tightly-packed backing and the
+// store's pin on the old generation is released (reader-held slices keep
+// the old heap alive until they drop, exactly like disk mmap slices
+// surviving an unlink). Compacted copies are NEW bytes in a NEW buffer, so
+// they deliberately carry no digest stamp — a post-compaction read
+// re-hashes at the verification boundary instead of trusting a stamp that
+// was computed on the original buffer.
 class MemoryChunkStore final : public ChunkStore {
  public:
   using ChunkStore::Put;
@@ -88,10 +101,113 @@ class MemoryChunkStore final : public ChunkStore {
     return resident_bytes_;
   }
 
+  // One throttled generation-compaction pass: re-own the live slices of
+  // under-utilized backings and release the store's pin on the originals.
+  Result<CompactionStepReport> CompactStep(
+      const CompactionPolicy& policy) override EXCLUDES(mu_) {
+    CompactionStepReport report;
+    if (policy.utilization_threshold <= 0.0) return report;
+    MutexLock lock(mu_);
+
+    // Victims: backings whose live bytes are a sub-threshold fraction of
+    // the buffer they pin, deadest first, whole victims up to the budget.
+    struct Candidate {
+      double utilization;
+      const void* backing;
+      std::uint64_t live_bytes;
+    };
+    std::vector<Candidate> candidates;
+    for (const auto& [backing_id, backing] : backings_) {
+      if (backing.bytes == 0 || backing.live_bytes >= backing.bytes) continue;
+      double utilization = static_cast<double>(backing.live_bytes) /
+                           static_cast<double>(backing.bytes);
+      if (utilization < policy.utilization_threshold) {
+        candidates.push_back(
+            Candidate{utilization, backing_id, backing.live_bytes});
+      }
+    }
+    if (candidates.empty()) return report;
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Candidate& a, const Candidate& b) {
+                return a.utilization != b.utilization
+                           ? a.utilization < b.utilization
+                           : a.backing < b.backing;
+              });
+    std::vector<const void*> victims;
+    std::uint64_t budget_used = 0;
+    for (const Candidate& candidate : candidates) {
+      if (!victims.empty() &&
+          budget_used + candidate.live_bytes > policy.max_bytes_per_step) {
+        break;
+      }
+      victims.push_back(candidate.backing);
+      budget_used += candidate.live_bytes;
+      if (budget_used >= policy.max_bytes_per_step) break;
+    }
+
+    // One pass over the index groups the surviving chunks per victim.
+    std::unordered_map<const void*, std::vector<ChunkId>> survivors;
+    for (const auto& [id, data] : chunks_) {
+      const void* backing_id = data.backing_id();
+      if (backing_id == nullptr) continue;
+      if (std::find(victims.begin(), victims.end(), backing_id) !=
+          victims.end()) {
+        survivors[backing_id].push_back(id);
+      }
+    }
+
+    const std::uint64_t resident_before = resident_bytes_;
+    for (const void* victim : victims) {
+      std::vector<ChunkId>& ids = survivors[victim];
+      std::size_t total = 0;
+      for (const ChunkId& id : ids) total += chunks_.at(id).size();
+      // An honest payload copy: the rewrite is what hands the dead bytes
+      // back, and copy_stats keeps the zero-copy benches able to prove the
+      // foreground path still copies nothing.
+      Bytes packed;
+      packed.reserve(total);
+      for (const ChunkId& id : ids) {
+        ByteSpan span = chunks_.at(id).span();
+        packed.insert(packed.end(), span.begin(), span.end());
+      }
+      copy_stats::RecordCopy(packed.size());
+      BufferRef fresh = BufferRef::Take(std::move(packed));
+      std::size_t offset = 0;
+      for (const ChunkId& id : ids) {
+        BufferSlice& slot = chunks_.at(id);
+        std::size_t length = slot.size();
+        // The replacement slice is unstamped by construction (new buffer,
+        // new bytes): verification can never trust a stale stamp here.
+        BufferSlice replacement(fresh, offset, length);
+        UnpinBacking(slot);
+        slot = std::move(replacement);
+        PinBacking(slot);
+        offset += length;
+        report.bytes_rewritten += length;
+      }
+      ++report.generations_released;
+    }
+    // Every store pin moved off the victims, so each was released in full
+    // and replaced by its tightly-packed copy: the resident drop is the
+    // dead weight handed back (readers still holding old-generation slices
+    // keep the heap alive, but that is their pin now, not the store's).
+    report.bytes_reclaimed = resident_before - resident_bytes_;
+    stats_.generations_released += report.generations_released;
+    stats_.compacted_bytes_rewritten += report.bytes_rewritten;
+    ++stats_.compaction_steps;
+    return report;
+  }
+
+  ChunkStoreStats Stats() const override {
+    MutexLock lock(mu_);
+    return stats_;
+  }
+
  private:
   struct Backing {
     std::size_t refs = 0;
-    std::size_t bytes = 0;
+    std::size_t bytes = 0;       // full backing-buffer size (pinned once)
+    std::size_t live_bytes = 0;  // bytes of it still reachable via chunks_
   };
 
   void PutLocked(const ChunkId& id, BufferSlice data) REQUIRES(mu_) {
@@ -109,12 +225,14 @@ class MemoryChunkStore final : public ChunkStore {
       b.bytes = data.backing_size();
       resident_bytes_ += b.bytes;
     }
+    b.live_bytes += data.size();
   }
 
   void UnpinBacking(const BufferSlice& data) REQUIRES(mu_) {
     if (data.backing_id() == nullptr) return;
     auto it = backings_.find(data.backing_id());
     if (it == backings_.end()) return;
+    it->second.live_bytes -= data.size();
     if (--it->second.refs == 0) {
       resident_bytes_ -= it->second.bytes;
       backings_.erase(it);
@@ -126,6 +244,7 @@ class MemoryChunkStore final : public ChunkStore {
   std::unordered_map<const void*, Backing> backings_ GUARDED_BY(mu_);
   std::uint64_t bytes_used_ GUARDED_BY(mu_) = 0;
   std::uint64_t resident_bytes_ GUARDED_BY(mu_) = 0;
+  mutable ChunkStoreStats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace

@@ -105,6 +105,14 @@ class BufferRef {
   ByteSpan span() const {
     return backing_ ? ByteSpan(backing_->data, backing_->size) : ByteSpan();
   }
+
+  // Non-owning liveness handle for the backing region: expired() flips
+  // exactly when the last owning ref/slice drops and the storage is
+  // actually released. Lets the disk store account mapped-but-unlinked
+  // segment bytes (reader-held slices pinning unlinked files) without
+  // itself pinning them.
+  std::weak_ptr<const void> backing_handle() const { return backing_; }
+
   const std::uint8_t* data() const {
     return backing_ ? backing_->data : nullptr;
   }

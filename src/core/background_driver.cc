@@ -36,7 +36,10 @@ void BackgroundDriver::Loop() {
     if (stop_.load()) break;
     // Tick with no locks held: the cluster tick acquires manager, catalog,
     // transport and store locks, all of which rank above this mutex.
-    cluster_->Tick(period_seconds_);
+    StdchkCluster::TickReport report = cluster_->Tick(period_seconds_);
+    segments_compacted_.fetch_add(report.segments_compacted);
+    generations_released_.fetch_add(report.generations_released);
+    compacted_bytes_rewritten_.fetch_add(report.compacted_bytes_rewritten);
     ticks_.fetch_add(1);
   }
 }

@@ -158,6 +158,19 @@ StdchkCluster::TickReport StdchkCluster::Tick(double advance_seconds) {
     Result<std::size_t> reclaimed = b->RunGc(*manager_);
     if (reclaimed.ok()) report.gc_reclaimed_chunks += reclaimed.value();
   }
+
+  // 6. Live compaction: one throttled pass per online benefactor. Runs
+  //    after GC so the dead bytes GC just created are eligible this tick.
+  if (options_.compaction_enabled) {
+    for (auto& b : benefactors_) {
+      if (!b->online()) continue;
+      Result<CompactionStepReport> step = b->CompactStep(options_.compaction);
+      if (!step.ok()) continue;
+      report.segments_compacted += step.value().segments_compacted;
+      report.generations_released += step.value().generations_released;
+      report.compacted_bytes_rewritten += step.value().bytes_rewritten;
+    }
+  }
   return report;
 }
 

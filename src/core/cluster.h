@@ -33,6 +33,13 @@ struct ClusterOptions {
   // accounting).
   std::function<std::unique_ptr<ChunkStore>(std::unique_ptr<ChunkStore>)>
       store_decorator;
+  // When true, Tick() runs one throttled CompactStep() per online
+  // benefactor (step 6), reclaiming dead segment/generation bytes under
+  // live traffic. Off by default so existing tests see byte-identical
+  // segment layouts; `compaction` carries the threshold and per-step
+  // rewrite budget.
+  bool compaction_enabled = false;
+  CompactionPolicy compaction;
 };
 
 class StdchkCluster {
@@ -72,6 +79,11 @@ class StdchkCluster {
     std::vector<CheckpointName> purged;
     std::size_t gc_reclaimed_chunks = 0;
     std::size_t recovered_versions_offered = 0;
+    // Live compaction (step 6, when ClusterOptions::compaction_enabled):
+    // what this tick's per-benefactor CompactStep() passes accomplished.
+    std::uint64_t segments_compacted = 0;
+    std::uint64_t generations_released = 0;
+    std::uint64_t compacted_bytes_rewritten = 0;
   };
   // Advances the virtual clock by `advance_seconds`, then runs one round of
   // every background protocol in dependency order.

@@ -22,6 +22,11 @@ ClusterStats CollectStats(StdchkCluster& cluster) {
     stats.capacity_bytes += node.capacity;
     stats.stored_bytes += node.bytes_used;
     stats.resident_bytes += node.resident_bytes;
+
+    ChunkStoreStats store = b.StoreStats();
+    stats.segments_compacted += store.segments_compacted;
+    stats.generations_released += store.generations_released;
+    stats.compacted_bytes_rewritten += store.compacted_bytes_rewritten;
   }
 
   const FileCatalog& catalog = cluster.manager().catalog();

@@ -40,6 +40,12 @@ struct ClusterStats {
 
   // Background machinery.
   std::size_t pending_replications = 0;
+  // Live compaction across the pool (sums of per-node ChunkStoreStats):
+  // dead-byte reclamation progress. resident_bytes minus stored_bytes is
+  // the gap compaction exists to close.
+  std::uint64_t segments_compacted = 0;
+  std::uint64_t generations_released = 0;
+  std::uint64_t compacted_bytes_rewritten = 0;
 
   // Metadata plane: sharded catalog + decentralized placement. The shard
   // vector has one entry per catalog shard; the scalar catalog_* fields

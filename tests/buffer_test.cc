@@ -114,6 +114,24 @@ TEST(BufferSliceTest, DigestStampSharedByCopiesDroppedBySubslice) {
   EXPECT_EQ(BufferSlice::Copy(slice.span()).stamped_digest(), nullptr);
 }
 
+TEST(BufferRefTest, BackingHandleExpiresWithTheLastOwner) {
+  // The non-owning liveness handle the disk store uses to account
+  // mapped-but-unlinked bytes: it must track the backing's real lifetime
+  // without extending it.
+  BufferRef ref = BufferRef::Take(MakeData(128, 23));
+  std::weak_ptr<const void> handle = ref.backing_handle();
+  EXPECT_FALSE(handle.expired());
+
+  // A slice keeps the backing alive after the ref itself drops...
+  BufferSlice slice(ref, 16, 32);
+  ref = BufferRef();
+  EXPECT_FALSE(handle.expired());
+
+  // ...and the handle flips exactly when the last slice does.
+  slice = BufferSlice();
+  EXPECT_TRUE(handle.expired());
+}
+
 TEST(BufferSliceTest, StampedSliceShortCircuitsChunkIdFor) {
   Bytes data = MakeData(512, 22);
   ChunkId true_id = ChunkId::For(data);

@@ -206,14 +206,28 @@ TEST(ChunkStorePropertyTest, MemoryAndDiskStoresAgreeUnderRandomOps) {
       Status d = disk->Put(id, BufferSlice::Copy(data));
       EXPECT_EQ(m.code(), d.code());
     } else if (dice < 0.45) {  // PutBatch of a small generation
-      std::vector<ChunkPut> batch;
+      // Pack the generation into ONE shared backing for the memory store
+      // (the real drain shape): later deletes then strand dead bytes in
+      // the backing, which is what memory CompactStep exists to reclaim.
       std::size_t n = 1 + rng.NextBelow(6);
+      std::vector<std::pair<ChunkId, Bytes>> gen;
+      Bytes packed;
       for (std::size_t i = 0; i < n; ++i) {
-        auto [id, data] = random_chunk();
-        batch.push_back(ChunkPut{id, BufferSlice::Copy(data)});
+        gen.push_back(random_chunk());
+        packed.insert(packed.end(), gen.back().second.begin(),
+                      gen.back().second.end());
       }
-      Status m = memory->PutBatch(batch);
-      Status d = disk->PutBatch(batch);
+      BufferRef backing = BufferRef::Take(std::move(packed));
+      std::vector<ChunkPut> mem_batch, disk_batch;
+      std::size_t off = 0;
+      for (const auto& [id, data] : gen) {
+        mem_batch.push_back(
+            ChunkPut{id, BufferSlice(backing, off, data.size())});
+        disk_batch.push_back(ChunkPut{id, BufferSlice::Copy(data)});
+        off += data.size();
+      }
+      Status m = memory->PutBatch(mem_batch);
+      Status d = disk->PutBatch(disk_batch);
       EXPECT_EQ(m.code(), d.code());
     } else if (dice < 0.70) {  // Get, occasionally holding the disk slice
       ChunkId id = known_id();
@@ -226,14 +240,25 @@ TEST(ChunkStorePropertyTest, MemoryAndDiskStoresAgreeUnderRandomOps) {
           held.push_back(HeldSlice{d.value(), d.value().ToBytes()});
         }
       }
-    } else if (dice < 0.90) {  // Delete
+    } else if (dice < 0.88) {  // Delete
       ChunkId id = known_id();
       Status m = memory->Delete(id);
       Status d = disk->Delete(id);
       EXPECT_EQ(m.code(), d.code());
-    } else if (dice < 0.93) {  // Wipe (rare)
+    } else if (dice < 0.91) {  // Wipe (rare)
       EXPECT_TRUE(memory->Wipe().ok());
       EXPECT_TRUE(disk->Wipe().ok());
+    } else if (dice < 0.97) {  // CompactStep interleaved with the traffic
+      CompactionPolicy policy;
+      // Eager threshold: any segment/backing with one dead record and one
+      // survivor is a victim, so compaction interleaves with everything
+      // else as often as the mix allows.
+      policy.utilization_threshold = 0.9;
+      policy.max_bytes_per_step = 4096;
+      auto m = memory->CompactStep(policy);
+      auto d = disk->CompactStep(policy);
+      EXPECT_TRUE(m.ok()) << m.status();
+      EXPECT_TRUE(d.ok()) << d.status();
     } else {  // Contains
       ChunkId id = known_id();
       EXPECT_EQ(memory->Contains(id), disk->Contains(id));
@@ -265,6 +290,10 @@ TEST(ChunkStorePropertyTest, MemoryAndDiskStoresAgreeUnderRandomOps) {
     EXPECT_EQ(held[i].slice, ByteSpan(held[i].expected));
   }
   EXPECT_GT(disk->Stats().segments_reclaimed, 0u);
+  // The interleaved CompactStep ops must have actually compacted — on both
+  // backends — while every invariant above held.
+  EXPECT_GT(disk->Stats().segments_compacted, 0u);
+  EXPECT_GT(memory->Stats().generations_released, 0u);
 
   held.clear();
   memory.reset();
@@ -334,6 +363,72 @@ TEST(MemoryStoreResidencyTest, RetainedSlicePinsWholeGeneration) {
   EXPECT_EQ(store->ResidentBytes(), 0u);
 }
 
+// CompactStep closes the over-retention gap: survivors of a mostly-dead
+// generation move into a fresh tightly-packed backing, the store's pin on
+// the old generation drops, and reader-held slices of the old generation
+// stay byte-stable (their pin, not the store's).
+TEST(MemoryStoreResidencyTest, CompactStepClosesTheGap) {
+  auto store = MakeMemoryChunkStore();
+  constexpr std::size_t kGeneration = 1 << 20;
+  constexpr std::size_t kChunk = 64 << 10;
+  Rng rng(80);
+  BufferRef backing = BufferRef::Take(rng.RandomBytes(kGeneration));
+
+  std::vector<ChunkId> ids;
+  for (std::size_t off = 0; off < kGeneration; off += kChunk) {
+    BufferSlice slice(backing, off, kChunk);
+    ChunkId id = ChunkId::For(slice.span());
+    // The planner stamps what it names: the pre-compaction slices carry
+    // digest stamps that the compacted copies must NOT inherit.
+    slice.StampDigest(id.digest);
+    ids.push_back(id);
+    ASSERT_TRUE(store->Put(id, std::move(slice)).ok());
+  }
+  backing = BufferRef();
+
+  // Keep one chunk, delete the rest: the classic dedup-retention shape.
+  for (std::size_t i = 1; i < ids.size(); ++i) {
+    ASSERT_TRUE(store->Delete(ids[i]).ok());
+  }
+  ASSERT_EQ(store->BytesUsed(), kChunk);
+  ASSERT_EQ(store->ResidentBytes(), kGeneration);
+
+  // A reader holds the old-generation slice across the move.
+  auto held = store->Get(ids[0]);
+  ASSERT_TRUE(held.ok());
+  Bytes expected = held.value().ToBytes();
+  EXPECT_NE(held.value().stamped_digest(), nullptr);  // original is stamped
+
+  CompactionPolicy policy;  // threshold 0.5; utilization here is 1/16
+  auto step = store->CompactStep(policy);
+  ASSERT_TRUE(step.ok()) << step.status();
+  EXPECT_EQ(step.value().generations_released, 1u);
+  EXPECT_EQ(step.value().bytes_rewritten, kChunk);
+  EXPECT_EQ(step.value().bytes_reclaimed, kGeneration - kChunk);
+
+  // The store now pins only the packed copy...
+  EXPECT_EQ(store->BytesUsed(), kChunk);
+  EXPECT_EQ(store->ResidentBytes(), kChunk);
+  EXPECT_EQ(store->Stats().generations_released, 1u);
+  EXPECT_EQ(store->Stats().compacted_bytes_rewritten, kChunk);
+
+  // ...the moved chunk reads the same bytes from a NEW, UNSTAMPED backing
+  // (no stale-stamp shortcut on moved bytes)...
+  auto got = store->Get(ids[0]);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value(), ByteSpan(expected));
+  EXPECT_FALSE(got.value().SharesBufferWith(held.value()));
+  EXPECT_EQ(got.value().stamped_digest(), nullptr);
+
+  // ...and the reader's old-generation slice is byte-stable throughout.
+  EXPECT_EQ(held.value(), ByteSpan(expected));
+
+  // Fully-live backings are left alone: compaction converges.
+  auto idle = store->CompactStep(policy);
+  ASSERT_TRUE(idle.ok());
+  EXPECT_EQ(idle.value().generations_released, 0u);
+}
+
 TEST(MemoryStoreResidencyTest, IndependentBackingsCountedOnce) {
   auto store = MakeMemoryChunkStore();
   Rng rng(78);
@@ -359,6 +454,52 @@ TEST(DiskStoreResidencyTest, PinsNothing) {
   Bytes data = rng.RandomBytes(4096);
   ASSERT_TRUE(store.value()->Put(ChunkId::For(data), data).ok());
   EXPECT_EQ(store.value()->BytesUsed(), 4096u);
+  EXPECT_EQ(store.value()->ResidentBytes(), 0u);
+  std::filesystem::remove_all(dir);
+}
+
+// Satellite bugfix: ResidentBytes() used to hard-code 0, hiding the disk
+// space reader-held mmap slices keep alive after their segment is
+// unlinked (reclaim or compaction). Those bytes are invisible to `du` —
+// the store must report them or the compaction invariant is unmeasurable.
+TEST(DiskStoreResidencyTest, UnlinkedMappingsCountUntilReadersDrop) {
+  auto dir = std::filesystem::temp_directory_path() /
+             ("stdchk_residency_unlinked_" + std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+  DiskStoreOptions small;
+  small.segment_target_bytes = 1;  // roll per batch
+  auto store = MakeDiskChunkStore(dir.string(), small);
+  ASSERT_TRUE(store.ok());
+  Rng rng(81);
+
+  std::vector<ChunkId> gen_a;
+  std::vector<ChunkPut> batch;
+  for (int i = 0; i < 4; ++i) {
+    Bytes data = rng.RandomBytes(1024);
+    gen_a.push_back(ChunkId::For(data));
+    batch.push_back(ChunkPut{gen_a.back(), BufferSlice::Copy(data)});
+  }
+  ASSERT_TRUE(store.value()->PutBatch(batch).ok());
+  Bytes b = rng.RandomBytes(256);
+  ASSERT_TRUE(store.value()->Put(ChunkId::For(b), b).ok());  // rolls
+
+  // Reading maps the segment, but a mapping of a *linked* file is page
+  // cache the kernel can drop — not pinned space.
+  auto held = store.value()->Get(gen_a[0]);
+  ASSERT_TRUE(held.ok());
+  EXPECT_EQ(store.value()->ResidentBytes(), 0u);
+
+  // Kill the generation: its segment unlinks, but the reader's slice
+  // keeps the whole mapped segment (and its disk blocks) alive.
+  for (const ChunkId& id : gen_a) {
+    ASSERT_TRUE(store.value()->Delete(id).ok());
+  }
+  ASSERT_EQ(store.value()->Stats().segments_reclaimed, 1u);
+  EXPECT_GE(store.value()->ResidentBytes(), 4u * 1024u);
+  EXPECT_EQ(held.value().size(), 1024u);  // still serving the dead segment
+
+  // Dropping the last slice releases the mapping; the accounting follows.
+  held.value() = BufferSlice();
   EXPECT_EQ(store.value()->ResidentBytes(), 0u);
   std::filesystem::remove_all(dir);
 }

@@ -17,6 +17,7 @@
 #include <fstream>
 #include <vector>
 
+#include "benefactor/benefactor.h"
 #include "common/hash.h"
 #include "common/rng.h"
 
@@ -370,6 +371,273 @@ TEST_F(DiskSegmentRecoveryTest, DeadSegmentsAreReclaimedAndSlicesSurvive) {
   auto got = store.value()->Get(ChunkId::For(other));
   ASSERT_TRUE(got.ok());
   EXPECT_EQ(got.value(), other);
+}
+
+// Regression: a segment whose records all die while it is still the
+// *active* (append) segment used to be skipped by Delete-time reclaim and
+// never revisited — the dead file leaked until Wipe. Rolling to a fresh
+// segment must reclaim the fully-dead one it leaves behind.
+TEST_F(DiskSegmentRecoveryTest, FullyDeadActiveSegmentIsReclaimedAtRoll) {
+  DiskStoreOptions small;
+  small.segment_target_bytes = 1;  // roll per batch
+  auto store = MakeDiskChunkStore(pristine_.string(), small);
+  ASSERT_TRUE(store.ok());
+
+  Bytes a = rng_.RandomBytes(1024);
+  ChunkId id_a = ChunkId::For(a);
+  ASSERT_TRUE(store.value()->Put(id_a, a).ok());
+  // Kill the only record while its segment is still the active one:
+  // Delete cannot reclaim it (appends may still land there)...
+  ASSERT_TRUE(store.value()->Delete(id_a).ok());
+  EXPECT_EQ(store.value()->Stats().segments_reclaimed, 0u);
+  ASSERT_EQ(SegmentFiles(pristine_).size(), 1u);
+
+  // ...but the roll triggered by the next batch must, or the dead file
+  // leaks forever.
+  Bytes b = rng_.RandomBytes(1024);
+  ASSERT_TRUE(store.value()->Put(ChunkId::For(b), b).ok());
+  EXPECT_EQ(store.value()->Stats().segments_reclaimed, 1u);
+  EXPECT_EQ(SegmentFiles(pristine_).size(), 1u);  // only the new segment
+
+  // The reclaimed state survives a reopen.
+  store.value().reset();
+  ExpectRecoversPrefix(pristine_, {{ChunkId::For(b), b}}, 1, small);
+}
+
+TEST_F(DiskSegmentRecoveryTest, CompactStepRewritesLiveRecordsAndUnlinks) {
+  DiskStoreOptions small;
+  small.segment_target_bytes = 1;  // roll per batch
+  auto store = MakeDiskChunkStore(pristine_.string(), small);
+  ASSERT_TRUE(store.ok());
+
+  // Generation A: four chunks in one segment; generation B rolls it cold.
+  std::vector<Bytes> gen_a;
+  std::vector<ChunkPut> batch;
+  for (int i = 0; i < 4; ++i) {
+    gen_a.push_back(rng_.RandomBytes(1024));
+    batch.push_back(
+        ChunkPut{ChunkId::For(gen_a.back()), BufferSlice::Copy(gen_a.back())});
+  }
+  ASSERT_TRUE(store.value()->PutBatch(batch).ok());
+  Bytes b = rng_.RandomBytes(512);
+  ASSERT_TRUE(store.value()->Put(ChunkId::For(b), b).ok());
+  ASSERT_EQ(SegmentFiles(pristine_).size(), 2u);
+
+  // Kill 3 of A's 4 records: utilization 1/4 < 1/2 makes A a victim. Hold
+  // a reader slice of the survivor across the move.
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(store.value()->Delete(ChunkId::For(gen_a[i])).ok());
+  }
+  ChunkId survivor = ChunkId::For(gen_a[3]);
+  auto held = store.value()->Get(survivor);
+  ASSERT_TRUE(held.ok());
+
+  CompactionPolicy policy;  // threshold 0.5
+  auto step = store.value()->CompactStep(policy);
+  ASSERT_TRUE(step.ok()) << step.status();
+  EXPECT_EQ(step.value().segments_compacted, 1u);
+  EXPECT_EQ(step.value().bytes_rewritten, gen_a[3].size());
+  EXPECT_GT(step.value().bytes_reclaimed, 0u);
+
+  // The victim is gone from disk; the survivor reads clean from its new
+  // home and the held slice of the old mapping is byte-stable.
+  EXPECT_EQ(SegmentFiles(pristine_).size(), 2u);  // gen B + compacted out
+  auto got = store.value()->Get(survivor);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value(), gen_a[3]);
+  EXPECT_EQ(held.value(), gen_a[3]);
+  EXPECT_FALSE(got.value().SharesBufferWith(held.value()));  // new mapping
+
+  ChunkStoreStats stats = store.value()->Stats();
+  EXPECT_EQ(stats.segments_compacted, 1u);
+  EXPECT_EQ(stats.compacted_bytes_rewritten, gen_a[3].size());
+  EXPECT_EQ(stats.compaction_steps, 1u);
+
+  // A second step finds nothing below threshold: compaction converges.
+  auto idle = store.value()->CompactStep(policy);
+  ASSERT_TRUE(idle.ok());
+  EXPECT_EQ(idle.value().segments_compacted, 0u);
+
+  // The compacted layout recovers: survivor + gen B, nothing resurrected.
+  store.value().reset();
+  ExpectRecoversPrefix(pristine_,
+                       {{survivor, gen_a[3]}, {ChunkId::For(b), b}}, 2, small);
+}
+
+// Crash injected after the compacted segment is durable but before the
+// index repoints and the victims unlink: both copies are on disk. Recovery
+// must keep the first copy (sequence order), count the duplicate as dead
+// bytes, and lose nothing.
+TEST_F(DiskSegmentRecoveryTest, CrashBeforeCompactionPublishLosesNothing) {
+  DiskStoreOptions crashy;
+  crashy.segment_target_bytes = 1;
+  crashy.testing_compaction_abort_before_publish = true;
+
+  std::vector<std::pair<ChunkId, Bytes>> live;
+  {
+    auto store = MakeDiskChunkStore(pristine_.string(), crashy);
+    ASSERT_TRUE(store.ok());
+    std::vector<ChunkPut> batch;
+    std::vector<Bytes> gen_a;
+    for (int i = 0; i < 4; ++i) {
+      gen_a.push_back(rng_.RandomBytes(1024));
+      batch.push_back(ChunkPut{ChunkId::For(gen_a.back()),
+                               BufferSlice::Copy(gen_a.back())});
+    }
+    ASSERT_TRUE(store.value()->PutBatch(batch).ok());
+    Bytes b = rng_.RandomBytes(512);
+    ASSERT_TRUE(store.value()->Put(ChunkId::For(b), b).ok());
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE(store.value()->Delete(ChunkId::For(gen_a[i])).ok());
+    }
+    live.emplace_back(ChunkId::For(gen_a[3]), gen_a[3]);
+    live.emplace_back(ChunkId::For(b), b);
+
+    auto step = store.value()->CompactStep(CompactionPolicy{});
+    EXPECT_FALSE(step.ok());  // the injected crash
+    // Both copies of the survivor now sit on disk, and the still-open
+    // store keeps serving the originals untouched.
+    EXPECT_EQ(SegmentFiles(pristine_).size(), 3u);
+    for (const auto& [id, data] : live) {
+      auto got = store.value()->Get(id);
+      ASSERT_TRUE(got.ok());
+      EXPECT_EQ(got.value(), data);
+    }
+  }
+
+  // Recovery: the store has no delete tombstones, so the three deleted
+  // records of generation A legitimately resurrect — what must hold is
+  // that every committed chunk is readable, the duplicated survivor is
+  // indexed exactly once (first copy wins), and nothing fails SHA-1.
+  auto reopened = MakeDiskChunkStore(pristine_.string());
+  ASSERT_TRUE(reopened.ok());
+  ChunkStore& store = *reopened.value();
+  EXPECT_EQ(store.ChunkCount(), 5u);  // 4 of gen A + gen B; dup collapsed
+  EXPECT_EQ(store.Stats().recovered_chunks, 5u);
+  for (const auto& [id, data] : live) {
+    auto got = store.Get(id);
+    ASSERT_TRUE(got.ok()) << got.status();
+    EXPECT_EQ(got.value(), data);
+  }
+  VerifyEverythingServable(store);
+
+  // The duplicate record is dead weight a later CompactStep can reclaim.
+  auto cleanup = store.CompactStep(CompactionPolicy{});
+  ASSERT_TRUE(cleanup.ok());
+  VerifyEverythingServable(store);
+}
+
+// The compacted output segment itself can be torn by the crash (it was
+// mid-write): recovery must cut it back without touching the originals.
+TEST_F(DiskSegmentRecoveryTest, TornCompactedOutputSparesTheOriginals) {
+  DiskStoreOptions crashy;
+  crashy.segment_target_bytes = 1;
+  crashy.testing_compaction_abort_before_publish = true;
+
+  std::vector<std::pair<ChunkId, Bytes>> live;
+  {
+    auto store = MakeDiskChunkStore(pristine_.string(), crashy);
+    ASSERT_TRUE(store.ok());
+    std::vector<ChunkPut> batch;
+    std::vector<Bytes> gen_a;
+    for (int i = 0; i < 4; ++i) {
+      gen_a.push_back(rng_.RandomBytes(1024));
+      batch.push_back(ChunkPut{ChunkId::For(gen_a.back()),
+                               BufferSlice::Copy(gen_a.back())});
+    }
+    ASSERT_TRUE(store.value()->PutBatch(batch).ok());
+    Bytes b = rng_.RandomBytes(512);
+    ASSERT_TRUE(store.value()->Put(ChunkId::For(b), b).ok());
+    for (int i = 0; i < 2; ++i) {
+      ASSERT_TRUE(store.value()->Delete(ChunkId::For(gen_a[i])).ok());
+    }
+    live.emplace_back(ChunkId::For(gen_a[2]), gen_a[2]);
+    live.emplace_back(ChunkId::For(gen_a[3]), gen_a[3]);
+    live.emplace_back(ChunkId::For(b), b);
+    // Utilization is exactly 0.5 after two deletes; raise the threshold so
+    // the half-dead segment qualifies and the crash hits mid-move of TWO
+    // records (a multi-record torn tail).
+    CompactionPolicy eager;
+    eager.utilization_threshold = 0.75;
+    EXPECT_FALSE(store.value()->CompactStep(eager).ok());
+  }
+
+  // Tear the compacted output (the newest segment) mid-record.
+  auto segments = SegmentFiles(pristine_);
+  ASSERT_EQ(segments.size(), 3u);
+  auto out_records = WalkSegment(segments.back());
+  ASSERT_EQ(out_records.size(), 2u);  // the two survivors were being moved
+  TruncateFile(segments.back(),
+               out_records[0].payload + out_records[0].length / 2);
+
+  auto reopened = MakeDiskChunkStore(pristine_.string());
+  ASSERT_TRUE(reopened.ok());
+  ChunkStore& store = *reopened.value();
+  EXPECT_EQ(store.Stats().torn_tails_truncated, 1u);
+  for (const auto& [id, data] : live) {
+    auto got = store.Get(id);
+    ASSERT_TRUE(got.ok()) << got.status();
+    EXPECT_EQ(got.value(), data);
+  }
+  VerifyEverythingServable(store);
+}
+
+// Satellite: no stale-stamp shortcut on moved bytes. Compacted records are
+// re-read from disk through an unstamped mapping, so a benefactor read
+// must re-hash — and a flipped byte in the compacted segment must surface
+// as DataLoss, never as a clean read vouched for by a stamp the original
+// buffer earned.
+TEST_F(DiskSegmentRecoveryTest, TamperedCompactedBytesFailVerification) {
+  DiskStoreOptions small;
+  small.segment_target_bytes = 1;
+  auto made = MakeDiskChunkStore(pristine_.string(), small);
+  ASSERT_TRUE(made.ok());
+  ChunkStore* store = made.value().get();
+  Benefactor donor("tamper-host", std::move(made).value(), 1_GiB);
+
+  std::vector<Bytes> gen_a;
+  std::vector<ChunkPut> batch;
+  for (int i = 0; i < 4; ++i) {
+    gen_a.push_back(rng_.RandomBytes(1024));
+    batch.push_back(
+        ChunkPut{ChunkId::For(gen_a.back()), BufferSlice::Copy(gen_a.back())});
+  }
+  ASSERT_TRUE(donor.PutChunkBatch(batch).ok());
+  Bytes b = rng_.RandomBytes(512);
+  ASSERT_TRUE(donor.PutChunk(ChunkId::For(b), ByteSpan(b)).ok());
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(store->Delete(ChunkId::For(gen_a[i])).ok());
+  }
+  ChunkId survivor = ChunkId::For(gen_a[3]);
+
+  auto step = store->CompactStep(CompactionPolicy{});
+  ASSERT_TRUE(step.ok());
+  ASSERT_EQ(step.value().segments_compacted, 1u);
+
+  // The moved record carries no digest stamp: verification re-hashes.
+  auto raw = store->Get(survivor);
+  ASSERT_TRUE(raw.ok());
+  EXPECT_EQ(raw.value().stamped_digest(), nullptr);
+  ASSERT_TRUE(donor.GetChunk(survivor).ok());  // intact bytes verify fine
+
+  // Flip one payload byte in the compacted segment. The reopened store
+  // maps the tampered file fresh — and the benefactor's read must catch it.
+  auto segments = SegmentFiles(pristine_);
+  auto records = WalkSegment(segments.back());
+  ASSERT_EQ(records.size(), 1u);
+  const std::uint64_t flip_at = records[0].payload + records[0].length / 2;
+
+  auto reopened = MakeDiskChunkStore(pristine_.string(), small);
+  ASSERT_TRUE(reopened.ok());
+  // Recovery CRC-checks records, so tampering after recovery models the
+  // bit rot the paper's benefactors must catch at read time (§IV.C).
+  ChunkStore* tampered_store = reopened.value().get();
+  Benefactor tampered("tamper-host", std::move(reopened).value(), 1_GiB);
+  FlipBit(segments.back(), flip_at);
+  ASSERT_TRUE(tampered_store->Contains(survivor));
+  auto read = tampered.GetChunk(survivor);
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kDataLoss);
 }
 
 TEST_F(DiskSegmentRecoveryTest, WipeUnlinksEverythingButHeldSlicesLive) {
